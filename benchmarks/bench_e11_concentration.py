@@ -1,0 +1,108 @@
+"""E11 — Lemmas 8, 9, 13: measured concentration vs analytic bounds.
+
+* Lemma 8: for every confused processor and label, the number of
+  knowledgeable responders concentrates around (fraction) * a log n —
+  we histogram the per-label response counts against the A/B bounds.
+* Lemma 9: the number of overloaded responders stays tiny.
+* Lemma 13: in a round where the global coin succeeds, all-but-O(n/log n)
+  processors land on one bit with probability >= 1/2 — we measure the
+  per-round coalescence frequency.
+"""
+
+import math
+import random
+from collections import Counter
+
+import pytest
+
+from conftest import print_table
+from repro.analysis.bounds import chernoff_below
+from repro.core.ae_to_everywhere import run_ae_to_everywhere
+from repro.core.coins import perfect_coin_source
+from repro.core.parameters import ProtocolParameters
+from repro.core.unreliable_coin_ba import run_unreliable_coin_ba
+
+
+def test_e11_lemma8_lemma9(benchmark, capsys):
+    n = 144
+    params = ProtocolParameters.simulation(n)
+    knowledgeable = set(range(int(0.67 * n)))
+    # One loop; inspect the decision statistics.
+    result = run_ae_to_everywhere(
+        params, knowledgeable, 9, k_sequence=[3, 6, 2], seed=131
+    )
+    fanout = params.request_fanout()
+    expected = 0.67 * fanout
+    threshold_a = (0.5 + params.epsilon / 2) * fanout
+    rows = [
+        (
+            s.loop,
+            s.k,
+            s.deciders,
+            s.undecided_after,
+            s.overloaded_responders,
+        )
+        for s in result.loop_stats
+    ]
+    benchmark.pedantic(
+        lambda: run_ae_to_everywhere(
+            ProtocolParameters.simulation(64),
+            set(range(43)), 9, k_sequence=[2], seed=132,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        capsys,
+        f"E11a Algorithm 3 concentration (n={n}, fanout={fanout})",
+        ["loop", "k", "decided", "undecided", "overloaded responders"],
+        rows,
+        note=(
+            f"Lemma 8: expected knowledgeable responders per label "
+            f"~{expected:.1f} >= A = {threshold_a:.1f}; Chernoff bound on "
+            f"falling short: "
+            f"{chernoff_below(expected, 1 - threshold_a / expected):.2e}. "
+            "Lemma 9: overloaded responders stay ~0 without flooding."
+        ),
+    )
+    assert all(s.overloaded_responders <= n // 4 for s in result.loop_stats)
+
+
+def test_e11_lemma13_coalescence(benchmark, capsys):
+    """P[good coin round coalesces the votes] >= 1/2."""
+    n = 100
+    trials = 12
+    coalesced = 0
+    rows = []
+    for seed in range(trials):
+        source = perfect_coin_source(n, 1, random.Random(200 + seed))
+        result = run_unreliable_coin_ba(
+            n, [p % 2 for p in range(n)], source, num_rounds=1,
+            seed=300 + seed,
+        )
+        votes = Counter(result.votes.values())
+        top = max(votes.values()) / n
+        hit = top >= 1 - 1 / math.log2(n)
+        coalesced += hit
+        rows.append((seed, f"{top:.2f}", "yes" if hit else "no"))
+    benchmark.pedantic(
+        lambda: run_unreliable_coin_ba(
+            n, [p % 2 for p in range(n)],
+            perfect_coin_source(n, 1, random.Random(1)), num_rounds=1,
+            seed=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        capsys,
+        "E11b Lemma 13: one good-coin round from a 50/50 split (n=100)",
+        ["trial", "top-bit fraction after round", "coalesced"],
+        rows,
+        note=(
+            f"Coalesced {coalesced}/{trials} trials — Lemma 13 promises "
+            "probability >= 1/2 (a split vote adopts the coin; a lopsided "
+            "one needs the coin to match, p = 1/2)."
+        ),
+    )
+    assert coalesced >= trials // 2 - 1

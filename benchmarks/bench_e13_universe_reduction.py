@@ -1,0 +1,109 @@
+"""E13 (extension) — universe reduction from the abstract.
+
+"Our techniques also lead to solutions with O~(n^{1/2}) bit complexity
+for universe reduction."  We sample committees from the tournament's
+global coin subsequence and measure the two properties that make a
+universe reduction useful: (a) the committee is *representative* (its bad
+fraction tracks the population's), and (b) it is *agreed* almost
+everywhere.
+"""
+
+import random
+
+import pytest
+
+from conftest import print_table
+from repro.adversary.adaptive import BinStuffingAdversary
+from repro.core.global_coin import synthetic_subsequence
+from repro.core.universe_reduction import (
+    reduce_universe,
+    run_universe_reduction,
+)
+
+
+def test_e13_representativeness(benchmark, capsys):
+    """Committee bad-fraction concentration over many samples."""
+    n = 400
+    rows = []
+    for bad_fraction in (0.1, 0.2, 0.3):
+        for size in (10, 30, 90):
+            worst = 0.0
+            total = 0.0
+            trials = 20
+            for seed in range(trials):
+                rng = random.Random(1000 * size + seed)
+                seq = synthetic_subsequence(
+                    n, length=4 * size, good_indices=range(4 * size),
+                    rng=rng,
+                )
+                seq.corrupted = set(
+                    rng.sample(range(n), int(bad_fraction * n))
+                )
+                result = reduce_universe(seq, n, committee_size=size)
+                worst = max(worst, result.bad_fraction_committee)
+                total += result.bad_fraction_committee
+            rows.append(
+                (
+                    f"{bad_fraction:.0%}",
+                    size,
+                    f"{total / trials:.3f}",
+                    f"{worst:.3f}",
+                )
+            )
+    benchmark.pedantic(
+        lambda: reduce_universe(
+            synthetic_subsequence(
+                100, 40, range(40), random.Random(0)
+            ),
+            100,
+            committee_size=10,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        capsys,
+        f"E13a committee representativeness (n={n}, 20 trials/point)",
+        ["population bad", "committee size", "committee bad (mean)",
+         "(worst)"],
+        rows,
+        note=(
+            "Uniform public sampling: the committee's bad fraction "
+            "concentrates on the population's as the committee grows — "
+            "the universe-reduction guarantee."
+        ),
+    )
+
+
+def test_e13_end_to_end(benchmark, capsys):
+    """Tournament-backed reduction under an adaptive adversary."""
+    n = 27
+    rows = []
+    for budget in (0, 2):
+        adversary = BinStuffingAdversary(n, budget=budget, seed=151)
+        result = run_universe_reduction(
+            n, committee_size=6, adversary=adversary, seed=152
+        )
+        rows.append(
+            (
+                budget,
+                result.committee,
+                f"{result.agreement_fraction:.2f}",
+                f"{result.bad_fraction_committee:.2f}",
+            )
+        )
+    benchmark.pedantic(
+        lambda: run_universe_reduction(27, committee_size=6, seed=153),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        capsys,
+        "E13b end-to-end universe reduction (n=27)",
+        ["corruptions", "committee", "agreement", "bad fraction"],
+        rows,
+        note=(
+            "The committee descriptor is agreed almost everywhere and "
+            "can be pushed everywhere by Algorithm 3 in O~(sqrt n) bits."
+        ),
+    )

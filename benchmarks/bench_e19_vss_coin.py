@@ -1,0 +1,138 @@
+"""E19 — ablation: on-demand VSS coins vs the tournament's amortized coins.
+
+The paper's entire tournament machinery exists to manufacture shared
+randomness cheaply *per coin*: arrays of committed secrets are elected
+once and spent across every agreement round.  The classical alternative
+generates each coin on demand with verifiable secret sharing
+(Canetti-Rabin style).  This bench prices both:
+
+* E19a — correctness and robustness of the on-demand VSS coin: member
+  agreement fault-free, under crashes, and under reveal-withholding.
+* E19b — the amortization crossover: Theta(k^2) per VSS coin versus the
+  tournament's one-time cost divided by the coins it serves — the paper's
+  design wins as soon as more than a handful of coins are needed.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.core.vss_coin import (
+    CoinCostModel,
+    VSSCoinMember,
+    run_vss_coin,
+    vss_coin_fault_bound,
+)
+from repro.net.simulator import Adversary, SyncNetwork
+
+
+class SilentMembers(Adversary):
+    """t members crash from the start."""
+
+    def __init__(self, k, t):
+        super().__init__(k, budget=t)
+
+    def select_corruptions(self, round_no):
+        return set(range(self.budget)) if round_no == 1 else set()
+
+    def act(self, view):
+        return []
+
+
+class RevealWithholder(Adversary):
+    """t members honest until the reveal round, then silent."""
+
+    def __init__(self, k, t):
+        super().__init__(k, budget=t)
+
+    def select_corruptions(self, round_no):
+        return set(range(self.budget)) if round_no == 4 else set()
+
+    def act(self, view):
+        return []
+
+
+def test_e19a_vss_coin_robustness(benchmark, capsys):
+    k = 7
+    t = vss_coin_fault_bound(k)
+    cases = []
+    for label, adversary_factory in (
+        ("fault-free", lambda: None),
+        (f"{t} crashed from start", lambda: SilentMembers(k, t)),
+        (f"{t} withhold reveals", lambda: RevealWithholder(k, t)),
+    ):
+        agreements = 0
+        trials = 6
+        for seed in range(trials):
+            adversary = adversary_factory()
+            if adversary is None:
+                result = run_vss_coin(k=k, seed=seed)
+                coins = set(result.good_outputs().values())
+            else:
+                members = [
+                    VSSCoinMember(pid, k, seed=seed) for pid in range(k)
+                ]
+                SyncNetwork(members, adversary).run(max_rounds=5)
+                coins = {
+                    m.output()
+                    for m in members
+                    if m.pid not in adversary.corrupted
+                }
+            if len(coins) == 1 and coins.pop() in (0, 1):
+                agreements += 1
+        cases.append((label, f"{agreements}/{trials}"))
+        assert agreements == trials
+    benchmark.pedantic(lambda: run_vss_coin(k=7, seed=0),
+                       rounds=1, iterations=1)
+    print_table(
+        capsys,
+        f"E19a on-demand VSS coin robustness (k={k}, t={t})",
+        ["adversary", "coin agreement"],
+        cases,
+        note=(
+            "The VSS coin agrees in every trial: crashes are "
+            "disqualified, withheld reveals are reconstructed from the "
+            "honest majority (no-abort)."
+        ),
+    )
+
+
+def test_e19b_amortization_crossover(benchmark, capsys):
+    rows = []
+    for k in (8, 16, 32):
+        model = CoinCostModel(k)
+        vss = model.vss_bits_per_member()
+        for coins in (1, 10, 100):
+            amortized = model.paper_amortized_bits_per_member(coins)
+            tournament_total = amortized * coins
+            rows.append(
+                (
+                    k,
+                    coins,
+                    vss * coins,
+                    f"{tournament_total:,.0f}",
+                    "tournament" if tournament_total < vss * coins
+                    else "VSS",
+                )
+            )
+    benchmark.pedantic(
+        lambda: CoinCostModel(16).vss_bits_per_member(),
+        rounds=1, iterations=1,
+    )
+    print_table(
+        capsys,
+        "E19b coin supply cost: on-demand VSS vs tournament amortization",
+        ["committee k", "coins needed", "VSS total bits/member",
+         "tournament total bits/member", "cheaper"],
+        rows,
+        note=(
+            "One-time tournament cost ~k^2 amortizes: at 10+ coins the "
+            "paper's elected-array design beats per-coin VSS by the coin "
+            "count -- the quantitative reason Algorithm 2 ships a whole "
+            "subsequence of coins rather than tossing them on demand."
+        ),
+    )
+    model = CoinCostModel(16)
+    assert (
+        model.paper_amortized_bits_per_member(100) * 100
+        < model.vss_bits_per_member() * 100
+    )

@@ -1,0 +1,103 @@
+"""E1 — Theorem 1: everywhere BA in O~(sqrt(n)) bits/processor, polylog time.
+
+Reproduces the paper's headline claim as two series:
+
+* measured: full message-level runs at simulation scale (fault-free and
+  at 10% adaptive corruption), reporting max bits per good processor,
+  rounds, agreement, and validity;
+* modelled: the closed-form cost curves at large n, showing the
+  sqrt-shaped growth against the quadratic baselines (who wins, and by
+  roughly what factor).
+"""
+
+import math
+
+import pytest
+
+from conftest import print_table
+from repro.adversary.adaptive import BinStuffingAdversary
+from repro.analysis.costmodel import (
+    everywhere_ba_bits_simulation,
+    phase_king_bits_per_processor,
+    rabin_bits_per_processor,
+)
+from repro.core.byzantine_agreement import run_everywhere_ba
+
+
+def _run(n, budget, seed):
+    adversary = BinStuffingAdversary(n, budget=budget, seed=seed)
+    result = run_everywhere_ba(
+        n, [p % 2 for p in range(n)], tournament_adversary=adversary,
+        seed=seed,
+    )
+    good = [p for p in range(n) if p not in result.corrupted]
+    decided = [result.ae2e_result.decided[p] for p in good]
+    agree = sum(1 for v in decided if v == result.bit) / len(good)
+    return {
+        "bits": result.max_bits_per_processor(),
+        "rounds": result.total_rounds(),
+        "agree": agree,
+        "valid": result.is_valid(),
+    }
+
+
+def test_e1_theorem1_scaling(benchmark, capsys):
+    measured_rows = []
+    for n in (27, 54):
+        clean = _run(n, budget=0, seed=41)
+        attacked = _run(n, budget=max(1, n // 10), seed=42)
+        measured_rows.append(
+            (
+                n,
+                f"{clean['bits']:,}",
+                f"{attacked['bits']:,}",
+                clean["rounds"],
+                f"{attacked['agree']:.2f}",
+                attacked["valid"],
+            )
+        )
+    benchmark.pedantic(
+        lambda: _run(27, budget=2, seed=43), rounds=1, iterations=1
+    )
+    print_table(
+        capsys,
+        "E1a measured: everywhere BA (message-level simulation)",
+        ["n", "bits/proc (clean)", "bits/proc (10% adv)", "rounds",
+         "agreement", "valid"],
+        measured_rows,
+        note="Theorem 1: agreement+validity hold; rounds stay polylog.",
+    )
+
+    model_rows = []
+    for exp in (8, 12, 16, 20, 24):
+        n = 1 << exp
+        ours = everywhere_ba_bits_simulation(n)
+        pk = phase_king_bits_per_processor(n)
+        rb = rabin_bits_per_processor(n)
+        model_rows.append(
+            (
+                f"2^{exp}",
+                f"{ours:.3g}",
+                f"{pk:.3g}",
+                f"{rb:.3g}",
+                f"{pk / ours:.1f}x" if ours < pk else "baseline wins",
+            )
+        )
+    print_table(
+        capsys,
+        "E1b modelled: bits/processor at scale (simulation constants)",
+        ["n", "this paper", "phase king (n^2)", "rabin (n)", "advantage"],
+        model_rows,
+        note="Shape check: ours ~ sqrt(n) polylog; baselines ~ n^2 / n.",
+    )
+
+    # Sanity: the sqrt-shaped curve must win asymptotically.  Against
+    # quadratic Phase King the crossover is early; against linear Rabin
+    # the sqrt curve's polylog constants push it to ~2x10^8 (E12 locates
+    # it exactly), so the check runs above that.
+    assert everywhere_ba_bits_simulation(1 << 24) < (
+        phase_king_bits_per_processor(1 << 24)
+    )
+    assert everywhere_ba_bits_simulation(1 << 34) < (
+        rabin_bits_per_processor(1 << 34)
+    )

@@ -1,0 +1,60 @@
+"""E2 — Theorem 2: almost-everywhere BA agreement quality and cost.
+
+The theorem promises (1 - 1/log n) of good processors agree, in
+O(log^{4+delta} n / log log n) time and O~(n^{4/delta}) bits/processor.
+We run the tournament at increasing n and adversary strength and report
+the agreement fraction against the 1 - 1/log n line, the measured
+bits/processor, and the coin-round quality feeding the root agreement.
+"""
+
+import math
+
+import pytest
+
+from conftest import print_table
+from repro.adversary.adaptive import BinStuffingAdversary, TournamentAdversary
+from repro.core.almost_everywhere import run_almost_everywhere_ba
+from repro.core.parameters import ProtocolParameters
+
+
+def test_e2_theorem2_aeba(benchmark, capsys):
+    rows = []
+    for n, frac in ((27, 0.0), (27, 0.10), (27, 0.15), (81, 0.0), (81, 0.10)):
+        budget = int(frac * n)
+        adversary = BinStuffingAdversary(n, budget=budget, seed=51)
+        result = run_almost_everywhere_ba(
+            n, [p % 2 for p in range(n)], adversary=adversary, seed=52
+        )
+        target = 1 - 1 / math.log2(n)
+        good = [p for p in range(n) if p not in result.corrupted]
+        rows.append(
+            (
+                n,
+                f"{frac:.0%}",
+                f"{result.agreement_fraction():.3f}",
+                f"{target:.3f}",
+                f"{result.good_coin_rounds}/{result.coin_rounds}",
+                f"{result.ledger.max_bits_per_processor(include=good):,}",
+                result.is_valid(),
+            )
+        )
+    benchmark.pedantic(
+        lambda: run_almost_everywhere_ba(
+            27, [1] * 27, adversary=TournamentAdversary(27, 0), seed=53
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        capsys,
+        "E2 almost-everywhere BA (Algorithm 2 tournament)",
+        ["n", "adversary", "agreement", "1-1/log n", "good coins",
+         "bits/proc", "valid"],
+        rows,
+        note=(
+            "Theorem 2 shape: agreement above the 1-1/log n line at "
+            "moderate corruption; committee-size variance (k1 ~ log n "
+            "instead of log^3 n) erodes it near the 1/3 bound — see "
+            "DESIGN.md §3."
+        ),
+    )

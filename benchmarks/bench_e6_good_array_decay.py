@@ -1,0 +1,60 @@
+"""E6 — Lemma 6: the good-array fraction decays boundedly per level.
+
+The lemma: at least 2/3 - 7*level/log n of winning arrays are good at
+every level.  We instrument the tournament per level under bin-stuffing
+adversaries of increasing strength and print measured fraction vs the
+analytic floor.
+"""
+
+import math
+
+import pytest
+
+from conftest import print_table
+from repro.adversary.adaptive import BinStuffingAdversary
+from repro.analysis.bounds import lemma6_good_array_bound
+from repro.core.almost_everywhere import run_almost_everywhere_ba
+
+
+def test_e6_good_array_decay(benchmark, capsys):
+    n = 81
+    rows = []
+    for frac in (0.05, 0.12):
+        budget = int(frac * n)
+        adversary = BinStuffingAdversary(n, budget=budget, seed=91)
+        result = run_almost_everywhere_ba(
+            n, [p % 2 for p in range(n)], adversary=adversary, seed=92
+        )
+        initial_good = 1 - budget / n
+        for ls in result.level_stats:
+            rows.append(
+                (
+                    f"{frac:.0%}",
+                    ls.level,
+                    f"{ls.good_candidate_fraction:.3f}",
+                    f"{ls.good_winner_fraction:.3f}",
+                    f"{initial_good:.3f}",
+                    f"{lemma6_good_array_bound(ls.level, n):.3f}",
+                )
+            )
+    benchmark.pedantic(
+        lambda: run_almost_everywhere_ba(
+            27, [1] * 27,
+            adversary=BinStuffingAdversary(27, budget=2, seed=93),
+            seed=94,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        capsys,
+        f"E6 good winning-array fraction per level (n={n})",
+        ["adversary", "level", "good candidates", "good winners",
+         "initial good", "Lemma 6 floor"],
+        rows,
+        note=(
+            "Lemma 6 shape: per-level loss is bounded (no collapse); the "
+            "measured fraction tracks the initial good fraction far above "
+            "the asymptotic floor."
+        ),
+    )

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Scenario: electing a governance committee in an open network.
+
+Universe reduction (the abstract's companion result): a large
+permissionless network wants a small committee to run expensive
+subprotocols (audits, checkpoint signing) on everyone's behalf.  Electing
+members directly is fatal against an adaptive adversary — it corrupts the
+winners.  Instead the network runs the tournament, derives public random
+words from the elected *arrays* (whose creators have already erased
+them), and samples the committee from those words after the fact.
+
+Run:  python examples/committee_election.py
+"""
+
+from repro.adversary.adaptive import BinStuffingAdversary
+from repro.core.universe_reduction import run_universe_reduction
+
+
+def main():
+    n = 27
+    committee_size = 6
+    budget = max(1, n // 10)
+
+    print(f"open network of {n} processors, adversary holds {budget}")
+    print(f"target committee size: {committee_size}\n")
+
+    adversary = BinStuffingAdversary(n, budget=budget, seed=41)
+    result = run_universe_reduction(
+        n,
+        committee_size=committee_size,
+        adversary=adversary,
+        seed=43,
+    )
+
+    print(f"elected committee      : {result.committee}")
+    print(f"coin words consumed    : {result.coin_words_used}")
+    print(f"agreed by good procs   : {result.agreement_fraction:.0%}")
+    print(f"bad in population      : {result.bad_fraction_population:.0%}")
+    print(f"bad in committee       : {result.bad_fraction_committee:.0%}")
+    print(
+        "representative (10% slack):",
+        result.representative(slack=0.10),
+    )
+    print()
+    print("The adversary saw every election and could corrupt any owner —")
+    print("but the committee came from randomness committed before any")
+    print("winner was known, so takeovers bought it nothing.")
+
+
+if __name__ == "__main__":
+    main()

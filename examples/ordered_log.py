@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Scenario: committing an ordered log of operations, one tournament total.
+
+The intro's replication complaint — "Byzantine agreement requires a
+number of messages quadratic in the number of participants, so it is
+infeasible for use in synchronizing a large number of replicas" [22] —
+is about logs: replicas agree once per slot, forever.  The expensive
+phase of this paper's pipeline (the Algorithm 2 tournament) does not
+depend on the slot's proposals, so one tournament's coin subsequence
+(§3.5) funds every future slot; each slot then costs only a sparse-graph
+agreement (Algorithm 5) plus the everywhere push (Algorithm 3).
+
+Run:  python examples/ordered_log.py
+"""
+
+from repro.adversary.adaptive import TournamentAdversary
+from repro.core.repeated_agreement import run_replicated_log
+
+
+def main():
+    n = 27
+    budget = max(1, n // 10)
+
+    # Four log slots: two unanimous ops, one contested, one unanimous.
+    slots = [
+        [1] * n,                      # slot 0: "apply checkpoint"  (all yes)
+        [0] * n,                      # slot 1: "rotate keys"       (all no)
+        [p % 2 for p in range(n)],    # slot 2: contested proposal
+        [1] * n,                      # slot 3: "compact segment"   (all yes)
+    ]
+
+    print(f"replica set of {n}, adaptive adversary holding {budget},")
+    print(f"{len(slots)} log slots to commit\n")
+
+    adversary = TournamentAdversary(n, budget=budget, seed=81)
+    result = run_replicated_log(
+        n, slots, tournament_adversary=adversary, seed=82
+    )
+
+    print("committed log:")
+    for slot in result.slots:
+        agreement = slot.aeba.agreement_fraction()
+        print(
+            f"  slot {slot.index}: bit {slot.bit}  "
+            f"(a.e. agreement {agreement:.0%}, "
+            f"everywhere: {slot.success(result.corrupted)})"
+        )
+    print()
+    print(f"every slot decided everywhere : {result.success()}")
+    print(f"every slot valid              : {result.all_valid()}")
+    print()
+
+    tournament = result.tournament_max_bits()
+    marginal = max(
+        result.slot_max_bits(i) for i in range(len(result.slots))
+    )
+    print(f"tournament (paid once)        : {tournament:>12,} bits/proc")
+    print(f"marginal cost per slot        : {marginal:>12,} bits/proc")
+    print(f"amortized over {len(slots)} slots       : "
+          f"{result.amortized_max_bits_per_slot():>12,.0f} bits/proc/slot")
+    print()
+    print("The tournament is input-independent: its coin subsequence is")
+    print("banked randomness, and each further agreement only pays the")
+    print("sparse-graph + sqrt(n) marginal price.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Scenario: synchronizing a large replica set (the OceanStore problem).
+
+The paper opens with systems researchers lamenting that "Byzantine
+agreement requires a number of messages quadratic in the number of
+participants, so it is infeasible for use in synchronizing a large number
+of replicas" [Pond/OceanStore].  This example plays that scenario: a
+replicated store must agree whether to commit a batch, some replicas are
+Byzantine, and we compare the measured per-replica traffic of
+
+* the classic quadratic baseline (Phase King), and
+* this paper's scalable protocol,
+
+at increasing replica counts — reproducing the crossover that motivates
+the whole line of work.
+
+Run:  python examples/replica_sync.py
+"""
+
+from repro import run_everywhere_ba
+from repro.adversary.adaptive import BinStuffingAdversary
+from repro.adversary.behaviors import EquivocatingBehavior
+from repro.adversary.static import StaticByzantineAdversary
+from repro.baselines.phase_king import run_phase_king
+
+
+def commit_with_phase_king(n, votes, faulty):
+    adversary = StaticByzantineAdversary(
+        n, targets=faulty, behavior=EquivocatingBehavior(), seed=1
+    )
+    result = run_phase_king(n, votes, adversary=adversary)
+    good = result.good_outputs()
+    bit = next(iter(good.values()))
+    return bit, result.ledger.max_bits_per_processor(
+        include=[p for p in range(n) if p not in result.corrupted]
+    )
+
+
+def commit_with_scalable_ba(n, votes, budget):
+    adversary = BinStuffingAdversary(n, budget=budget, seed=1)
+    result = run_everywhere_ba(
+        n, votes, tournament_adversary=adversary, seed=3
+    )
+    return result.bit, result.max_bits_per_processor()
+
+
+def main():
+    print("replica-set commit: quadratic baseline vs scalable BA")
+    print(f"{'n':>5} {'phase-king bits':>16} {'scalable bits':>14} {'pk growth':>10}")
+    last_pk = None
+    for n in (27, 54):
+        faulty = set(range(max(1, n // 10)))
+        votes = [1] * n  # every good replica wants to commit
+        pk_bit, pk_bits = commit_with_phase_king(n, votes, faulty)
+        ba_bit, ba_bits = commit_with_scalable_ba(n, votes, len(faulty))
+        assert pk_bit == 1 and ba_bit == 1, "commit must go through"
+        growth = f"{pk_bits / last_pk:.1f}x" if last_pk else "-"
+        last_pk = pk_bits
+        print(f"{n:>5} {pk_bits:>16,} {ba_bits:>14,} {growth:>10}")
+    print()
+    print("At toy sizes Phase King is cheaper — but watch its growth: ~4x")
+    print("bits for 2x replicas (the n^2 wall the paper's intro quotes).")
+    print("The scalable protocol's constants are big while its curve is")
+    print("~sqrt(n); the model-level crossover (n ~ 659 vs Phase King) is")
+    print("located in benchmarks/bench_e12_baseline_crossover.py.")
+
+
+if __name__ == "__main__":
+    main()

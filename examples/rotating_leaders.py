@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Scenario: rotating view leaders for a replicated log.
+
+Leader-based replication (PBFT-style view changes, the intro's replica-
+synchronization motivation) needs a leader every round — and an adaptive
+adversary makes a one-off leader election worthless, because it corrupts
+whoever wins.  This example draws a *rotation* of leaders from the
+tournament's global coin subsequence: every draw is uniform and becomes
+visible to the adversary only when it becomes visible to everyone, so
+corruption always lands after the fact.
+
+The second half plays the ablation: the instant-takeover regime
+(equivalent to electing processors, as in the non-adaptive predecessor
+[17]) loses every targeted round, while a one-round takeover lag — the
+synchronous reality — costs the adversary its whole budget for nothing.
+
+Run:  python examples/rotating_leaders.py
+"""
+
+import random
+
+from repro.adversary.adaptive import GreedyElectionAdversary
+from repro.core.global_coin import synthetic_subsequence
+from repro.core.leader_election import (
+    leader_schedule,
+    run_leader_election,
+    schedule_under_attack,
+)
+
+
+def main():
+    n = 27
+    views = 4
+    budget = max(1, n // 10)
+
+    print(f"replicated service, {n} replicas, {views} views to schedule,")
+    print(f"adaptive adversary holding a budget of {budget}\n")
+
+    adversary = GreedyElectionAdversary(n, budget=budget, seed=61)
+    schedule = run_leader_election(
+        n, schedule_length=views, adversary=adversary, seed=62
+    )
+    print(f"view leaders           : {schedule.leaders}")
+    print(f"good at draw time      : {schedule.good_fraction():.0%}")
+    print(f"weakest-draw agreement : {schedule.min_agreement():.0%}\n")
+
+    # The ablation, at a size where the averages are visible: 300
+    # processors, 40 views, 10% corrupt, adversary kills leaders on sight.
+    big_n, rounds = 300, 40
+    rng = random.Random(63)
+    coin = synthetic_subsequence(
+        big_n, length=rounds, good_indices=range(rounds), rng=rng
+    )
+    coin.corrupted = set(rng.sample(range(big_n), big_n // 10))
+    rotation = leader_schedule(coin, big_n, count=rounds)
+
+    print(f"ablation at n={big_n}, {rounds} views, 10% corrupt,")
+    print("adversary corrupts each sitting leader on sight:")
+    for delay, label in ((0, "instant takeover (processor election)"),
+                         (1, "one-round takeover lag (rotation)")):
+        outcome = schedule_under_attack(
+            rotation, budget=rounds, takeover_delay=delay
+        )
+        print(
+            f"  {label:<38}: "
+            f"{outcome.useful_good_fraction():.0%} of views keep a good "
+            f"leader"
+        )
+    print()
+    print("Rotation turns adaptivity into a budget drain: by the time a")
+    print("takeover lands, the victim's view is already over.")
+
+
+if __name__ == "__main__":
+    main()

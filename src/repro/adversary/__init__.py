@@ -1,0 +1,48 @@
+"""Adversary models: static, adaptive, flooding (paper Section 1.1)."""
+
+from .adaptive import (
+    AdaptiveByzantineAdversary,
+    BinStuffingAdversary,
+    CorruptChattiest,
+    CorruptRandomGradually,
+    CorruptScheduled,
+    GreedyElectionAdversary,
+    NoTargeting,
+    TargetingPolicy,
+    TournamentAdversary,
+)
+from .behaviors import (
+    AntiMajorityBehavior,
+    EquivocatingBehavior,
+    FixedBitBehavior,
+    KeepSplitBehavior,
+    RandomBitBehavior,
+    SilentBehavior,
+    VoteBehavior,
+    behavior_by_name,
+)
+from .flooding import FloodingAdversary
+from .static import StaticByzantineAdversary, random_target_set
+
+__all__ = [
+    "AdaptiveByzantineAdversary",
+    "BinStuffingAdversary",
+    "CorruptChattiest",
+    "CorruptRandomGradually",
+    "CorruptScheduled",
+    "GreedyElectionAdversary",
+    "NoTargeting",
+    "TargetingPolicy",
+    "TournamentAdversary",
+    "AntiMajorityBehavior",
+    "EquivocatingBehavior",
+    "FixedBitBehavior",
+    "KeepSplitBehavior",
+    "RandomBitBehavior",
+    "SilentBehavior",
+    "VoteBehavior",
+    "behavior_by_name",
+    "FloodingAdversary",
+    "StaticByzantineAdversary",
+    "random_target_set",
+]

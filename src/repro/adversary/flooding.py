@@ -1,0 +1,66 @@
+"""Flooding attacks: corrupted processors send unbounded junk traffic.
+
+The paper's model explicitly allows this ("processors controlled by the
+adversary can send out any number of messages"), and the
+almost-everywhere-to-everywhere protocol's overload rule (Algorithm 3,
+step 3) is the defence.  :class:`FloodingAdversary` wraps any other
+adversary and adds ``flood_factor`` junk messages per corrupted processor
+per round.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Set
+
+from ..net.messages import Message
+from ..net.simulator import Adversary, AdversaryView
+
+
+class FloodingAdversary(Adversary):
+    """Decorator adversary: inner adversary's behavior plus junk flooding."""
+
+    def __init__(
+        self,
+        inner: Adversary,
+        flood_factor: int,
+        junk_bits: int = 64,
+        flood_tag: str = "junk",
+        seed: int = 0,
+    ) -> None:
+        super().__init__(inner.n, inner.budget)
+        self.inner = inner
+        self.flood_factor = flood_factor
+        self.junk_bits = junk_bits
+        self.flood_tag = flood_tag
+        self.rng = random.Random(seed)
+        # Share the corrupted set with the inner adversary.
+        self.corrupted = inner.corrupted
+
+    def select_corruptions(self, round_no: int) -> Set[int]:
+        return self.inner.select_corruptions(round_no)
+
+    def record_capture(self, pid: int, state) -> None:
+        """Mark processors as corrupted against the budget."""
+        self.inner.record_capture(pid, state)
+        self.captured_state[pid] = state
+
+    def remaining_budget(self) -> int:
+        """Corruption budget not yet spent."""
+        return self.inner.remaining_budget()
+
+    def act(self, view: AdversaryView) -> List[Message]:
+        messages = list(self.inner.act(view))
+        junk_payload = (1 << self.junk_bits) - 1
+        for sender in sorted(view.corrupted):
+            for _ in range(self.flood_factor):
+                recipient = self.rng.randrange(self.n)
+                messages.append(
+                    Message(
+                        sender=sender,
+                        recipient=recipient,
+                        tag=self.flood_tag,
+                        payload=junk_payload,
+                    )
+                )
+        return messages

@@ -1,0 +1,84 @@
+"""Static-corruption adversaries: the full bad set is fixed up front.
+
+Static adversaries are the *weaker* model the paper's predecessor [17]
+tolerated; we provide them both as baselines for comparison and as the
+workhorse for experiments where the corrupted set does not need to react
+to the execution (e.g. validity tests).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..net.messages import Message
+from ..net.simulator import Adversary, AdversaryView
+from .behaviors import VoteBehavior
+
+
+class StaticByzantineAdversary(Adversary):
+    """Corrupts a fixed set at round 1 and follows a :class:`VoteBehavior`.
+
+    Args:
+        n: network size.
+        targets: the processors to corrupt (must fit in the budget).
+        behavior: how corrupted processors vote.
+        recipients_of: recipient list per corrupted sender (e.g. the
+            sparse-graph neighbors for Algorithm 5); defaults to all
+            processors (full network broadcast protocols).
+        vote_tag: message tag the victim protocol dispatches on.
+        seed: RNG seed for randomized behaviors.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        targets: Iterable[int],
+        behavior: VoteBehavior,
+        recipients_of: Optional[Dict[int, Sequence[int]]] = None,
+        vote_tag: str = "vote",
+        seed: int = 0,
+    ) -> None:
+        target_set = set(targets)
+        super().__init__(n, budget=len(target_set))
+        self._targets = target_set
+        self.behavior = behavior
+        self.recipients_of = recipients_of
+        self.vote_tag = vote_tag
+        self.rng = random.Random(seed)
+
+    def select_corruptions(self, round_no: int) -> Set[int]:
+        if round_no == 1:
+            return set(self._targets)
+        return set()
+
+    def act(self, view: AdversaryView) -> List[Message]:
+        messages: List[Message] = []
+        for sender in sorted(view.corrupted):
+            if self.recipients_of is not None:
+                recipients = self.recipients_of.get(sender, ())
+            else:
+                recipients = [
+                    pid for pid in range(self.n) if pid not in view.corrupted
+                ]
+            votes = self.behavior.votes(view, sender, recipients, self.rng)
+            for recipient, bit in votes.items():
+                if bit is None:
+                    continue
+                messages.append(
+                    Message(
+                        sender=sender,
+                        recipient=recipient,
+                        tag=self.vote_tag,
+                        payload=bit,
+                    )
+                )
+        return messages
+
+
+def random_target_set(
+    n: int, fraction: float, rng: random.Random
+) -> Set[int]:
+    """A uniformly random corrupted set of floor(fraction * n) processors."""
+    count = int(fraction * n)
+    return set(rng.sample(range(n), count))

@@ -1,0 +1,186 @@
+"""Terminal line charts for the experiment benchmarks.
+
+The paper's scaling stories (Õ(√n) vs n vs n²) read best as curves; this
+module renders multi-series log-log or linear charts as plain text so
+benchmark output and the CLI can show them without any plotting
+dependency.  Pure functions over (x, y) series; no global state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class PlotError(ValueError):
+    """Raised for unplottable input."""
+
+
+@dataclass
+class Series:
+    """One named curve."""
+
+    label: str
+    points: List[Tuple[float, float]]
+    marker: str = "*"
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise PlotError(f"series {self.label!r} has no points")
+        if len(self.marker) != 1:
+            raise PlotError("marker must be a single character")
+
+
+def _transform(value: float, log: bool) -> float:
+    if not log:
+        return value
+    if value <= 0:
+        raise PlotError("log scale requires positive values")
+    return math.log10(value)
+
+
+def _axis_ticks(lo: float, hi: float, log: bool, count: int) -> List[float]:
+    if count < 2:
+        raise PlotError("need at least two ticks")
+    step = (hi - lo) / (count - 1)
+    raw = [lo + i * step for i in range(count)]
+    if log:
+        return [10**v for v in raw]
+    return raw
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e5 or magnitude < 1e-2:
+        return f"{value:.0e}"
+    if magnitude >= 100:
+        return f"{value:,.0f}"
+    return f"{value:.3g}"
+
+
+def render_chart(
+    series: Sequence[Series],
+    width: int = 64,
+    height: int = 18,
+    log_x: bool = True,
+    log_y: bool = True,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render the series into a text chart.
+
+    Args:
+        series: curves to draw; later series overdraw earlier ones where
+            cells collide.
+        width, height: interior plot size in characters.
+        log_x, log_y: log10 axes (the natural choice for scaling plots).
+
+    Returns:
+        The chart as a newline-joined string (no trailing newline).
+    """
+    if not series:
+        raise PlotError("nothing to plot")
+    if width < 8 or height < 4:
+        raise PlotError("plot area too small")
+
+    xs = [
+        _transform(x, log_x) for s in series for x, _ in s.points
+    ]
+    ys = [
+        _transform(y, log_y) for s in series for _, y in s.points
+    ]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_cell(x: float, y: float) -> Tuple[int, int]:
+        cx = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        cy = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        return cx, height - 1 - cy
+
+    for s in series:
+        transformed = sorted(
+            (_transform(x, log_x), _transform(y, log_y))
+            for x, y in s.points
+        )
+        # Connect consecutive points with interpolated cells.
+        for (x0, y0), (x1, y1) in zip(transformed, transformed[1:]):
+            steps = max(2, int(abs(x1 - x0) / (x_hi - x_lo) * width) * 2)
+            for i in range(steps + 1):
+                t = i / steps
+                cx, cy = to_cell(x0 + t * (x1 - x0), y0 + t * (y1 - y0))
+                if grid[cy][cx] == " ":
+                    grid[cy][cx] = "."
+        for x, y in transformed:
+            cx, cy = to_cell(x, y)
+            grid[cy][cx] = s.marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title.center(width + 10))
+    y_ticks = _axis_ticks(y_lo, y_hi, log_y, 4)
+    tick_rows = {
+        0: _format_tick(y_ticks[-1]),
+        height - 1: _format_tick(y_ticks[0]),
+        (height - 1) // 2: _format_tick(y_ticks[len(y_ticks) // 2]),
+    }
+    gutter = max(len(v) for v in tick_rows.values()) + 1
+    for row_index, row in enumerate(grid):
+        label = tick_rows.get(row_index, "").rjust(gutter)
+        lines.append(f"{label} |{''.join(row)}")
+    x_ticks = _axis_ticks(x_lo, x_hi, log_x, 3)
+    lines.append(" " * gutter + " +" + "-" * width)
+    left = _format_tick(x_ticks[0])
+    mid = _format_tick(x_ticks[1])
+    right = _format_tick(x_ticks[-1])
+    axis = (
+        left
+        + mid.center(width - len(left) - len(right))
+        + right
+    )
+    lines.append(" " * (gutter + 2) + axis)
+    footer_parts = []
+    if x_label:
+        footer_parts.append(f"x: {x_label}" + (" (log)" if log_x else ""))
+    if y_label:
+        footer_parts.append(f"y: {y_label}" + (" (log)" if log_y else ""))
+    legend = "  ".join(f"{s.marker}={s.label}" for s in series)
+    if legend:
+        footer_parts.append(legend)
+    if footer_parts:
+        lines.append(" " * (gutter + 2) + "   ".join(footer_parts))
+    return "\n".join(lines)
+
+
+def fitted_exponent(points: Sequence[Tuple[float, float]]) -> float:
+    """Least-squares slope of log y vs log x — the scaling exponent.
+
+    The number benchmarks quote next to a curve: ~0.5 for the paper's
+    Õ(√n), ~1 for Rabin, ~2 for Phase King.
+    """
+    if len(points) < 2:
+        raise PlotError("need at least two points to fit")
+    logs = [
+        (math.log10(x), math.log10(y))
+        for x, y in points
+        if x > 0 and y > 0
+    ]
+    if len(logs) < 2:
+        raise PlotError("need at least two positive points to fit")
+    n = len(logs)
+    mean_x = sum(x for x, _ in logs) / n
+    mean_y = sum(y for _, y in logs) / n
+    num = sum((x - mean_x) * (y - mean_y) for x, y in logs)
+    den = sum((x - mean_x) ** 2 for x, _ in logs)
+    if den == 0:
+        raise PlotError("degenerate x values")
+    return num / den

@@ -1,0 +1,105 @@
+"""Concentration bounds used by the paper's proofs (§3.7, §4.1, A.3).
+
+These are checked against simulation in the E11 benchmark: the measured
+tail frequencies must fall under the analytic curves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+
+def chernoff_below(mean: float, factor: float) -> float:
+    """P[X < (1 - factor) * mean] <= exp(-factor^2 * mean / 2).
+
+    Multiplicative lower-tail Chernoff bound for sums of independent 0/1
+    variables (the form used in Lemma 8's proof).
+    """
+    if not 0 < factor <= 1:
+        raise ValueError("factor must be in (0, 1]")
+    return math.exp(-(factor**2) * mean / 2)
+
+
+def chernoff_above(mean: float, factor: float) -> float:
+    """P[X > (1 + factor) * mean] <= exp(-factor^2 * mean / 3)."""
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    return math.exp(-(factor**2) * mean / 3)
+
+
+def lemma8_failure_probability(
+    n: int, epsilon: float, a: float, c: float = 2.0
+) -> float:
+    """Lemma 8: P[fewer than (1/2 + eps/2) a log n knowledgeable responders].
+
+    The proof's union bound over sqrt(n) labels and n processors:
+    sqrt(n) * n * exp(-(eps^2/8)(a log n (1/2 + eps))).
+    """
+    log_n = max(1.0, math.log2(n))
+    per_event = math.exp(
+        -(epsilon**2 / 8) * a * log_n * (0.5 + epsilon)
+    )
+    return min(1.0, math.sqrt(n) * n * per_event)
+
+
+def lemma9_overload_probability(epsilon: float, n: int) -> float:
+    """Lemma 9: P[more than eps n/4 knowledgeable overloaded] < 4/(eps log n)."""
+    log_n = max(2.0, math.log2(n))
+    return min(1.0, 4.0 / (epsilon * log_n))
+
+
+def lemma7_loop_failure(epsilon: float, n: int, c: float = 2.0) -> float:
+    """Lemma 7(1): one Algorithm 3 loop fails to finish everyone with
+    probability at most 4/(eps log n) + 1/n^c."""
+    return min(
+        1.0, lemma9_overload_probability(epsilon, n) + n ** (-c)
+    )
+
+
+def lemma10_total_failure(epsilon: float, n: int, loops: int) -> float:
+    """Lemma 10: probability that ``loops`` independent repetitions all fail."""
+    return lemma7_loop_failure(epsilon, n) ** loops
+
+
+def theorem5_failure_probability(
+    n: int, good_coin_rounds: int, c1: float = 1.0
+) -> float:
+    """Theorem 5: failure prob <= e^{-C1 n} + 2^{-r} with r good coin rounds."""
+    return min(1.0, math.exp(-c1 * n) + 2.0 ** (-good_coin_rounds))
+
+
+def lemma4_failure_probability(num_good: int, num_bins: int) -> float:
+    """Lemma 4: lightest bin under-represents good candidates with
+    probability at most 2^{-2|S| / (3 numBins)}."""
+    if num_bins <= 0:
+        raise ValueError("num_bins must be positive")
+    return min(1.0, 2.0 ** (-2 * num_good / (3 * num_bins)))
+
+
+def lemma6_good_array_bound(level: int, n: int) -> float:
+    """Lemma 6: at least 2/3 - 7*level/log n of winning arrays are good."""
+    log_n = max(2.0, math.log2(n))
+    return max(0.0, 2 / 3 - 7 * level / log_n)
+
+
+def binomial_tail_at_least(n: int, p: float, k: int) -> float:
+    """Exact P[Binomial(n, p) >= k] — used to sanity-check the Chernoff
+    bounds in tests (the exact tail must not exceed the bound)."""
+    if k <= 0:
+        return 1.0
+    if k > n:
+        return 0.0
+    total = 0.0
+    log_p = math.log(p) if p > 0 else -math.inf
+    log_q = math.log1p(-p) if p < 1 else -math.inf
+    for i in range(k, n + 1):
+        log_term = (
+            math.lgamma(n + 1)
+            - math.lgamma(i + 1)
+            - math.lgamma(n - i + 1)
+            + i * log_p
+            + (n - i) * log_q
+        )
+        total += math.exp(log_term)
+    return min(1.0, total)

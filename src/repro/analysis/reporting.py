@@ -1,0 +1,89 @@
+"""Result-table rendering: plain text, Markdown and CSV writers.
+
+The benchmark harness prints plain-text tables; EXPERIMENTS.md and any
+downstream notebooks want Markdown/CSV.  One table model, three writers,
+all purely functional.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Sequence
+
+
+@dataclass
+class Table:
+    """An ordered result table."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    note: str = ""
+
+    def add_row(self, *cells: Any) -> None:
+        """Append one row (cells stringified); must match the header width."""
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    # -- writers -----------------------------------------------------------------
+
+    def to_text(self) -> str:
+        """Render the table as aligned plain text."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        out = io.StringIO()
+        out.write(f"=== {self.title} ===\n")
+        header = "  ".join(
+            h.ljust(widths[i]) for i, h in enumerate(self.headers)
+        )
+        out.write(header + "\n")
+        out.write("-" * len(header) + "\n")
+        for row in self.rows:
+            out.write(
+                "  ".join(
+                    cell.rjust(widths[i]) for i, cell in enumerate(row)
+                )
+                + "\n"
+            )
+        if self.note:
+            out.write(self.note + "\n")
+        return out.getvalue()
+
+    def to_markdown(self) -> str:
+        """Render the table as GitHub-flavoured Markdown."""
+        out = io.StringIO()
+        out.write(f"### {self.title}\n\n")
+        out.write("| " + " | ".join(self.headers) + " |\n")
+        out.write("|" + "|".join("---" for _ in self.headers) + "|\n")
+        for row in self.rows:
+            out.write("| " + " | ".join(row) + " |\n")
+        if self.note:
+            out.write(f"\n{self.note}\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """Render the table as CSV (header row first)."""
+        out = io.StringIO()
+        out.write(",".join(_csv_escape(h) for h in self.headers) + "\n")
+        for row in self.rows:
+            out.write(",".join(_csv_escape(c) for c in row) + "\n")
+        return out.getvalue()
+
+
+def _csv_escape(cell: str) -> str:
+    if any(ch in cell for ch in ',"\n'):
+        return '"' + cell.replace('"', '""') + '"'
+    return cell
+
+
+def tables_to_markdown(tables: Iterable[Table]) -> str:
+    """Concatenate several tables into one Markdown document body."""
+    return "\n".join(table.to_markdown() for table in tables)

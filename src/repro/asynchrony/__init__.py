@@ -1,0 +1,85 @@
+"""Asynchronous-model extension (the paper's first open problem).
+
+The conclusion of King & Saia (PODC 2010) asks: *"Can we adapt our
+results to the asynchronous communication model?"*  This subpackage
+builds the substrate needed to study that question:
+
+* :mod:`repro.asynchrony.scheduler` — an event-driven asynchronous
+  network with eventual delivery, an adversarial message scheduler and
+  adaptive corruptions, mirroring :mod:`repro.net.simulator` for the
+  synchronous model.
+* :mod:`repro.asynchrony.bracha` — Bracha's reliable broadcast
+  (t < n/3), the standard asynchronous building block.
+* :mod:`repro.asynchrony.benor_async` — Ben-Or's asynchronous Byzantine
+  agreement with *local* coins (t < n/5, exponential expected phases).
+* :mod:`repro.asynchrony.common_coin` — the same skeleton driven by a
+  *common* coin, converging in expected O(1) phases: the asynchronous
+  analogue of what the paper's global coin subsequence buys.
+
+Benchmark E15 compares the three and quantifies why a sub-quadratic
+asynchronous analogue of the paper remains open: every known async
+common-coin construction without cryptography costs Omega(n^2) bits.
+"""
+
+from .scheduler import (
+    AsyncAdversary,
+    AsyncNetwork,
+    AsyncProcess,
+    AsyncRunResult,
+    FIFOScheduler,
+    NullAsyncAdversary,
+    RandomScheduler,
+    Scheduler,
+    SchedulerError,
+    TargetedDelayScheduler,
+)
+from .bracha import BrachaBroadcaster, bracha_fault_bound, run_bracha_broadcast
+from .benor_async import AsyncBenOrProcess, run_async_benor
+from .common_coin import (
+    AdversarialCoinOracle,
+    CommonCoinOracle,
+    CoinBAProcess,
+    SeededCoinOracle,
+    run_common_coin_ba,
+)
+from .synchronizer import (
+    SynchronizedProcess,
+    run_synchronized,
+    synchronizer_fault_bound,
+    synchronizer_overhead_messages,
+)
+from .sparse_aeba import (
+    AsyncAEBAOutcome,
+    OracleCoinView,
+    run_async_sparse_aeba,
+)
+
+__all__ = [
+    "AsyncAdversary",
+    "AsyncNetwork",
+    "AsyncProcess",
+    "AsyncRunResult",
+    "FIFOScheduler",
+    "NullAsyncAdversary",
+    "RandomScheduler",
+    "Scheduler",
+    "SchedulerError",
+    "TargetedDelayScheduler",
+    "BrachaBroadcaster",
+    "bracha_fault_bound",
+    "run_bracha_broadcast",
+    "AsyncBenOrProcess",
+    "run_async_benor",
+    "CommonCoinOracle",
+    "SeededCoinOracle",
+    "AdversarialCoinOracle",
+    "CoinBAProcess",
+    "run_common_coin_ba",
+    "SynchronizedProcess",
+    "run_synchronized",
+    "synchronizer_fault_bound",
+    "synchronizer_overhead_messages",
+    "AsyncAEBAOutcome",
+    "OracleCoinView",
+    "run_async_sparse_aeba",
+]

@@ -1,0 +1,220 @@
+"""Ben-Or's asynchronous Byzantine agreement with local coins (1983).
+
+The first asynchronous BA protocol, and the canonical demonstration of
+why randomization is *required* (FLP) and why local coins are *slow*:
+with Theta(n) faults the good processors must all flip the same way by
+luck, so the expected number of phases is exponential; for t = O(sqrt n)
+it is constant.  Benchmark E15 contrasts this against the common-coin
+variant (:mod:`repro.asynchrony.common_coin`), which is the asynchronous
+analogue of what King-Saia's global coin subsequence provides.
+
+Each phase has two all-to-all exchanges, gated on receiving ``n - t``
+messages of the matching phase (the most any processor can safely wait
+for under asynchrony):
+
+1. ``report(phase, vote)``: wait for n - t reports; if more than
+   (n + t)/2 carry v, propose v, else propose "?".
+2. ``proposal(phase, v-or-?)``: wait for n - t proposals; if at least
+   3t + 1 carry the same v, decide v; if at least t + 1, adopt v; else
+   flip a private coin.
+
+Thresholds tolerate t < n/5 (matching the synchronous twin in
+:mod:`repro.baselines.benor`, so the two are directly comparable).
+Messages from future phases are buffered; a decided processor answers
+future-phase traffic with its decision so laggards terminate.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..net.messages import Message
+from .scheduler import (
+    AsyncAdversary,
+    AsyncNetwork,
+    AsyncProcess,
+    AsyncRunResult,
+    NullAsyncAdversary,
+    Scheduler,
+)
+
+#: Payload sentinel for "no value proposed" (Ben-Or's "?").
+NO_PROPOSAL = -1
+
+
+def async_benor_fault_bound(n: int) -> int:
+    """Maximum tolerated faults: t < n/5."""
+    return max(0, (n - 1) // 5)
+
+
+class AsyncBenOrProcess(AsyncProcess):
+    """One good processor running asynchronous Ben-Or."""
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        input_bit: int,
+        rng: random.Random,
+        max_phases: int = 64,
+    ) -> None:
+        super().__init__(pid)
+        self.n = n
+        self.vote = int(input_bit)
+        self.rng = rng
+        self.max_phases = max_phases
+        self.fault_bound = async_benor_fault_bound(n)
+        self.phase = 1
+        self.stage = "report"
+        self._decided: Optional[int] = None
+        # (phase, stage) -> {sender: value}; buffers future-phase traffic.
+        self._received: Dict[Tuple[int, str], Dict[int, int]] = defaultdict(dict)
+        # decision claims: value -> senders.  A claim is only adopted
+        # with fault_bound + 1 corroborating senders (at most
+        # fault_bound of them can be lying Byzantine processors).
+        self._decided_claims: Dict[int, Set[int]] = defaultdict(set)
+
+    # -- protocol ----------------------------------------------------------------
+
+    def on_start(self) -> List[Message]:
+        return self._broadcast("report", self.vote)
+
+    def on_message(self, message: Message) -> List[Message]:
+        if message.tag == "decided":
+            return self._absorb_decision(message)
+        if message.tag not in ("report", "proposal"):
+            return []
+        if not isinstance(message.payload, (tuple, list)):
+            return []
+        if len(message.payload) != 2:
+            return []
+        phase, value = message.payload
+        if not isinstance(phase, int) or not isinstance(value, int):
+            return []
+        if self._decided is not None:
+            # Help laggards: answer any later-phase traffic with the decision.
+            if phase >= self.phase:
+                return [
+                    Message(self.pid, message.sender, "decided", self._decided)
+                ]
+            return []
+        if phase < self.phase:
+            return []
+        self._received[(phase, message.tag)][message.sender] = value
+        return self._advance()
+
+    def output(self) -> Optional[int]:
+        return self._decided
+
+    # -- stage machinery -----------------------------------------------------------
+
+    def _advance(self) -> List[Message]:
+        """Fire any stage whose n - t quorum is now complete."""
+        out: List[Message] = []
+        progressed = True
+        while progressed and self._decided is None:
+            progressed = False
+            key = (self.phase, self.stage)
+            quorum = self.n - self.fault_bound
+            # Own message counts toward the quorum.
+            if len(self._received[key]) + 1 >= quorum:
+                out.extend(self._finish_stage(key))
+                progressed = True
+        return out
+
+    def _finish_stage(self, key: Tuple[int, str]) -> List[Message]:
+        phase, stage = key
+        own = self.vote if stage == "report" else self._own_proposal
+        values = list(self._received[key].values()) + [own]
+        if stage == "report":
+            tally = Counter(values)
+            top, count = self._top(tally)
+            threshold = (self.n + self.fault_bound) / 2
+            self._own_proposal = top if count > threshold else NO_PROPOSAL
+            self.stage = "proposal"
+            return self._broadcast("proposal", self._own_proposal)
+        proposals = Counter(v for v in values if v != NO_PROPOSAL)
+        if proposals:
+            top, count = self._top(proposals)
+            if count >= 3 * self.fault_bound + 1:
+                self._decided = top
+                self.vote = top
+                return self._broadcast_decision()
+            if count >= self.fault_bound + 1:
+                self.vote = top
+            else:
+                self.vote = self.rng.randrange(2)
+        else:
+            self.vote = self.rng.randrange(2)
+        return self._next_phase()
+
+    def _next_phase(self) -> List[Message]:
+        self.phase += 1
+        self.stage = "report"
+        if self.phase > self.max_phases:
+            # Phase cap: give up undecided rather than loop forever.
+            return []
+        return self._broadcast("report", self.vote)
+
+    @staticmethod
+    def _top(tally: Counter) -> Tuple[int, int]:
+        top = max(tally, key=lambda v: (tally[v], v))
+        return top, tally[top]
+
+    def _absorb_decision(self, message: Message) -> List[Message]:
+        if self._decided is not None:
+            return []
+        if message.payload not in (0, 1):
+            return []
+        self._decided_claims[message.payload].add(message.sender)
+        if len(self._decided_claims[message.payload]) >= self.fault_bound + 1:
+            self._decided = message.payload
+            self.vote = message.payload
+            return self._broadcast_decision()
+        return []
+
+    # -- messaging -----------------------------------------------------------------
+
+    def _broadcast(self, tag: str, value: int) -> List[Message]:
+        return [
+            Message(self.pid, other, tag, (self.phase, value))
+            for other in range(self.n)
+            if other != self.pid
+        ]
+
+    def _broadcast_decision(self) -> List[Message]:
+        assert self._decided is not None
+        return [
+            Message(self.pid, other, "decided", self._decided)
+            for other in range(self.n)
+            if other != self.pid
+        ]
+
+
+def run_async_benor(
+    n: int,
+    inputs: Sequence[int],
+    adversary: Optional[AsyncAdversary] = None,
+    scheduler: Optional[Scheduler] = None,
+    max_phases: int = 64,
+    seed: int = 0,
+    max_steps: Optional[int] = None,
+) -> AsyncRunResult:
+    """Run asynchronous Ben-Or until decision or the step cap."""
+    if len(inputs) != n:
+        raise ValueError("inputs length must equal n")
+    if adversary is None:
+        adversary = NullAsyncAdversary(n)
+    processes = [
+        AsyncBenOrProcess(
+            pid, n, inputs[pid],
+            rng=random.Random((seed << 16) | pid),
+            max_phases=max_phases,
+        )
+        for pid in range(n)
+    ]
+    network = AsyncNetwork(processes, adversary, scheduler=scheduler)
+    cap = max_steps if max_steps is not None else 50 * n * n * max_phases
+    return network.run(max_steps=cap)

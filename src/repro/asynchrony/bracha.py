@@ -1,0 +1,155 @@
+"""Bracha's reliable broadcast (1987), tolerating t < n/3.
+
+Reliable broadcast is the foundational asynchronous primitive: a
+designated dealer broadcasts a value such that (1) if the dealer is good,
+every good processor eventually accepts the dealer's value, and (2) even
+if the dealer is Byzantine, no two good processors accept different
+values — a corrupt dealer can only cause nobody to accept.
+
+The protocol is the classic three-phase echo pattern:
+
+* the dealer sends ``initial(v)`` to everyone;
+* on ``initial(v)`` from the dealer, send ``echo(v)`` to everyone;
+* on ``n - t`` matching echoes *or* ``t + 1`` matching readys, send
+  ``ready(v)`` to everyone (once);
+* on ``2t + 1`` matching readys, accept ``v``.
+
+Bit cost is Theta(n^2) messages per broadcast — exactly the quadratic
+floor the King-Saia paper escapes in the synchronous model, and a key
+reason its asynchronous adaptation is open (benchmark E15).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..net.messages import Message
+from .scheduler import (
+    AsyncAdversary,
+    AsyncNetwork,
+    AsyncProcess,
+    AsyncRunResult,
+    NullAsyncAdversary,
+    Scheduler,
+)
+
+
+def bracha_fault_bound(n: int) -> int:
+    """Maximum tolerated faults: t < n/3."""
+    return max(0, (n - 1) // 3)
+
+
+class BrachaBroadcaster(AsyncProcess):
+    """One good processor running Bracha reliable broadcast.
+
+    Args:
+        pid: this processor's ID.
+        n: network size.
+        dealer: the broadcasting processor's ID.
+        value: the dealer's value (ignored unless ``pid == dealer``).
+    """
+
+    def __init__(
+        self, pid: int, n: int, dealer: int, value: Optional[int] = None
+    ) -> None:
+        super().__init__(pid)
+        self.n = n
+        self.dealer = dealer
+        self.value = value
+        self.fault_bound = bracha_fault_bound(n)
+        self._echoed = False
+        self._readied = False
+        self._accepted: Optional[int] = None
+        self._echoes: Dict[int, Set[int]] = defaultdict(set)
+        self._readys: Dict[int, Set[int]] = defaultdict(set)
+
+    # -- protocol ----------------------------------------------------------------
+
+    def on_start(self) -> List[Message]:
+        if self.pid != self.dealer:
+            return []
+        if self.value is None:
+            raise ValueError("dealer must be given a value")
+        out = self._to_all("initial", self.value)
+        # No loopback deliveries: the dealer echoes its own initial here.
+        out.extend(self._maybe_echo(self.value))
+        return out
+
+    def on_message(self, message: Message) -> List[Message]:
+        if not isinstance(message.payload, int):
+            return []
+        value = message.payload
+        if message.tag == "initial" and message.sender == self.dealer:
+            return self._maybe_echo(value)
+        if message.tag == "echo":
+            self._echoes[value].add(message.sender)
+            return self._maybe_ready(value)
+        if message.tag == "ready":
+            self._readys[value].add(message.sender)
+            out = self._maybe_ready(value)
+            self._maybe_accept(value)
+            return out
+        return []
+
+    def output(self) -> Optional[int]:
+        return self._accepted
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _maybe_echo(self, value: int) -> List[Message]:
+        if self._echoed:
+            return []
+        self._echoed = True
+        out = self._to_all("echo", value)
+        # The sender counts its own echo/ready; loopbacks are not sent.
+        self._echoes[value].add(self.pid)
+        return out
+
+    def _maybe_ready(self, value: int) -> List[Message]:
+        if self._readied:
+            return []
+        enough_echoes = len(self._echoes[value]) >= self.n - self.fault_bound
+        enough_readys = len(self._readys[value]) >= self.fault_bound + 1
+        if not (enough_echoes or enough_readys):
+            return []
+        self._readied = True
+        self._readys[value].add(self.pid)
+        out = self._to_all("ready", value)
+        self._maybe_accept(value)
+        return out
+
+    def _maybe_accept(self, value: int) -> None:
+        if self._accepted is not None:
+            return
+        if len(self._readys[value]) >= 2 * self.fault_bound + 1:
+            self._accepted = value
+
+    def _to_all(self, tag: str, value: int) -> List[Message]:
+        return [
+            Message(self.pid, other, tag, value)
+            for other in range(self.n)
+            if other != self.pid
+        ]
+
+
+def run_bracha_broadcast(
+    n: int,
+    dealer: int,
+    value: int,
+    adversary: Optional[AsyncAdversary] = None,
+    scheduler: Optional[Scheduler] = None,
+    max_steps: Optional[int] = None,
+) -> AsyncRunResult:
+    """Run one reliable broadcast to completion or the step cap."""
+    if not 0 <= dealer < n:
+        raise ValueError("dealer must be a valid processor ID")
+    if adversary is None:
+        adversary = NullAsyncAdversary(n)
+    processes = [
+        BrachaBroadcaster(pid, n, dealer, value if pid == dealer else None)
+        for pid in range(n)
+    ]
+    network = AsyncNetwork(processes, adversary, scheduler=scheduler)
+    cap = max_steps if max_steps is not None else 10 * n * n
+    return network.run(max_steps=cap)

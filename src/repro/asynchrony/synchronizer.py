@@ -1,0 +1,243 @@
+"""Round synchronizer: run synchronous protocols on the async engine.
+
+The textbook bridge between the two models this library implements: an
+alpha-style synchronizer that simulates lock-step rounds over an
+asynchronous network.  Every wrapped processor, per simulated round,
+
+1. computes its round-``r`` protocol messages (from the round-``r-1``
+   inbox), sends them tagged with ``r``, and broadcasts a round-``r``
+   *marker* to everyone;
+2. advances to round ``r+1`` only after collecting markers for round
+   ``r`` from at least ``n - t`` distinct processors (the most it can
+   safely wait for when ``t`` may never speak), buffering any traffic
+   that arrives early for later rounds.
+
+Quorum intersection keeps good processors within one round of each
+other, so a synchronous protocol's per-round semantics survive — at a
+price the paper's open problem is really about: the synchronizer itself
+broadcasts n markers per processor per round, re-imposing Theta(n^2)
+messages per round regardless of how frugal the wrapped protocol is.
+Running King-Saia's tournament through a synchronizer would therefore
+destroy its O~(sqrt n) budget; a native asynchronous protocol is
+required, which is why the question is open.
+
+Limitations (documented, inherent to synchronizers): Byzantine
+processors may send markers without protocol messages or vice versa, so
+the wrapped protocol's fault tolerance must already cover arbitrary
+per-round message loss/forgery from t processors — true of the
+baselines shipped here (Phase King, Ben-Or).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..net.messages import Message
+from ..net.simulator import ProcessorProtocol
+from .scheduler import (
+    AsyncAdversary,
+    AsyncNetwork,
+    AsyncProcess,
+    AsyncRunResult,
+    NullAsyncAdversary,
+    Scheduler,
+)
+
+#: Tag of the combined per-round envelope.  Each wrapper sends every
+#: peer exactly one envelope per simulated round, carrying the round
+#: marker *and* any protocol messages for that peer — piggybacking them
+#: makes "marker received implies payload received" atomic, so no
+#: scheduler can deliver a marker ahead of its round's traffic.
+ENVELOPE_TAG = "sync-round"
+
+
+def synchronizer_fault_bound(n: int) -> int:
+    """Marker-quorum fault allowance: t < n/3."""
+    return max(0, (n - 1) // 3)
+
+
+class SynchronizedProcess(AsyncProcess):
+    """One asynchronous process simulating lock-step rounds for a
+    wrapped synchronous :class:`ProcessorProtocol`.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        inner: ProcessorProtocol,
+        max_rounds: int,
+        fault_bound: Optional[int] = None,
+        peers: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Args:
+            peers: the processors this wrapper exchanges envelopes with
+                (default: everyone).  A *sparse* peer set makes the
+                synchronizer's per-round cost O(|peers|) instead of
+                O(n) — essential when the wrapped protocol itself is
+                sparse (Algorithm 5 on a k log n-regular graph).  The
+                wrapped protocol must only address peers.
+            fault_bound: markers that may be missing from the peer
+                quorum; defaults to |peers| // 3 (the n/3 rule applied
+                to the neighborhood).
+        """
+        super().__init__(pid)
+        if inner.pid != pid:
+            raise ValueError("wrapped protocol pid mismatch")
+        self.n = n
+        self.inner = inner
+        self.max_rounds = max_rounds
+        self.peers: List[int] = (
+            sorted(set(peers) - {pid}) if peers is not None
+            else [q for q in range(n) if q != pid]
+        )
+        self.fault_bound = (
+            fault_bound if fault_bound is not None
+            else synchronizer_fault_bound(len(self.peers) + 1)
+        )
+        self.round = 0  # last completed simulated round
+        self.rounds_simulated = 0
+        self._markers: Dict[int, Set[int]] = defaultdict(set)
+        self._proto_inbox: Dict[int, List[Message]] = defaultdict(list)
+        self._finished = False
+        self._echoed_rounds: Set[int] = set()
+
+    # -- protocol ----------------------------------------------------------------
+
+    def on_start(self) -> List[Message]:
+        return self._run_round(1, [])
+
+    def on_message(self, message: Message) -> List[Message]:
+        if message.tag != ENVELOPE_TAG:
+            return []
+        payload = message.payload
+        if not (
+            isinstance(payload, (tuple, list))
+            and len(payload) == 2
+            and isinstance(payload[0], int)
+        ):
+            return []
+        round_no, bundle = payload
+        if self._finished:
+            # Keep echoing empty envelopes so laggards' quorums still
+            # fill after this processor has decided and stopped.
+            return self._echo_marker(round_no)
+        self._markers[round_no].add(message.sender)
+        if round_no >= self.round and isinstance(bundle, (tuple, list)):
+            for item in bundle:
+                if isinstance(item, (tuple, list)) and len(item) == 2:
+                    tag, inner_payload = item
+                    self._proto_inbox[round_no].append(
+                        Message(
+                            message.sender, message.recipient,
+                            tag, inner_payload,
+                        )
+                    )
+        return self._maybe_advance()
+
+    def _echo_marker(self, round_no: int) -> List[Message]:
+        if round_no in self._echoed_rounds or round_no <= self.round:
+            return []
+        self._echoed_rounds.add(round_no)
+        return [
+            Message(self.pid, peer, ENVELOPE_TAG, (round_no, ()))
+            for peer in self.peers
+        ]
+
+    def output(self):
+        return self.inner.output()
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """Wrapper state plus the wrapped protocol's state, for debugging."""
+        state = dict(self.__dict__)
+        state["inner_state"] = self.inner.snapshot_state()
+        return state
+
+    # -- round machinery -----------------------------------------------------------
+
+    def _maybe_advance(self) -> List[Message]:
+        """Advance through every round whose marker quorum is complete."""
+        out: List[Message] = []
+        while not self._finished:
+            current = self.round
+            quorum = len(self.peers) + 1 - self.fault_bound
+            # Own marker counts; peers' markers arrive by message.
+            if len(self._markers[current]) + 1 < quorum:
+                break
+            inbox = self._proto_inbox.pop(current, [])
+            self._markers.pop(current, None)
+            out.extend(self._run_round(current + 1, inbox))
+        return out
+
+    def _run_round(
+        self, round_no: int, inbox: List[Message]
+    ) -> List[Message]:
+        if round_no > self.max_rounds or self.inner.output() is not None:
+            self._finished = True
+            return []
+        self.round = round_no
+        self.rounds_simulated += 1
+        inner_messages = self.inner.on_round(round_no, inbox)
+        per_peer: Dict[int, List[Tuple[str, object]]] = defaultdict(list)
+        for m in inner_messages:
+            if m.sender != self.pid:
+                raise ValueError(
+                    f"wrapped protocol forged sender {m.sender}"
+                )
+            per_peer[m.recipient].append((m.tag, m.payload))
+        for recipient in per_peer:
+            if recipient not in set(self.peers):
+                raise ValueError(
+                    f"wrapped protocol addressed non-peer {recipient}"
+                )
+        return [
+            Message(
+                self.pid, peer, ENVELOPE_TAG,
+                (round_no, tuple(per_peer.get(peer, ()))),
+            )
+            for peer in self.peers
+        ]
+
+
+def run_synchronized(
+    protocols: Sequence[ProcessorProtocol],
+    max_rounds: int,
+    adversary: Optional[AsyncAdversary] = None,
+    scheduler: Optional[Scheduler] = None,
+    fault_bound: Optional[int] = None,
+    max_steps: Optional[int] = None,
+    peers_of: Optional[Dict[int, Sequence[int]]] = None,
+) -> Tuple[AsyncRunResult, List[SynchronizedProcess]]:
+    """Run synchronous protocols to completion over the async engine.
+
+    ``peers_of`` restricts each wrapper's envelopes to a peer set (e.g.
+    the sparse graph's neighborhoods); by default every pair exchanges
+    envelopes.  Returns the async run result plus the wrapper processes
+    (whose ``rounds_simulated`` exposes the round accounting).
+    """
+    n = len(protocols)
+    if adversary is None:
+        adversary = NullAsyncAdversary(n)
+    processes = [
+        SynchronizedProcess(
+            pid, n, protocols[pid], max_rounds,
+            fault_bound=fault_bound,
+            peers=peers_of.get(pid) if peers_of is not None else None,
+        )
+        for pid in range(n)
+    ]
+    network = AsyncNetwork(processes, adversary, scheduler=scheduler)
+    cap = max_steps if max_steps is not None else 20 * n * n * max_rounds
+    result = network.run(max_steps=cap)
+    return result, processes
+
+
+def synchronizer_overhead_messages(n: int, rounds: int) -> int:
+    """Marker traffic the synchronizer adds: n(n-1) per simulated round.
+
+    This is the quantitative punchline: even a protocol that sends zero
+    messages pays Theta(n^2) per round once synchronized, so the paper's
+    o(n^2) budget cannot survive generic synchronization.
+    """
+    return n * (n - 1) * rounds

@@ -1,0 +1,44 @@
+"""Quadratic-cost Byzantine agreement baselines (benchmark E12).
+
+* :mod:`~repro.baselines.phase_king` — deterministic, f < n/4, O(n*f)
+  bits per processor.
+* :mod:`~repro.baselines.rabin` — randomized with trusted shared coin
+  [21], O(1) expected rounds, Theta(n) bits per processor per round.
+* :mod:`~repro.baselines.benor` — randomized with local coins only;
+  shows what a global coin buys.
+"""
+
+from .benor import BenOrProcessor, benor_fault_bound, run_benor
+from .disc09_ae2e import (
+    AssignmentTargetingAdversary,
+    Disc09Processor,
+    assignment,
+    disc09_fanout,
+    run_disc09_ae2e,
+)
+from .eig import EIGProcessor, eig_fault_bound, run_eig
+from .phase_king import (
+    PhaseKingProcessor,
+    phase_king_fault_bound,
+    run_phase_king,
+)
+from .rabin import RabinProcessor, run_rabin
+
+__all__ = [
+    "AssignmentTargetingAdversary",
+    "Disc09Processor",
+    "assignment",
+    "disc09_fanout",
+    "run_disc09_ae2e",
+    "EIGProcessor",
+    "eig_fault_bound",
+    "run_eig",
+    "BenOrProcessor",
+    "benor_fault_bound",
+    "run_benor",
+    "PhaseKingProcessor",
+    "phase_king_fault_bound",
+    "run_phase_king",
+    "RabinProcessor",
+    "run_rabin",
+]

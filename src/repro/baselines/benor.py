@@ -1,0 +1,142 @@
+"""Ben-Or style randomized agreement with *local* coins.
+
+The historical contrast case: no shared coin, so convergence relies on
+all good processors flipping the same way by luck — exponential expected
+time at Theta(n) faults, polynomial only for t = O(sqrt(n)).  Included as
+the "what the global coin buys you" baseline; benchmark E12 shows its
+round count exploding where Rabin's and the paper's protocols stay flat.
+
+Synchronous phase (tolerates t < n/5 with these simple thresholds):
+
+1. Broadcast current vote; collect.
+2. If > (n + t) / 2 votes for v: propose v, else propose None.
+3. Broadcast proposal; if >= t + 1 proposals for v: vote <- v (and decide
+   on >= 3t + 1 proposals); else vote <- private coin flip.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+from ..net.messages import Message
+from ..net.simulator import (
+    Adversary,
+    NullAdversary,
+    ProcessorProtocol,
+    RunResult,
+    SyncNetwork,
+)
+
+
+def benor_fault_bound(n: int) -> int:
+    """Maximum tolerated faults: t < n/5."""
+    return max(0, (n - 1) // 5)
+
+
+class BenOrProcessor(ProcessorProtocol):
+    """One good processor running synchronous Ben-Or."""
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        input_bit: int,
+        rng: random.Random,
+        max_phases: int,
+    ) -> None:
+        super().__init__(pid)
+        self.n = n
+        self.vote = int(input_bit)
+        self.rng = rng
+        self.max_phases = max_phases
+        self.fault_bound = benor_fault_bound(n)
+        self._decided: Optional[int] = None
+        self._proposal: Optional[int] = None
+
+    def on_round(self, round_no: int, inbox: List[Message]) -> List[Message]:
+        phase = (round_no + 1) // 2
+        if phase > self.max_phases or self._decided is not None:
+            if self._decided is None:
+                self._decided = self.vote
+            return []
+        if round_no % 2 == 1:
+            if round_no > 1:
+                self._absorb_proposals(inbox)
+            if self._decided is not None:
+                return []
+            return [
+                Message(self.pid, other, "vote", self.vote)
+                for other in range(self.n)
+                if other != self.pid
+            ]
+        self._absorb_votes(inbox)
+        payload = self._proposal if self._proposal is not None else -1
+        return [
+            Message(self.pid, other, "propose", payload)
+            for other in range(self.n)
+            if other != self.pid
+        ]
+
+    def _absorb_votes(self, inbox: List[Message]) -> None:
+        votes = [self.vote]
+        seen = {self.pid}
+        for m in inbox:
+            if m.tag == "vote" and m.sender not in seen:
+                seen.add(m.sender)
+                if isinstance(m.payload, int):
+                    votes.append(m.payload)
+        tally = Counter(votes)
+        majority = max(tally, key=lambda v: (tally[v], v))
+        threshold = (self.n + self.fault_bound) / 2
+        self._proposal = majority if tally[majority] > threshold else None
+
+    def _absorb_proposals(self, inbox: List[Message]) -> None:
+        proposals = []
+        if self._proposal is not None:
+            proposals.append(self._proposal)
+        seen = {self.pid}
+        for m in inbox:
+            if m.tag == "propose" and m.sender not in seen:
+                seen.add(m.sender)
+                if isinstance(m.payload, int) and m.payload >= 0:
+                    proposals.append(m.payload)
+        tally = Counter(proposals)
+        if tally:
+            top = max(tally, key=lambda v: (tally[v], v))
+            if tally[top] >= 3 * self.fault_bound + 1:
+                self._decided = top
+                self.vote = top
+                return
+            if tally[top] >= self.fault_bound + 1:
+                self.vote = top
+                return
+        self.vote = self.rng.randrange(2)
+
+    def output(self) -> Optional[int]:
+        return self._decided
+
+
+def run_benor(
+    n: int,
+    inputs: Sequence[int],
+    adversary: Optional[Adversary] = None,
+    max_phases: int = 64,
+    seed: int = 0,
+) -> RunResult:
+    """Run Ben-Or until decision or the phase cap."""
+    if len(inputs) != n:
+        raise ValueError("inputs length must equal n")
+    if adversary is None:
+        adversary = NullAdversary(n)
+    protocols = [
+        BenOrProcessor(
+            pid, n, inputs[pid],
+            rng=random.Random((seed << 16) | pid),
+            max_phases=max_phases,
+        )
+        for pid in range(n)
+    ]
+    network = SyncNetwork(protocols, adversary)
+    return network.run(max_rounds=2 * max_phases + 2)

@@ -1,0 +1,180 @@
+"""King-Saia DISC'09 almost-everywhere-to-everywhere — the predecessor.
+
+Reference [16]: "From almost-everywhere to everywhere: Byzantine
+agreement in O~(n^{3/2}) bits", for a NON-adaptive adversary and without
+private channels.  Its core move: every knowledgeable processor sends M
+to Theta(sqrt n log n) fixed pseudo-random targets, and every processor
+decides by majority over what it hears — total O~(n^{3/2}) bits, i.e.
+O~(sqrt n) per processor, but the *fixed* communication pattern is
+exactly what an adaptive adversary destroys (it corrupts the senders
+assigned to a victim before they speak).
+
+Benchmark E4's companion ablation runs both amplifiers against an
+adaptive targeting adversary: this one collapses, Algorithm 3 survives —
+the delta between [16] and Section 4 of the paper, measured.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..net.messages import Message
+from ..net.rng import child_rng
+from ..net.simulator import (
+    Adversary,
+    AdversaryView,
+    NullAdversary,
+    ProcessorProtocol,
+    SyncNetwork,
+)
+
+
+def disc09_fanout(n: int, a: float = 4.0) -> int:
+    """Senders per receiver: a * sqrt(n) * log n / sqrt(n) ~ a log n each,
+    arranged so every receiver hears Theta(a log n) knowledgeable senders."""
+    log_n = max(2.0, math.log2(max(n, 2)))
+    return max(1, int(round(a * log_n)))
+
+
+def assignment(n: int, seed: int, fanout: int) -> Dict[int, List[int]]:
+    """The FIXED public sender->receivers map (common knowledge).
+
+    Each processor p is assigned ``fanout`` receivers pseudo-randomly;
+    being public and fixed is what makes the scheme cheap — and what the
+    adaptive adversary reads to choose its corruptions.
+    """
+    rng = child_rng(seed, "disc09")
+    table: Dict[int, List[int]] = {}
+    for p in range(n):
+        table[p] = [rng.randrange(n) for _ in range(fanout)]
+    return table
+
+
+class Disc09Processor(ProcessorProtocol):
+    """One good processor: send M along the fixed assignment, decide by
+    majority of received copies."""
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        knowledgeable: bool,
+        message: Optional[int],
+        receivers: List[int],
+        threshold: int,
+    ) -> None:
+        super().__init__(pid)
+        self.n = n
+        self.knowledgeable = knowledgeable
+        self.message = message
+        self.receivers = receivers
+        self.threshold = threshold
+        self.decided: Optional[int] = message if knowledgeable else None
+
+    def on_round(self, round_no: int, inbox: List[Message]) -> List[Message]:
+        if round_no == 1:
+            if self.decided is None:
+                return []
+            return [
+                Message(self.pid, r, "d09", self.decided)
+                for r in self.receivers
+                if r != self.pid
+            ]
+        if round_no == 2 and self.decided is None:
+            tally = Counter(
+                m.payload
+                for m in inbox
+                if m.tag == "d09" and isinstance(m.payload, int)
+            )
+            if tally:
+                value, count = max(
+                    tally.items(), key=lambda kv: (kv[1], -kv[0])
+                )
+                if count >= self.threshold:
+                    self.decided = value
+        return []
+
+    def output(self) -> Optional[int]:
+        return self.decided
+
+
+class AssignmentTargetingAdversary(Adversary):
+    """The adaptive kill: corrupt exactly the knowledgeable senders
+    assigned to a chosen victim set, before round 1 — possible because
+    the assignment is public and fixed."""
+
+    def __init__(
+        self,
+        n: int,
+        budget: int,
+        table: Dict[int, List[int]],
+        knowledgeable: Set[int],
+        victims: Sequence[int],
+        fake_message: int,
+    ) -> None:
+        super().__init__(n, budget)
+        self.table = table
+        self.knowledgeable = knowledgeable
+        self.victims = list(victims)
+        self.fake_message = fake_message
+
+    def select_corruptions(self, round_no: int) -> Set[int]:
+        if round_no != 1:
+            return set()
+        chosen: Set[int] = set()
+        for victim in self.victims:
+            for sender in range(self.n):
+                if sender in self.knowledgeable and victim in self.table[sender]:
+                    chosen.add(sender)
+                    if len(chosen) >= self.budget:
+                        return chosen
+        return chosen
+
+    def act(self, view: AdversaryView) -> List[Message]:
+        if view.round_no != 1:
+            return []
+        messages = []
+        for sender in sorted(view.corrupted):
+            for receiver in self.table.get(sender, []):
+                messages.append(
+                    Message(sender, receiver, "d09", self.fake_message)
+                )
+        return messages
+
+
+def run_disc09_ae2e(
+    n: int,
+    knowledgeable: Set[int],
+    message: int,
+    adversary: Optional[Adversary] = None,
+    seed: int = 0,
+    a: float = 6.0,
+):
+    """One round of the DISC'09 amplifier.
+
+    Returns the :class:`~repro.net.simulator.RunResult`; decided values
+    are the processors' outputs.
+    """
+    fanout = disc09_fanout(n, a)
+    table = assignment(n, seed, fanout)
+    # Expected knowledgeable copies per receiver.
+    expected = fanout * len(knowledgeable) / n
+    threshold = max(1, int(round(expected / 2 + 1)))
+    if adversary is None:
+        adversary = NullAdversary(n)
+    protocols = [
+        Disc09Processor(
+            pid=p,
+            n=n,
+            knowledgeable=(p in knowledgeable),
+            message=message if p in knowledgeable else None,
+            receivers=table[p],
+            threshold=threshold,
+        )
+        for p in range(n)
+    ]
+    network = SyncNetwork(protocols, adversary)
+    return network.run(max_rounds=3)

@@ -1,0 +1,140 @@
+"""Phase King — the classic deterministic O(n^2)-message baseline.
+
+Berman, Garay and Perry's algorithm (the textbook version): f+1 phases of
+two all-to-all rounds each, tolerating f < n/4 Byzantine processors.  Its
+per-processor cost is Theta(n * f) bits — the quadratic wall the paper's
+introduction quotes systems researchers complaining about, and the
+comparator for benchmark E12.
+
+Phase p (king = processor p-1):
+
+* Round 1: everyone sends its current value to everyone; each processor
+  computes the majority value ``maj`` and its multiplicity ``mult``.
+* Round 2: the king broadcasts its ``maj``; every processor keeps its own
+  ``maj`` if ``mult > n/2 + f``, otherwise adopts the king's value.
+
+With f+1 phases some phase has a good king, after which all good
+processors agree and the ``mult`` guard keeps them agreed.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+from ..net.messages import Message
+from ..net.simulator import (
+    Adversary,
+    NullAdversary,
+    ProcessorProtocol,
+    RunResult,
+    SyncNetwork,
+)
+
+
+def phase_king_fault_bound(n: int) -> int:
+    """Maximum tolerated faults: f < n/4."""
+    return max(0, (n - 1) // 4)
+
+
+class PhaseKingProcessor(ProcessorProtocol):
+    """One good processor running Phase King.
+
+    The simulator round ``2p-1`` is phase p's value exchange and round
+    ``2p`` is its king round.
+    """
+
+    def __init__(self, pid: int, n: int, input_bit: int, num_phases: int) -> None:
+        super().__init__(pid)
+        self.n = n
+        self.value = int(input_bit)
+        self.num_phases = num_phases
+        self.fault_bound = phase_king_fault_bound(n)
+        self._maj = self.value
+        self._mult = 0
+        self._decided: Optional[int] = None
+
+    def on_round(self, round_no: int, inbox: List[Message]) -> List[Message]:
+        phase = (round_no + 1) // 2
+        if phase > self.num_phases:
+            if self._decided is None:
+                self._decided = self.value
+            return []
+        if round_no % 2 == 1:
+            # Finish the previous king round first.
+            self._absorb_king(inbox, phase - 1)
+            return [
+                Message(self.pid, other, "vote", self.value)
+                for other in range(self.n)
+                if other != self.pid
+            ]
+        self._absorb_votes(inbox)
+        king = (phase - 1) % self.n
+        if self.pid == king:
+            return [
+                Message(self.pid, other, "king", self._maj)
+                for other in range(self.n)
+                if other != self.pid
+            ]
+        return []
+
+    def _absorb_votes(self, inbox: List[Message]) -> None:
+        votes = [self.value]
+        seen = {self.pid}
+        for m in inbox:
+            if m.tag == "vote" and m.sender not in seen:
+                seen.add(m.sender)
+                if isinstance(m.payload, int):
+                    votes.append(m.payload)
+        tally = Counter(votes)
+        self._maj = max(tally, key=lambda v: (tally[v], v))
+        self._mult = tally[self._maj]
+
+    def _absorb_king(self, inbox: List[Message], phase: int) -> None:
+        if phase < 1:
+            return
+        king = (phase - 1) % self.n
+        king_value: Optional[int] = None
+        if king == self.pid:
+            king_value = self._maj
+        else:
+            for m in inbox:
+                if m.tag == "king" and m.sender == king:
+                    if isinstance(m.payload, int):
+                        king_value = m.payload
+                    break
+        if self._mult > self.n // 2 + self.fault_bound:
+            self.value = self._maj
+        elif king_value is not None:
+            self.value = king_value
+        else:
+            self.value = self._maj
+
+    def output(self) -> Optional[int]:
+        return self._decided
+
+
+def run_phase_king(
+    n: int,
+    inputs: Sequence[int],
+    adversary: Optional[Adversary] = None,
+    num_phases: Optional[int] = None,
+) -> RunResult:
+    """Run Phase King to completion and return the simulator result.
+
+    ``num_phases`` defaults to f+1 with f = floor((n-1)/4), the bound the
+    algorithm tolerates.
+    """
+    if len(inputs) != n:
+        raise ValueError("inputs length must equal n")
+    if num_phases is None:
+        num_phases = phase_king_fault_bound(n) + 1
+    if adversary is None:
+        adversary = NullAdversary(n)
+    protocols = [
+        PhaseKingProcessor(pid, n, inputs[pid], num_phases)
+        for pid in range(n)
+    ]
+    network = SyncNetwork(protocols, adversary)
+    return network.run(max_rounds=2 * num_phases + 1)

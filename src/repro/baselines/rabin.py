@@ -1,0 +1,117 @@
+"""Rabin's randomized Byzantine agreement with a trusted global coin [21].
+
+The paper runs a scalable variant of this algorithm on sparse graphs
+(Algorithm 5).  This module is the *full-network* original: each round is
+an all-to-all vote exchange followed by a shared coin flip, terminating in
+O(1) expected rounds.  Per-processor cost is Theta(n) bits per round —
+total Theta(n^2) per round, the baseline bit growth of E12.
+
+Round structure (tolerates t < n/4 with these thresholds):
+
+* send vote to all; tally.
+* if some value has >= 2n/3 support: adopt it, and decide if support is
+  overwhelming (>= 2n/3 for a second confirmation round);
+* else adopt the global coin.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..net.messages import Message
+from ..net.simulator import (
+    Adversary,
+    NullAdversary,
+    ProcessorProtocol,
+    RunResult,
+    SyncNetwork,
+)
+
+
+class RabinProcessor(ProcessorProtocol):
+    """One good processor running Rabin's global-coin agreement."""
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        input_bit: int,
+        coin_of_round: Callable[[int], int],
+        max_rounds: int,
+    ) -> None:
+        super().__init__(pid)
+        self.n = n
+        self.vote = int(input_bit)
+        self.coin_of_round = coin_of_round
+        self.max_rounds = max_rounds
+        self._decided: Optional[int] = None
+        self._decide_pending: Optional[int] = None
+
+    def on_round(self, round_no: int, inbox: List[Message]) -> List[Message]:
+        if round_no > 1:
+            self._update(round_no - 1, inbox)
+        if self._decided is not None or round_no > self.max_rounds:
+            if self._decided is None:
+                self._decided = self.vote
+            return []
+        return [
+            Message(self.pid, other, "vote", self.vote)
+            for other in range(self.n)
+            if other != self.pid
+        ]
+
+    def _update(self, algo_round: int, inbox: List[Message]) -> None:
+        votes = [self.vote]
+        seen = {self.pid}
+        for m in inbox:
+            if m.tag == "vote" and m.sender not in seen:
+                seen.add(m.sender)
+                if isinstance(m.payload, int):
+                    votes.append(m.payload)
+        tally = Counter(votes)
+        majority = max(tally, key=lambda v: (tally[v], v))
+        count = tally[majority]
+        if self._decide_pending is not None:
+            # Confirmation round passed: commit.
+            if majority == self._decide_pending and count >= (2 * self.n) // 3:
+                self._decided = self._decide_pending
+                self.vote = self._decided
+                return
+            self._decide_pending = None
+        if count >= (2 * self.n) // 3:
+            self.vote = majority
+            self._decide_pending = majority
+        else:
+            self.vote = self.coin_of_round(algo_round)
+
+    def output(self) -> Optional[int]:
+        return self._decided
+
+
+def run_rabin(
+    n: int,
+    inputs: Sequence[int],
+    adversary: Optional[Adversary] = None,
+    max_rounds: int = 64,
+    seed: int = 0,
+) -> RunResult:
+    """Run Rabin's agreement with a trusted shared coin oracle."""
+    if len(inputs) != n:
+        raise ValueError("inputs length must equal n")
+    if adversary is None:
+        adversary = NullAdversary(n)
+    coin_rng = random.Random(seed)
+    coins = [coin_rng.randrange(2) for _ in range(max_rounds + 1)]
+
+    protocols = [
+        RabinProcessor(
+            pid, n, inputs[pid],
+            coin_of_round=lambda r: coins[r % len(coins)],
+            max_rounds=max_rounds,
+        )
+        for pid in range(n)
+    ]
+    network = SyncNetwork(protocols, adversary)
+    return network.run(max_rounds=max_rounds + 2)

@@ -1,0 +1,406 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Runs the library's headline experiments from a shell without writing
+Python.  Subcommands:
+
+* ``info``      — derived protocol parameters for a network size.
+* ``run-ba``    — one everywhere-BA execution (Theorem 1 pipeline).
+* ``costmodel`` — modelled bits/processor vs the quadratic baselines.
+* ``attack``    — the lower-bound demonstrations (E16).
+* ``run-async`` — the asynchronous comparison (E15).
+* ``elect-leader`` — an adaptive-safe leader rotation (E21).
+* ``commit-log``   — a replicated log off one amortized tournament (E22).
+* ``report``    — a compact battery written as Markdown.
+
+Every command prints a compact plain-text report and exits non-zero on a
+protocol failure, so the CLI doubles as a smoke test in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .core.parameters import ProtocolParameters
+
+    params = ProtocolParameters.simulation(args.n)
+    print(f"Protocol parameters for n = {args.n} (simulation preset)")
+    for name, value in sorted(vars(params).items()):
+        print(f"  {name:>24} : {value}")
+    return 0
+
+
+def _cmd_run_ba(args: argparse.Namespace) -> int:
+    from .core.byzantine_agreement import run_everywhere_ba
+    from .adversary.adaptive import TournamentAdversary
+
+    n = args.n
+    inputs = [1 if p % 3 else 0 for p in range(n)]
+    if args.input_bit is not None:
+        inputs = [args.input_bit] * n
+
+    adversary = None
+    if args.corrupt > 0:
+        budget = max(1, int(args.corrupt * n))
+        adversary = TournamentAdversary(n, budget=budget, seed=args.seed)
+
+    result = run_everywhere_ba(
+        n, inputs, tournament_adversary=adversary, seed=args.seed
+    )
+    good = [p for p in range(n) if p not in result.corrupted]
+    decided = [result.ae2e_result.decided.get(p) for p in good]
+    agreeing = sum(1 for v in decided if v == result.bit)
+
+    print(f"Everywhere BA, n = {n}, corruption = {args.corrupt:.0%}, "
+          f"seed = {args.seed}")
+    print(f"  agreed bit         : {result.bit}")
+    print(f"  validity           : {result.is_valid()}")
+    print(f"  good agreeing      : {agreeing}/{len(good)}")
+    print(f"  total rounds       : {result.total_rounds()}")
+    print(f"  max bits/processor : {result.max_bits_per_processor():,}")
+    if not result.success():
+        print("  FAILURE: some good processor disagrees")
+        return 1
+    return 0
+
+
+def _cmd_costmodel(args: argparse.Namespace) -> int:
+    from .analysis.costmodel import (
+        everywhere_ba_bits_simulation,
+        phase_king_bits_per_processor,
+        rabin_bits_per_processor,
+    )
+
+    print("Modelled bits per processor (simulation-preset constants)")
+    print(f"{'n':>12}  {'this paper':>14}  {'Rabin':>14}  "
+          f"{'Phase King':>16}  {'advantage':>10}")
+    ours_points, rabin_points, pk_points = [], [], []
+    n = args.start
+    while n <= args.stop:
+        ours = everywhere_ba_bits_simulation(n)
+        rabin = rabin_bits_per_processor(n)
+        pk = phase_king_bits_per_processor(n)
+        ours_points.append((n, ours))
+        rabin_points.append((n, rabin))
+        pk_points.append((n, pk))
+        print(f"{n:>12,}  {ours:>14,.0f}  {rabin:>14,.0f}  "
+              f"{pk:>16,.0f}  {pk / ours:>9.1f}x")
+        n *= args.factor
+    if args.plot and len(ours_points) >= 2:
+        from .analysis.asciiplot import Series, fitted_exponent, render_chart
+
+        print()
+        print(
+            render_chart(
+                [
+                    Series("this paper", ours_points, marker="*"),
+                    Series("Rabin", rabin_points, marker="r"),
+                    Series("Phase King", pk_points, marker="#"),
+                ],
+                title="bits per processor vs n (log-log)",
+                x_label="n", y_label="bits",
+            )
+        )
+        print(
+            f"\nfitted exponents: this paper "
+            f"{fitted_exponent(ours_points):.2f}, "
+            f"Rabin {fitted_exponent(rabin_points):.2f}, "
+            f"Phase King {fitted_exponent(pk_points):.2f} "
+            f"(paper predicts ~0.5 / 1 / 2)"
+        )
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from .lowerbounds import (
+        guessing_attack_demo,
+        isolation_attack_demo,
+        isolation_threshold,
+    )
+
+    if args.kind == "guessing":
+        outcome = guessing_attack_demo(n=args.n, seed=args.seed)
+        print(f"Coin-guessing attack on sampled-majority BA, n = {args.n}")
+        print(f"  messages          : {outcome.total_messages} "
+              f"(n^2 = {args.n ** 2})")
+        print(f"  oblivious flipped : {outcome.oblivious_wrong}")
+        print(f"  guessing flipped  : "
+              f"{'victim' if outcome.attack_succeeded else 'nobody'}")
+        return 0
+    budget, rounds = 12, 3
+    cliff = isolation_threshold(budget, rounds)
+    print(f"Isolation attack, n = {args.n}, budget {budget}, "
+          f"{rounds} rounds (cliff: degree {cliff})")
+    for degree in (max(1, cliff - 2), cliff, cliff + 2, 3 * cliff):
+        outcome = isolation_attack_demo(
+            n=args.n, listen_degree=degree, gossip_rounds=rounds,
+            budget=budget, seed=args.seed,
+        )
+        status = "ISOLATED" if outcome.victim_isolated else "safe"
+        print(f"  degree {degree:>3}: victim {status}")
+    return 0
+
+
+def _cmd_run_async(args: argparse.Namespace) -> int:
+    from .asynchrony import (
+        RandomScheduler,
+        SeededCoinOracle,
+        run_async_benor,
+        run_common_coin_ba,
+    )
+
+    n = args.n
+    inputs = [i % 2 for i in range(n)]
+    benor = run_async_benor(
+        n, inputs, seed=args.seed, scheduler=RandomScheduler(args.seed)
+    )
+    coin = run_common_coin_ba(
+        n, inputs, oracle=SeededCoinOracle(args.seed),
+        scheduler=RandomScheduler(args.seed),
+    )
+    print(f"Asynchronous BA, n = {n}, split inputs")
+    print(f"  Ben-Or (local coins) : value {benor.agreement_value()}, "
+          f"{benor.steps} deliveries")
+    print(f"  common coin          : value {coin.agreement_value()}, "
+          f"{coin.steps} deliveries")
+    ok = (
+        benor.agreement_value() in (0, 1)
+        and coin.agreement_value() in (0, 1)
+    )
+    return 0 if ok else 1
+
+
+def _cmd_elect_leader(args: argparse.Namespace) -> int:
+    from .adversary.adaptive import TournamentAdversary
+    from .core.leader_election import run_leader_election
+
+    n = args.n
+    adversary = None
+    if args.corrupt > 0:
+        adversary = TournamentAdversary(
+            n, budget=max(1, int(args.corrupt * n)), seed=args.seed
+        )
+    schedule = run_leader_election(
+        n, schedule_length=args.rounds, adversary=adversary, seed=args.seed
+    )
+    print(f"Leader rotation, n = {n}, corruption = {args.corrupt:.0%}, "
+          f"{args.rounds} draws, seed = {args.seed}")
+    for draw in schedule.draws:
+        status = "good" if draw.leader_is_good else "CORRUPT"
+        print(f"  word {draw.word_index:>3} -> leader {draw.leader:>4}  "
+              f"({status}, agreement {draw.agreement_fraction:.0%})")
+    print(f"  good fraction      : {schedule.good_fraction():.0%}")
+    print(f"  weakest agreement  : {schedule.min_agreement():.0%}")
+    return 0 if schedule.min_agreement() > 0.5 else 1
+
+
+def _cmd_commit_log(args: argparse.Namespace) -> int:
+    from .adversary.adaptive import TournamentAdversary
+    from .core.repeated_agreement import run_replicated_log
+
+    n = args.n
+    # Alternate unanimous and contested slots, a representative mix.
+    slots = []
+    for i in range(args.slots):
+        if i % 3 == 2:
+            slots.append([(i + p) % 2 for p in range(n)])
+        else:
+            slots.append([i % 2] * n)
+
+    adversary = None
+    if args.corrupt > 0:
+        adversary = TournamentAdversary(
+            n, budget=max(1, int(args.corrupt * n)), seed=args.seed
+        )
+    result = run_replicated_log(
+        n, slots, tournament_adversary=adversary, seed=args.seed
+    )
+    print(f"Replicated log, n = {n}, {args.slots} slots, "
+          f"corruption = {args.corrupt:.0%}, seed = {args.seed}")
+    for slot in result.slots:
+        print(f"  slot {slot.index}: bit {slot.bit}  "
+              f"(everywhere: {slot.success(result.corrupted)})")
+    print(f"  all decided everywhere : {result.success()}")
+    print(f"  all valid              : {result.all_valid()}")
+    print(f"  tournament bits/proc   : {result.tournament_max_bits():,}")
+    print(f"  amortized bits/slot    : "
+          f"{result.amortized_max_bits_per_slot():,.0f}")
+    return 0 if result.success() and result.all_valid() else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Run a compact experiment battery and write a Markdown report."""
+    from .analysis.costmodel import (
+        everywhere_ba_bits_simulation,
+        phase_king_bits_per_processor,
+        rabin_bits_per_processor,
+    )
+    from .analysis.reporting import Table, tables_to_markdown
+    from .core.byzantine_agreement import run_everywhere_ba
+    from .adversary.adaptive import TournamentAdversary
+    from .lowerbounds import guessing_attack_demo
+
+    tables = []
+
+    ba = Table(
+        title=f"Everywhere BA at n = {args.n}",
+        headers=["corruption", "agreed bit", "validity", "rounds",
+                 "max bits/processor"],
+        note="One execution per row; Theorem 1 pipeline.",
+    )
+    for fraction in (0.0, 0.1):
+        adversary = None
+        if fraction:
+            adversary = TournamentAdversary(
+                args.n, budget=max(1, int(fraction * args.n)),
+                seed=args.seed,
+            )
+        result = run_everywhere_ba(
+            args.n,
+            [1 if p % 3 else 0 for p in range(args.n)],
+            tournament_adversary=adversary,
+            seed=args.seed,
+        )
+        ba.add_row(
+            f"{fraction:.0%}", result.bit, result.is_valid(),
+            result.total_rounds(),
+            f"{result.max_bits_per_processor():,}",
+        )
+    tables.append(ba)
+
+    model = Table(
+        title="Modelled bits/processor vs baselines",
+        headers=["n", "this paper", "Rabin", "Phase King"],
+        note="Simulation-preset cost model (cross-validated in E10).",
+    )
+    n = 1 << 10
+    while n <= 1 << 20:
+        model.add_row(
+            f"{n:,}",
+            f"{everywhere_ba_bits_simulation(n):,.0f}",
+            f"{rabin_bits_per_processor(n):,.0f}",
+            f"{phase_king_bits_per_processor(n):,.0f}",
+        )
+        n <<= 4
+    tables.append(model)
+
+    attack = Table(
+        title="Dolev-Reischuk corollary (coin-guessing attack)",
+        headers=["n", "messages", "oblivious flipped", "guessing flipped"],
+        note="Below n^2 messages, a correct coin guess defeats the protocol.",
+    )
+    outcome = guessing_attack_demo(n=90, seed=args.seed)
+    attack.add_row(
+        90, outcome.total_messages, outcome.oblivious_wrong,
+        "victim" if outcome.attack_succeeded else "nobody",
+    )
+    tables.append(attack)
+
+    body = (
+        "# repro experiment report\n\n"
+        "Generated by `repro report` — see DESIGN.md for the full "
+        "E1-E22 index and `pytest benchmarks/ --benchmark-only` for "
+        "the complete battery.\n\n"
+        + tables_to_markdown(tables)
+    )
+    if args.out == "-":
+        print(body)
+    else:
+        with open(args.out, "w") as f:
+            f.write(body)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser with every subcommand registered."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of King & Saia (PODC 2010): scalable Byzantine "
+            "agreement with an adaptive adversary."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="derived protocol parameters")
+    p.add_argument("-n", type=int, default=81, help="network size")
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("run-ba", help="run everywhere Byzantine agreement")
+    p.add_argument("-n", type=int, default=27, help="network size")
+    p.add_argument("--corrupt", type=float, default=0.0,
+                   help="adaptive corruption fraction (e.g. 0.1)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--input-bit", type=int, choices=(0, 1), default=None,
+                   help="give every processor this input bit")
+    p.set_defaults(func=_cmd_run_ba)
+
+    p = sub.add_parser("costmodel",
+                       help="modelled bits/processor vs baselines")
+    p.add_argument("--start", type=int, default=1 << 10)
+    p.add_argument("--stop", type=int, default=1 << 20)
+    p.add_argument("--factor", type=int, default=4)
+    p.add_argument("--plot", action="store_true",
+                   help="render a log-log chart of the curves")
+    p.set_defaults(func=_cmd_costmodel)
+
+    p = sub.add_parser("attack", help="run a lower-bound attack demo")
+    p.add_argument("kind", choices=("guessing", "isolation"))
+    p.add_argument("-n", type=int, default=90)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_attack)
+
+    p = sub.add_parser("run-async", help="asynchronous BA comparison")
+    p.add_argument("-n", type=int, default=6)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_run_async)
+
+    p = sub.add_parser(
+        "elect-leader",
+        help="draw a leader rotation from the global coin subsequence",
+    )
+    p.add_argument("-n", type=int, default=27, help="network size")
+    p.add_argument("--rounds", type=int, default=4,
+                   help="number of leaders to draw")
+    p.add_argument("--corrupt", type=float, default=0.0,
+                   help="adaptive corruption fraction (e.g. 0.1)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_elect_leader)
+
+    p = sub.add_parser(
+        "commit-log",
+        help="commit a multi-slot replicated log off one tournament",
+    )
+    p.add_argument("-n", type=int, default=27, help="network size")
+    p.add_argument("--slots", type=int, default=3,
+                   help="number of log slots to commit")
+    p.add_argument("--corrupt", type=float, default=0.0,
+                   help="adaptive corruption fraction (e.g. 0.1)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_commit_log)
+
+    p = sub.add_parser(
+        "report", help="run a compact battery and write a Markdown report"
+    )
+    p.add_argument("-n", type=int, default=27)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="-",
+                   help="output path, or - for stdout")
+    p.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

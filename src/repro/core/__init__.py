@@ -1,0 +1,153 @@
+"""The paper's primary contribution: Algorithms 1-5 and their composition.
+
+* :mod:`~repro.core.parameters` — parameter derivation (§3.6, Lemma 5).
+* :mod:`~repro.core.blocks` — candidate arrays/blocks (Definition 4).
+* :mod:`~repro.core.communication` — sendSecretUp/sendDown/sendOpen (§3.2.3).
+* :mod:`~repro.core.election` — Feige lightest bin (Algorithm 1, Lemma 4).
+* :mod:`~repro.core.coins` / :mod:`~repro.core.global_coin` — coin models.
+* :mod:`~repro.core.unreliable_coin_ba` — Algorithm 5 (Theorems 3, 5).
+* :mod:`~repro.core.almost_everywhere` — the tournament (Algorithm 2, Thm 2).
+* :mod:`~repro.core.ae_to_everywhere` — Algorithm 3 (§4, Theorem 4).
+* :mod:`~repro.core.byzantine_agreement` — Algorithm 4 (§5, Theorem 1).
+"""
+
+from .ae_to_everywhere import (
+    AEToEProcessor,
+    AEToEResult,
+    FakeResponderAdversary,
+    run_ae_to_everywhere,
+)
+from .almost_everywhere import (
+    LevelStats,
+    Tournament,
+    TournamentResult,
+    run_almost_everywhere_ba,
+)
+from .blocks import Block, CandidateArray, generate_array
+from .byzantine_agreement import EverywhereBAResult, run_everywhere_ba
+from .coins import (
+    CoinRound,
+    CoinSource,
+    coin_source_from_words,
+    perfect_coin_source,
+    unreliable_coin_source,
+)
+from .communication import (
+    RevealOutcome,
+    SecretKey,
+    ShareRecord,
+    TreeCommunicator,
+    robust_reconstruct,
+    robust_reconstruct_points,
+)
+from .election import (
+    ElectionResult,
+    good_winner_fraction,
+    lemma4_bound,
+    lightest_bin_election,
+    simulate_election_against_adversary,
+)
+from .global_coin import GlobalCoinSubsequence, synthetic_subsequence
+from .leader_election import (
+    AttackOutcome,
+    LeaderDraw,
+    LeaderElectionError,
+    LeaderSchedule,
+    elect_leader,
+    expected_good_rounds,
+    leader_schedule,
+    run_leader_election,
+    schedule_under_attack,
+)
+from .multivalued import (
+    MultiValuedResult,
+    run_scalable_multivalued,
+    turpin_coan_reduce,
+)
+from .parameters import ParameterError, ProtocolParameters
+from .repeated_agreement import (
+    ReplicatedLogError,
+    ReplicatedLogResult,
+    SlotResult,
+    run_replicated_log,
+    words_per_slot,
+)
+from .universe_reduction import (
+    CommitteeResult,
+    reduce_universe,
+    run_universe_reduction,
+    sample_committee_from_words,
+)
+from .unreliable_coin_ba import (
+    AEBAResult,
+    SparseAEBAProcessor,
+    aeba_vote_update,
+    majority_and_fraction,
+    run_aeba_dataflow,
+    run_unreliable_coin_ba,
+    vote_threshold,
+)
+
+__all__ = [
+    "AEToEProcessor",
+    "AEToEResult",
+    "FakeResponderAdversary",
+    "run_ae_to_everywhere",
+    "LevelStats",
+    "Tournament",
+    "TournamentResult",
+    "run_almost_everywhere_ba",
+    "Block",
+    "CandidateArray",
+    "generate_array",
+    "EverywhereBAResult",
+    "run_everywhere_ba",
+    "CoinRound",
+    "CoinSource",
+    "coin_source_from_words",
+    "perfect_coin_source",
+    "unreliable_coin_source",
+    "RevealOutcome",
+    "SecretKey",
+    "ShareRecord",
+    "TreeCommunicator",
+    "robust_reconstruct",
+    "robust_reconstruct_points",
+    "ElectionResult",
+    "good_winner_fraction",
+    "lemma4_bound",
+    "lightest_bin_election",
+    "simulate_election_against_adversary",
+    "GlobalCoinSubsequence",
+    "synthetic_subsequence",
+    "AttackOutcome",
+    "LeaderDraw",
+    "LeaderElectionError",
+    "LeaderSchedule",
+    "elect_leader",
+    "expected_good_rounds",
+    "leader_schedule",
+    "run_leader_election",
+    "schedule_under_attack",
+    "MultiValuedResult",
+    "run_scalable_multivalued",
+    "turpin_coan_reduce",
+    "ParameterError",
+    "ProtocolParameters",
+    "ReplicatedLogError",
+    "ReplicatedLogResult",
+    "SlotResult",
+    "run_replicated_log",
+    "words_per_slot",
+    "CommitteeResult",
+    "reduce_universe",
+    "run_universe_reduction",
+    "sample_committee_from_words",
+    "AEBAResult",
+    "SparseAEBAProcessor",
+    "aeba_vote_update",
+    "majority_and_fraction",
+    "run_aeba_dataflow",
+    "run_unreliable_coin_ba",
+    "vote_threshold",
+]

@@ -1,0 +1,394 @@
+"""Almost-everywhere to everywhere agreement — paper Section 4, Algorithm 3.
+
+Setting: (1/2 + eps) n *knowledgeable* good processors already agree on a
+message M (from the tournament) and can jointly generate random numbers
+k in [1..sqrt(n)] (from the global coin subsequence).  The remaining good
+processors are *confused*.  Each loop:
+
+1. Every processor sends, for each label i in [1..sqrt(n)], requests
+   carrying i to a·log n processors (targets chosen before k exists, so
+   the adversary cannot aim takeovers at the communication pattern —
+   the insight that escapes the Holtby-Kapron-King lower bound model).
+2. Knowledgeable processors agree on a fresh random k.
+3. A knowledgeable processor answers requests labelled k — unless that
+   label is *overloaded* (> sqrt(n)·log n accepted requests), the defence
+   against flooding.
+4. A requester looks at its busiest label i_max; if enough identical
+   answers came back for it, it decides that message.
+
+Per-processor traffic is O(sqrt(n) · a · log n) request words plus the
+answers — the O~(sqrt(n)) of Theorem 4.
+
+Anti-flooding acceptance rule: a responder accepts at most one request
+per sender (the paper: a sender of more than its share is "evidently
+corrupt"), so a corrupted coalition can overload at most
+sqrt(n)/(3 log n) of the sqrt(n) labels, and the random k dodges them
+with probability 1 - O(1/log n) (Lemma 9).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..net.messages import Message
+from ..net.simulator import (
+    Adversary,
+    AdversaryView,
+    NullAdversary,
+    ProcessorProtocol,
+    SyncNetwork,
+)
+from .parameters import ProtocolParameters
+
+REQUEST_TAG = "ae2e_request"
+RESPONSE_TAG = "ae2e_response"
+
+
+@dataclass
+class LoopStats:
+    """Per-loop instrumentation (drives Lemmas 8, 9 / E11)."""
+
+    loop: int
+    k: int
+    overloaded_responders: int
+    deciders: int
+    undecided_after: int
+    response_counts: List[int]
+
+
+class AEToEProcessor(ProcessorProtocol):
+    """One good processor running Algorithm 3 for ``loops`` iterations.
+
+    Args:
+        pid: processor ID.
+        n: network size.
+        knowledgeable: whether this processor starts knowing M.
+        message: M for knowledgeable processors (None for confused).
+        k_of_loop: oracle giving loop -> agreed random label; only
+            knowledgeable (and decided) processors consult it, matching
+            the protocol (confused processors never need k).
+        params: protocol parameters (fanout, overload limit, epsilon).
+        rng: private coin.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        knowledgeable: bool,
+        message: Optional[int],
+        k_of_loop: Callable[[int], int],
+        params: ProtocolParameters,
+        rng: random.Random,
+        loops: int,
+    ) -> None:
+        super().__init__(pid)
+        self.n = n
+        self.knowledgeable = knowledgeable
+        self.message = message
+        self.k_of_loop = k_of_loop
+        self.params = params
+        self.rng = rng
+        self.loops = loops
+        self.decided: Optional[int] = message if knowledgeable else None
+        self.overloaded_this_loop = False
+        self._sent_labels: Dict[int, int] = {}  # target -> label, this loop
+        self._accepted: Dict[int, int] = {}  # sender -> label, this loop
+        self._sender_seen: Set[int] = set()
+
+    # -- round dispatch ----------------------------------------------------------
+
+    def on_round(self, round_no: int, inbox: List[Message]) -> List[Message]:
+        loop = (round_no - 1) // 3
+        phase = (round_no - 1) % 3
+        if loop >= self.loops:
+            return []
+        if phase == 0:
+            return self._send_requests(loop)
+        if phase == 1:
+            return self._respond(loop, inbox)
+        return self._tally(loop, inbox)
+
+    def output(self) -> Optional[int]:
+        return self.decided
+
+    # -- phase 1: requests ---------------------------------------------------------
+
+    def _send_requests(self, loop: int) -> List[Message]:
+        """For every label, request from a·log n distinct processors.
+
+        All targets across all labels are distinct, so no responder sees
+        two requests from us (the acceptance rule drops duplicates).
+        """
+        self._sent_labels = {}
+        sqrt_n = self.params.sqrt_n()
+        fanout = self.params.request_fanout()
+        total = min(sqrt_n * fanout, self.n - 1)
+        pool = [p for p in range(self.n) if p != self.pid]
+        targets = self.rng.sample(pool, total)
+        messages: List[Message] = []
+        index = 0
+        for label in range(1, sqrt_n + 1):
+            for _ in range(fanout):
+                if index >= len(targets):
+                    break
+                target = targets[index]
+                index += 1
+                self._sent_labels[target] = label
+                messages.append(
+                    Message(self.pid, target, REQUEST_TAG, label)
+                )
+        return messages
+
+    # -- phase 2: responses ----------------------------------------------------------
+
+    def _respond(self, loop: int, inbox: List[Message]) -> List[Message]:
+        """Answer requests labelled k, subject to the overload rule."""
+        self._accepted = {}
+        self._sender_seen = set()
+        duplicate_senders: Set[int] = set()
+        for m in inbox:
+            if m.tag != REQUEST_TAG or not isinstance(m.payload, int):
+                continue
+            if m.sender in self._sender_seen:
+                duplicate_senders.add(m.sender)  # evidently corrupt
+                continue
+            self._sender_seen.add(m.sender)
+            self._accepted[m.sender] = m.payload
+        for sender in duplicate_senders:
+            self._accepted.pop(sender, None)
+
+        if self.decided is None:
+            return []  # confused: nothing to answer with
+        k = self.k_of_loop(loop)
+        requesters = [
+            sender for sender, label in self._accepted.items() if label == k
+        ]
+        self.overloaded_this_loop = (
+            len(requesters) > self.params.overload_limit()
+        )
+        if self.overloaded_this_loop:
+            return []
+        return [
+            Message(self.pid, sender, RESPONSE_TAG, self.decided)
+            for sender in requesters
+        ]
+
+    # -- phase 3: decision -------------------------------------------------------------
+
+    def _tally(self, loop: int, inbox: List[Message]) -> List[Message]:
+        """Decide if the busiest label returned enough identical answers."""
+        if self.decided is not None:
+            return []
+        by_label: Dict[int, List[int]] = {}
+        for m in inbox:
+            if m.tag != RESPONSE_TAG:
+                continue
+            label = self._sent_labels.get(m.sender)
+            if label is None:
+                continue  # unsolicited response: ignore
+            if isinstance(m.payload, int):
+                by_label.setdefault(label, []).append(m.payload)
+        if not by_label:
+            return []
+        i_max = max(by_label, key=lambda i: (len(by_label[i]), -i))
+        tally = Counter(by_label[i_max])
+        value, count = max(tally.items(), key=lambda kv: (kv[1], -kv[0]))
+        threshold = self.decision_threshold(self.params)
+        if count >= threshold:
+            self.decided = value
+        return []
+
+    @staticmethod
+    def decision_threshold(params: ProtocolParameters) -> int:
+        """(1/2 + 3 eps / 8) · a log n identical answers."""
+        return max(
+            1,
+            math.ceil(
+                (0.5 + 3 * params.epsilon / 8) * params.request_fanout()
+            ),
+        )
+
+
+class FakeResponderAdversary(Adversary):
+    """Corrupted processors answer *every* request with a forged message.
+
+    Optionally, on loops where the global coin word was adversarial (the
+    coin subsequence's non-random positions), the coalition knows k in
+    advance and floods requests labelled k to overload every responder.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        targets: Sequence[int],
+        fake_message: int,
+        known_bad_loops: Optional[Dict[int, int]] = None,
+        seed: int = 0,
+    ) -> None:
+        target_set = set(targets)
+        super().__init__(n, budget=len(target_set))
+        self._targets = target_set
+        self.fake_message = fake_message
+        self.known_bad_loops = known_bad_loops or {}
+        self.rng = random.Random(seed)
+
+    def select_corruptions(self, round_no: int) -> Set[int]:
+        return set(self._targets) if round_no == 1 else set()
+
+    def act(self, view: AdversaryView) -> List[Message]:
+        loop = (view.round_no - 1) // 3
+        phase = (view.round_no - 1) % 3
+        messages: List[Message] = []
+        if phase == 0 and loop in self.known_bad_loops:
+            # Overload attack on the known-in-advance label.
+            k = self.known_bad_loops[loop]
+            for sender in sorted(view.corrupted):
+                for recipient in range(self.n):
+                    if recipient in view.corrupted:
+                        continue
+                    messages.append(
+                        Message(sender, recipient, REQUEST_TAG, k)
+                    )
+        if phase == 1:
+            # Answer everything we were asked, with the forged message.
+            for m in view.inbound:
+                if m.tag == REQUEST_TAG:
+                    messages.append(
+                        Message(
+                            m.recipient, m.sender, RESPONSE_TAG,
+                            self.fake_message,
+                        )
+                    )
+        return messages
+
+
+@dataclass
+class AEToEResult:
+    """Outcome of running Algorithm 3 for some number of loops."""
+
+    decided: Dict[int, Optional[int]]
+    corrupted: Set[int]
+    loops_run: int
+    loop_stats: List[LoopStats]
+    max_bits_per_processor: int
+    mean_bits_per_processor: float
+    rounds: int
+    sent_bits: Dict[int, int] = field(default_factory=dict)
+
+    def good_decided(self) -> Dict[int, Optional[int]]:
+        """Decisions of uncorrupted processors."""
+        return {
+            p: v for p, v in self.decided.items() if p not in self.corrupted
+        }
+
+    def everyone_agrees(self, expected: int) -> bool:
+        """Whether every good processor decided ``expected``."""
+        good = self.good_decided()
+        return all(v == expected for v in good.values())
+
+    def no_bad_decision(self, expected: int) -> bool:
+        """Lemma 7(2): every good processor agrees on M or is undecided."""
+        good = self.good_decided()
+        return all(v in (expected, None) for v in good.values())
+
+    def undecided_count(self) -> int:
+        """How many good processors remain undecided."""
+        return sum(1 for v in self.good_decided().values() if v is None)
+
+
+def run_ae_to_everywhere(
+    params: ProtocolParameters,
+    knowledgeable: Set[int],
+    message: int,
+    k_sequence: Sequence[int],
+    adversary: Optional[Adversary] = None,
+    seed: int = 0,
+) -> AEToEResult:
+    """Run Algorithm 3 for ``len(k_sequence)`` loops.
+
+    Args:
+        params: protocol parameters (n, fanout, overload limit).
+        knowledgeable: good processors that already agree on ``message``.
+        message: M.
+        k_sequence: agreed random number per loop (the global coin
+            subsequence, values in [1..sqrt(n)]).
+        adversary: optional; corrupted processors are removed from the
+            knowledgeable set automatically.
+    """
+    n = params.n
+    loops = len(k_sequence)
+    if adversary is None:
+        adversary = NullAdversary(n)
+
+    def k_of_loop(loop: int) -> int:
+        return k_sequence[loop % loops]
+
+    protocols = [
+        AEToEProcessor(
+            pid=p,
+            n=n,
+            knowledgeable=(p in knowledgeable),
+            message=message if p in knowledgeable else None,
+            k_of_loop=k_of_loop,
+            params=params,
+            rng=random.Random((seed << 20) ^ (p * 7919 + 13)),
+            loops=loops,
+        )
+        for p in range(n)
+    ]
+    network = SyncNetwork(protocols, adversary)
+
+    loop_stats: List[LoopStats] = []
+    round_no = 0
+    for loop in range(loops):
+        undecided_before = sum(
+            1
+            for p in range(n)
+            if p not in adversary.corrupted and protocols[p].decided is None
+        )
+        if undecided_before == 0 and loop > 0:
+            break
+        for _phase in range(3):
+            round_no += 1
+            network.step(round_no)
+        good = [p for p in range(n) if p not in adversary.corrupted]
+        deciders = sum(
+            1
+            for p in good
+            if protocols[p].decided is not None
+        )
+        loop_stats.append(
+            LoopStats(
+                loop=loop,
+                k=k_sequence[loop],
+                overloaded_responders=sum(
+                    1
+                    for p in good
+                    if protocols[p].overloaded_this_loop
+                ),
+                deciders=deciders,
+                undecided_after=len(good) - deciders,
+                response_counts=[],
+            )
+        )
+
+    good = [p for p in range(n) if p not in adversary.corrupted]
+    return AEToEResult(
+        decided={p: protocols[p].decided for p in range(n)},
+        corrupted=set(adversary.corrupted),
+        loops_run=len(loop_stats),
+        loop_stats=loop_stats,
+        max_bits_per_processor=network.ledger.max_bits_per_processor(
+            include=good
+        ),
+        mean_bits_per_processor=network.ledger.mean_bits_per_processor(
+            include=good
+        ),
+        rounds=round_no,
+        sent_bits={p: network.ledger.sent_bits.get(p, 0) for p in range(n)},
+    )

@@ -1,0 +1,164 @@
+"""Everywhere Byzantine agreement — paper Section 5, Algorithm 4, Theorem 1.
+
+The composition:
+
+1. Run the almost-everywhere tournament (Algorithm 2) on the input bits,
+   extended (Section 3.5) to also output a global coin subsequence.
+2. Repeatedly run almost-everywhere-to-everywhere (Algorithm 3), each
+   iteration keyed by the next number of the coin subsequence, until every
+   good processor has decided.
+
+Per Theorem 1 this yields agreement everywhere w.h.p. in polylogarithmic
+rounds with O~(sqrt(n)) bits per processor — the Algorithm 3 phase
+dominates the per-processor cost.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Set
+
+from ..adversary.adaptive import TournamentAdversary
+from ..net.simulator import Adversary, NullAdversary
+from .ae_to_everywhere import (
+    AEToEResult,
+    FakeResponderAdversary,
+    run_ae_to_everywhere,
+)
+from .almost_everywhere import Tournament, TournamentResult
+from .global_coin import GlobalCoinSubsequence
+from .parameters import ProtocolParameters
+
+
+@dataclass
+class EverywhereBAResult:
+    """Outcome of the full Theorem 1 protocol."""
+
+    bit: int
+    ae_result: TournamentResult
+    ae2e_result: AEToEResult
+    coin: GlobalCoinSubsequence
+    bits_per_processor: Dict[int, int]
+
+    @property
+    def corrupted(self) -> Set[int]:
+        """Processors the adversary controlled by the end of the run."""
+        return self.ae_result.corrupted
+
+    def success(self) -> bool:
+        """Every good processor decided the agreed bit."""
+        return all(
+            value == self.bit
+            for pid, value in self.ae2e_result.decided.items()
+            if pid not in self.corrupted
+        )
+
+    def is_valid(self) -> bool:
+        """The agreed bit was the input of at least one good processor."""
+        return any(
+            self.ae_result.inputs[p] == self.bit
+            for p in self.ae_result.inputs
+            if p not in self.corrupted
+        )
+
+    def max_bits_per_processor(self) -> int:
+        """Largest bit total any good processor sent, both phases combined."""
+        good = [
+            p for p in self.bits_per_processor if p not in self.corrupted
+        ]
+        return max((self.bits_per_processor[p] for p in good), default=0)
+
+    def total_rounds(self) -> int:
+        """Rounds of both phases combined."""
+        return self.ae_result.ledger.rounds + self.ae2e_result.rounds
+
+
+def run_everywhere_ba(
+    n: int,
+    inputs: Sequence[int],
+    tournament_adversary: Optional[TournamentAdversary] = None,
+    ae2e_adversary: Optional[Adversary] = None,
+    params: Optional[ProtocolParameters] = None,
+    seed: int = 0,
+    coin_words: int = 2,
+    forge_fake_responses: bool = True,
+) -> EverywhereBAResult:
+    """Algorithm 4 end to end.
+
+    Args:
+        n: processors.
+        inputs: BA input bit per processor.
+        tournament_adversary: adversary for the tournament phase; its
+            corrupted set carries over into the Algorithm 3 phase.
+        ae2e_adversary: explicit Algorithm 3 adversary; by default the
+            tournament's corrupted set re-attacks as
+            :class:`FakeResponderAdversary` when
+            ``forge_fake_responses`` is set.
+        coin_words: output words revealed per root contestant (the coin
+            subsequence length is contestants x coin_words).
+    """
+    if params is None:
+        params = ProtocolParameters.simulation(n)
+    if tournament_adversary is None:
+        tournament_adversary = TournamentAdversary(n, budget=0)
+
+    # Phase 1: almost-everywhere agreement + coin subsequence.
+    tournament = Tournament(
+        params,
+        inputs,
+        tournament_adversary,
+        seed=seed,
+        output_words=coin_words,
+    )
+    ae_result = tournament.run()
+    bit = ae_result.agreed_bit()
+
+    coin = GlobalCoinSubsequence(
+        views=ae_result.output_views,
+        truth=ae_result.output_truth,
+        corrupted=ae_result.corrupted,
+    )
+    k_sequence = coin.k_sequence(params.sqrt_n())
+    if not k_sequence:
+        k_sequence = [1]
+
+    # Knowledgeable = good processors that hold the almost-everywhere bit.
+    knowledgeable = {
+        p
+        for p, vote in ae_result.votes.items()
+        if p not in ae_result.corrupted and vote == bit
+    }
+
+    # Phase 2: push the bit everywhere.
+    if ae2e_adversary is None:
+        if forge_fake_responses and ae_result.corrupted:
+            ae2e_adversary = FakeResponderAdversary(
+                n,
+                targets=sorted(ae_result.corrupted),
+                fake_message=1 - bit,
+                seed=seed,
+            )
+        else:
+            ae2e_adversary = NullAdversary(n)
+    ae2e_result = run_ae_to_everywhere(
+        params,
+        knowledgeable=knowledgeable,
+        message=bit,
+        k_sequence=k_sequence,
+        adversary=ae2e_adversary,
+        seed=seed,
+    )
+
+    bits_per_processor = {
+        p: ae_result.ledger.sent_bits.get(p, 0)
+        + ae2e_result.sent_bits.get(p, 0)
+        for p in range(n)
+    }
+    return EverywhereBAResult(
+        bit=bit,
+        ae_result=ae_result,
+        ae2e_result=ae2e_result,
+        coin=coin,
+        bits_per_processor=bits_per_processor,
+    )

@@ -1,0 +1,151 @@
+"""Global-coin sources (paper: GetGlobalCoin, Theorems 3 and 5).
+
+Algorithm 5 consumes a sequence of coin flips; the guarantee of Theorem 5
+only needs *some* rounds' calls to GetGlobalCoin to "succeed": the coin is
+uniform, independent of the past, and seen identically by all but
+O(n / log n) good processors.  In the full protocol the coins come from
+elected candidate arrays (revealed via ``sendDown``/``sendOpen``); for the
+standalone subprotocol and its benchmarks we model the coin source
+directly, exactly as Theorem 3's statement does ("Let S be a sequence of
+length s containing a subsequence of ... random coinflips of length t").
+
+:class:`UnreliableCoinSource` produces, per round, a per-processor view of
+the coin.  Good rounds give almost all processors the same fresh random
+bit; bad rounds are adversary-controlled (we expose the worst case: the
+adversary knows everything and splits views).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+
+class CoinError(ValueError):
+    """Raised for invalid coin-source configuration."""
+
+
+@dataclass
+class CoinRound:
+    """One round's coin views.
+
+    Attributes:
+        good: whether this round's GetGlobalCoin call "succeeds".
+        views: per-processor coin bit.
+        true_bit: the underlying random bit for good rounds (None for bad).
+    """
+
+    good: bool
+    views: Dict[int, int]
+    true_bit: Optional[int]
+
+
+class CoinSource:
+    """Base: a callable (round, pid) -> bit with per-round bookkeeping."""
+
+    def __init__(self, rounds: List[CoinRound]) -> None:
+        self.rounds = rounds
+
+    def view(self, round_index: int, pid: int) -> int:
+        """The coin bit processor ``pid`` observes in ``round_index`` (0-based)."""
+        coin_round = self.rounds[round_index % len(self.rounds)]
+        return coin_round.views.get(pid, 0)
+
+    def num_good_rounds(self) -> int:
+        """How many rounds' GetGlobalCoin calls succeed."""
+        return sum(1 for r in self.rounds if r.good)
+
+    @property
+    def num_rounds(self) -> int:
+        """Total rounds in the sequence (s in the (s, t) problem)."""
+        return len(self.rounds)
+
+
+def perfect_coin_source(
+    n: int, num_rounds: int, rng: random.Random
+) -> CoinSource:
+    """Every round succeeds and every processor sees the same bit."""
+    rounds = []
+    for _ in range(num_rounds):
+        bit = rng.randrange(2)
+        rounds.append(
+            CoinRound(good=True, views={p: bit for p in range(n)}, true_bit=bit)
+        )
+    return CoinSource(rounds)
+
+
+def unreliable_coin_source(
+    n: int,
+    num_rounds: int,
+    good_round_indices: Sequence[int],
+    confused_fraction: float,
+    rng: random.Random,
+    adversary_bit_fn: Optional[Callable[[int, int], int]] = None,
+) -> CoinSource:
+    """Theorem 3's (s, t) model.
+
+    Args:
+        n: processors.
+        num_rounds: s, the total sequence length.
+        good_round_indices: which rounds are genuine global coin flips (t
+            of them).
+        confused_fraction: in good rounds, the O(1/log n) fraction of
+            processors that see a wrong/arbitrary bit.
+        adversary_bit_fn: view for bad rounds and for confused processors,
+            ``(round_index, pid) -> bit``; defaults to the worst practical
+            split (alternating by pid parity).
+    """
+    if not 0 <= confused_fraction < 1:
+        raise CoinError("confused_fraction must be in [0, 1)")
+    good_set = set(good_round_indices)
+    if any(i < 0 or i >= num_rounds for i in good_set):
+        raise CoinError("good round index out of range")
+    if adversary_bit_fn is None:
+        adversary_bit_fn = lambda round_index, pid: pid % 2
+
+    rounds: List[CoinRound] = []
+    for round_index in range(num_rounds):
+        if round_index in good_set:
+            bit = rng.randrange(2)
+            views = {p: bit for p in range(n)}
+            confused_count = int(confused_fraction * n)
+            for p in rng.sample(range(n), confused_count):
+                views[p] = adversary_bit_fn(round_index, p)
+            rounds.append(CoinRound(good=True, views=views, true_bit=bit))
+        else:
+            views = {
+                p: adversary_bit_fn(round_index, p) for p in range(n)
+            }
+            rounds.append(CoinRound(good=False, views=views, true_bit=None))
+    return CoinSource(rounds)
+
+
+def coin_source_from_words(
+    n: int,
+    words_per_processor: Dict[int, List[Optional[int]]],
+    num_rounds: int,
+) -> CoinSource:
+    """Build a coin source from revealed candidate-array words.
+
+    ``words_per_processor[p][i]`` is processor p's view of the i-th
+    revealed coin word (None if it failed to learn it — it then defaults
+    to 0, a deterministic fallback every implementation needs).  The coin
+    bit is the word's low bit, as in the tournament.
+    """
+    rounds: List[CoinRound] = []
+    for i in range(num_rounds):
+        views: Dict[int, int] = {}
+        for p in range(n):
+            words = words_per_processor.get(p, [])
+            word = words[i] if i < len(words) else None
+            views[p] = (word & 1) if word is not None else 0
+        bits = set(views.values())
+        rounds.append(
+            CoinRound(
+                good=len(bits) == 1,
+                views=views,
+                true_bit=bits.pop() if len(bits) == 1 else None,
+            )
+        )
+    return CoinSource(rounds)

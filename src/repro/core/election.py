@@ -1,0 +1,175 @@
+"""Feige's lightest-bin election (paper Section 3.3, Algorithm 1, Lemma 4).
+
+Candidates each name a bin; the bin containing the *fewest* candidates
+wins, and its occupants are the election winners.  Feige's insight is that
+even an adversary who picks its bins *after* seeing all good candidates'
+choices cannot keep good candidates out of the lightest bin: the lightest
+bin has at most the average load, and good candidates are spread close to
+evenly, so the winner set stays representative.
+
+This module is deliberately pure (no networking): the tournament feeds it
+the *agreed* bin choices produced by the almost-everywhere agreement
+subprotocol, as Algorithm 1 prescribes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+
+class ElectionError(ValueError):
+    """Raised on malformed election inputs."""
+
+
+@dataclass(frozen=True)
+class ElectionResult:
+    """Outcome of one lightest-bin election.
+
+    Attributes:
+        winners: candidate indices that advance (Algorithm 1's W).
+        lightest_bin: the winning bin.
+        bin_counts: candidates per bin.
+        padded: how many winners were added by the padding rule (when the
+            lightest bin held fewer than the target count).
+    """
+
+    winners: Tuple[int, ...]
+    lightest_bin: int
+    bin_counts: Dict[int, int]
+    padded: int
+
+    def winner_set(self) -> Set[int]:
+        """Winning candidate indices as a set."""
+        return set(self.winners)
+
+
+def lightest_bin_election(
+    bin_choices: Sequence[int],
+    num_bins: int,
+    target_winners: Optional[int] = None,
+) -> ElectionResult:
+    """Algorithm 1, step 2: select the occupants of the lightest bin.
+
+    Args:
+        bin_choices: agreed bin choice per candidate (index = candidate).
+        num_bins: number of bins (paper: r / (5c log^3 n)).
+        target_winners: |W|; defaults to r / num_bins.  If the lightest
+            bin holds fewer, the first omitted candidate indices are added
+            (the paper's augmentation rule); if more, the lowest indices
+            are kept so |W| is exactly the target.
+
+    Ties between equally light bins break toward the lower bin index,
+    which is a deterministic rule every processor can apply locally.
+    """
+    r = len(bin_choices)
+    if r == 0:
+        raise ElectionError("election needs at least one candidate")
+    if num_bins < 1:
+        raise ElectionError("need at least one bin")
+    for choice in bin_choices:
+        if not 0 <= choice < num_bins:
+            raise ElectionError(
+                f"bin choice {choice} out of range 0..{num_bins - 1}"
+            )
+    if target_winners is None:
+        target_winners = max(1, r // num_bins)
+
+    counts = Counter(bin_choices)
+    # Empty bins count as weight 0 and therefore win; Feige's protocol
+    # considers only non-empty bins (an empty selection elects nobody and
+    # the padding rule would fill W arbitrarily), so we take the lightest
+    # *non-empty* bin, breaking ties low.
+    lightest = min(counts, key=lambda b: (counts[b], b))
+    winners = [j for j, choice in enumerate(bin_choices) if choice == lightest]
+
+    padded = 0
+    if len(winners) < target_winners:
+        for j in range(r):
+            if j not in winners:
+                winners.append(j)
+                padded += 1
+                if len(winners) >= target_winners:
+                    break
+        winners.sort()
+    elif len(winners) > target_winners:
+        winners = winners[:target_winners]
+
+    return ElectionResult(
+        winners=tuple(winners),
+        lightest_bin=lightest,
+        bin_counts=dict(counts),
+        padded=padded,
+    )
+
+
+def good_winner_fraction(
+    result: ElectionResult, good_candidates: Set[int]
+) -> float:
+    """Fraction of winners drawn from the good candidate set (Lemma 4)."""
+    if not result.winners:
+        return 0.0
+    good = sum(1 for j in result.winners if j in good_candidates)
+    return good / len(result.winners)
+
+
+def lemma4_bound(num_good: int, num_bins: int) -> float:
+    """Lemma 4's failure probability bound 2^(-2|S| / (3 numBins)).
+
+    The probability that the lightest bin contains fewer than
+    (1/numBins - eps)|S| good candidates.
+    """
+    return 2.0 ** (-2 * num_good / (3 * num_bins))
+
+
+def simulate_election_against_adversary(
+    num_good: int,
+    num_bad: int,
+    num_bins: int,
+    adversary_strategy: str,
+    rng: random.Random,
+    target_winners: Optional[int] = None,
+) -> ElectionResult:
+    """One election where bad candidates move *after* seeing good choices.
+
+    Strategies (all rushing — they see the good bin loads first):
+
+    * ``"stuff_lightest"`` — all bad candidates pile into the currently
+      lightest bin, hoping to own the winner set.
+    * ``"balance"`` — bad candidates fill the lightest bins one each,
+      maximising the chance a bad-heavy bin wins.
+    * ``"avoid"`` — bad candidates pick the heaviest bin (sacrificing
+      themselves to make a good-heavy light bin win; harmless, included
+      for completeness).
+    * ``"random"`` — uniform choices.
+
+    Good candidates occupy indices ``0..num_good-1``.
+    """
+    good_choices = [rng.randrange(num_bins) for _ in range(num_good)]
+    counts = Counter(good_choices)
+    loads = {b: counts.get(b, 0) for b in range(num_bins)}
+
+    bad_choices: List[int] = []
+    if adversary_strategy == "stuff_lightest":
+        lightest = min(loads, key=lambda b: (loads[b], b))
+        bad_choices = [lightest] * num_bad
+    elif adversary_strategy == "balance":
+        working = dict(loads)
+        for _ in range(num_bad):
+            b = min(working, key=lambda x: (working[x], x))
+            bad_choices.append(b)
+            working[b] += 1
+    elif adversary_strategy == "avoid":
+        heaviest = max(loads, key=lambda b: (loads[b], b))
+        bad_choices = [heaviest] * num_bad
+    elif adversary_strategy == "random":
+        bad_choices = [rng.randrange(num_bins) for _ in range(num_bad)]
+    else:
+        raise ElectionError(f"unknown strategy {adversary_strategy!r}")
+
+    return lightest_bin_election(
+        good_choices + bad_choices, num_bins, target_winners
+    )

@@ -1,0 +1,126 @@
+"""The global coin subsequence problem (paper Sections 1.1, 3.5, Theorem 3).
+
+An (s, t) global coin subsequence is a string of s words of which t are
+uniform, independent random values agreed upon by (almost) all good
+processors; the other s - t may be adversarial.  The tournament's root
+contestants supply it (Section 3.5): each contestant's output block is
+revealed with sendDown/sendOpen, and since >= 2/3 of the surviving arrays
+are good (Lemma 6), >= 2s/3 of the words are genuinely random.
+
+:class:`GlobalCoinSubsequence` wraps the revealed words with per-processor
+views; helpers convert words into the [1..sqrt(n)] labels Algorithm 3
+consumes and into the coin bits Algorithm 5 consumes.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass
+class GlobalCoinSubsequence:
+    """A revealed coin-word sequence with almost-everywhere views.
+
+    Attributes:
+        views: per processor, its view of each word (None = not learned).
+        truth: the dealer-side word values (None for adversarial words,
+            whose "truth" is whatever the adversary injected).
+        corrupted: processors corrupted when the sequence was produced.
+    """
+
+    views: Dict[int, List[Optional[int]]]
+    truth: List[Optional[int]]
+    corrupted: Set[int]
+
+    @property
+    def length(self) -> int:
+        """Sequence length s."""
+        return len(self.truth)
+
+    def good_indices(self) -> List[int]:
+        """Word positions that are genuinely random (good contestant)."""
+        return [i for i, t in enumerate(self.truth) if t is not None]
+
+    def good_fraction(self) -> float:
+        """Fraction of words that are genuinely random (t/s)."""
+        return len(self.good_indices()) / self.length if self.length else 0.0
+
+    def agreed_word(self, index: int) -> Optional[int]:
+        """Modal view among good processors for one word."""
+        votes = [
+            views[index]
+            for pid, views in self.views.items()
+            if pid not in self.corrupted
+            and index < len(views)
+            and views[index] is not None
+        ]
+        if not votes:
+            return None
+        tally = Counter(votes)
+        return max(tally, key=lambda w: (tally[w], -w))
+
+    def agreement_fraction(self, index: int) -> float:
+        """Fraction of good processors whose view matches the modal word."""
+        agreed = self.agreed_word(index)
+        good = [p for p in self.views if p not in self.corrupted]
+        if agreed is None or not good:
+            return 0.0
+        matches = sum(
+            1
+            for p in good
+            if index < len(self.views[p]) and self.views[p][index] == agreed
+        )
+        return matches / len(good)
+
+    def k_sequence(self, sqrt_n: int) -> List[int]:
+        """Algorithm 3 labels: each agreed word mapped into [1..sqrt_n]."""
+        ks: List[int] = []
+        for index in range(self.length):
+            word = self.agreed_word(index)
+            ks.append(1 + (word % sqrt_n) if word is not None else 1)
+        return ks
+
+    def bit_sequence(self) -> List[int]:
+        """Algorithm 5 coins: the agreed words' low bits."""
+        bits: List[int] = []
+        for index in range(self.length):
+            word = self.agreed_word(index)
+            bits.append((word & 1) if word is not None else 0)
+        return bits
+
+
+def synthetic_subsequence(
+    n: int,
+    length: int,
+    good_indices: Sequence[int],
+    rng: random.Random,
+    confused_fraction: float = 0.0,
+    adversary_word: int = 0,
+    word_range: int = 1 << 30,
+) -> GlobalCoinSubsequence:
+    """A synthetic (s, t) sequence for standalone benchmarks/tests.
+
+    Good positions carry a fresh random word seen by all but a
+    ``confused_fraction`` of processors; other positions carry
+    ``adversary_word`` (known to the adversary in advance).
+    """
+    good_set = set(good_indices)
+    truth: List[Optional[int]] = []
+    views: Dict[int, List[Optional[int]]] = {p: [] for p in range(n)}
+    for index in range(length):
+        if index in good_set:
+            word = rng.randrange(word_range)
+            truth.append(word)
+            confused = set(
+                rng.sample(range(n), int(confused_fraction * n))
+            )
+            for p in range(n):
+                views[p].append(None if p in confused else word)
+        else:
+            truth.append(None)
+            for p in range(n):
+                views[p].append(adversary_word)
+    return GlobalCoinSubsequence(views=views, truth=truth, corrupted=set())

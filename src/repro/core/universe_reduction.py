@@ -1,0 +1,181 @@
+"""Universe reduction — the abstract's companion result.
+
+The abstract: "Our techniques also lead to solutions with O~(n^{1/2}) bit
+complexity for universe reduction" — agreeing on a small *representative*
+subset of processors (one whose bad fraction is close to the population's)
+that can subsequently run expensive subprotocols on everyone's behalf.
+
+Against an adaptive adversary the committee cannot be *elected* the way
+[17] elects it (the adversary would corrupt the winners — the same trap
+the tournament's array elections avoid).  What the techniques do give us:
+
+1. the global coin subsequence (Section 3.5) — public random words agreed
+   almost everywhere, generated from already-erased arrays; plus
+2. the almost-everywhere-to-everywhere amplifier (Section 4) to hand the
+   committee descriptor to every good processor.
+
+Sampling the committee from the *public coin* after the fact means the
+adversary only learns the committee when everyone does; it can then start
+corrupting members adaptively, but (a) membership is uniform, so the
+sampled bad fraction concentrates around the population's, and (b) any
+protocol the committee runs can rotate committees per round faster than
+the corruption budget drains.  This module implements the sampler, its
+representativeness accounting, and the composition with the tournament.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
+
+from ..adversary.adaptive import TournamentAdversary
+from .almost_everywhere import Tournament, TournamentResult
+from .global_coin import GlobalCoinSubsequence
+from .parameters import ProtocolParameters
+
+
+class UniverseReductionError(RuntimeError):
+    """Raised when the coin subsequence cannot support the reduction."""
+
+
+@dataclass
+class CommitteeResult:
+    """A universe-reduction outcome.
+
+    Attributes:
+        committee: the agreed member list (ordered, no duplicates).
+        coin_words_used: how many subsequence words were consumed.
+        agreement_fraction: fraction of good processors whose coin views
+            produce exactly this committee.
+        bad_fraction_population: adversary fraction in the whole universe.
+        bad_fraction_committee: adversary fraction within the committee.
+    """
+
+    committee: List[int]
+    coin_words_used: int
+    agreement_fraction: float
+    bad_fraction_population: float
+    bad_fraction_committee: float
+
+    def representative(self, slack: float) -> bool:
+        """Whether the committee's bad fraction is within ``slack`` of the
+        population's — the universe-reduction guarantee."""
+        return (
+            self.bad_fraction_committee
+            <= self.bad_fraction_population + slack
+        )
+
+
+def sample_committee_from_words(
+    words: Sequence[int], n: int, committee_size: int
+) -> List[int]:
+    """Deterministically map public random words to a committee.
+
+    Every processor applies the same map, so agreement on the words is
+    agreement on the committee.  Words index processors directly
+    (duplicates skipped, consuming more words as needed); the construction
+    uses at most ``len(words)`` words and raises if they run out.
+    """
+    committee: List[int] = []
+    seen: Set[int] = set()
+    used = 0
+    for word in words:
+        used += 1
+        candidate = word % n
+        if candidate not in seen:
+            seen.add(candidate)
+            committee.append(candidate)
+        if len(committee) >= committee_size:
+            return committee
+    raise UniverseReductionError(
+        f"coin subsequence too short: needed {committee_size} distinct "
+        f"members, got {len(committee)} from {used} words"
+    )
+
+
+def committee_size_for(n: int, c: float = 2.0) -> int:
+    """Default committee size: c * log^2 n (polylog, as in [17])."""
+    log_n = max(2.0, math.log2(max(n, 2)))
+    return max(3, int(round(c * log_n**2)))
+
+
+def reduce_universe(
+    coin: GlobalCoinSubsequence,
+    n: int,
+    committee_size: int,
+    corrupted: Optional[Set[int]] = None,
+) -> CommitteeResult:
+    """Run universe reduction on an existing coin subsequence.
+
+    The committee is sampled from the *agreed* words; per-processor views
+    are compared to measure how widely the exact committee is known
+    (almost-everywhere agreement on the words gives almost-everywhere
+    agreement on the committee; Algorithm 3 can then push the short
+    member list to everyone in O~(sqrt n) bits).
+    """
+    corrupted = corrupted if corrupted is not None else coin.corrupted
+    agreed_words = []
+    for index in range(coin.length):
+        word = coin.agreed_word(index)
+        if word is not None:
+            agreed_words.append(word)
+    committee = sample_committee_from_words(agreed_words, n, committee_size)
+
+    # How many good processors derive this exact committee from their own
+    # views?
+    good = [p for p in coin.views if p not in corrupted]
+    matching = 0
+    for p in good:
+        views = [w for w in coin.views[p] if w is not None]
+        try:
+            local = sample_committee_from_words(views, n, committee_size)
+        except UniverseReductionError:
+            continue
+        if local == committee:
+            matching += 1
+    agreement = matching / len(good) if good else 0.0
+
+    bad_in_committee = sum(1 for m in committee if m in corrupted)
+    return CommitteeResult(
+        committee=committee,
+        coin_words_used=len(agreed_words),
+        agreement_fraction=agreement,
+        bad_fraction_population=len(corrupted) / n if n else 0.0,
+        bad_fraction_committee=bad_in_committee / len(committee),
+    )
+
+
+def run_universe_reduction(
+    n: int,
+    committee_size: Optional[int] = None,
+    adversary: Optional[TournamentAdversary] = None,
+    params: Optional[ProtocolParameters] = None,
+    seed: int = 0,
+) -> CommitteeResult:
+    """End-to-end universe reduction: tournament -> coins -> committee."""
+    if params is None:
+        params = ProtocolParameters.simulation(n)
+    if adversary is None:
+        adversary = TournamentAdversary(n, budget=0)
+    if committee_size is None:
+        committee_size = committee_size_for(n)
+    # Enough output words to cover duplicates with slack.
+    words_needed = max(2, math.ceil(3 * committee_size / max(
+        1, params.winners_per_election * params.q
+    )))
+    tournament = Tournament(
+        params,
+        [0] * n,
+        adversary,
+        seed=seed,
+        output_words=words_needed,
+    )
+    result = tournament.run()
+    coin = GlobalCoinSubsequence(
+        views=result.output_views,
+        truth=result.output_truth,
+        corrupted=result.corrupted,
+    )
+    return reduce_universe(coin, n, committee_size)

@@ -1,0 +1,58 @@
+"""Secret-sharing substrate (paper Section 3.1).
+
+Public surface:
+
+* :class:`~repro.crypto.field.PrimeField` — GF(p) arithmetic.
+* :class:`~repro.crypto.shamir.ShamirScheme` — (n, t+1) threshold sharing.
+* :class:`~repro.crypto.iterated.ShareTree` — iterated "i-share" dealing.
+"""
+
+from .field import (
+    DEFAULT_FIELD,
+    MERSENNE_31,
+    MERSENNE_61,
+    FieldError,
+    PrimeField,
+    is_probable_prime,
+)
+from .iterated import ShareTree, SharePath, recoverable, reshare
+from .packed import PackedShamirScheme
+from .reed_solomon import berlekamp_welch, decode_constant
+from .polynomial import (
+    evaluate,
+    interpolate_constant,
+    lagrange_coefficients_at_zero,
+    lagrange_interpolate_at,
+    random_polynomial,
+)
+from .shamir import (
+    SecretSharingError,
+    ShamirScheme,
+    Share,
+    paper_threshold,
+)
+
+__all__ = [
+    "DEFAULT_FIELD",
+    "MERSENNE_31",
+    "MERSENNE_61",
+    "FieldError",
+    "PrimeField",
+    "is_probable_prime",
+    "ShareTree",
+    "SharePath",
+    "recoverable",
+    "reshare",
+    "PackedShamirScheme",
+    "berlekamp_welch",
+    "decode_constant",
+    "evaluate",
+    "interpolate_constant",
+    "lagrange_coefficients_at_zero",
+    "lagrange_interpolate_at",
+    "random_polynomial",
+    "SecretSharingError",
+    "ShamirScheme",
+    "Share",
+    "paper_threshold",
+]

@@ -1,0 +1,164 @@
+"""Prime-field arithmetic used by the secret-sharing substrate.
+
+The paper (Section 3.1) assumes any (n, t+1) threshold scheme in which each
+share is the size of the secret.  We realise that with Shamir sharing over a
+prime field GF(p).  The default modulus is the Mersenne prime 2**61 - 1,
+which comfortably holds the protocol's "words" (bin choices and coin words
+are O(log n) bits) while keeping share size equal to word size.
+
+The class is deliberately small and explicit: elements are plain Python
+integers in ``[0, p)`` and all operations are module-level-simple methods.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+#: The Mersenne prime 2**61 - 1 (large-word option).
+MERSENNE_61 = (1 << 61) - 1
+
+#: Default modulus: the Mersenne prime 2**31 - 1.  Protocol words are
+#: O(log n) bits (bin choices, coin words), so a 31-bit field is faithful
+#: and keeps every product within CPython's fast small-int range.
+MERSENNE_31 = (1 << 31) - 1
+
+#: A small prime occasionally handy in tests.
+SMALL_PRIME = 257
+
+
+def is_probable_prime(n: int, rounds: int = 16) -> bool:
+    """Miller-Rabin primality test.
+
+    Deterministic for n < 3_317_044_064_679_887_385_961_981 when using the
+    first 13 prime bases, which covers every modulus this library uses; for
+    larger inputs the result is probabilistic with error < 4**-rounds.
+    """
+    if n < 2:
+        return False
+    small_primes = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
+    for p in small_primes:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    bases: Iterable[int]
+    if n < 3_317_044_064_679_887_385_961_981:
+        bases = small_primes
+    else:
+        rng = random.Random(0xF1E1D)
+        bases = [rng.randrange(2, n - 1) for _ in range(rounds)]
+    for a in bases:
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+class FieldError(ValueError):
+    """Raised for invalid field construction or operations."""
+
+
+@dataclass(frozen=True)
+class PrimeField:
+    """The finite field GF(p) for a prime modulus ``p``.
+
+    Elements are canonical Python ints in ``[0, p)``.  The field object is
+    immutable and hashable so schemes and shares can reference it cheaply.
+    """
+
+    modulus: int = MERSENNE_31
+
+    def __post_init__(self) -> None:
+        if self.modulus < 2 or not is_probable_prime(self.modulus):
+            raise FieldError(f"modulus {self.modulus} is not prime")
+
+    # -- element construction -------------------------------------------------
+
+    def element(self, value: int) -> int:
+        """Reduce an arbitrary integer into the field."""
+        return value % self.modulus
+
+    def random_element(self, rng: random.Random) -> int:
+        """A uniformly random field element drawn from ``rng``."""
+        return rng.randrange(self.modulus)
+
+    def random_elements(self, count: int, rng: random.Random) -> List[int]:
+        """``count`` independent uniform field elements."""
+        return [rng.randrange(self.modulus) for _ in range(count)]
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        """a + b mod p."""
+        return (a + b) % self.modulus
+
+    def sub(self, a: int, b: int) -> int:
+        """a - b mod p."""
+        return (a - b) % self.modulus
+
+    def mul(self, a: int, b: int) -> int:
+        """a * b mod p."""
+        return (a * b) % self.modulus
+
+    def neg(self, a: int) -> int:
+        """-a mod p."""
+        return (-a) % self.modulus
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises FieldError on zero."""
+        a %= self.modulus
+        if a == 0:
+            raise FieldError("zero has no multiplicative inverse")
+        return pow(a, self.modulus - 2, self.modulus)
+
+    def div(self, a: int, b: int) -> int:
+        """a / b mod p; raises FieldError when b is zero."""
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, e: int) -> int:
+        """a ** e mod p."""
+        return pow(a % self.modulus, e, self.modulus)
+
+    # -- batch helpers ----------------------------------------------------------
+
+    def sum(self, values: Iterable[int]) -> int:
+        """Sum of ``values`` mod p."""
+        total = 0
+        for v in values:
+            total = (total + v) % self.modulus
+        return total
+
+    def dot(self, left: Sequence[int], right: Sequence[int]) -> int:
+        """Inner product of two equal-length vectors."""
+        if len(left) != len(right):
+            raise FieldError("dot product requires equal-length vectors")
+        total = 0
+        for a, b in zip(left, right):
+            total = (total + a * b) % self.modulus
+        return total
+
+    # -- sizing -----------------------------------------------------------------
+
+    @property
+    def element_bits(self) -> int:
+        """Number of bits needed to encode one field element."""
+        return (self.modulus - 1).bit_length()
+
+    def contains(self, value: int) -> bool:
+        """Whether ``value`` is a canonical element of the field."""
+        return 0 <= value < self.modulus
+
+
+#: Shared default field instance used across the library.
+DEFAULT_FIELD = PrimeField(MERSENNE_31)

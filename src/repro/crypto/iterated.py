@@ -1,0 +1,168 @@
+"""Iterated secret sharing: the "i-share" machinery of Definition 1.
+
+A dealer shares a secret among n1 players; each player may treat its share
+as a secret and re-share it among n2 players (deleting the original), and
+so on.  An *i-share* is a share of an (i-1)-share.  Lemma 1 states that an
+adversary holding at most t_i shares of each i-share learns nothing.
+
+This module provides:
+
+* :func:`reshare` — split one share value into sub-shares (one iteration).
+* :class:`ShareTree` — a dealer-side view of a fully iterated sharing, used
+  by tests and benchmarks to validate secrecy/robustness claims without
+  running the full network protocol.
+* :func:`recoverable` — the exact combinatorial criterion for whether a
+  coalition's set of leaf shares determines the secret (>= threshold
+  recoverable children at every internal node along some reconstruction).
+
+In the protocol itself (``repro.core.communication``) processors hold
+shares tagged with a :class:`SharePath` so that ``sendDown`` can collapse
+i-shares back into (i-1)-shares level by level.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .shamir import SecretSharingError, ShamirScheme, Share
+
+#: A path of x-coordinates from the root dealing to a particular i-share.
+#: Length i identifies an i-share.
+SharePath = Tuple[int, ...]
+
+
+def reshare(
+    scheme: ShamirScheme, share_value: int, rng: random.Random
+) -> List[Share]:
+    """One iteration of Definition 1: treat a share as a secret and split it.
+
+    The caller is responsible for deleting the original share from memory —
+    in the simulator that deletion is performed by the processor model
+    (``sendSecretUp`` erases after sharing), mirroring the paper.
+    """
+    return scheme.deal(share_value, rng)
+
+
+@dataclass
+class ShareTree:
+    """A complete iterated sharing of one secret word.
+
+    ``schemes[i]`` is the scheme used at iteration depth ``i`` (0-based):
+    the secret is dealt with ``schemes[0]``, each resulting 1-share is
+    re-dealt with ``schemes[1]``, and so on.  ``leaves`` maps a full-depth
+    :data:`SharePath` to the leaf share value.
+
+    This is an omniscient test/benchmark object; the real protocol never
+    materialises the whole tree in one place.
+    """
+
+    secret: int
+    schemes: List[ShamirScheme]
+    leaves: Dict[SharePath, int]
+
+    @classmethod
+    def deal(
+        cls,
+        secret: int,
+        schemes: Sequence[ShamirScheme],
+        rng: random.Random,
+    ) -> "ShareTree":
+        """Deal ``secret`` through every iteration level of ``schemes``."""
+        if not schemes:
+            raise SecretSharingError("need at least one scheme level")
+        frontier: Dict[SharePath, int] = {(): secret}
+        for scheme in schemes:
+            next_frontier: Dict[SharePath, int] = {}
+            for path, value in frontier.items():
+                for share in scheme.deal(value, rng):
+                    next_frontier[path + (share.x,)] = share.value
+            frontier = next_frontier
+        return cls(secret=secret, schemes=list(schemes), leaves=frontier)
+
+    @property
+    def depth(self) -> int:
+        """How many sharing iterations the tree holds."""
+        return len(self.schemes)
+
+    def leaf_paths(self) -> List[SharePath]:
+        """All leaf share paths, sorted."""
+        return sorted(self.leaves)
+
+    def reconstruct(self) -> int:
+        """Collapse the whole tree bottom-up; must equal ``secret``."""
+        return self.reconstruct_from(self.leaves)
+
+    def reconstruct_from(self, known: Dict[SharePath, int]) -> int:
+        """Reconstruct the secret from a subset of leaf shares.
+
+        Raises :class:`SecretSharingError` if at any internal node fewer
+        than that level's threshold of child values are recoverable.
+        """
+        frontier = dict(known)
+        for level in range(self.depth - 1, -1, -1):
+            scheme = self.schemes[level]
+            grouped: Dict[SharePath, List[Share]] = {}
+            for path, value in frontier.items():
+                if len(path) != level + 1:
+                    raise SecretSharingError(
+                        f"share at path {path} does not belong to level {level + 1}"
+                    )
+                grouped.setdefault(path[:-1], []).append(
+                    Share(x=path[-1], value=value)
+                )
+            next_frontier: Dict[SharePath, int] = {}
+            for parent_path, shares in grouped.items():
+                if len(shares) >= scheme.threshold:
+                    next_frontier[parent_path] = scheme.reconstruct(shares)
+            if not next_frontier:
+                raise SecretSharingError(
+                    f"no level-{level} share recoverable from coalition"
+                )
+            frontier = next_frontier
+        if () not in frontier:
+            raise SecretSharingError("secret not recoverable from coalition")
+        return frontier[()]
+
+    def recoverable(self, known_paths: Sequence[SharePath]) -> bool:
+        """Whether a coalition holding exactly ``known_paths`` learns the secret.
+
+        This is the exact information-theoretic criterion for Shamir-based
+        iterated sharing: a node's value is determined iff >= threshold of
+        its children's values are determined.  (Holding fewer shares of a
+        node gives *zero* information about it — Lemma 1.)
+        """
+        determined = set(known_paths)
+        for level in range(self.depth - 1, -1, -1):
+            scheme = self.schemes[level]
+            counts: Dict[SharePath, int] = {}
+            for path in determined:
+                if len(path) == level + 1:
+                    counts[path[:-1]] = counts.get(path[:-1], 0) + 1
+            for parent_path, count in counts.items():
+                if count >= scheme.threshold:
+                    determined.add(parent_path)
+        return () in determined
+
+
+def recoverable(
+    schemes: Sequence[ShamirScheme], known_paths: Sequence[SharePath]
+) -> bool:
+    """Coalition-recoverability check without materialising share values.
+
+    Same criterion as :meth:`ShareTree.recoverable` but purely structural;
+    used by benchmarks that sweep coalition sizes.
+    """
+    determined = set(known_paths)
+    depth = len(schemes)
+    for level in range(depth - 1, -1, -1):
+        scheme = schemes[level]
+        counts: Dict[SharePath, int] = {}
+        for path in determined:
+            if len(path) == level + 1:
+                counts[path[:-1]] = counts.get(path[:-1], 0) + 1
+        for parent_path, count in counts.items():
+            if count >= scheme.threshold:
+                determined.add(parent_path)
+    return () in determined

@@ -1,0 +1,182 @@
+"""Berlekamp-Welch decoding of Shamir shares with errors.
+
+A Shamir dealing of threshold t is a Reed-Solomon codeword: shares are
+evaluations of a degree-(t-1) polynomial.  A pool of m received shares
+containing at most e = (m - t) // 2 *wrong* values (tampered by corrupted
+holders) can be decoded exactly: find an error-locator polynomial E
+(monic, degree e) and Q (degree < t + e) with
+
+    Q(x_i) = y_i * E(x_i)      for every received point,
+
+by solving the linear system; then P = Q / E is the dealer's polynomial.
+This is deterministic and one-shot — the hot path of every ``sendDown``
+reconstruction, replacing randomized sample-and-verify decoding.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .field import FieldError, PrimeField
+from .polynomial import evaluate
+
+
+def _solve_linear_system(
+    field: PrimeField, matrix: List[List[int]], rhs: List[int]
+) -> Optional[List[int]]:
+    """Gaussian elimination over GF(p); any solution (free vars -> 0).
+
+    Returns None when the system is inconsistent.
+    """
+    mod = field.modulus
+    rows = len(matrix)
+    cols = len(matrix[0]) if rows else 0
+    aug = [list(row) + [rhs[i]] for i, row in enumerate(matrix)]
+    pivot_cols: List[int] = []
+    r = 0
+    for c in range(cols):
+        pivot = None
+        for i in range(r, rows):
+            if aug[i][c] % mod != 0:
+                pivot = i
+                break
+        if pivot is None:
+            continue
+        aug[r], aug[pivot] = aug[pivot], aug[r]
+        inv = field.inv(aug[r][c])
+        aug[r] = [(v * inv) % mod for v in aug[r]]
+        for i in range(rows):
+            if i != r and aug[i][c] % mod != 0:
+                factor = aug[i][c]
+                aug[i] = [
+                    (aug[i][j] - factor * aug[r][j]) % mod
+                    for j in range(cols + 1)
+                ]
+        pivot_cols.append(c)
+        r += 1
+        if r == rows:
+            break
+    # Inconsistency: zero row with nonzero rhs.
+    for i in range(r, rows):
+        if all(v % mod == 0 for v in aug[i][:cols]) and aug[i][cols] % mod != 0:
+            return None
+    solution = [0] * cols
+    for i, c in enumerate(pivot_cols):
+        solution[c] = aug[i][cols]
+    return solution
+
+
+def _poly_divmod(
+    field: PrimeField, numerator: Sequence[int], denominator: Sequence[int]
+) -> Tuple[List[int], List[int]]:
+    """Polynomial division (coefficients low-to-high)."""
+    mod = field.modulus
+    num = [v % mod for v in numerator]
+    den = [v % mod for v in denominator]
+    while den and den[-1] == 0:
+        den.pop()
+    if not den:
+        raise FieldError("division by zero polynomial")
+    quotient = [0] * max(0, len(num) - len(den) + 1)
+    remainder = list(num)
+    inv_lead = field.inv(den[-1])
+    for i in range(len(quotient) - 1, -1, -1):
+        if len(remainder) < len(den) + i:
+            continue
+        coeff = (remainder[len(den) + i - 1] * inv_lead) % mod
+        quotient[i] = coeff
+        for j, d in enumerate(den):
+            remainder[i + j] = (remainder[i + j] - coeff * d) % mod
+    while remainder and remainder[-1] == 0:
+        remainder.pop()
+    return quotient, remainder
+
+
+def berlekamp_welch(
+    field: PrimeField,
+    points: Sequence[Tuple[int, int]],
+    degree_bound: int,
+    max_errors: Optional[int] = None,
+) -> Optional[List[int]]:
+    """Decode a degree < ``degree_bound`` polynomial from noisy points.
+
+    Args:
+        points: distinct (x, y) pairs, at most ``max_errors`` of them wrong.
+        degree_bound: t, the number of coefficients of the true polynomial
+            (Shamir's reconstruction threshold).
+        max_errors: defaults to the unique-decoding radius
+            (len(points) - degree_bound) // 2.
+
+    Returns the coefficient list (low-to-high, length <= degree_bound) or
+    None if decoding fails.
+    """
+    m = len(points)
+    if m < degree_bound:
+        return None
+    if max_errors is None:
+        max_errors = max(0, (m - degree_bound) // 2)
+    mod = field.modulus
+
+    # Solving at the full radius e_max suffices whenever the true error
+    # count is within it (E absorbs spurious factors); one step down
+    # covers the rare degenerate division.  Beyond that the pool is
+    # undecodable and iterating further only burns time.
+    candidate_error_counts = [max_errors]
+    if max_errors > 0:
+        candidate_error_counts.append(max_errors - 1)
+    for e in candidate_error_counts:
+        q_len = degree_bound + e  # Q has degree < degree_bound + e
+        # Unknowns: q_0..q_{q_len-1}, E_0..E_{e-1} (E monic of degree e).
+        cols = q_len + e
+        matrix: List[List[int]] = []
+        rhs: List[int] = []
+        for x, y in points:
+            x %= mod
+            y %= mod
+            row = [0] * cols
+            power = 1
+            for j in range(q_len):
+                row[j] = power
+                power = (power * x) % mod
+            power = 1
+            for j in range(e):
+                row[q_len + j] = (-y * power) % mod
+                power = (power * x) % mod
+            # monic term: y * x^e moved to the rhs.
+            matrix.append(row)
+            rhs.append((y * power) % mod)
+        solution = _solve_linear_system(field, matrix, rhs)
+        if solution is None:
+            continue
+        q_coeffs = solution[:q_len]
+        e_coeffs = solution[q_len:] + [1]  # monic
+        try:
+            p_coeffs, remainder = _poly_divmod(field, q_coeffs, e_coeffs)
+        except FieldError:
+            continue
+        if remainder:
+            continue
+        if len(p_coeffs) > degree_bound:
+            continue
+        # Verify against the pool: must explain all but <= e points.
+        mismatches = sum(
+            1
+            for x, y in points
+            if evaluate(field, p_coeffs, x) != y % mod
+        )
+        if mismatches <= e:
+            return p_coeffs + [0] * (degree_bound - len(p_coeffs))
+    return None
+
+
+def decode_constant(
+    field: PrimeField,
+    points: Sequence[Tuple[int, int]],
+    degree_bound: int,
+    max_errors: Optional[int] = None,
+) -> Optional[int]:
+    """The Shamir secret (constant term), or None on decoding failure."""
+    coefficients = berlekamp_welch(field, points, degree_bound, max_errors)
+    if coefficients is None:
+        return None
+    return coefficients[0]

@@ -1,0 +1,53 @@
+"""Executable demonstrations of the lower bounds framing the paper.
+
+Two impossibility results define the design space King & Saia operate
+in; this subpackage turns both into running attacks:
+
+* :mod:`repro.lowerbounds.dolev_reischuk` — Dolev & Reischuk (1985,
+  the paper's [11]): deterministic BA needs Omega(n^2) messages.  The
+  paper's Section 1 notes the corollary it designs around: any
+  randomized protocol that *always* sends o(n^2) messages must err with
+  positive probability, because an adversary that guesses the coins
+  correctly can replay the deterministic bound.  We implement a cheap
+  sampled-majority protocol (o(n^2) messages, correct w.h.p. against an
+  oblivious adversary) and the coin-guessing adversary that defeats it.
+
+* :mod:`repro.lowerbounds.holtby_kapron_king` — Holtby, Kapron & King
+  (2008, the paper's [14]): if every processor must pre-specify the set
+  of processors it listens to at the start of each round, some processor
+  must send Omega(n^{1/3}) messages.  We implement a gossip protocol in
+  that restricted model and the isolation adversary that surrounds a
+  victim whenever its listen budget is too small — and show why the
+  paper's Algorithm 3 (almost-everywhere to everywhere) sits *outside*
+  the restricted model, which is exactly how it escapes the bound.
+
+Benchmark E16 sweeps both attacks.
+"""
+
+from .dolev_reischuk import (
+    CoinGuessingAdversary,
+    ObliviousFlipAdversary,
+    SampledMajorityProcessor,
+    guessing_attack_demo,
+    run_sampled_majority,
+)
+from .holtby_kapron_king import (
+    IsolationAdversary,
+    ListenerGossipProcessor,
+    isolation_attack_demo,
+    isolation_threshold,
+    run_listener_gossip,
+)
+
+__all__ = [
+    "CoinGuessingAdversary",
+    "ObliviousFlipAdversary",
+    "SampledMajorityProcessor",
+    "guessing_attack_demo",
+    "run_sampled_majority",
+    "IsolationAdversary",
+    "ListenerGossipProcessor",
+    "isolation_attack_demo",
+    "isolation_threshold",
+    "run_listener_gossip",
+]

@@ -1,0 +1,273 @@
+"""The Dolev-Reischuk barrier, run as an executable attack.
+
+Dolev & Reischuk (JACM 1985, the paper's [11]) proved that deterministic
+Byzantine agreement requires Omega(n^2) messages.  Section 1 of King &
+Saia spells out the consequence they design around:
+
+    "any randomized algorithm which always uses no more than o(n^2)
+    messages must necessarily err with positive probability, since the
+    adversary can guess the random coinflips and achieve the lower bound
+    if the guess is correct."
+
+This module makes that concrete with the simplest sub-quadratic
+protocol: **sampled majority**.  Each processor queries ``sample_size``
+uniformly random peers for their input bit and decides the majority
+answer — O(n log n) messages total, and correct w.h.p. when the
+adversary cannot predict who samples whom (private channels +
+oblivious corruption).
+
+The :class:`CoinGuessingAdversary` models a correct guess of the private
+coins: it is constructed with the same seed the victim's sampler uses,
+recomputes the victim's sample, corrupts exactly those peers (a budget of
+just ``sample_size`` out of the Theta(n) allowed), and answers every
+query with the flipped bit.  The victim then decides wrongly with
+probability 1 — demonstrating that the protocol's error probability,
+while tiny, is necessarily positive.
+
+King & Saia's protocol accepts the same trade: it succeeds w.h.p., not
+always, and this is provably unavoidable below n^2 messages.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..net.messages import Message
+from ..net.simulator import (
+    Adversary,
+    AdversaryView,
+    NullAdversary,
+    ProcessorProtocol,
+    RunResult,
+    SyncNetwork,
+)
+
+
+def default_sample_size(n: int, c: float = 3.0) -> int:
+    """The c*log n peers each processor polls."""
+    return max(1, min(n - 1, int(c * math.log(max(2, n)))))
+
+
+def sample_peers(pid: int, n: int, sample_size: int, seed: int) -> List[int]:
+    """The victim-reproducible random sample of peers ``pid`` polls.
+
+    Deterministic in (pid, seed) so that :class:`CoinGuessingAdversary`
+    can recompute it — this determinism *is* the "guessed coins".
+    """
+    rng = random.Random((seed << 20) | pid)
+    peers = [q for q in range(n) if q != pid]
+    return rng.sample(peers, sample_size)
+
+
+class SampledMajorityProcessor(ProcessorProtocol):
+    """Poll a random sample for input bits; decide the majority.
+
+    Three rounds: send queries; answer queries; tally responses.
+    """
+
+    def __init__(
+        self, pid: int, n: int, input_bit: int, sample_size: int, seed: int
+    ) -> None:
+        super().__init__(pid)
+        self.n = n
+        self.input_bit = int(input_bit)
+        self.sample = sample_peers(pid, n, sample_size, seed)
+        self._responses: Dict[int, int] = {}
+        self._decided: Optional[int] = None
+
+    def on_round(self, round_no: int, inbox: List[Message]) -> List[Message]:
+        if round_no == 1:
+            return [
+                Message(self.pid, peer, "query") for peer in self.sample
+            ]
+        # A rushing adversary's answers can land a round before honest
+        # ones, so absorb answers in every round after the first.
+        self._absorb_answers(inbox)
+        if round_no == 2:
+            return [
+                Message(self.pid, m.sender, "answer", self.input_bit)
+                for m in inbox
+                if m.tag == "query"
+            ]
+        if round_no == 3:
+            tally = Counter(self._responses.values())
+            if tally:
+                self._decided = max(tally, key=lambda v: (tally[v], v))
+            else:
+                self._decided = self.input_bit
+        return []
+
+    def _absorb_answers(self, inbox: List[Message]) -> None:
+        for m in inbox:
+            if m.tag == "answer" and isinstance(m.payload, int):
+                if m.sender in self.sample:
+                    self._responses.setdefault(m.sender, m.payload)
+
+    def output(self) -> Optional[int]:
+        return self._decided
+
+
+class ObliviousFlipAdversary(Adversary):
+    """Corrupts a fixed random set at the start; answers with the flip.
+
+    This is the adversary the sampled-majority protocol *can* beat: the
+    corrupted set is chosen without knowledge of anyone's sample, so each
+    sample contains a minority of corrupt peers w.h.p.
+    """
+
+    def __init__(self, n: int, budget: int, seed: int = 0) -> None:
+        super().__init__(n, budget)
+        rng = random.Random(seed)
+        self._initial = set(rng.sample(range(n), budget)) if budget else set()
+        self._inputs: Dict[int, int] = {}
+
+    def select_corruptions(self, round_no: int) -> Set[int]:
+        return self._initial if round_no == 1 else set()
+
+    def act(self, view: AdversaryView) -> List[Message]:
+        out = []
+        for m in view.inbound:
+            if m.tag != "query":
+                continue
+            truth = self.captured_state.get(m.recipient, {}).get(
+                "input_bit", 0
+            )
+            out.append(
+                Message(m.recipient, m.sender, "answer", 1 - truth)
+            )
+        return out
+
+
+class CoinGuessingAdversary(Adversary):
+    """Dolev-Reischuk in action: guess the victim's coins and surround it.
+
+    Given the sampler seed (the "correct guess"), recompute the victim's
+    sample before any message is sent, corrupt exactly those peers, and
+    answer the victim's queries with the flipped bit.  The budget used is
+    only ``sample_size`` — far below the (1/3 - eps)n allowance.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        budget: int,
+        victim: int,
+        sample_size: int,
+        guessed_seed: int,
+        flip_to: int,
+    ) -> None:
+        super().__init__(n, budget)
+        self.victim = victim
+        self.flip_to = int(flip_to)
+        self.victim_sample = set(
+            sample_peers(victim, n, sample_size, guessed_seed)
+        )
+        if len(self.victim_sample) > budget:
+            raise ValueError(
+                "budget too small to corrupt the victim's whole sample"
+            )
+
+    def select_corruptions(self, round_no: int) -> Set[int]:
+        return self.victim_sample if round_no == 1 else set()
+
+    def act(self, view: AdversaryView) -> List[Message]:
+        out = []
+        for m in view.inbound:
+            if m.tag != "query":
+                continue
+            if m.sender == self.victim:
+                answer = self.flip_to
+            else:
+                # Behave honestly toward everyone else to stay hidden.
+                answer = self.captured_state.get(m.recipient, {}).get(
+                    "input_bit", 0
+                )
+            out.append(Message(m.recipient, m.sender, "answer", answer))
+        return out
+
+
+def run_sampled_majority(
+    n: int,
+    inputs: Sequence[int],
+    adversary: Optional[Adversary] = None,
+    sample_size: Optional[int] = None,
+    seed: int = 0,
+) -> RunResult:
+    """Run the 3-round sampled-majority protocol."""
+    if len(inputs) != n:
+        raise ValueError("inputs length must equal n")
+    size = sample_size if sample_size is not None else default_sample_size(n)
+    if adversary is None:
+        adversary = NullAdversary(n)
+    protocols = [
+        SampledMajorityProcessor(pid, n, inputs[pid], size, seed)
+        for pid in range(n)
+    ]
+    network = SyncNetwork(protocols, adversary)
+    return network.run(max_rounds=3)
+
+
+@dataclass
+class GuessingAttackOutcome:
+    """Result of one oblivious-vs-guessing comparison."""
+
+    n: int
+    sample_size: int
+    total_messages: int
+    oblivious_wrong: int
+    guessing_victim_output: Optional[int]
+    majority_input: int
+
+    @property
+    def attack_succeeded(self) -> bool:
+        """Whether the guessing adversary flipped the victim's output."""
+        return self.guessing_victim_output == 1 - self.majority_input
+
+
+def guessing_attack_demo(
+    n: int,
+    corrupt_fraction: float = 0.25,
+    seed: int = 0,
+    victim: int = 0,
+) -> GuessingAttackOutcome:
+    """Run both adversaries on an all-ones input; report the contrast.
+
+    With all-good inputs equal to 1, any good processor deciding 0 is an
+    agreement/validity violation.  The oblivious adversary flips no one
+    w.h.p.; the coin-guessing adversary flips the victim deterministically.
+    """
+    inputs = [1] * n
+    size = default_sample_size(n)
+    budget = max(size, int(corrupt_fraction * n))
+
+    oblivious = run_sampled_majority(
+        n, inputs,
+        adversary=ObliviousFlipAdversary(n, budget, seed=seed + 1),
+        sample_size=size, seed=seed,
+    )
+    oblivious_wrong = sum(
+        1 for v in oblivious.good_outputs().values() if v == 0
+    )
+
+    guessing = run_sampled_majority(
+        n, inputs,
+        adversary=CoinGuessingAdversary(
+            n, budget, victim=victim, sample_size=size,
+            guessed_seed=seed, flip_to=0,
+        ),
+        sample_size=size, seed=seed,
+    )
+    victim_output = guessing.outputs.get(victim)
+
+    return GuessingAttackOutcome(
+        n=n,
+        sample_size=size,
+        total_messages=oblivious.ledger.total_messages(),
+        oblivious_wrong=oblivious_wrong,
+        guessing_victim_output=victim_output,
+        majority_input=1,
+    )

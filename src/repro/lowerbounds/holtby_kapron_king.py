@@ -1,0 +1,308 @@
+"""The Holtby-Kapron-King Omega(n^{1/3}) isolation bound, as an attack.
+
+Holtby, Kapron & King (Distributed Computing 2008, the paper's [14])
+showed: even with private channels, if every processor must *pre-specify*
+the set of processors it is willing to listen to at the start of each
+round (the choice may depend on its coin tosses), then some processor
+must send Omega(n^{1/3}) messages to solve BA with probability better
+than 1/2 + 1/log n.
+
+Section 2 of King & Saia explains how their own protocol relates to the
+bound: the almost-everywhere tournament *falls inside* the restricted
+model, but the almost-everywhere-to-everywhere protocol (Algorithm 3)
+does not, because "the decision of whether a message is listened to (or
+acted upon) depends on how many messages carrying a certain value are
+received so far" — a count-based acceptance rule that cannot be
+pre-specified.
+
+This module implements:
+
+* :class:`ListenerGossipProcessor` — a natural protocol in the
+  restricted model: each gossip round, listen to ``listen_degree``
+  random peers and adopt the majority bit heard; decide after
+  ``gossip_rounds`` rounds.
+* :class:`IsolationAdversary` — the bound's adversary: it targets one
+  victim and corrupts the victim's declared listen set each round,
+  feeding it only the adversary's bit.  Its total corruption need is
+  ``listen_degree * gossip_rounds``; when that stays within its budget,
+  the victim is completely surrounded.
+
+The adversary observes the victim's listen-set declarations (via
+:class:`_DeclarationTap`) — the restricted model's defining leak: the
+processor commits to its listen set before hearing anything, and the
+lower bound's adversary exploits exactly that commitment (in the proof
+via a counting argument over coin outcomes; here operationally).  The
+point of the demo is the *budget arithmetic*: isolation succeeds if and
+only if the victim's total listening traffic stays below the corruption
+budget, which is the Omega(n^{1/3}) trade-off.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
+
+from ..net.messages import Message
+from ..net.simulator import (
+    Adversary,
+    AdversaryView,
+    NullAdversary,
+    ProcessorProtocol,
+    RunResult,
+    SyncNetwork,
+)
+
+
+def isolation_threshold(budget: int, gossip_rounds: int) -> int:
+    """Max listen degree the adversary can fully surround every round.
+
+    A victim listening to more than ``budget // gossip_rounds`` fresh
+    peers per round exhausts the adversary's budget before the protocol
+    ends — the quantitative heart of the n^{1/3} bound (with budget
+    Theta(n) and rounds * degree the victim's message complexity).
+    """
+    if gossip_rounds <= 0:
+        raise ValueError("gossip_rounds must be positive")
+    return budget // gossip_rounds
+
+
+class ListenerGossipProcessor(ProcessorProtocol):
+    """Majority gossip in the pre-specified-listener model.
+
+    Each gossip round spans two simulator rounds:
+
+    * odd round 2k-1 — *declare*: tally the replies to the previous
+      declaration (they arrive in this inbox), then announce gossip round
+      k's listen set by sending a ``listen`` notice to each chosen peer.
+    * even round 2k — *reply*: answer every ``listen`` notice received
+      with the current bit.
+
+    Bits arriving from outside the declared set are discarded unread —
+    that is the restricted model.  After ``gossip_rounds`` tallies the
+    processor decides its current bit.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        n: int,
+        input_bit: int,
+        listen_degree: int,
+        gossip_rounds: int,
+        seed: int,
+    ) -> None:
+        super().__init__(pid)
+        self.n = n
+        self.bit = int(input_bit)
+        self.listen_degree = min(listen_degree, n - 1)
+        self.gossip_rounds = gossip_rounds
+        self.rng = random.Random((seed << 20) | pid)
+        self.current_listen_set: Set[int] = set()
+        self._decided: Optional[int] = None
+
+    def on_round(self, round_no: int, inbox: List[Message]) -> List[Message]:
+        if self._decided is not None:
+            return []
+        if round_no % 2 == 1:
+            completed = (round_no - 1) // 2
+            if completed >= 1:
+                self._tally(inbox)
+            if completed >= self.gossip_rounds:
+                self._decided = self.bit
+                return []
+            peers = [q for q in range(self.n) if q != self.pid]
+            self.current_listen_set = set(
+                self.rng.sample(peers, self.listen_degree)
+            )
+            return [
+                Message(self.pid, peer, "listen")
+                for peer in self.current_listen_set
+            ]
+        return [
+            Message(self.pid, m.sender, "bit", self.bit)
+            for m in inbox
+            if m.tag == "listen"
+        ]
+
+    def _tally(self, inbox: List[Message]) -> None:
+        heard = [
+            m.payload
+            for m in inbox
+            if m.tag == "bit"
+            and m.sender in self.current_listen_set
+            and isinstance(m.payload, int)
+        ]
+        heard.append(self.bit)
+        tally = Counter(heard)
+        self.bit = max(tally, key=lambda v: (tally[v], v))
+
+    def output(self) -> Optional[int]:
+        return self._decided
+
+
+class IsolationAdversary(Adversary):
+    """Surround one victim: corrupt whoever it declares it will hear.
+
+    Driven by the declaration tap: once the victim's gossip-round-k
+    listen set is observed, its members are corrupted (before they can
+    reply honestly) and each sends the victim ``feed_bit`` instead.
+    """
+
+    def __init__(self, n: int, budget: int, victim: int, feed_bit: int) -> None:
+        super().__init__(n, budget)
+        self.victim = victim
+        self.feed_bit = int(feed_bit)
+        self._latest_declaration: Set[int] = set()
+        self.exhausted = False
+
+    def observe_declaration(self, peers: Set[int]) -> None:
+        """The restricted model's leak: declared listen sets are visible."""
+        self._latest_declaration = set(peers)
+
+    def select_corruptions(self, round_no: int) -> Set[int]:
+        wanted = self._latest_declaration - self.corrupted
+        if len(wanted) > self.remaining_budget():
+            self.exhausted = True
+            wanted = set(sorted(wanted)[: self.remaining_budget()])
+        return wanted
+
+    def act(self, view: AdversaryView) -> List[Message]:
+        # Every corrupted member of the victim's current declared set
+        # feeds it the adversary's bit; sent each round, but only the
+        # copies landing in the victim's tally round matter.
+        return [
+            Message(peer, self.victim, "bit", self.feed_bit)
+            for peer in sorted(self._latest_declaration & self.corrupted)
+        ]
+
+
+class _DeclarationTap(SyncNetwork):
+    """SyncNetwork that forwards the victim's declarations to the adversary.
+
+    Models the pre-specification leak of the restricted model: the
+    adversary of [14] may choose corruptions as a function of where the
+    victim has committed to listen.  The tap fires before each round, so
+    a set declared in round 2k-1 is corrupted at the start of round 2k —
+    before the honest replies it would have produced are sent.
+    """
+
+    def __init__(self, protocols, adversary: IsolationAdversary, victim: int):
+        super().__init__(protocols, adversary)
+        self.victim = victim
+        self._isolation_adversary = adversary
+
+    def step(self, round_no: int) -> None:
+        protocol = self.protocols[self.victim]
+        if isinstance(protocol, ListenerGossipProcessor):
+            self._isolation_adversary.observe_declaration(
+                protocol.current_listen_set
+            )
+        super().step(round_no)
+
+
+def run_listener_gossip(
+    n: int,
+    inputs: Sequence[int],
+    listen_degree: int,
+    gossip_rounds: int = 3,
+    adversary: Optional[Adversary] = None,
+    seed: int = 0,
+    victim: Optional[int] = None,
+) -> RunResult:
+    """Run the restricted-model gossip protocol.
+
+    When ``adversary`` is an :class:`IsolationAdversary`, the declared-
+    listen-set tap is wired up (pass ``victim`` to override its target).
+    """
+    if len(inputs) != n:
+        raise ValueError("inputs length must equal n")
+    if adversary is None:
+        adversary = NullAdversary(n)
+    protocols = [
+        ListenerGossipProcessor(
+            pid, n, inputs[pid], listen_degree, gossip_rounds, seed
+        )
+        for pid in range(n)
+    ]
+    if isinstance(adversary, IsolationAdversary):
+        target = victim if victim is not None else adversary.victim
+        network: SyncNetwork = _DeclarationTap(protocols, adversary, target)
+    else:
+        network = SyncNetwork(protocols, adversary)
+    return network.run(max_rounds=2 * gossip_rounds + 1)
+
+
+@dataclass
+class IsolationOutcome:
+    """Result of one isolation attack."""
+
+    n: int
+    listen_degree: int
+    gossip_rounds: int
+    budget: int
+    victim_output: Optional[int]
+    majority_output: Optional[int]
+    corruptions_used: int
+    budget_exhausted: bool
+
+    @property
+    def victim_isolated(self) -> bool:
+        """Whether the victim decided differently from the majority."""
+        return (
+            self.victim_output is not None
+            and self.majority_output is not None
+            and self.victim_output != self.majority_output
+        )
+
+
+def isolation_attack_demo(
+    n: int,
+    listen_degree: int,
+    gossip_rounds: int = 3,
+    budget: Optional[int] = None,
+    seed: int = 0,
+) -> IsolationOutcome:
+    """Attack an all-ones network; report whether the victim was flipped.
+
+    The victim is flipped whenever the adversary's budget covers
+    ``listen_degree * gossip_rounds`` corruptions — the message-complexity
+    versus corruption-budget trade-off of the [14] bound.
+    """
+    inputs = [1] * n
+    victim = 0
+    max_budget = budget if budget is not None else max(1, n // 3 - 1)
+    adversary = IsolationAdversary(n, max_budget, victim, feed_bit=0)
+    result = run_listener_gossip(
+        n, inputs, listen_degree, gossip_rounds,
+        adversary=adversary, seed=seed, victim=victim,
+    )
+    non_victim = [
+        v for pid, v in result.good_outputs().items() if pid != victim
+    ]
+    tally = Counter(v for v in non_victim if v is not None)
+    majority = max(tally, key=lambda v: (tally[v], v)) if tally else None
+    return IsolationOutcome(
+        n=n,
+        listen_degree=listen_degree,
+        gossip_rounds=gossip_rounds,
+        budget=max_budget,
+        victim_output=result.outputs.get(victim),
+        majority_output=majority,
+        corruptions_used=len(adversary.corrupted),
+        budget_exhausted=adversary.exhausted,
+    )
+
+
+def minimum_safe_degree(n: int, gossip_rounds: int, budget: int) -> int:
+    """Listen degree above which isolation provably fails mid-protocol.
+
+    Listening to more than ``budget / gossip_rounds`` fresh peers per
+    round means some round's declared set cannot be fully corrupted; the
+    victim then hears at least one honest bit.  For budget = Theta(n)
+    and the polylog round counts of real protocols this is the
+    Omega(n^{1/3})-flavoured message floor scaled to our demo's
+    parameters.
+    """
+    return isolation_threshold(budget, gossip_rounds) + 1

@@ -1,0 +1,64 @@
+"""Secure multi-party computation on the paper's sharing substrate.
+
+The conclusion's third open problem: "Can we use the ideas in this paper
+to perform scalable, secure multi-party computation for other
+functions?"  This subpackage supplies the MPC layer such an answer would
+compose with the tournament:
+
+* :mod:`repro.mpc.linear` — information-theoretic secure *linear*
+  computation (sums, weighted sums, means) via Shamir's additive
+  homomorphism: committee members add shares locally, so only the
+  result is ever reconstructed.  No interaction beyond deal + reveal.
+* :mod:`repro.mpc.beaver` — multiplication of shared values with
+  Beaver triples (trusted-dealer preprocessing model, documented), which
+  upgrades the linear layer to arbitrary arithmetic circuits.
+* :mod:`repro.mpc.triples` — dealer-free triple generation via GRR
+  degree reduction, removing the trusted-dealer assumption at
+  Theta(k^2) committee traffic per triple.
+
+Composition with the paper: universe reduction
+(:mod:`repro.core.universe_reduction`) picks the committee; the
+committee runs these protocols on everyone's behalf at committee-size
+cost rather than n-party cost — the "scalable" in the open problem.
+Example ``examples/private_aggregation.py`` runs the full composition.
+"""
+
+from .linear import (
+    AggregationTranscript,
+    LinearMPCError,
+    coalition_learns_nothing_beyond_output,
+    secure_mean,
+    secure_sum,
+    secure_weighted_sum,
+)
+from .beaver import (
+    BeaverTriple,
+    generate_triple,
+    secure_inner_product,
+    secure_multiply,
+)
+from .triples import (
+    degree_reduce_product,
+    distributed_random_sharing,
+    generate_triple_distributed,
+    triple_generation_bits,
+    triple_scheme,
+)
+
+__all__ = [
+    "AggregationTranscript",
+    "LinearMPCError",
+    "coalition_learns_nothing_beyond_output",
+    "secure_mean",
+    "secure_sum",
+    "secure_weighted_sum",
+    "BeaverTriple",
+    "generate_triple",
+    "secure_inner_product",
+    "secure_multiply",
+    "degree_reduce_product",
+    "distributed_random_sharing",
+    "generate_triple_distributed",
+    "triple_generation_bits",
+    "triple_scheme",
+]

@@ -1,0 +1,220 @@
+"""Secure linear computation from Shamir's additive homomorphism.
+
+Shamir shares of two secrets, evaluated at the same points, add to
+shares of the sum: if f(0) = x and g(0) = y then (f + g)(0) = x + y and
+(f + g)(i) = f(i) + g(i).  A committee can therefore compute any public
+linear function of private inputs by pure local arithmetic — the only
+communication is the initial dealing (one share per input per member)
+and the final reveal of the *result's* shares.  Any coalition smaller
+than the threshold sees only sub-threshold share sets of every
+intermediate value, so it learns nothing beyond the published output.
+
+This is the cheapest possible MPC and exactly what the paper's
+committees could run: with universe reduction selecting a committee of
+k = polylog(n) members, every processor deals O(k) field elements and
+hears O(k) back — o(sqrt n) per processor, keeping Theorem 1's budget.
+
+Protocol (one aggregation):
+
+1. Each input owner deals its value to the committee (Shamir, t = k/2).
+2. Each committee member locally computes sum_j w_j * share_j over the
+   inputs (public weights w_j).
+3. Members publish their result shares; anyone with threshold many
+   reconstructs the weighted sum.  Individual inputs are never opened.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..crypto.field import PrimeField
+from ..crypto.shamir import SecretSharingError, ShamirScheme, Share
+
+
+class LinearMPCError(ValueError):
+    """Raised on malformed aggregation inputs."""
+
+
+@dataclass
+class AggregationTranscript:
+    """Everything observable about one secure aggregation.
+
+    Attributes:
+        result: the reconstructed linear-function value (field element).
+        n_inputs: number of private inputs aggregated.
+        committee_size: committee members holding shares.
+        dealt_shares: total shares dealt (n_inputs x committee_size).
+        revealed_shares: shares opened during reconstruction (committee
+            size — only the *result* row is ever opened).
+        bits_per_input_owner: field bits each owner sent.
+        bits_per_committee_member: field bits each member sent.
+        member_result_shares: the published result-share row, kept so
+            tests can audit exactly what was made public.
+    """
+
+    result: int
+    n_inputs: int
+    committee_size: int
+    dealt_shares: int
+    revealed_shares: int
+    bits_per_input_owner: int
+    bits_per_committee_member: int
+    member_result_shares: List[Share] = field(default_factory=list)
+
+
+def _deal_all(
+    inputs: Sequence[int],
+    scheme: ShamirScheme,
+    rng: random.Random,
+) -> List[List[Share]]:
+    """Per-input share rows: rows[j][i] is member i's share of input j."""
+    return [scheme.deal(value, rng) for value in inputs]
+
+
+def secure_weighted_sum(
+    inputs: Sequence[int],
+    weights: Sequence[int],
+    committee_size: int,
+    seed: int = 0,
+    scheme: Optional[ShamirScheme] = None,
+    robust: bool = False,
+    tampered_shares: Optional[Dict[int, int]] = None,
+) -> AggregationTranscript:
+    """Compute sum_j weights[j] * inputs[j] without revealing any input.
+
+    Args:
+        inputs: private values, one per input owner.
+        weights: public weights (same length as inputs).
+        committee_size: number of committee members (threshold k/2 + 1).
+        scheme: override the Shamir configuration (committee_size must
+            match its ``n_players``).
+        robust: reconstruct the result by majority vote over share
+            windows (:meth:`ShamirScheme.reconstruct_majority`), so a
+            sub-threshold coalition publishing tampered result shares
+            cannot silently flip the output.  Costs extra interpolation
+            work; plain reconstruction trusts the first threshold shares.
+        tampered_shares: failure injection for tests — member index ->
+            value override applied to the published result row before
+            reconstruction (models Byzantine members lying at reveal).
+
+    Returns:
+        An :class:`AggregationTranscript` with the result and the cost
+        accounting.
+    """
+    if not inputs:
+        raise LinearMPCError("need at least one input")
+    if len(weights) != len(inputs):
+        raise LinearMPCError("weights and inputs must have equal length")
+    if scheme is None:
+        if committee_size < 2:
+            raise LinearMPCError("committee must have at least 2 members")
+        scheme = ShamirScheme(
+            n_players=committee_size,
+            threshold=committee_size // 2 + 1,
+        )
+    elif scheme.n_players != committee_size:
+        raise LinearMPCError("scheme.n_players must equal committee_size")
+
+    fld = scheme.field
+    rng = random.Random(seed)
+    rows = _deal_all(inputs, scheme, rng)
+
+    # Local computation: member i combines its column of shares.
+    result_shares: List[Share] = []
+    for i in range(committee_size):
+        x = rows[0][i].x
+        acc = 0
+        for j, row in enumerate(rows):
+            if row[i].x != x:
+                raise LinearMPCError(
+                    "dealings must use aligned evaluation points"
+                )
+            acc = fld.add(acc, fld.mul(fld.element(weights[j]), row[i].value))
+        result_shares.append(Share(x=x, value=acc))
+
+    if tampered_shares:
+        result_shares = [
+            Share(x=s.x, value=tampered_shares.get(i, s.value))
+            for i, s in enumerate(result_shares)
+        ]
+    if robust:
+        result = scheme.reconstruct_majority(result_shares)
+    else:
+        result = scheme.reconstruct(result_shares[: scheme.threshold])
+    element_bits = fld.element_bits
+    return AggregationTranscript(
+        result=result,
+        n_inputs=len(inputs),
+        committee_size=committee_size,
+        dealt_shares=len(inputs) * committee_size,
+        revealed_shares=committee_size,
+        bits_per_input_owner=committee_size * element_bits,
+        bits_per_committee_member=element_bits,
+        member_result_shares=result_shares,
+    )
+
+
+def secure_sum(
+    inputs: Sequence[int],
+    committee_size: int,
+    seed: int = 0,
+    scheme: Optional[ShamirScheme] = None,
+) -> AggregationTranscript:
+    """Sum private inputs (weights all 1)."""
+    return secure_weighted_sum(
+        inputs, [1] * len(inputs), committee_size, seed=seed, scheme=scheme
+    )
+
+
+def secure_mean(
+    inputs: Sequence[int],
+    committee_size: int,
+    seed: int = 0,
+) -> Tuple[float, AggregationTranscript]:
+    """Mean of private inputs: the sum is opened, then divided publicly.
+
+    Only the *sum* is revealed (division by the public count happens in
+    the clear) — standard practice, since the mean and the count
+    together determine the sum anyway.
+    """
+    transcript = secure_sum(inputs, committee_size, seed=seed)
+    return transcript.result / len(inputs), transcript
+
+
+def coalition_learns_nothing_beyond_output(
+    inputs: Sequence[int],
+    committee_size: int,
+    coalition: Sequence[int],
+    seed: int = 0,
+) -> bool:
+    """Check the secrecy invariant for a sub-threshold coalition.
+
+    The coalition's view is its members' columns of dealt shares plus
+    the public result row.  We verify the checkable consequence of
+    perfect secrecy: the view is *consistent with a different input
+    vector having the same weighted sum* — i.e. the coalition's shares
+    do not pin down the inputs.  Concretely, each input's shares held by
+    the coalition stay below the reconstruction threshold.
+
+    Returns True when the invariant holds (it must whenever
+    ``len(coalition) < threshold``).
+    """
+    scheme = ShamirScheme(
+        n_players=committee_size, threshold=committee_size // 2 + 1
+    )
+    rng = random.Random(seed)
+    rows = _deal_all(inputs, scheme, rng)
+    coalition_set = set(coalition)
+    for row in rows:
+        held = [s for s in row if s.x - 1 in coalition_set]
+        if len(held) >= scheme.threshold:
+            return False
+        # Reconstruction from the coalition's shares alone must fail.
+        try:
+            scheme.reconstruct(held)
+        except SecretSharingError:
+            continue
+        return False
+    return True

@@ -1,0 +1,36 @@
+"""Synchronous network simulation substrate (paper Section 1.1 model)."""
+
+from .accounting import BitLedger, LedgerSnapshot
+from .messages import HEADER_BITS, Message, MessageError, payload_bits, total_bits
+from .rng import child_rng, derive_seed
+from .tracing import TraceEvent, TraceRecorder
+from .simulator import (
+    Adversary,
+    AdversaryView,
+    NullAdversary,
+    ProcessorProtocol,
+    RunResult,
+    SimulationError,
+    SyncNetwork,
+)
+
+__all__ = [
+    "BitLedger",
+    "LedgerSnapshot",
+    "HEADER_BITS",
+    "Message",
+    "MessageError",
+    "payload_bits",
+    "total_bits",
+    "child_rng",
+    "derive_seed",
+    "TraceEvent",
+    "TraceRecorder",
+    "Adversary",
+    "AdversaryView",
+    "NullAdversary",
+    "ProcessorProtocol",
+    "RunResult",
+    "SimulationError",
+    "SyncNetwork",
+]

@@ -1,0 +1,127 @@
+"""Per-processor bit and message accounting.
+
+Theorem 1 is a statement about the number of bits each processor *sends*;
+the ledger therefore attributes cost to senders.  It also tracks received
+bits (useful for flooding experiments: bad processors may send any number
+of messages, and the protocol must bound what good processors *act on*,
+not what arrives).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .messages import Message
+
+
+@dataclass
+class LedgerSnapshot:
+    """Aggregated statistics at a point in time."""
+
+    total_bits_sent: int
+    total_messages: int
+    max_bits_per_processor: int
+    mean_bits_per_processor: float
+    rounds: int
+
+    def as_row(self) -> Dict[str, float]:
+        """The snapshot as a flat dict (one results-table row)."""
+        return {
+            "total_bits_sent": self.total_bits_sent,
+            "total_messages": self.total_messages,
+            "max_bits_per_processor": self.max_bits_per_processor,
+            "mean_bits_per_processor": self.mean_bits_per_processor,
+            "rounds": self.rounds,
+        }
+
+
+class BitLedger:
+    """Accumulates sent/received bit counts per processor and per phase."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.sent_bits: Dict[int, int] = defaultdict(int)
+        self.received_bits: Dict[int, int] = defaultdict(int)
+        self.sent_messages: Dict[int, int] = defaultdict(int)
+        self.phase_bits: Dict[str, int] = defaultdict(int)
+        self.rounds = 0
+        self._phase = "default"
+
+    # -- recording ---------------------------------------------------------------
+
+    def set_phase(self, phase: str) -> None:
+        """Attribute subsequent traffic to a named protocol phase."""
+        self._phase = phase
+
+    def record(self, message: Message) -> None:
+        """Account one message's bits to sender, recipient and phase."""
+        bits = message.bits()
+        self.sent_bits[message.sender] += bits
+        self.received_bits[message.recipient] += bits
+        self.sent_messages[message.sender] += 1
+        self.phase_bits[self._phase] += bits
+
+    def record_many(self, messages: Iterable[Message]) -> None:
+        """Account a batch of messages."""
+        for message in messages:
+            self.record(message)
+
+    def record_abstract(self, sender: int, recipient: int, bits: int) -> None:
+        """Account traffic without materialising a Message object.
+
+        The tournament orchestration uses this for bulk share transfers
+        where building millions of Message objects would dominate runtime
+        without changing the counted bits.
+        """
+        self.sent_bits[sender] += bits
+        self.received_bits[recipient] += bits
+        self.sent_messages[sender] += 1
+        self.phase_bits[self._phase] += bits
+
+    def tick_round(self) -> None:
+        """Advance the round counter."""
+        self.rounds += 1
+
+    # -- queries -----------------------------------------------------------------
+
+    def bits_sent_by(self, processor: int) -> int:
+        """Total bits this processor has sent."""
+        return self.sent_bits.get(processor, 0)
+
+    def total_bits(self) -> int:
+        """Total bits sent across all processors."""
+        return sum(self.sent_bits.values())
+
+    def total_messages(self) -> int:
+        """Total messages sent across all processors."""
+        return sum(self.sent_messages.values())
+
+    def max_bits_per_processor(self, include: Optional[Iterable[int]] = None) -> int:
+        """Largest per-processor sent-bit total (optionally over a subset)."""
+        processors = range(self.n) if include is None else include
+        return max((self.sent_bits.get(p, 0) for p in processors), default=0)
+
+    def mean_bits_per_processor(
+        self, include: Optional[Iterable[int]] = None
+    ) -> float:
+        """Mean per-processor sent-bit total (optionally over a subset)."""
+        processors = list(range(self.n) if include is None else include)
+        if not processors:
+            return 0.0
+        return sum(self.sent_bits.get(p, 0) for p in processors) / len(processors)
+
+    def snapshot(self) -> LedgerSnapshot:
+        """Freeze the current totals into a :class:`LedgerSnapshot`."""
+        return LedgerSnapshot(
+            total_bits_sent=self.total_bits(),
+            total_messages=self.total_messages(),
+            max_bits_per_processor=self.max_bits_per_processor(),
+            mean_bits_per_processor=self.mean_bits_per_processor(),
+            rounds=self.rounds,
+        )
+
+    def phase_breakdown(self) -> Dict[str, int]:
+        """Bits attributed to each named protocol phase."""
+        return dict(self.phase_bits)

@@ -1,0 +1,132 @@
+"""Structured execution tracing for protocol debugging and analysis.
+
+Production distributed systems live or die by their observability; this
+module gives the simulator the same: a :class:`TraceRecorder` collects
+typed events (rounds, corruptions, phase transitions, decisions,
+reconstruction failures) with bounded memory, and renders compact
+summaries or Figure-1-style phase timelines.
+
+Wiring is opt-in and zero-cost when absent: components accept an optional
+recorder and emit through :meth:`TraceRecorder.emit`.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    Attributes:
+        round_no: simulator round (0 for out-of-round events).
+        kind: short event type tag ("corrupt", "phase", "decide",
+            "reveal_fail", ...).
+        subject: the processor/node the event concerns (stringified).
+        detail: free-form payload (kept small).
+    """
+
+    round_no: int
+    kind: str
+    subject: str
+    detail: Any = None
+
+
+class TraceRecorder:
+    """Bounded in-memory event log with per-kind counters.
+
+    Args:
+        capacity: maximum retained events (oldest dropped first); the
+            per-kind counters remain exact regardless.
+    """
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = collections.deque(
+            maxlen=capacity
+        )
+        self.counters: Dict[str, int] = collections.defaultdict(int)
+        self._round = 0
+
+    # -- emission ----------------------------------------------------------------
+
+    def set_round(self, round_no: int) -> None:
+        """Stamp subsequent events with this round number."""
+        self._round = round_no
+
+    def emit(self, kind: str, subject: Any = "", detail: Any = None) -> None:
+        """Record one event and bump its kind's counter."""
+        self.counters[kind] += 1
+        self._events.append(
+            TraceEvent(
+                round_no=self._round,
+                kind=kind,
+                subject=str(subject),
+                detail=detail,
+            )
+        )
+
+    # -- queries -----------------------------------------------------------------
+
+    def events(self, kind: Optional[str] = None) -> List[TraceEvent]:
+        """All events, optionally filtered to one kind."""
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def count(self, kind: str) -> int:
+        """How many events of this kind were emitted."""
+        return self.counters.get(kind, 0)
+
+    def last(self, kind: str) -> Optional[TraceEvent]:
+        """The most recent event of this kind, or None."""
+        for event in reversed(self._events):
+            if event.kind == kind:
+                return event
+        return None
+
+    def rounds_spanned(self) -> Tuple[int, int]:
+        """(first, last) round numbers carrying events."""
+        if not self._events:
+            return (0, 0)
+        rounds = [e.round_no for e in self._events]
+        return (min(rounds), max(rounds))
+
+    # -- rendering ---------------------------------------------------------------
+
+    def summary(self) -> str:
+        """One line per event kind, ordered by frequency."""
+        lines = []
+        for kind, count in sorted(
+            self.counters.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"{kind:>20}: {count}")
+        return "\n".join(lines)
+
+    def timeline(self, kinds: Optional[Iterable[str]] = None) -> str:
+        """Compact per-round timeline of selected event kinds."""
+        wanted = set(kinds) if kinds is not None else None
+        by_round: Dict[int, List[TraceEvent]] = collections.defaultdict(list)
+        for event in self._events:
+            if wanted is None or event.kind in wanted:
+                by_round[event.round_no].append(event)
+        lines = []
+        for round_no in sorted(by_round):
+            tags = ", ".join(
+                f"{e.kind}({e.subject})" if e.subject else e.kind
+                for e in by_round[round_no][:8]
+            )
+            extra = len(by_round[round_no]) - 8
+            if extra > 0:
+                tags += f", +{extra} more"
+            lines.append(f"round {round_no:>4}: {tags}")
+        return "\n".join(lines)
+
+
+def null_emit(kind: str, subject: Any = "", detail: Any = None) -> None:
+    """No-op emitter for components run without tracing."""

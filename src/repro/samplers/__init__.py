@@ -1,0 +1,29 @@
+"""Averaging samplers (paper Section 3.2.1, Lemma 2)."""
+
+from .quality import (
+    QualityReport,
+    adversarial_bad_set,
+    estimate_failure_fraction,
+    fraction_of_bad_committees,
+    measure_against_bad_set,
+)
+from .sampler import (
+    Sampler,
+    SamplerError,
+    bipartite_links,
+    paper_sampler_degree,
+    sampler_existence_bound,
+)
+
+__all__ = [
+    "QualityReport",
+    "adversarial_bad_set",
+    "estimate_failure_fraction",
+    "fraction_of_bad_committees",
+    "measure_against_bad_set",
+    "Sampler",
+    "SamplerError",
+    "bipartite_links",
+    "paper_sampler_degree",
+    "sampler_existence_bound",
+]

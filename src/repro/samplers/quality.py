@@ -1,0 +1,106 @@
+"""Empirical sampler-quality measurement (validates Lemma 2 constructions).
+
+Definition 2 quantifies over *every* bad set S, which is exponentially
+expensive to check exactly.  For validation we do two things:
+
+* :func:`measure_against_bad_set` — exact check of the delta fraction for
+  one given bad set (this is what the protocol actually cares about: the
+  adversary's corrupted set is a single bad set).
+* :func:`estimate_failure_fraction` — Monte-Carlo over random bad sets of a
+  given size, reporting the worst observed delta.
+
+Benchmarks E8 sweep (r, s, d) and show the measured failure fraction
+falling with degree exactly as Lemma 2's bound predicts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Set
+
+from .sampler import Sampler
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Outcome of checking a sampler against one or more bad sets."""
+
+    theta: float
+    bad_fraction: float
+    worst_input_fraction: float
+    failing_inputs: int
+    total_inputs: int
+
+    @property
+    def delta_measured(self) -> float:
+        """Fraction of inputs exceeding the theta margin."""
+        return self.failing_inputs / self.total_inputs
+
+
+def measure_against_bad_set(
+    sampler: Sampler, bad: Set[int], theta: float
+) -> QualityReport:
+    """Exact Definition-2 check for one bad set S."""
+    bad_fraction = len(bad) / sampler.s
+    failing = 0
+    worst = 0.0
+    for x in range(sampler.r):
+        fraction = sampler.intersection_fraction(x, bad)
+        worst = max(worst, fraction)
+        if fraction > bad_fraction + theta:
+            failing += 1
+    return QualityReport(
+        theta=theta,
+        bad_fraction=bad_fraction,
+        worst_input_fraction=worst,
+        failing_inputs=failing,
+        total_inputs=sampler.r,
+    )
+
+
+def estimate_failure_fraction(
+    sampler: Sampler,
+    bad_set_size: int,
+    theta: float,
+    trials: int,
+    rng: random.Random,
+) -> float:
+    """Worst delta observed over ``trials`` random bad sets of a given size."""
+    worst_delta = 0.0
+    ground = list(range(sampler.s))
+    for _ in range(trials):
+        bad = set(rng.sample(ground, min(bad_set_size, sampler.s)))
+        report = measure_against_bad_set(sampler, bad, theta)
+        worst_delta = max(worst_delta, report.delta_measured)
+    return worst_delta
+
+
+def adversarial_bad_set(
+    sampler: Sampler, bad_set_size: int
+) -> Set[int]:
+    """A greedy adversarial bad set: corrupt the highest-degree elements.
+
+    The adaptive adversary corrupting processors that appear in the most
+    committees is the natural attack on a sampler-built tree; benchmarks
+    compare random vs greedy bad sets.
+    """
+    degrees = sampler.degrees()
+    ranked = sorted(range(sampler.s), key=lambda e: -degrees.get(e, 0))
+    return set(ranked[:bad_set_size])
+
+
+def fraction_of_bad_committees(
+    sampler: Sampler, bad: Set[int], good_threshold: float
+) -> float:
+    """Fraction of inputs whose committee has less than ``good_threshold`` good.
+
+    Matches the paper's "fewer than a 1/log n fraction of the nodes on any
+    level contain less than a 2/3 + eps/2 fraction of good processors".
+    """
+    bad_committees = 0
+    for x in range(sampler.r):
+        good_fraction = 1.0 - sampler.intersection_fraction(x, bad)
+        if good_fraction < good_threshold:
+            bad_committees += 1
+    return bad_committees / sampler.r

@@ -1,0 +1,159 @@
+"""Averaging (oblivious) samplers — paper Section 3.2.1, Definition 2.
+
+A sampler is a function ``H : [r] -> [s]^d`` assigning a multiset of size
+``d`` over ``[s]`` to every input in ``[r]``.  ``H`` is a (theta, delta)
+sampler if for every bad set ``S`` of elements, at most a ``delta``
+fraction of inputs ``x`` have ``|H(x) ∩ S| / d > |S|/s + theta``.
+
+Lemma 2 of the paper proves such samplers exist by the probabilistic
+method whenever ``2*log2(e)*d*theta^2*delta > s/r + 1 - delta`` — i.e. a
+uniformly random assignment works with positive probability — and the
+paper assumes each processor either holds a copy or constructs one in
+exponential time.  We follow the paper's own existence proof: construct
+the assignment uniformly at random from a *seeded* RNG (so every processor
+deterministically derives the same sampler), and provide an empirical
+quality checker in :mod:`repro.samplers.quality`.
+
+The paper's canonical instantiation is a (1/log n, 1/log n) sampler with
+degree ``d = O((s/r + 1) * log^3 n)``.  :func:`paper_sampler_degree`
+computes that degree.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+
+class SamplerError(ValueError):
+    """Raised on invalid sampler parameters."""
+
+
+def sampler_existence_bound(
+    r: int, s: int, d: int, theta: float, delta: float
+) -> bool:
+    """Lemma 2's sufficient condition: 2*log2(e)*d*theta^2*delta > s/r + 1 - delta."""
+    return 2 * math.log2(math.e) * d * theta * theta * delta > s / r + 1 - delta
+
+
+def paper_sampler_degree(r: int, s: int, n: int, constant: float = 1.0) -> int:
+    """The paper's degree choice d = O((s/r + 1) log^3 n), at least 1."""
+    log_n = max(math.log2(max(n, 2)), 1.0)
+    return max(1, math.ceil(constant * (s / max(r, 1) + 1) * log_n**3))
+
+
+@dataclass(frozen=True)
+class Sampler:
+    """A concrete sampler: an explicit table of multisets.
+
+    Attributes:
+        r: number of inputs (e.g. nodes needing committees).
+        s: size of the ground set (e.g. number of processors).
+        d: multiset size assigned to each input.
+        assignments: ``assignments[x]`` is the size-``d`` multiset (as a
+            sorted tuple) assigned to input ``x``.
+    """
+
+    r: int
+    s: int
+    d: int
+    assignments: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.r < 1 or self.s < 1 or self.d < 1:
+            raise SamplerError("sampler dimensions must be positive")
+        if len(self.assignments) != self.r:
+            raise SamplerError("assignment table has wrong number of rows")
+        for row in self.assignments:
+            if len(row) != self.d:
+                raise SamplerError("assignment row has wrong degree")
+            for element in row:
+                if not 0 <= element < self.s:
+                    raise SamplerError("assignment element out of range")
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls, r: int, s: int, d: int, rng: random.Random, with_replacement: bool = False
+    ) -> "Sampler":
+        """Uniformly random sampler — the probabilistic-method construction.
+
+        By default samples *without* replacement within a row when d <= s
+        (committee membership wants distinct processors); set
+        ``with_replacement=True`` for the literal multiset model of
+        Definition 2.
+        """
+        rows: List[Tuple[int, ...]] = []
+        for _x in range(r):
+            if with_replacement or d > s:
+                row = tuple(sorted(rng.randrange(s) for _ in range(d)))
+            else:
+                row = tuple(sorted(rng.sample(range(s), d)))
+            rows.append(row)
+        return cls(r=r, s=s, d=d, assignments=tuple(rows))
+
+    @classmethod
+    def complete(cls, r: int, s: int) -> "Sampler":
+        """The trivial sampler assigning the whole ground set to every input.
+
+        Used for the root node of the tree, which contains all processors.
+        """
+        row = tuple(range(s))
+        return cls(r=r, s=s, d=s, assignments=tuple(row for _ in range(r)))
+
+    # -- queries -----------------------------------------------------------------
+
+    def assign(self, x: int) -> Tuple[int, ...]:
+        """The multiset H(x)."""
+        return self.assignments[x]
+
+    def intersection_fraction(self, x: int, bad: Set[int]) -> float:
+        """|H(x) ∩ S| / d for a bad set S (multiset intersection per Def. 2)."""
+        row = self.assignments[x]
+        return sum(1 for element in row if element in bad) / self.d
+
+    def degrees(self) -> Dict[int, int]:
+        """deg(s') = number of inputs whose multiset contains s'."""
+        degree: Dict[int, int] = {}
+        for row in self.assignments:
+            for element in set(row):
+                degree[element] = degree.get(element, 0) + 1
+        return degree
+
+    def max_degree(self) -> int:
+        """Largest right-vertex degree in the assignment."""
+        degs = self.degrees()
+        return max(degs.values()) if degs else 0
+
+    def inputs_containing(self, element: int) -> List[int]:
+        """All inputs x with element in H(x)."""
+        return [
+            x for x, row in enumerate(self.assignments) if element in row
+        ]
+
+
+def bipartite_links(
+    sources: Sequence[int],
+    targets: Sequence[int],
+    degree: int,
+    rng: random.Random,
+) -> Dict[int, Tuple[int, ...]]:
+    """Sampler-style link assignment between two concrete ID sets.
+
+    Assigns each source a size-``degree`` subset of ``targets`` (without
+    replacement when possible).  Used for uplinks and ℓ-links where the two
+    sides are processor IDs rather than abstract ranges.
+    """
+    if not targets:
+        raise SamplerError("cannot link into an empty target set")
+    links: Dict[int, Tuple[int, ...]] = {}
+    target_list = list(targets)
+    for source in sources:
+        if degree >= len(target_list):
+            links[source] = tuple(sorted(target_list))
+        else:
+            links[source] = tuple(sorted(rng.sample(target_list, degree)))
+    return links

@@ -1,0 +1,134 @@
+"""Sparse regular random graphs — substrate for Algorithm 5 (Theorem 5).
+
+Theorem 5 requires a random ``k * log n``-regular graph G on the
+processors of a node.  We implement the standard pairing-model
+construction with retries, falling back to a circulant construction if
+pairing repeatedly fails (only relevant for tiny, odd corner cases).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Set, Tuple
+
+
+class GraphError(ValueError):
+    """Raised when a regular graph cannot be constructed."""
+
+
+def theorem5_degree(n: int, k: float = 4.0) -> int:
+    """The paper's degree choice k * log n, at least 2, at most n-1."""
+    if n <= 1:
+        return 0
+    degree = max(2, int(round(k * math.log2(n))))
+    return min(degree, n - 1)
+
+
+def random_regular_graph(
+    n: int, degree: int, rng: random.Random, max_attempts: int = 200
+) -> Dict[int, Set[int]]:
+    """A uniform-ish random ``degree``-regular simple graph on ``n`` vertices.
+
+    Uses networkx's Steger-Wormald generator (robust even at the dense
+    degrees Theorem 5's k·log n reaches for small committees), falling
+    back to the configuration model and finally a circulant graph.
+    ``n * degree`` must be even and ``degree < n`` (an odd degree sum is
+    fixed up by bumping the degree).  Returns vertex -> neighbor set.
+    """
+    if degree < 0 or degree >= n:
+        raise GraphError(f"degree {degree} invalid for {n} vertices")
+    if degree == 0:
+        return {v: set() for v in range(n)}
+    if (n * degree) % 2 != 0:
+        # Regular graph of odd total degree doesn't exist; bump degree.
+        degree += 1
+        if degree >= n:
+            raise GraphError("cannot fix odd degree sum")
+
+    try:
+        import networkx as nx
+
+        graph = nx.random_regular_graph(
+            degree, n, seed=rng.randrange(1 << 30)
+        )
+        return {v: set(graph.neighbors(v)) for v in range(n)}
+    except Exception:  # pragma: no cover - nx absent or generator failure
+        pass
+
+    for _attempt in range(max_attempts):
+        stubs = [v for v in range(n) for _ in range(degree)]
+        rng.shuffle(stubs)
+        adjacency: Dict[int, Set[int]] = {v: set() for v in range(n)}
+        ok = True
+        for i in range(0, len(stubs), 2):
+            a, b = stubs[i], stubs[i + 1]
+            if a == b or b in adjacency[a]:
+                ok = False
+                break
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        if ok:
+            return adjacency
+    # Deterministic last resort: circulant graph — regular, but clusters
+    # contiguous corrupted ranges; only used when both generators fail.
+    return circulant_graph(n, degree)
+
+
+def circulant_graph(n: int, degree: int) -> Dict[int, Set[int]]:
+    """Circulant fallback: connect to offsets 1..degree//2 on both sides."""
+    if degree >= n:
+        raise GraphError(f"degree {degree} invalid for {n} vertices")
+    adjacency: Dict[int, Set[int]] = {v: set() for v in range(n)}
+    half = degree // 2
+    for v in range(n):
+        for offset in range(1, half + 1):
+            adjacency[v].add((v + offset) % n)
+            adjacency[v].add((v - offset) % n)
+    if degree % 2 == 1:
+        if n % 2 != 0:
+            raise GraphError("odd-degree circulant needs even n")
+        for v in range(n):
+            adjacency[v].add((v + n // 2) % n)
+    for v in range(n):
+        adjacency[v].discard(v)
+    return adjacency
+
+
+def edge_count(adjacency: Dict[int, Set[int]]) -> int:
+    """Number of undirected edges in the adjacency map."""
+    return sum(len(neigh) for neigh in adjacency.values()) // 2
+
+
+def is_regular(adjacency: Dict[int, Set[int]]) -> bool:
+    """Whether every vertex has the same degree."""
+    degrees = {len(neigh) for neigh in adjacency.values()}
+    return len(degrees) <= 1
+
+
+def expansion_estimate(
+    adjacency: Dict[int, Set[int]],
+    trials: int,
+    rng: random.Random,
+) -> float:
+    """Crude edge-expansion estimate: min over random halves of cut/|S|.
+
+    Used by tests to sanity-check that the pairing-model graphs expand
+    (Theorem 5's proof needs expander-like concentration).
+    """
+    n = len(adjacency)
+    if n < 4:
+        return 0.0
+    best = float("inf")
+    vertices = list(adjacency)
+    for _ in range(trials):
+        rng.shuffle(vertices)
+        s = set(vertices[: n // 2])
+        cut = sum(
+            1
+            for v in s
+            for u in adjacency[v]
+            if u not in s
+        )
+        best = min(best, cut / len(s))
+    return best

@@ -1,0 +1,78 @@
+"""ASCII rendering of the committee tree — Figure 1's left panel.
+
+Produces the paper's picture for any simulated tree: one box per node
+showing the committee (bottom) and, when supplied, the candidate arrays
+competing there (top).  Used by benchmark E7 and handy in a REPL when
+debugging topologies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .tree import NodeId, TreeTopology
+
+
+def _format_members(members: Sequence[int], limit: int) -> str:
+    shown = ",".join(str(m) for m in members[:limit])
+    if len(members) > limit:
+        shown += f",+{len(members) - limit}"
+    return shown
+
+
+def render_node(
+    tree: TreeTopology,
+    node: NodeId,
+    candidates: Optional[Dict[NodeId, Sequence[int]]] = None,
+    member_limit: int = 8,
+) -> str:
+    """One node as ``[cands | members]`` (cands omitted when absent)."""
+    members = _format_members(tree.members(node), member_limit)
+    if candidates and node in candidates:
+        cands = _format_members(list(candidates[node]), member_limit)
+        return f"[{cands} | {members}]"
+    return f"[{members}]"
+
+
+def render_tree(
+    tree: TreeTopology,
+    candidates: Optional[Dict[NodeId, Sequence[int]]] = None,
+    member_limit: int = 6,
+    max_nodes_per_level: int = 9,
+) -> str:
+    """The whole tree, root at top, one line per level.
+
+    Args:
+        candidates: optional node -> candidate-owner list annotations
+            (the top half of Figure 1's ovals).
+        member_limit: committee members shown per node before eliding.
+        max_nodes_per_level: nodes rendered per level before eliding.
+    """
+    lines: List[str] = []
+    for level in range(tree.lstar, 0, -1):
+        nodes = tree.nodes_on_level(level)
+        rendered = [
+            render_node(tree, node, candidates, member_limit)
+            for node in nodes[:max_nodes_per_level]
+        ]
+        suffix = (
+            f"  ... +{len(nodes) - max_nodes_per_level} nodes"
+            if len(nodes) > max_nodes_per_level
+            else ""
+        )
+        lines.append(
+            f"L{level} ({len(nodes)} nodes, k={tree.node_size(level)}): "
+            + "  ".join(rendered)
+            + suffix
+        )
+    return "\n".join(lines)
+
+
+def render_paths(tree: TreeTopology, leaf_index: int) -> str:
+    """The leaf-to-root committee path for one processor's array."""
+    path = tree.path_to_root(NodeId(1, leaf_index))
+    parts = []
+    for node in path:
+        members = _format_members(tree.members(node), 6)
+        parts.append(f"L{node.level}N{node.index}{{{members}}}")
+    return " -> ".join(parts)

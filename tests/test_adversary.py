@@ -1,0 +1,176 @@
+"""Unit tests for adversary strategies and targeting policies."""
+
+import random
+
+import pytest
+
+from repro.adversary.adaptive import (
+    AdaptiveByzantineAdversary,
+    BinStuffingAdversary,
+    CorruptChattiest,
+    CorruptRandomGradually,
+    CorruptScheduled,
+    GreedyElectionAdversary,
+    NoTargeting,
+    TournamentAdversary,
+)
+from repro.adversary.behaviors import (
+    AntiMajorityBehavior,
+    EquivocatingBehavior,
+    FixedBitBehavior,
+    KeepSplitBehavior,
+    RandomBitBehavior,
+    SilentBehavior,
+    behavior_by_name,
+)
+from repro.adversary.static import StaticByzantineAdversary, random_target_set
+from repro.net.messages import Message
+from repro.net.simulator import AdversaryView
+
+
+def make_view(round_no=1, corrupted=(0,), inbound=(), n=10):
+    return AdversaryView(
+        round_no=round_no,
+        corrupted=set(corrupted),
+        inbound=list(inbound),
+        n=n,
+    )
+
+
+class TestBehaviors:
+    rng = random.Random(0)
+
+    def test_silent(self):
+        votes = SilentBehavior().votes(make_view(), 0, [1, 2], self.rng)
+        assert votes == {1: None, 2: None}
+
+    def test_fixed(self):
+        votes = FixedBitBehavior(1).votes(make_view(), 0, [1, 2], self.rng)
+        assert votes == {1: 1, 2: 1}
+
+    def test_random_bits_in_range(self):
+        votes = RandomBitBehavior().votes(
+            make_view(), 0, list(range(20)), self.rng
+        )
+        assert set(votes.values()) <= {0, 1}
+
+    def test_equivocate_splits_by_parity(self):
+        votes = EquivocatingBehavior().votes(
+            make_view(), 0, [2, 3], self.rng
+        )
+        assert votes[2] == 0 and votes[3] == 1
+
+    def test_anti_majority_opposes_observed(self):
+        inbound = [Message(5, 0, "vote", 1), Message(6, 0, "vote", 1)]
+        votes = AntiMajorityBehavior().votes(
+            make_view(inbound=inbound), 0, [1], self.rng
+        )
+        assert votes[1] == 0
+
+    def test_keep_split_half_and_half(self):
+        votes = KeepSplitBehavior().votes(
+            make_view(), 0, list(range(10)), random.Random(1)
+        )
+        assert sorted(votes.values()).count(0) == 5
+
+    def test_factory(self):
+        assert isinstance(behavior_by_name("silent"), SilentBehavior)
+        assert isinstance(behavior_by_name("fixed1"), FixedBitBehavior)
+        with pytest.raises(ValueError):
+            behavior_by_name("nope")
+
+
+class TestStaticAdversary:
+    def test_corrupts_at_round_one(self):
+        adv = StaticByzantineAdversary(10, {1, 2}, SilentBehavior())
+        assert adv.select_corruptions(1) == {1, 2}
+        assert adv.select_corruptions(2) == set()
+
+    def test_budget_matches_targets(self):
+        adv = StaticByzantineAdversary(10, {1, 2, 3}, SilentBehavior())
+        assert adv.budget == 3
+
+    def test_act_respects_recipients_map(self):
+        adv = StaticByzantineAdversary(
+            10, {0}, FixedBitBehavior(1), recipients_of={0: [5, 6]}
+        )
+        messages = adv.act(make_view(corrupted={0}))
+        assert {m.recipient for m in messages} == {5, 6}
+
+    def test_random_target_set_size(self):
+        targets = random_target_set(100, 0.25, random.Random(3))
+        assert len(targets) == 25
+
+
+class TestTargetingPolicies:
+    def test_no_targeting(self):
+        policy = NoTargeting()
+        assert policy.choose(1, set(), {}, 5, 10, random.Random(0)) == set()
+
+    def test_chattiest_targets_loudest(self):
+        policy = CorruptChattiest(per_round=1)
+        chosen = policy.choose(
+            2, set(), {7: 10, 3: 2}, 5, 10, random.Random(0)
+        )
+        assert chosen == {7}
+
+    def test_chattiest_respects_budget(self):
+        policy = CorruptChattiest(per_round=5)
+        chosen = policy.choose(
+            2, set(), {1: 3, 2: 2, 3: 1}, 2, 10, random.Random(0)
+        )
+        assert len(chosen) == 2
+
+    def test_scheduled(self):
+        policy = CorruptScheduled({3: [4, 5]})
+        assert policy.choose(2, set(), {}, 9, 10, random.Random(0)) == set()
+        assert policy.choose(3, set(), {}, 9, 10, random.Random(0)) == {4, 5}
+
+    def test_gradual_random(self):
+        policy = CorruptRandomGradually(per_round=2)
+        chosen = policy.choose(1, {0}, {}, 5, 10, random.Random(0))
+        assert len(chosen) == 2
+        assert 0 not in chosen
+
+
+class TestAdaptiveAdversary:
+    def test_observes_and_corrupts(self):
+        adv = AdaptiveByzantineAdversary(
+            10, budget=2, policy=CorruptChattiest(start_round=2),
+            behavior=SilentBehavior(),
+        )
+        adv.corrupted.add(0)
+        inbound = [Message(7, 0, "vote", 1)] * 3
+        adv.act(make_view(corrupted={0}, inbound=inbound))
+        chosen = adv.select_corruptions(2)
+        assert chosen == {7}
+
+
+class TestTournamentAdversary:
+    def test_budget_enforced(self):
+        adv = TournamentAdversary(10, budget=2)
+        taken = adv.take_over([1, 2, 3, 4])
+        assert taken == {1, 2}
+        assert adv.remaining_budget() == 0
+
+    def test_greedy_corrupts_winners(self):
+        adv = GreedyElectionAdversary(10, budget=3)
+        taken = adv.corrupt_after_election(2, [5, 6], [0, 1, 2])
+        assert taken == {5, 6}
+
+    def test_bin_stuffing_strategies(self):
+        stuff = BinStuffingAdversary(10, 2, strategy="stuff")
+        assert stuff.bad_bin_choice(2, 0, 8) == 0
+        spread = BinStuffingAdversary(10, 2, strategy="spread")
+        picks = {spread.bad_bin_choice(2, 0, 4) for _ in range(8)}
+        assert len(picks) > 1
+        rand = BinStuffingAdversary(10, 2, strategy="random")
+        assert 0 <= rand.bad_bin_choice(2, 0, 4) < 4
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            BinStuffingAdversary(10, 2, strategy="bogus")
+
+    def test_initial_corruptions_take_budget(self):
+        adv = BinStuffingAdversary(10, budget=4)
+        assert adv.initial_corruptions() == {0, 1, 2, 3}

@@ -1,0 +1,210 @@
+"""Tests for Algorithm 3: almost-everywhere to everywhere (Theorem 4)."""
+
+import random
+
+import pytest
+
+from repro.core.ae_to_everywhere import (
+    AEToEProcessor,
+    FakeResponderAdversary,
+    run_ae_to_everywhere,
+)
+from repro.core.parameters import ProtocolParameters
+
+N = 64
+MESSAGE = 5
+
+
+def make_params(n=N):
+    return ProtocolParameters.simulation(n)
+
+
+def knowledgeable_majority(n, epsilon=1 / 12, exclude=()):
+    """A (1/2 + eps)-sized knowledgeable set avoiding ``exclude``."""
+    count = int((0.5 + 2 * epsilon) * n)
+    pool = [p for p in range(n) if p not in exclude]
+    return set(pool[:count])
+
+
+class TestFaultFree:
+    def test_few_loops_decide_everyone(self):
+        """Lemma 10: each loop succeeds with constant probability, so a
+        handful of repetitions decides everyone."""
+        params = make_params()
+        knowledgeable = knowledgeable_majority(N)
+        result = run_ae_to_everywhere(
+            params, knowledgeable, MESSAGE, k_sequence=[3, 5, 7, 2], seed=1
+        )
+        assert result.everyone_agrees(MESSAGE)
+
+    def test_no_bad_decision(self):
+        params = make_params()
+        knowledgeable = knowledgeable_majority(N)
+        result = run_ae_to_everywhere(
+            params, knowledgeable, MESSAGE, k_sequence=[2], seed=2
+        )
+        assert result.no_bad_decision(MESSAGE)
+
+    def test_bits_scale_with_sqrt_n(self):
+        """Theorem 4: O~(sqrt n) bits per processor per loop."""
+        params = make_params()
+        knowledgeable = knowledgeable_majority(N)
+        result = run_ae_to_everywhere(
+            params, knowledgeable, MESSAGE, k_sequence=[1], seed=3
+        )
+        sqrt_n = params.sqrt_n()
+        fanout = params.request_fanout()
+        # Requests dominate: sqrt(n) * fanout messages of ~20 bits, plus
+        # responses.  Allow a generous constant.
+        assert result.max_bits_per_processor < 80 * sqrt_n * fanout
+
+    def test_early_exit_when_all_decided(self):
+        params = make_params()
+        knowledgeable = knowledgeable_majority(N)
+        result = run_ae_to_everywhere(
+            params, knowledgeable, MESSAGE,
+            k_sequence=[1, 2, 3, 4, 5, 6, 7, 8], seed=4,
+        )
+        # Fault-free: a few loops decide everyone; later ones are skipped.
+        assert result.loops_run < 8
+
+    def test_loop_stats_recorded(self):
+        params = make_params()
+        knowledgeable = knowledgeable_majority(N)
+        result = run_ae_to_everywhere(
+            params, knowledgeable, MESSAGE, k_sequence=[1], seed=5
+        )
+        assert result.loop_stats[0].k == 1
+        assert result.loop_stats[0].deciders > 0
+
+
+class TestAgainstAdversary:
+    def test_fake_responders_cannot_split(self):
+        """Lemma 7(2): good processors decide M or stay undecided."""
+        params = make_params()
+        corrupted = set(range(10))
+        knowledgeable = knowledgeable_majority(N, exclude=corrupted)
+        adversary = FakeResponderAdversary(
+            N, targets=corrupted, fake_message=MESSAGE + 1, seed=6
+        )
+        result = run_ae_to_everywhere(
+            params, knowledgeable, MESSAGE, k_sequence=[2, 4], seed=7,
+            adversary=adversary,
+        )
+        assert result.no_bad_decision(MESSAGE)
+
+    def test_decides_despite_fake_responders(self):
+        params = make_params()
+        corrupted = set(range(10))
+        knowledgeable = knowledgeable_majority(N, exclude=corrupted)
+        adversary = FakeResponderAdversary(
+            N, targets=corrupted, fake_message=MESSAGE + 1, seed=8
+        )
+        result = run_ae_to_everywhere(
+            params, knowledgeable, MESSAGE,
+            k_sequence=[1, 3, 5, 7, 2, 4], seed=9, adversary=adversary,
+        )
+        assert result.everyone_agrees(MESSAGE)
+
+    def test_overload_attack_on_known_label_slows_but_is_safe(self):
+        """When the adversary knows k in advance (a bad coin word) it can
+        overload that label; the loop fails but later good-k loops
+        recover — Lemma 9's accounting."""
+        params = make_params()
+        corrupted = set(range(10))
+        knowledgeable = knowledgeable_majority(N, exclude=corrupted)
+        adversary = FakeResponderAdversary(
+            N, targets=corrupted, fake_message=MESSAGE + 1,
+            known_bad_loops={0: 2}, seed=10,
+        )
+        result = run_ae_to_everywhere(
+            params, knowledgeable, MESSAGE,
+            k_sequence=[2, 4], seed=11, adversary=adversary,
+        )
+        assert result.no_bad_decision(MESSAGE)
+        # The overloaded loop must have muted some responders.
+        assert result.loop_stats[0].overloaded_responders > 0 or (
+            result.loop_stats[0].undecided_after == 0
+        )
+
+
+class TestDecisionThreshold:
+    def test_threshold_formula(self):
+        params = make_params()
+        threshold = AEToEProcessor.decision_threshold(params)
+        fanout = params.request_fanout()
+        assert threshold >= fanout // 2
+        assert threshold <= fanout
+
+    def test_confused_never_respond(self):
+        """A confused processor has nothing to answer with."""
+        params = make_params(16)
+        proc = AEToEProcessor(
+            pid=0, n=16, knowledgeable=False, message=None,
+            k_of_loop=lambda loop: 1, params=params,
+            rng=random.Random(0), loops=1,
+        )
+        from repro.net.messages import Message
+
+        requests = [Message(5, 0, "ae2e_request", 1)]
+        proc.on_round(1, [])
+        replies = proc.on_round(2, requests)
+        assert replies == []
+
+    def test_duplicate_requests_dropped(self):
+        """The anti-flooding acceptance rule: one request per sender."""
+        params = make_params(16)
+        proc = AEToEProcessor(
+            pid=0, n=16, knowledgeable=True, message=9,
+            k_of_loop=lambda loop: 1, params=params,
+            rng=random.Random(0), loops=1,
+        )
+        from repro.net.messages import Message
+
+        requests = [
+            Message(5, 0, "ae2e_request", 1),
+            Message(5, 0, "ae2e_request", 1),
+        ]
+        proc.on_round(1, [])
+        replies = proc.on_round(2, requests)
+        assert replies == []  # duplicate sender evicted entirely
+
+    def test_below_threshold_responses_insufficient(self):
+        """A handful of forged answers (below the decision threshold)
+        cannot make a confused processor decide."""
+        params = make_params(N)
+        proc = AEToEProcessor(
+            pid=0, n=N, knowledgeable=False, message=None,
+            k_of_loop=lambda loop: 1, params=params,
+            rng=random.Random(0), loops=1,
+        )
+        from repro.net.messages import Message
+
+        proc.on_round(1, [])
+        proc.on_round(2, [])
+        threshold = AEToEProcessor.decision_threshold(params)
+        # Fewer identical answers than the threshold, from solicited
+        # senders: must not decide.
+        solicited = list(proc._sent_labels)[: threshold - 1]
+        fake = [Message(s, 0, "ae2e_response", 99) for s in solicited]
+        proc.on_round(3, fake)
+        assert proc.decided is None
+
+    def test_unsolicited_senders_ignored(self):
+        """Responses from processors never asked are discarded outright."""
+        params = make_params(N)
+        proc = AEToEProcessor(
+            pid=0, n=N, knowledgeable=False, message=None,
+            k_of_loop=lambda loop: 1, params=params,
+            rng=random.Random(0), loops=1,
+        )
+        from repro.net.messages import Message
+
+        proc.on_round(1, [])
+        proc.on_round(2, [])
+        unsolicited = [
+            s for s in range(1, N) if s not in proc._sent_labels
+        ]
+        fake = [Message(s, 0, "ae2e_response", 99) for s in unsolicited]
+        proc.on_round(3, fake)
+        assert proc.decided is None

@@ -1,0 +1,124 @@
+"""Tests for the terminal chart renderer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.asciiplot import (
+    PlotError,
+    Series,
+    fitted_exponent,
+    render_chart,
+)
+
+
+def sqrt_series():
+    return Series("sqrt", [(n, n**0.5) for n in (10, 100, 1000, 10000)])
+
+
+def square_series():
+    return Series(
+        "square", [(n, n**2) for n in (10, 100, 1000, 10000)], marker="#"
+    )
+
+
+def test_render_contains_markers_and_legend():
+    chart = render_chart(
+        [sqrt_series(), square_series()],
+        title="scaling", x_label="n", y_label="bits",
+    )
+    assert "*" in chart
+    assert "#" in chart
+    assert "*=sqrt" in chart
+    assert "#=square" in chart
+    assert "scaling" in chart
+    assert "x: n (log)" in chart
+
+
+def test_render_dimensions():
+    chart = render_chart([sqrt_series()], width=40, height=10)
+    lines = chart.split("\n")
+    plot_lines = [l for l in lines if "|" in l]
+    assert len(plot_lines) == 10
+    assert all(len(l.split("|", 1)[1]) <= 40 for l in plot_lines)
+
+
+def test_linear_scale_supported():
+    series = Series("lin", [(1, 1), (2, 2), (3, 3)])
+    chart = render_chart([series], log_x=False, log_y=False)
+    assert "*" in chart
+
+
+def test_log_scale_rejects_nonpositive():
+    series = Series("bad", [(0, 1), (1, 2)])
+    with pytest.raises(PlotError):
+        render_chart([series], log_x=True)
+
+
+def test_empty_series_rejected():
+    with pytest.raises(PlotError):
+        Series("empty", [])
+    with pytest.raises(PlotError):
+        render_chart([])
+
+
+def test_small_plot_area_rejected():
+    with pytest.raises(PlotError):
+        render_chart([sqrt_series()], width=2, height=2)
+
+
+def test_marker_must_be_single_char():
+    with pytest.raises(PlotError):
+        Series("x", [(1, 1)], marker="**")
+
+
+def test_flat_series_renders():
+    series = Series("flat", [(1, 5), (10, 5), (100, 5)])
+    chart = render_chart([series])
+    assert "*" in chart
+
+
+def test_fitted_exponent_recovers_known_slopes():
+    assert fitted_exponent(
+        [(n, n**0.5) for n in (10, 100, 1000)]
+    ) == pytest.approx(0.5, abs=0.01)
+    assert fitted_exponent(
+        [(n, 7 * n**2) for n in (10, 100, 1000)]
+    ) == pytest.approx(2.0, abs=0.01)
+
+
+def test_fitted_exponent_validation():
+    with pytest.raises(PlotError):
+        fitted_exponent([(1, 1)])
+    with pytest.raises(PlotError):
+        fitted_exponent([(1, 1), (1, 2)])
+    with pytest.raises(PlotError):
+        fitted_exponent([(-1, 1), (-2, 2)])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    exponent=st.floats(min_value=0.1, max_value=3.0),
+    scale=st.floats(min_value=0.1, max_value=100.0),
+)
+def test_property_exponent_fit_exact_on_power_laws(exponent, scale):
+    points = [(float(n), scale * n**exponent) for n in (2, 8, 32, 128)]
+    assert fitted_exponent(points) == pytest.approx(exponent, rel=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_points=st.integers(min_value=2, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_render_never_crashes_on_positive_data(n_points, seed):
+    import random
+
+    rng = random.Random(seed)
+    points = [
+        (rng.uniform(1, 1e6), rng.uniform(1, 1e9))
+        for _ in range(n_points)
+    ]
+    chart = render_chart([Series("r", points)])
+    assert isinstance(chart, str)
+    assert "|" in chart

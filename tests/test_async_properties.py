@@ -1,0 +1,249 @@
+"""Property-based tests for the asynchronous engine and its protocols.
+
+Invariants checked across randomized schedules and parameters:
+
+* delivery completeness: every sent message is delivered exactly once
+  (to a good recipient) or absorbed by the adversary, never duplicated
+  or dropped while the run continues;
+* fairness: no pending message is overtaken by more than the fairness
+  bound;
+* Bracha safety: at most one accepted value under every schedule;
+* common-coin BA safety and validity under every schedule and oracle.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asynchrony import (
+    AdversarialCoinOracle,
+    AsyncNetwork,
+    AsyncProcess,
+    NullAsyncAdversary,
+    RandomScheduler,
+    SeededCoinOracle,
+    TargetedDelayScheduler,
+    run_bracha_broadcast,
+    run_common_coin_ba,
+)
+from repro.asynchrony.scheduler import AsyncAdversary
+from repro.net.messages import Message
+
+
+class CountingProcess(AsyncProcess):
+    """Forwards a fixed number of tokens; counts every delivery."""
+
+    def __init__(self, pid, n, fanout, rng_seed):
+        super().__init__(pid)
+        self.n = n
+        self.fanout = fanout
+        self.rng = random.Random(rng_seed)
+        self.received = 0
+
+    def on_start(self):
+        if self.pid != 0:
+            return []
+        return [
+            Message(0, self.rng.randrange(1, self.n), "token", hops)
+            for hops in range(self.fanout)
+        ]
+
+    def on_message(self, message):
+        self.received += 1
+        hops = message.payload
+        if hops <= 0:
+            return []
+        target = self.rng.randrange(self.n)
+        if target == self.pid:
+            target = (target + 1) % self.n
+        return [Message(self.pid, target, "token", hops - 1)]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    fanout=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_every_sent_message_is_delivered_exactly_once(n, fanout, seed):
+    processes = [
+        CountingProcess(pid, n, fanout, (seed << 4) | pid)
+        for pid in range(n)
+    ]
+    network = AsyncNetwork(
+        processes,
+        NullAsyncAdversary(n),
+        scheduler=RandomScheduler(seed),
+    )
+    result = network.run(max_steps=100_000)
+    # Each initial token travels its hop count: total deliveries equal
+    # sum over tokens of (hops + 1) where token h has h forwards.
+    expected = sum(hops + 1 for hops in range(fanout))
+    delivered = sum(p.received for p in processes)
+    assert delivered == expected
+    assert result.undelivered == 0
+    assert result.quiescent
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    bound=st.integers(min_value=1, max_value=20),
+)
+def test_fairness_bound_is_respected(seed, bound):
+    """Once the queue head's age exceeds the bound, the very next
+    delivery must be the head — the override that makes eventual
+    delivery mechanical.  (Ages of a batch sent together can still sum
+    past the bound while the batch drains one per step; what is
+    guaranteed is that the scheduler can never keep *skipping* an
+    over-age head.)
+    """
+    n = 4
+    violations = []
+
+    class Tracker(AsyncNetwork):
+        def _deliver_one(self, step):
+            oldest = None
+            over_age = False
+            if self._pending:
+                oldest = min(self._pending, key=lambda p: p.seq)
+                over_age = (
+                    self._deliveries - oldest.sent_step
+                ) > self.fairness_bound
+            before = {id(p) for p in self._pending}
+            super()._deliver_one(step)
+            after = {id(p) for p in self._pending}
+            if over_age and oldest is not None:
+                delivered = before - after
+                if id(oldest) not in delivered:
+                    violations.append(step)
+
+    processes = [
+        CountingProcess(pid, n, 5, (seed << 4) | pid) for pid in range(n)
+    ]
+    network = Tracker(
+        processes,
+        NullAsyncAdversary(n),
+        scheduler=RandomScheduler(seed),
+        fairness_bound=bound,
+    )
+    result = network.run(max_steps=10_000)
+    assert violations == []
+    assert result.undelivered == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=10),
+    dealer=st.integers(min_value=0, max_value=9),
+    value=st.integers(min_value=0, max_value=1000),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_bracha_always_consistent_and_valid(n, dealer, value, seed):
+    dealer = dealer % n
+    result = run_bracha_broadcast(
+        n=n, dealer=dealer, value=value,
+        scheduler=RandomScheduler(seed),
+    )
+    accepted = {v for v in result.good_outputs().values() if v is not None}
+    assert accepted == {value}
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    pattern=st.integers(min_value=0, max_value=63),
+    rig=st.sampled_from(["honest", "zeros", "ones"]),
+)
+def test_common_coin_ba_safety_under_any_oracle(seed, pattern, rig):
+    n = 6
+    inputs = [(pattern >> i) & 1 for i in range(n)]
+    if rig == "honest":
+        oracle = SeededCoinOracle(seed)
+    else:
+        oracle = AdversarialCoinOracle(fixed_bit=1 if rig == "ones" else 0)
+    result = run_common_coin_ba(
+        n, inputs, oracle=oracle,
+        scheduler=RandomScheduler(seed), max_phases=16,
+    )
+    decided = {v for v in result.good_outputs().values() if v is not None}
+    # Safety: never two values.
+    assert len(decided) <= 1
+    # Validity: a decided value was someone's input.
+    if decided:
+        assert decided.pop() in set(inputs)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    victims=st.sets(
+        st.integers(min_value=0, max_value=5), min_size=1, max_size=2
+    ),
+)
+def test_starvation_cannot_break_bracha(seed, victims):
+    result = run_bracha_broadcast(
+        n=7, dealer=0, value=5,
+        scheduler=TargetedDelayScheduler(victims=victims, seed=seed),
+    )
+    accepted = {v for v in result.good_outputs().values() if v is not None}
+    assert accepted == {5}
+
+
+class ByzantineFlipper(AsyncAdversary):
+    """Corrupts one process; reports the opposite bit in every phase."""
+
+    def __init__(self, n):
+        super().__init__(n, budget=1)
+        self._sent = set()
+
+    def select_corruptions(self, step):
+        return {self.n - 1}
+
+    def on_deliver(self, step, delivered):
+        if delivered is None or delivered.tag not in ("report", "proposal"):
+            return []
+        payload = delivered.payload
+        if not isinstance(payload, (tuple, list)) or len(payload) != 2:
+            return []
+        phase, value = payload
+        key = (phase, delivered.tag)
+        if key in self._sent or not isinstance(value, int):
+            return []
+        self._sent.add(key)
+        bad = self.n - 1
+        flipped = 1 - value if value in (0, 1) else 0
+        return [
+            Message(bad, pid, delivered.tag, (phase, flipped))
+            for pid in range(self.n)
+            if pid != bad
+        ]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    victims=st.sets(
+        st.integers(min_value=0, max_value=4), min_size=0, max_size=2
+    ),
+)
+def test_byzantine_plus_starvation_never_split_common_coin_ba(seed, victims):
+    """Combined stress: one Byzantine flipper and scheduler starvation of
+    up to two victims; safety and validity must survive both at once."""
+    n = 6
+    inputs = [1] * n
+    scheduler = (
+        TargetedDelayScheduler(victims=victims, seed=seed)
+        if victims
+        else RandomScheduler(seed)
+    )
+    result = run_common_coin_ba(
+        n, inputs, oracle=SeededCoinOracle(seed),
+        adversary=ByzantineFlipper(n), scheduler=scheduler,
+        max_steps=200_000,
+    )
+    decided = {
+        v for v in result.good_outputs().values() if v is not None
+    }
+    assert decided <= {1}

@@ -1,0 +1,297 @@
+"""Unit tests for the asynchronous network engine."""
+
+import pytest
+
+from repro.asynchrony import (
+    AsyncNetwork,
+    AsyncProcess,
+    FIFOScheduler,
+    NullAsyncAdversary,
+    RandomScheduler,
+    SchedulerError,
+    TargetedDelayScheduler,
+)
+from repro.asynchrony.scheduler import AsyncAdversary
+from repro.net.messages import Message
+
+
+class EchoProcess(AsyncProcess):
+    """Records deliveries; pid 0 seeds one message to each peer."""
+
+    def __init__(self, pid, n):
+        super().__init__(pid)
+        self.n = n
+        self.seen = []
+
+    def on_start(self):
+        if self.pid != 0:
+            return []
+        return [Message(0, peer, "ping", peer) for peer in range(1, self.n)]
+
+    def on_message(self, message):
+        self.seen.append(message)
+        return []
+
+    def output(self):
+        return len(self.seen) if self.seen else None
+
+
+class ChattyProcess(AsyncProcess):
+    """Forwards each ping once around a ring, then stops."""
+
+    def __init__(self, pid, n, hops):
+        super().__init__(pid)
+        self.n = n
+        self.hops = hops
+        self.finished = False
+
+    def on_start(self):
+        if self.pid != 0:
+            return []
+        return [Message(0, 1 % self.n, "hop", self.hops)]
+
+    def on_message(self, message):
+        remaining = message.payload
+        if remaining <= 0:
+            self.finished = True
+            return []
+        nxt = (self.pid + 1) % self.n
+        return [Message(self.pid, nxt, "hop", remaining - 1)]
+
+    def output(self):
+        # Only the final recipient ever decides, so the run ends at
+        # quiescence after every hop has been delivered.
+        return 1 if self.finished else None
+
+
+def test_fifo_scheduler_delivers_in_send_order():
+    n = 4
+    processes = [EchoProcess(pid, n) for pid in range(n)]
+    network = AsyncNetwork(
+        processes, NullAsyncAdversary(n), scheduler=FIFOScheduler()
+    )
+    result = network.run(max_steps=100)
+    # pid 1 gets its ping first, then 2, then 3.
+    assert result.steps == 3
+    for pid in range(1, n):
+        assert processes[pid].seen[0].payload == pid
+
+
+def test_ring_forwarding_terminates_quiescent():
+    n = 5
+    processes = [ChattyProcess(pid, n, hops=12) for pid in range(n)]
+    network = AsyncNetwork(processes, NullAsyncAdversary(n))
+    result = network.run(max_steps=1000)
+    # 13 deliveries: the initial hop plus 12 forwards.
+    assert result.steps == 13
+
+
+def test_run_stops_when_all_good_decided():
+    n = 3
+    processes = [EchoProcess(pid, n) for pid in range(n)]
+
+    # pid 0 never receives anything, so use an adversary-free network and
+    # verify it stops at quiescence instead (pid 0 output stays None).
+    network = AsyncNetwork(processes, NullAsyncAdversary(n))
+    result = network.run(max_steps=100)
+    assert result.quiescent or result.steps <= 2
+
+
+def test_random_scheduler_is_deterministic_per_seed():
+    def run(seed):
+        n = 5
+        processes = [EchoProcess(pid, n) for pid in range(n)]
+        network = AsyncNetwork(
+            processes,
+            NullAsyncAdversary(n),
+            scheduler=RandomScheduler(seed),
+        )
+        network.run(max_steps=100)
+        return [p.seen[0].payload if p.seen else None for p in processes]
+
+    assert run(7) == run(7)
+
+
+def test_targeted_delay_starves_victim_until_fairness():
+    n = 6
+
+    class Sink(AsyncProcess):
+        def __init__(self, pid):
+            super().__init__(pid)
+            self.order = []
+
+        def on_start(self):
+            if self.pid != 0:
+                return []
+            return [
+                Message(0, peer, "ping", peer) for peer in range(1, n)
+            ]
+
+        def on_message(self, message):
+            self.order.append(message.payload)
+            return []
+
+    processes = [Sink(pid) for pid in range(n)]
+    recorder = []
+
+    class Recording(TargetedDelayScheduler):
+        def choose(self, pending, step):
+            index = super().choose(pending, step)
+            recorder.append(pending[index].message.recipient)
+            return index
+
+    network = AsyncNetwork(
+        processes,
+        NullAsyncAdversary(n),
+        scheduler=Recording(victims={1}),
+    )
+    network.run(max_steps=100)
+    # Victim 1's ping is delivered last.
+    assert recorder[-1] == 1
+
+
+def test_fairness_bound_forces_old_messages():
+    n = 3
+
+    class Stubborn(TargetedDelayScheduler):
+        pass
+
+    class Pinger(AsyncProcess):
+        def __init__(self, pid):
+            super().__init__(pid)
+            self.got = 0
+
+        def on_start(self):
+            if self.pid != 0:
+                return []
+            out = [Message(0, 1, "starved", None)]
+            out += [Message(0, 2, "chaff", i) for i in range(30)]
+            return out
+
+        def on_message(self, message):
+            self.got += 1
+            if self.pid == 2 and self.got < 40:
+                # keep generating chaff so the scheduler always has a choice
+                return [Message(2, 2, "self", None)] if False else []
+            return []
+
+    processes = [Pinger(pid) for pid in range(n)]
+    network = AsyncNetwork(
+        processes,
+        NullAsyncAdversary(n),
+        scheduler=Stubborn(victims={1}),
+        fairness_bound=5,
+    )
+    network.run(max_steps=100)
+    assert processes[1].got == 1  # force-delivered despite starvation
+
+
+def test_forged_sender_rejected():
+    n = 2
+
+    class Forger(AsyncProcess):
+        def on_start(self):
+            return [Message(1, 0, "forged", None)] if self.pid == 0 else []
+
+        def on_message(self, message):
+            return []
+
+    network = AsyncNetwork(
+        [Forger(0), Forger(1)], NullAsyncAdversary(n)
+    )
+    with pytest.raises(SchedulerError):
+        network.run(max_steps=10)
+
+
+def test_adversary_injection_requires_corruption():
+    n = 3
+
+    class BadAdversary(AsyncAdversary):
+        def __init__(self):
+            super().__init__(n, budget=1)
+
+        def on_deliver(self, step, delivered):
+            # pid 2 was never corrupted — must be rejected.
+            return [Message(2, 0, "fake", None)]
+
+    processes = [EchoProcess(pid, n) for pid in range(n)]
+    network = AsyncNetwork(processes, BadAdversary())
+    with pytest.raises(SchedulerError):
+        network.run(max_steps=10)
+
+
+def test_adaptive_corruption_capture_and_budget():
+    n = 4
+
+    class TakeOverAll(AsyncAdversary):
+        def __init__(self):
+            super().__init__(n, budget=2)
+
+        def select_corruptions(self, step):
+            return {0, 1, 2, 3}
+
+        def on_deliver(self, step, delivered):
+            return []
+
+    processes = [EchoProcess(pid, n) for pid in range(n)]
+    adversary = TakeOverAll()
+    network = AsyncNetwork(processes, adversary)
+    network.run(max_steps=10)
+    assert len(adversary.corrupted) == 2  # budget enforced
+    assert set(adversary.captured_state) == adversary.corrupted
+
+
+def test_ledger_counts_only_good_sends():
+    n = 3
+
+    class Corrupter(AsyncAdversary):
+        def __init__(self):
+            super().__init__(n, budget=1)
+
+        def select_corruptions(self, step):
+            return {1}
+
+        def on_deliver(self, step, delivered):
+            # flood from the corrupted pid — must not hit the ledger
+            return [Message(1, 0, "flood", 12345)]
+
+    processes = [EchoProcess(pid, n) for pid in range(n)]
+    network = AsyncNetwork(processes, Corrupter())
+    result = network.run(max_steps=20)
+    assert result.ledger.bits_sent_by(1) == 0
+
+
+def test_invalid_fairness_bound_rejected():
+    n = 2
+    processes = [EchoProcess(pid, n) for pid in range(n)]
+    with pytest.raises(SchedulerError):
+        AsyncNetwork(processes, NullAsyncAdversary(n), fairness_bound=0)
+
+
+def test_pid_slot_mismatch_rejected():
+    processes = [EchoProcess(1, 2), EchoProcess(0, 2)]
+    with pytest.raises(SchedulerError):
+        AsyncNetwork(processes, NullAsyncAdversary(2))
+
+
+def test_trace_records_deliveries_and_corruptions():
+    from repro.net.tracing import TraceRecorder
+
+    n = 3
+
+    class CorruptOne(AsyncAdversary):
+        def __init__(self):
+            super().__init__(n, budget=1)
+
+        def select_corruptions(self, step):
+            return {2}
+
+        def on_deliver(self, step, delivered):
+            return []
+
+    trace = TraceRecorder()
+    processes = [EchoProcess(pid, n) for pid in range(n)]
+    network = AsyncNetwork(processes, CorruptOne(), trace=trace)
+    network.run(max_steps=50)
+    assert trace.counters["corrupt"] == 1
+    assert trace.counters["deliver"] >= 1

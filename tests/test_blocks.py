@@ -1,0 +1,100 @@
+"""Unit tests for candidate arrays and blocks (Definition 4)."""
+
+import random
+
+import pytest
+
+from repro.core.blocks import (
+    Block,
+    CandidateArray,
+    generate_adversarial_array,
+    generate_array,
+)
+from repro.core.parameters import ProtocolParameters
+from repro.crypto.field import PrimeField
+
+FIELD = PrimeField(257)
+
+
+def params():
+    return ProtocolParameters(n=81, q=3, winners_per_election=2)
+
+
+class TestBlock:
+    def test_words_layout(self):
+        block = Block(bin_choice=2, coin_words=(5, 6, 7))
+        assert block.words() == [2, 5, 6, 7]
+        assert block.n_words == 4
+
+
+class TestGenerateArray:
+    def test_block_per_level(self):
+        rng = random.Random(1)
+        array = generate_array(0, params(), [2, 3], FIELD, rng)
+        assert set(array.blocks) == {2, 3}
+
+    def test_block_sizes_match_candidates(self):
+        p = params()
+        rng = random.Random(2)
+        array = generate_array(0, p, [2, 3], FIELD, rng)
+        assert len(array.blocks[2].coin_words) == p.candidates_per_election(2)
+        assert len(array.blocks[3].coin_words) == p.candidates_per_election(3)
+
+    def test_bin_choice_in_range(self):
+        p = params()
+        for seed in range(20):
+            array = generate_array(0, p, [2, 3], FIELD, random.Random(seed))
+            for level, block in array.blocks.items():
+                assert 0 <= block.bin_choice < p.num_bins(level)
+
+    def test_final_and_output_words(self):
+        array = generate_array(
+            0, params(), [2], FIELD, random.Random(3),
+            final_words=2, output_words=3,
+        )
+        assert len(array.final_block) == 2
+        assert len(array.output_block) == 3
+
+    def test_all_words_flattening(self):
+        p = params()
+        array = generate_array(
+            0, p, [2, 3], FIELD, random.Random(4), final_words=2,
+            output_words=1,
+        )
+        expected = (
+            p.block_words(2) + p.block_words(3) + 2 + 1
+        )
+        assert array.n_words() == expected
+
+    def test_deterministic_per_seed(self):
+        a = generate_array(0, params(), [2], FIELD, random.Random(5))
+        b = generate_array(0, params(), [2], FIELD, random.Random(5))
+        assert a.all_words() == b.all_words()
+
+    def test_distinct_across_owners_seeds(self):
+        a = generate_array(0, params(), [2], FIELD, random.Random(6))
+        b = generate_array(1, params(), [2], FIELD, random.Random(7))
+        assert a.all_words() != b.all_words()
+
+
+class TestAdversarialArray:
+    def test_hooks_drive_contents(self):
+        p = params()
+        array = generate_adversarial_array(
+            3, p, [2, 3],
+            bin_choice_fn=lambda level, owner, bins: 0,
+            coin_word_fn=lambda level, owner, index: 7,
+            final_words=2,
+        )
+        assert array.blocks[2].bin_choice == 0
+        assert all(w == 7 for w in array.blocks[2].coin_words)
+        assert array.final_block == (7, 7)
+
+    def test_bin_choice_reduced_mod_bins(self):
+        p = params()
+        array = generate_adversarial_array(
+            3, p, [2],
+            bin_choice_fn=lambda level, owner, bins: 10**9,
+            coin_word_fn=lambda level, owner, index: 0,
+        )
+        assert 0 <= array.blocks[2].bin_choice < p.num_bins(2)

@@ -1,0 +1,141 @@
+"""Tests for Bracha reliable broadcast: validity, consistency, fault bound."""
+
+import pytest
+
+from repro.asynchrony import (
+    RandomScheduler,
+    TargetedDelayScheduler,
+    bracha_fault_bound,
+    run_bracha_broadcast,
+)
+from repro.asynchrony.scheduler import AsyncAdversary
+from repro.net.messages import Message
+
+
+def test_fault_bound_values():
+    assert bracha_fault_bound(4) == 1
+    assert bracha_fault_bound(7) == 2
+    assert bracha_fault_bound(10) == 3
+    assert bracha_fault_bound(1) == 0
+
+
+def test_good_dealer_all_accept():
+    result = run_bracha_broadcast(n=7, dealer=0, value=42)
+    assert result.agreement_value() == 42
+    assert result.decided_fraction() == 1.0
+
+
+def test_good_dealer_under_random_scheduling():
+    for seed in range(5):
+        result = run_bracha_broadcast(
+            n=10, dealer=3, value=7, scheduler=RandomScheduler(seed)
+        )
+        assert result.agreement_value() == 7
+
+
+def test_delayed_dealer_still_accepted():
+    result = run_bracha_broadcast(
+        n=7, dealer=0, value=5,
+        scheduler=TargetedDelayScheduler(victims={0}, seed=1),
+    )
+    assert result.agreement_value() == 5
+
+
+class EquivocatingDealer(AsyncAdversary):
+    """Corrupts the dealer and sends value 0 to half, 1 to the other half."""
+
+    def __init__(self, n, dealer):
+        super().__init__(n, budget=1)
+        self.dealer = dealer
+        self._sent = False
+
+    def select_corruptions(self, step):
+        return {self.dealer}
+
+    def on_deliver(self, step, delivered):
+        if self._sent:
+            return []
+        self._sent = True
+        out = []
+        for pid in range(self.n):
+            if pid == self.dealer:
+                continue
+            value = 0 if pid % 2 == 0 else 1
+            out.append(Message(self.dealer, pid, "initial", value))
+        return out
+
+
+def test_equivocating_dealer_no_disagreement():
+    """A two-faced dealer may stall acceptance but never splits it."""
+    for seed in range(4):
+        n = 10
+        result = run_bracha_broadcast(
+            n=n, dealer=0, value=0,
+            adversary=EquivocatingDealer(n, dealer=0),
+            scheduler=RandomScheduler(seed),
+        )
+        accepted = {
+            v for v in result.good_outputs().values() if v is not None
+        }
+        assert len(accepted) <= 1
+
+
+class EchoForger(AsyncAdversary):
+    """t corrupted processors echo/ready a value the dealer never sent."""
+
+    def __init__(self, n, t, fake_value):
+        super().__init__(n, budget=t)
+        self.fake_value = fake_value
+        self._fired = False
+
+    def select_corruptions(self, step):
+        return set(range(self.n - self.budget, self.n))
+
+    def on_deliver(self, step, delivered):
+        if self._fired:
+            return []
+        self._fired = True
+        out = []
+        for bad in sorted(self.corrupted):
+            for pid in range(self.n):
+                if pid in self.corrupted:
+                    continue
+                out.append(Message(bad, pid, "echo", self.fake_value))
+                out.append(Message(bad, pid, "ready", self.fake_value))
+        return out
+
+
+def test_t_forgers_cannot_fake_acceptance():
+    """t echo+ready forgeries fall short of both quorums: dealer value wins."""
+    n = 10
+    t = bracha_fault_bound(n)
+    result = run_bracha_broadcast(
+        n=n, dealer=0, value=1,
+        adversary=EchoForger(n, t, fake_value=9),
+    )
+    accepted = {v for v in result.good_outputs().values() if v is not None}
+    assert 9 not in accepted
+    assert accepted == {1}
+
+
+def test_dealer_value_required():
+    with pytest.raises(ValueError):
+        run_bracha_broadcast(n=4, dealer=0, value=None)  # type: ignore[arg-type]
+
+
+def test_invalid_dealer_rejected():
+    with pytest.raises(ValueError):
+        run_bracha_broadcast(n=4, dealer=9, value=1)
+
+
+def test_message_cost_is_quadratic():
+    """Each good processor sends Theta(n) messages -> Theta(n^2) total."""
+    totals = {}
+    for n in (8, 16, 32):
+        result = run_bracha_broadcast(n=n, dealer=0, value=1)
+        totals[n] = result.ledger.total_messages()
+    # Doubling n should roughly quadruple messages (ratio in [3, 5]).
+    ratio1 = totals[16] / totals[8]
+    ratio2 = totals[32] / totals[16]
+    assert 3.0 <= ratio1 <= 5.0
+    assert 3.0 <= ratio2 <= 5.0

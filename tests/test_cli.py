@@ -1,0 +1,135 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_info_command(capsys):
+    assert main(["info", "-n", "54"]) == 0
+    out = capsys.readouterr().out
+    assert "n = 54" in out
+    assert "k1" in out
+
+
+def test_run_ba_fault_free(capsys):
+    assert main(["run-ba", "-n", "27"]) == 0
+    out = capsys.readouterr().out
+    assert "agreed bit" in out
+    assert "validity           : True" in out
+
+
+def test_run_ba_with_corruption(capsys):
+    assert main(["run-ba", "-n", "27", "--corrupt", "0.1",
+                 "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "corruption = 10%" in out
+
+
+def test_run_ba_forced_input(capsys):
+    assert main(["run-ba", "-n", "27", "--input-bit", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "agreed bit         : 1" in out
+
+
+def test_costmodel_command(capsys):
+    assert main(
+        ["costmodel", "--start", "1024", "--stop", "4096", "--factor", "2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "Phase King" in out
+    assert "1,024" in out
+
+
+def test_attack_guessing(capsys):
+    assert main(["attack", "guessing", "-n", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "Coin-guessing" in out
+    assert "victim" in out
+
+
+def test_attack_isolation(capsys):
+    assert main(["attack", "isolation", "-n", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "Isolation attack" in out
+    assert "ISOLATED" in out
+
+
+def test_run_async(capsys):
+    assert main(["run-async", "-n", "6", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Ben-Or" in out
+    assert "common coin" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["no-such-command"])
+
+
+def test_costmodel_plot(capsys):
+    assert main(
+        ["costmodel", "--start", "1024", "--stop", "65536",
+         "--factor", "4", "--plot"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "fitted exponents" in out
+    assert "*=this paper" in out
+    assert "|" in out
+
+
+def test_report_to_stdout(capsys):
+    assert main(["report", "-n", "27"]) == 0
+    out = capsys.readouterr().out
+    assert "# repro experiment report" in out
+    assert "Everywhere BA at n = 27" in out
+    assert "| corruption |" in out
+
+
+def test_report_to_file(tmp_path, capsys):
+    target = tmp_path / "report.md"
+    assert main(["report", "-n", "27", "--out", str(target)]) == 0
+    assert target.exists()
+    assert "Dolev-Reischuk" in target.read_text()
+
+
+def test_elect_leader_fault_free(capsys):
+    assert main(["elect-leader", "-n", "27", "--rounds", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Leader rotation, n = 27" in out
+    assert out.count("-> leader") == 3
+    assert "good fraction      : 100%" in out
+
+
+def test_elect_leader_with_corruption(capsys):
+    assert main(
+        ["elect-leader", "-n", "27", "--rounds", "3",
+         "--corrupt", "0.1", "--seed", "2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "corruption = 10%" in out
+    assert "weakest agreement" in out
+
+
+def test_commit_log_fault_free(capsys):
+    assert main(["commit-log", "-n", "27", "--slots", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Replicated log, n = 27" in out
+    assert out.count("  slot ") == 2
+    assert "all valid              : True" in out
+
+
+def test_commit_log_with_corruption(capsys):
+    assert main(
+        ["commit-log", "-n", "27", "--slots", "3",
+         "--corrupt", "0.1", "--seed", "4"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "corruption = 10%" in out
+    assert "amortized bits/slot" in out

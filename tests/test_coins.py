@@ -1,0 +1,126 @@
+"""Unit tests for global-coin sources and the coin subsequence."""
+
+import random
+
+import pytest
+
+from repro.core.coins import (
+    CoinError,
+    coin_source_from_words,
+    perfect_coin_source,
+    unreliable_coin_source,
+)
+from repro.core.global_coin import GlobalCoinSubsequence, synthetic_subsequence
+
+
+class TestPerfectSource:
+    def test_all_rounds_good(self):
+        source = perfect_coin_source(10, 5, random.Random(0))
+        assert source.num_good_rounds() == 5
+        assert source.num_rounds == 5
+
+    def test_uniform_views(self):
+        source = perfect_coin_source(10, 5, random.Random(0))
+        for r in range(5):
+            views = {source.view(r, p) for p in range(10)}
+            assert len(views) == 1
+
+    def test_view_wraps_rounds(self):
+        source = perfect_coin_source(4, 2, random.Random(1))
+        assert source.view(0, 0) == source.view(2, 0)
+
+
+class TestUnreliableSource:
+    def test_good_round_mostly_agrees(self):
+        source = unreliable_coin_source(
+            100, 4, good_round_indices=[0, 2],
+            confused_fraction=0.1, rng=random.Random(2),
+        )
+        assert source.num_good_rounds() == 2
+        round0 = [source.view(0, p) for p in range(100)]
+        true_bit = source.rounds[0].true_bit
+        agree = sum(1 for b in round0 if b == true_bit)
+        assert agree >= 90
+
+    def test_bad_round_split(self):
+        source = unreliable_coin_source(
+            100, 2, good_round_indices=[],
+            confused_fraction=0.0, rng=random.Random(3),
+        )
+        round0 = [source.view(0, p) for p in range(100)]
+        assert round0.count(0) == 50  # pid-parity split default
+
+    def test_custom_adversary_bits(self):
+        source = unreliable_coin_source(
+            10, 1, good_round_indices=[], confused_fraction=0.0,
+            rng=random.Random(4),
+            adversary_bit_fn=lambda r, p: 1,
+        )
+        assert all(source.view(0, p) == 1 for p in range(10))
+
+    def test_validation(self):
+        with pytest.raises(CoinError):
+            unreliable_coin_source(
+                10, 2, [5], 0.0, random.Random(0)
+            )
+        with pytest.raises(CoinError):
+            unreliable_coin_source(
+                10, 2, [0], 1.5, random.Random(0)
+            )
+
+
+class TestFromWords:
+    def test_unanimous_word_is_good(self):
+        words = {p: [6] for p in range(5)}  # low bit 0
+        source = coin_source_from_words(5, words, 1)
+        assert source.rounds[0].good
+        assert source.rounds[0].true_bit == 0
+
+    def test_split_word_is_bad(self):
+        words = {p: [p % 2] for p in range(4)}
+        source = coin_source_from_words(4, words, 1)
+        assert not source.rounds[0].good
+
+    def test_missing_words_default_zero(self):
+        words = {0: [None], 1: [None]}
+        source = coin_source_from_words(2, words, 1)
+        assert source.view(0, 0) == 0
+
+
+class TestGlobalCoinSubsequence:
+    def make(self):
+        return synthetic_subsequence(
+            n=20, length=6, good_indices=[0, 2, 4],
+            rng=random.Random(5), confused_fraction=0.1,
+        )
+
+    def test_good_fraction(self):
+        assert self.make().good_fraction() == 0.5
+
+    def test_agreed_word_matches_truth_on_good(self):
+        seq = self.make()
+        for index in seq.good_indices():
+            assert seq.agreed_word(index) == seq.truth[index]
+
+    def test_agreement_fraction_high_on_good(self):
+        seq = self.make()
+        for index in seq.good_indices():
+            assert seq.agreement_fraction(index) >= 0.8
+
+    def test_k_sequence_range(self):
+        seq = self.make()
+        ks = seq.k_sequence(sqrt_n=5)
+        assert len(ks) == 6
+        assert all(1 <= k <= 5 for k in ks)
+
+    def test_bit_sequence(self):
+        seq = self.make()
+        bits = seq.bit_sequence()
+        assert len(bits) == 6
+        assert set(bits) <= {0, 1}
+
+    def test_corrupted_excluded_from_agreement(self):
+        seq = self.make()
+        seq.corrupted = set(range(10))
+        for index in seq.good_indices():
+            assert seq.agreement_fraction(index) >= 0.7

@@ -1,0 +1,267 @@
+"""Tests for sendSecretUp / sendDown / sendOpen (Lemma 3) and robustness."""
+
+import random
+
+import pytest
+
+from repro.core.communication import (
+    SecretKey,
+    ShareRecord,
+    TreeCommunicator,
+    robust_reconstruct,
+)
+from repro.crypto.field import PrimeField
+from repro.crypto.shamir import ShamirScheme, Share
+from repro.net.accounting import BitLedger
+from repro.topology.links import LinkStructure
+from repro.topology.tree import NodeId, TreeTopology
+
+FIELD = PrimeField((1 << 61) - 1)
+
+
+def build_comm(n=27, q=3, k1=5, uplink=10, ell=5, seed=0, threshold=1 / 3):
+    rng = random.Random(seed)
+    tree = TreeTopology(n=n, q=q, k1=k1, rng=rng)
+    links = LinkStructure(
+        tree, uplink_degree=uplink, ell_link_degree=ell, intra_degree=6,
+        rng=rng,
+    )
+    ledger = BitLedger(n)
+    comm = TreeCommunicator(
+        tree, links, FIELD, ledger, rng=random.Random(seed + 1),
+        threshold_fraction=threshold,
+    )
+    return tree, links, comm
+
+
+class TestRobustReconstruct:
+    def make_shares(self, secret, n_shares, threshold, seed=0):
+        scheme = ShamirScheme(n_shares, threshold, field=FIELD)
+        return scheme.deal(secret, random.Random(seed))
+
+    def test_clean_pool(self):
+        shares = self.make_shares(777, 9, 4)
+        value = robust_reconstruct(FIELD, shares, 9, 4, random.Random(1))
+        assert value == 777
+
+    def test_minority_tampering_corrected(self):
+        shares = self.make_shares(777, 9, 4)
+        tampered = [
+            Share(s.x, (s.value + 1) % FIELD.modulus) if i < 2 else s
+            for i, s in enumerate(shares)
+        ]
+        value = robust_reconstruct(FIELD, tampered, 9, 4, random.Random(2))
+        assert value == 777
+
+    def test_too_much_tampering_fails_safe(self):
+        shares = self.make_shares(777, 9, 4)
+        tampered = [
+            Share(s.x, (s.value + 1 + i) % FIELD.modulus) if i < 5 else s
+            for i, s in enumerate(shares)
+        ]
+        value = robust_reconstruct(FIELD, tampered, 9, 4, random.Random(3))
+        # Either fails (None) or — never — returns a wrong value silently.
+        assert value in (None, 777) or value is None
+
+    def test_insufficient_shares(self):
+        shares = self.make_shares(5, 9, 4)[:3]
+        assert robust_reconstruct(FIELD, shares, 9, 4, random.Random(4)) is None
+
+    def test_duplicate_coordinates_majority(self):
+        shares = self.make_shares(123, 7, 3)
+        # Duplicate x=1 with one wrong copy and two right copies.
+        augmented = shares + [shares[0], Share(shares[0].x, 0)]
+        value = robust_reconstruct(FIELD, augmented, 7, 3, random.Random(5))
+        assert value == 123
+
+
+class TestInitialShare:
+    def test_leaf_members_hold_one_record_each(self):
+        tree, links, comm = build_comm()
+        comm.initial_share(0, {(0, 0): 42})
+        leaf = NodeId(1, 0)
+        for member in tree.members(leaf):
+            records = comm.records_at(leaf, member, (0, 0))
+            assert len(records) == 1
+            assert records[0].depth == 1
+
+    def test_group_size_registered(self):
+        tree, links, comm = build_comm()
+        comm.initial_share(0, {(0, 0): 42})
+        assert comm.group_sizes[((0, 0), ((0, 0),))] == len(
+            tree.members(NodeId(1, 0))
+        )
+
+    def test_ledger_charged(self):
+        tree, links, comm = build_comm()
+        comm.initial_share(0, {(0, 0): 42})
+        assert comm.ledger.bits_sent_by(0) > 0
+
+
+class TestSendSecretUpAndReveal:
+    def test_roundtrip_one_level(self):
+        tree, links, comm = build_comm()
+        key = (5, 0)
+        comm.initial_share(5, {key: 4242})
+        leaf = NodeId(1, 5)
+        comm.send_secret_up(leaf, [key], corrupted=set())
+        # Leaf store erased (Definition 1's deletion).
+        for member in tree.members(leaf):
+            assert comm.records_at(leaf, member, key) == []
+        parent = tree.parent(leaf)
+        outcome = comm.reveal(parent, [key], corrupted=set())
+        # Every leaf node under the parent learns the secret.
+        for leaf_node, values in outcome.leaf_values.items():
+            assert values[key] == 4242
+        # Node members learn it via sendOpen.
+        views = [
+            outcome.node_views[m][key] for m in tree.members(parent)
+        ]
+        assert views.count(4242) >= 0.9 * len(views)
+
+    def test_roundtrip_two_levels(self):
+        tree, links, comm = build_comm()
+        key = (7, 0)
+        comm.initial_share(7, {key: 999})
+        leaf = NodeId(1, 7)
+        comm.send_secret_up(leaf, [key], corrupted=set())
+        level2 = tree.parent(leaf)
+        comm.send_secret_up(level2, [key], corrupted=set())
+        level3 = tree.parent(level2)
+        outcome = comm.reveal(level3, [key], corrupted=set())
+        correct_views = sum(
+            1
+            for m in tree.members(level3)
+            if outcome.node_views[m][key] == 999
+        )
+        assert correct_views >= 0.85 * len(tree.members(level3))
+
+    def test_reveal_with_minority_corruption_on_good_path(self):
+        """Lemma 3(2): corruption that leaves the path good cannot stop
+        the reveal."""
+        tree, links, comm = build_comm(seed=3)
+        key = (11, 0)
+        comm.initial_share(11, {key: 31337})
+        leaf = NodeId(1, 11)
+        # Corrupt 3 processors that do NOT sit in the owner's leaf
+        # committee (the path stays good).
+        leaf_members = set(tree.members(leaf))
+        pool = [p for p in range(27) if p not in leaf_members]
+        corrupted = set(pool[:3])
+        comm.send_secret_up(leaf, [key], corrupted=corrupted)
+        parent = tree.parent(leaf)
+        outcome = comm.reveal(parent, [key], corrupted=corrupted)
+        good_members = [
+            m for m in tree.members(parent) if m not in corrupted
+        ]
+        correct = sum(
+            1 for m in good_members if outcome.node_views[m][key] == 31337
+        )
+        assert correct >= 0.75 * len(good_members)
+
+    def test_reveal_through_bad_leaf_fails_safe(self):
+        """When the owner's committee is overwhelmed the reveal may fail,
+        but it must fail to None — never to a silently wrong value."""
+        tree, links, comm = build_comm(seed=3)
+        key = (11, 0)
+        comm.initial_share(11, {key: 31337})
+        leaf = NodeId(1, 11)
+        # Corrupt a weighty chunk of the leaf committee itself.
+        corrupted = set(list(tree.members(leaf))[:2])
+        comm.send_secret_up(leaf, [key], corrupted=corrupted)
+        parent = tree.parent(leaf)
+        outcome = comm.reveal(parent, [key], corrupted=corrupted)
+        for member in tree.members(parent):
+            if member in corrupted:
+                continue
+            assert outcome.node_views[member][key] in (31337, None)
+
+    def test_multiple_secrets_batched(self):
+        tree, links, comm = build_comm()
+        keys = [(3, w) for w in range(4)]
+        comm.initial_share(3, {k: 100 + i for i, k in enumerate(keys)})
+        leaf = NodeId(1, 3)
+        comm.send_secret_up(leaf, keys, corrupted=set())
+        outcome = comm.reveal(tree.parent(leaf), keys, corrupted=set())
+        for i, key in enumerate(keys):
+            for values in outcome.leaf_values.values():
+                assert values[key] == 100 + i
+
+
+class TestLemma3Secrecy:
+    def test_secret_hidden_from_small_coalition(self):
+        """Lemma 3(1): no bad node on the path -> adversary learns nothing."""
+        tree, links, comm = build_comm(threshold=1 / 2)
+        key = (2, 0)
+        comm.initial_share(2, {key: 55})
+        # Coalition: 25% of processors, chosen before the dealing's node is
+        # known to be good.
+        rng = random.Random(10)
+        coalition = set(rng.sample(range(27), 6))
+        leaf = NodeId(1, 2)
+        leaf_members = set(tree.members(leaf))
+        bad_in_leaf = len(leaf_members & coalition)
+        can = comm.adversary_can_reconstruct(key, coalition)
+        threshold = comm._threshold(len(leaf_members))
+        if bad_in_leaf < threshold:
+            assert not can
+        else:
+            assert can
+
+    def test_secret_revealed_with_majority_coalition(self):
+        tree, links, comm = build_comm(threshold=1 / 2)
+        key = (4, 0)
+        comm.initial_share(4, {key: 66})
+        leaf = NodeId(1, 4)
+        coalition = set(tree.members(leaf))  # whole committee corrupted
+        assert comm.adversary_can_reconstruct(key, coalition)
+
+    def test_secrecy_preserved_after_send_up(self):
+        """Re-sharing up a good path must not leak the secret."""
+        tree, links, comm = build_comm(threshold=1 / 2)
+        key = (6, 0)
+        comm.initial_share(6, {key: 77})
+        leaf = NodeId(1, 6)
+        comm.send_secret_up(leaf, [key], corrupted=set())
+        rng = random.Random(11)
+        coalition = set(rng.sample(range(27), 5))
+        parent = tree.parent(leaf)
+        parent_members = tree.members(parent)
+        bad_fraction = len(set(parent_members) & coalition) / len(
+            parent_members
+        )
+        if bad_fraction < 1 / 3:
+            assert not comm.adversary_can_reconstruct(key, coalition)
+
+    def test_erasure_blocks_late_coalitions(self):
+        """After send-up + erasure, corrupting the whole *leaf* gains
+        nothing: the shares now live in the parent."""
+        tree, links, comm = build_comm(threshold=1 / 2)
+        key = (8, 0)
+        comm.initial_share(8, {key: 88})
+        leaf = NodeId(1, 8)
+        comm.send_secret_up(leaf, [key], corrupted=set())
+        coalition = set(tree.members(leaf)) - set(
+            tree.members(tree.parent(leaf))
+        )
+        if coalition:
+            assert not comm.adversary_can_reconstruct(key, coalition)
+
+
+class TestSendOpenGuards:
+    def test_failed_leaves_do_not_elect_adversary_value(self):
+        """A leaf whose good members failed to reconstruct must not be
+        spoken for by its corrupted minority."""
+        tree, links, comm = build_comm()
+        key = (1, 0)
+        # Fabricate: all leaves failed (None), some corrupted members.
+        leaf_values = {
+            leaf: {key: None} for leaf in tree.nodes_on_level(1)
+        }
+        corrupted = set(range(5))
+        views = comm.send_open(
+            NodeId(2, 0), [key], leaf_values, corrupted,
+            bad_value_fn=lambda k, p: 666,
+        )
+        for member, view in views.items():
+            assert view[key] is None

@@ -1,0 +1,159 @@
+"""Property-based tests of the tree communication protocols.
+
+Hypothesis drives random topologies, secrets and (bounded) corruption
+sets through the sendSecretUp -> reveal cycle and checks the protocol's
+two contract properties:
+
+* fault-free reveals always learn the exact secret everywhere;
+* reveals never produce a *wrong* value at a good processor — they
+  either learn the secret or learn nothing (fail-safe), whatever the
+  adversary does within its budget.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.communication import TreeCommunicator
+from repro.crypto.field import PrimeField
+from repro.net.accounting import BitLedger
+from repro.topology.links import LinkStructure
+from repro.topology.tree import NodeId, TreeTopology
+
+FIELD = PrimeField((1 << 31) - 1)
+
+
+def build(n, q, k1, uplink, seed):
+    rng = random.Random(seed)
+    tree = TreeTopology(n=n, q=q, k1=k1, rng=rng)
+    links = LinkStructure(
+        tree, uplink_degree=uplink, ell_link_degree=5, intra_degree=4,
+        rng=rng,
+    )
+    comm = TreeCommunicator(
+        tree, links, FIELD, BitLedger(n), rng=random.Random(seed + 1),
+        threshold_fraction=1 / 3,
+    )
+    return tree, comm
+
+
+@given(
+    n=st.integers(min_value=9, max_value=40),
+    owner_fraction=st.floats(min_value=0.0, max_value=0.99),
+    secret=st.integers(min_value=0, max_value=FIELD.modulus - 1),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_fault_free_reveal_exact(n, owner_fraction, secret, seed):
+    tree, comm = build(n, q=3, k1=5, uplink=8, seed=seed)
+    owner = min(n - 1, int(owner_fraction * n))
+    key = (owner, 0)
+    comm.initial_share(owner, {key: secret})
+    leaf = NodeId(1, owner)
+    node = leaf
+    comm.send_secret_up(leaf, [key], corrupted=set())
+    node = tree.parent(leaf)
+    outcome = comm.reveal(node, [key], corrupted=set())
+    for leaf_node, values in outcome.leaf_values.items():
+        assert values[key] == secret
+    for member, views in outcome.node_views.items():
+        assert views[key] == secret
+
+
+@given(
+    n=st.integers(min_value=12, max_value=36),
+    secret=st.integers(min_value=0, max_value=FIELD.modulus - 1),
+    corrupt_count=st.integers(min_value=0, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_reveal_never_wrong_under_corruption(
+    n, secret, corrupt_count, seed
+):
+    """Fail-safe on good paths (Lemma 3's precondition): while the
+    owner's leaf committee keeps an honest majority, a good member's view
+    is the secret or None — never a silently wrong value.
+
+    (With a majority-bad leaf committee — a bad node per Definition 3 —
+    non-verifiable sharing genuinely permits a consistent wrong value;
+    the paper then counts the whole election as bad, so that case is out
+    of scope here.)"""
+    tree, comm = build(n, q=3, k1=5, uplink=8, seed=seed)
+    owner = n - 1
+    key = (owner, 0)
+    comm.initial_share(owner, {key: secret})
+    leaf = NodeId(1, owner)
+    leaf_members = set(tree.members(leaf))
+    rng = random.Random(seed ^ 0xABCDEF)
+    pool = [p for p in range(n) if p not in leaf_members]
+    corrupted = set(rng.sample(pool, min(corrupt_count, len(pool))))
+    comm.send_secret_up(leaf, [key], corrupted=corrupted)
+    node = tree.parent(leaf)
+    outcome = comm.reveal(
+        node, [key], corrupted=corrupted,
+        bad_value_fn=lambda k, p: (secret + 17) % FIELD.modulus,
+    )
+    for member, views in outcome.node_views.items():
+        if member in corrupted:
+            continue
+        # The adversary pushes secret+17 everywhere it can; a good member
+        # must never adopt it.
+        assert views[key] in (secret, None)
+
+
+@given(
+    n=st.integers(min_value=9, max_value=30),
+    words=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_multiword_reveal_consistency(n, words, seed):
+    """All words of a block survive the same path together."""
+    tree, comm = build(n, q=3, k1=5, uplink=8, seed=seed)
+    owner = 0
+    rng = random.Random(seed)
+    secrets = {
+        (owner, w): rng.randrange(FIELD.modulus) for w in range(words)
+    }
+    comm.initial_share(owner, secrets)
+    leaf = NodeId(1, owner)
+    comm.send_secret_up(leaf, list(secrets), corrupted=set())
+    node = tree.parent(leaf)
+    outcome = comm.reveal(node, list(secrets), corrupted=set())
+    for key, value in secrets.items():
+        for leaf_node, leaf_vals in outcome.leaf_values.items():
+            assert leaf_vals[key] == value
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+@settings(max_examples=10, deadline=None)
+def test_erasure_property(seed):
+    """After sendSecretUp the child's stores hold nothing (Definition 1's
+    deletion), so corrupting the child later reveals nothing."""
+    tree, comm = build(18, q=3, k1=5, uplink=8, seed=seed)
+    owner = 7
+    key = (owner, 0)
+    comm.initial_share(owner, {key: 12345})
+    leaf = NodeId(1, owner)
+    comm.send_secret_up(leaf, [key], corrupted=set())
+    for member in tree.members(leaf):
+        assert comm.records_at(leaf, member, key) == []
+    assert not comm.adversary_can_reconstruct(
+        key, set(tree.members(leaf)) - set(tree.members(tree.parent(leaf)))
+    )

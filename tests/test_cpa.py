@@ -1,0 +1,120 @@
+"""Tests for certified propagation (sparse-network a.e. broadcast)."""
+
+import random
+
+import pytest
+
+from repro.baselines.cpa import (
+    CPAOutcome,
+    RandomLiarAdversary,
+    SurroundAdversary,
+    run_cpa,
+)
+from repro.topology.sparse_graph import random_regular_graph
+
+
+def test_fault_free_reaches_everyone():
+    outcome = run_cpa(n=60, dealer=0, value=1, seed=1)
+    assert outcome.reached_fraction == 1.0
+    assert outcome.accepted_wrong == 0
+    assert outcome.unreached == 0
+
+
+def test_fault_free_value_zero():
+    outcome = run_cpa(n=40, dealer=5, value=0, seed=2)
+    assert outcome.reached_fraction == 1.0
+
+
+def test_random_corruption_almost_everywhere():
+    """Random liars below the local bound: nearly all good nodes accept
+    the true value — the 1986-line a.e. broadcast guarantee."""
+    n = 100
+    outcome = run_cpa(
+        n=n, dealer=0, value=1, seed=3,
+        adversary_factory=lambda adj: RandomLiarAdversary(
+            adj, budget=n // 12, lie_value=0, seed=3, protected={0}
+        ),
+    )
+    assert outcome.reached_fraction >= 0.9
+    assert outcome.accepted_wrong <= 3
+
+
+def test_surrounded_victim_is_cut_off():
+    """The Section 2 impossibility: a victim whose whole neighborhood is
+    corrupt accepts the adversary's value (or nothing) — everywhere
+    broadcast cannot be guaranteed on a sparse static topology."""
+    n = 60
+    victim = 30
+    outcome = run_cpa(
+        n=n, dealer=0, value=1, seed=4,
+        adversary_factory=lambda adj: SurroundAdversary(
+            adj, victim=victim, true_value=1, lie_value=0
+        ),
+    )
+    # Everyone else is fine...
+    good_other = (
+        outcome.accepted_correct
+    )
+    assert good_other >= n - len(outcome.corrupted) - 1
+    # ...but the victim was certified the lie or left unreached.
+    assert outcome.accepted_wrong + outcome.unreached == 1
+
+
+def test_surround_uses_only_neighborhood_budget():
+    n = 80
+    victim = 40
+    outcome = run_cpa(
+        n=n, dealer=0, value=1, seed=5, degree=6,
+        adversary_factory=lambda adj: SurroundAdversary(
+            adj, victim=victim, true_value=1, lie_value=0
+        ),
+    )
+    assert len(outcome.corrupted) == 6  # exactly the victim's degree
+
+
+def test_higher_degree_shrinks_surround_feasibility():
+    """Quantifies the sparse trade-off: the surround budget is the degree,
+    so denser graphs price the attack up (toward the paper's full model,
+    where 'degree' is effectively n and surrounding is impossible)."""
+    budgets = {}
+    for degree in (4, 8, 16):
+        n = 80
+        outcome = run_cpa(
+            n=n, dealer=0, value=1, seed=6, degree=degree,
+            adversary_factory=lambda adj: SurroundAdversary(
+                adj, victim=40, true_value=1, lie_value=0
+            ),
+        )
+        budgets[degree] = len(outcome.corrupted)
+    assert budgets[4] < budgets[8] < budgets[16]
+
+
+def test_dealer_needs_value():
+    with pytest.raises(ValueError):
+        run_cpa(n=10, dealer=0, value=None, seed=0)  # type: ignore[arg-type]
+
+
+def test_local_fault_bound_gates_certification():
+    """With local_fault_bound >= degree, no relay quorum can ever form:
+    only the dealer's direct neighbors learn the value."""
+    n = 30
+    degree = 4
+    outcome = run_cpa(
+        n=n, dealer=0, value=1, seed=7, degree=degree,
+        local_fault_bound=degree,
+    )
+    # dealer + its neighbors accept; everyone else is unreached.
+    assert outcome.accepted_correct <= 1 + degree
+    assert outcome.unreached >= n - 2 - degree
+
+
+def test_outcome_accounting_consistent():
+    n = 50
+    outcome = run_cpa(n=n, dealer=0, value=1, seed=8)
+    good = n - len(outcome.corrupted)
+    assert (
+        outcome.accepted_correct
+        + outcome.accepted_wrong
+        + outcome.unreached
+        == good
+    )

@@ -1,0 +1,105 @@
+"""Tests for the DISC'09 predecessor amplifier and its adaptive kill."""
+
+import pytest
+
+from repro.baselines.disc09_ae2e import (
+    AssignmentTargetingAdversary,
+    assignment,
+    disc09_fanout,
+    run_disc09_ae2e,
+)
+from repro.core.ae_to_everywhere import run_ae_to_everywhere
+from repro.core.parameters import ProtocolParameters
+
+N = 100
+MESSAGE = 6
+
+
+def knowledgeable_set(n=N, exclude=()):
+    count = int(0.7 * n)
+    return set(p for p in range(n) if p not in exclude)
+
+
+class TestAssignment:
+    def test_fixed_and_deterministic(self):
+        a = assignment(50, seed=1, fanout=5)
+        b = assignment(50, seed=1, fanout=5)
+        assert a == b
+
+    def test_fanout_respected(self):
+        table = assignment(50, seed=2, fanout=7)
+        assert all(len(v) == 7 for v in table.values())
+
+    def test_fanout_scales_with_log(self):
+        assert disc09_fanout(1 << 20) > disc09_fanout(1 << 6)
+
+
+class TestNonAdaptiveSuccess:
+    def test_fault_free_decides_everyone(self):
+        knowledgeable = set(range(70))
+        result = run_disc09_ae2e(N, knowledgeable, MESSAGE, seed=3)
+        undecided = [
+            p for p, v in result.outputs.items() if v != MESSAGE
+        ]
+        # Pseudo-random assignment: all but a couple of unlucky receivers
+        # hear enough copies.
+        assert len(undecided) <= N // 10
+
+    def test_cheap(self):
+        knowledgeable = set(range(70))
+        result = run_disc09_ae2e(N, knowledgeable, MESSAGE, seed=4)
+        # O~(sqrt n)-ish per processor: far below one all-to-all round.
+        assert result.ledger.max_bits_per_processor() < N * 30
+
+
+class TestAdaptiveKill:
+    """The measured difference between [16] and the paper's Section 4."""
+
+    def make_attack(self, seed=5):
+        fanout = disc09_fanout(N, 6.0)
+        table = assignment(N, seed, fanout)
+        corrupted_budget = N // 4
+        knowledgeable = set(range(70))
+        victims = [99, 98, 97, 96, 95]
+        adversary = AssignmentTargetingAdversary(
+            N,
+            budget=corrupted_budget,
+            table=table,
+            knowledgeable=knowledgeable,
+            victims=victims,
+            fake_message=MESSAGE + 1,
+        )
+        return knowledgeable, victims, adversary, seed
+
+    def test_victims_fail_or_decide_wrong(self):
+        knowledgeable, victims, adversary, seed = self.make_attack()
+        result = run_disc09_ae2e(
+            N, knowledgeable - adversary.select_corruptions(1), MESSAGE,
+            adversary=adversary, seed=seed, a=6.0,
+        )
+        # Re-run corruption selection happened inside run; check victims.
+        harmed = sum(
+            1
+            for v in victims
+            if result.outputs.get(v) != MESSAGE
+        )
+        assert harmed >= 1  # the fixed pattern lets the adversary isolate
+
+    def test_algorithm3_survives_same_budget(self):
+        """Algorithm 3 with private channels + post-hoc label choice is
+        immune to the same style of targeting (the adversary cannot know
+        which requests matter before k is drawn)."""
+        params = ProtocolParameters.simulation(N)
+        corrupted = set(range(25))
+        knowledgeable = set(range(25, 95))
+        from repro.core.ae_to_everywhere import FakeResponderAdversary
+
+        adversary = FakeResponderAdversary(
+            N, targets=corrupted, fake_message=MESSAGE + 1, seed=6
+        )
+        result = run_ae_to_everywhere(
+            params, knowledgeable, MESSAGE,
+            k_sequence=[2, 7, 4, 9], adversary=adversary, seed=7,
+        )
+        assert result.no_bad_decision(MESSAGE)
+        assert result.undecided_count() == 0

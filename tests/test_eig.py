@@ -1,0 +1,83 @@
+"""Tests for the EIG baseline."""
+
+import pytest
+
+from repro.adversary.behaviors import EquivocatingBehavior, SilentBehavior
+from repro.adversary.static import StaticByzantineAdversary
+from repro.baselines.eig import EIGProcessor, eig_fault_bound, run_eig
+
+
+class TestFaultBound:
+    def test_thirds(self):
+        assert eig_fault_bound(3) == 0
+        assert eig_fault_bound(4) == 1
+        assert eig_fault_bound(7) == 2
+        assert eig_fault_bound(10) == 3
+
+
+class TestFaultFree:
+    def test_unanimous(self):
+        for bit in (0, 1):
+            result = run_eig(7, [bit] * 7)
+            assert set(result.good_outputs().values()) == {bit}
+
+    def test_split_agrees(self):
+        result = run_eig(7, [p % 2 for p in range(7)])
+        assert len(set(result.good_outputs().values())) == 1
+
+    def test_zero_fault_trivial(self):
+        result = run_eig(3, [1, 1, 0])
+        assert len(set(result.good_outputs().values())) == 1
+
+
+class TestByzantine:
+    def test_tolerates_t_silent(self):
+        n, t = 7, 2
+        adversary = StaticByzantineAdversary(
+            n, targets=set(range(t)), behavior=SilentBehavior(), seed=1
+        )
+        result = run_eig(n, [1] * n, adversary=adversary)
+        assert set(result.good_outputs().values()) == {1}
+
+    def test_tolerates_equivocators(self):
+        n, t = 7, 2
+        adversary = StaticByzantineAdversary(
+            n,
+            targets=set(range(t)),
+            behavior=EquivocatingBehavior(),
+            seed=2,
+            vote_tag="eig",
+        )
+        result = run_eig(n, [1] * n, adversary=adversary)
+        good = result.good_outputs()
+        assert len(set(good.values())) == 1
+
+
+class TestExponentialCost:
+    def test_message_volume_explodes(self):
+        """The reason EIG died: per-processor bits grow super-quadratically
+        with n at full resilience."""
+        costs = {}
+        for n in (4, 7, 10):
+            result = run_eig(n, [1] * n)
+            costs[n] = result.ledger.max_bits_per_processor()
+        assert costs[7] > 4 * costs[4]
+        assert costs[10] > 4 * costs[7]
+
+    def test_rounds_are_t_plus_one(self):
+        result = run_eig(7, [1] * 7)
+        assert result.rounds == eig_fault_bound(7) + 2  # + resolve round
+
+
+class TestValidation:
+    def test_input_length(self):
+        with pytest.raises(ValueError):
+            run_eig(4, [1])
+
+    def test_tree_pruning(self):
+        """Paths never repeat a relayer."""
+        proc = EIGProcessor(0, 5, 1, t=2)
+        messages = proc.on_round(1, [])
+        for m in messages:
+            path, _value = m.payload
+            assert 0 not in path

@@ -1,0 +1,145 @@
+"""Unit tests for Feige's lightest-bin election (Algorithm 1, Lemma 4)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.election import (
+    ElectionError,
+    good_winner_fraction,
+    lemma4_bound,
+    lightest_bin_election,
+    simulate_election_against_adversary,
+)
+
+
+class TestLightestBin:
+    def test_simple_outcome(self):
+        # Bins: 0 -> {0,1}, 1 -> {2}: bin 1 is lightest.
+        result = lightest_bin_election([0, 0, 1], num_bins=2)
+        assert result.lightest_bin == 1
+        assert result.winners == (2,)
+
+    def test_tie_breaks_low(self):
+        result = lightest_bin_election([0, 1], num_bins=2)
+        assert result.lightest_bin == 0
+        assert result.winners == (0,)
+
+    def test_empty_bins_ignored(self):
+        # All candidates in bin 2; bins 0,1 empty but not electable.
+        result = lightest_bin_election([2, 2], num_bins=3, target_winners=2)
+        assert result.lightest_bin == 2
+        assert set(result.winners) == {0, 1}
+
+    def test_padding_when_lightest_too_small(self):
+        result = lightest_bin_election(
+            [0, 1, 1, 1], num_bins=2, target_winners=2
+        )
+        assert result.lightest_bin == 0
+        assert len(result.winners) == 2
+        assert result.padded == 1
+        assert 0 in result.winners
+
+    def test_truncation_when_lightest_too_big(self):
+        result = lightest_bin_election(
+            [0, 0, 0, 0], num_bins=2, target_winners=2
+        )
+        assert len(result.winners) == 2
+
+    def test_default_target(self):
+        result = lightest_bin_election([0, 1, 0, 1], num_bins=2)
+        assert len(result.winners) == 2  # r / num_bins
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ElectionError):
+            lightest_bin_election([], 2)
+        with pytest.raises(ElectionError):
+            lightest_bin_election([0], 0)
+        with pytest.raises(ElectionError):
+            lightest_bin_election([5], 2)
+
+    def test_bin_counts_reported(self):
+        result = lightest_bin_election([0, 0, 1], num_bins=2)
+        assert result.bin_counts == {0: 2, 1: 1}
+
+
+class TestGoodWinnerFraction:
+    def test_all_good(self):
+        result = lightest_bin_election([0, 1], num_bins=2)
+        assert good_winner_fraction(result, {0, 1}) == 1.0
+
+    def test_half_good(self):
+        result = lightest_bin_election([0, 0, 1, 1], num_bins=2)
+        # winners are {0, 1} (bin 0, tie-break low)
+        assert good_winner_fraction(result, {0}) == 0.5
+
+
+class TestLemma4:
+    def test_bound_decreases_with_good_count(self):
+        assert lemma4_bound(100, 10) < lemma4_bound(10, 10)
+
+    def test_representativeness_under_stuffing(self):
+        """Lemma 4's claim: adversarial bin choices made after seeing the
+        good choices cannot starve good candidates from the winner set."""
+        rng = random.Random(42)
+        num_good, num_bad, num_bins = 300, 150, 30
+        fractions = []
+        for trial in range(40):
+            result = simulate_election_against_adversary(
+                num_good, num_bad, num_bins, "stuff_lightest", rng
+            )
+            good = set(range(num_good))
+            fractions.append(good_winner_fraction(result, good))
+        mean_fraction = sum(fractions) / len(fractions)
+        # Good candidates are 2/3 of the field; winners should stay close.
+        assert mean_fraction > 0.55
+
+    def test_balance_strategy_also_bounded(self):
+        rng = random.Random(7)
+        num_good, num_bad, num_bins = 300, 150, 30
+        fractions = []
+        for trial in range(40):
+            result = simulate_election_against_adversary(
+                num_good, num_bad, num_bins, "balance", rng
+            )
+            fractions.append(
+                good_winner_fraction(result, set(range(num_good)))
+            )
+        assert sum(fractions) / len(fractions) > 0.5
+
+    def test_avoid_strategy_helps_good(self):
+        rng = random.Random(8)
+        result = simulate_election_against_adversary(
+            300, 150, 30, "avoid", rng
+        )
+        assert good_winner_fraction(result, set(range(300))) == 1.0
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ElectionError):
+            simulate_election_against_adversary(
+                10, 5, 2, "nope", random.Random(0)
+            )
+
+
+@given(
+    choices=st.lists(
+        st.integers(min_value=0, max_value=7), min_size=1, max_size=64
+    ),
+)
+@settings(max_examples=80)
+def test_election_invariants(choices):
+    result = lightest_bin_election(choices, num_bins=8)
+    # Winners are valid candidate indices, distinct, and include the full
+    # lightest bin or a padded/truncated set of the target size.
+    assert len(set(result.winners)) == len(result.winners)
+    assert all(0 <= j < len(choices) for j in result.winners)
+    lightest_members = [
+        j for j, c in enumerate(choices) if c == result.lightest_bin
+    ]
+    target = max(1, len(choices) // 8)
+    if len(lightest_members) >= target:
+        assert set(result.winners) <= set(lightest_members)
+    else:
+        assert set(lightest_members) <= set(result.winners)

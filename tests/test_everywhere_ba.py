@@ -1,0 +1,87 @@
+"""End-to-end tests for Theorem 1's Everywhere Byzantine Agreement."""
+
+import pytest
+
+from repro.adversary.adaptive import BinStuffingAdversary, TournamentAdversary
+from repro.core.byzantine_agreement import run_everywhere_ba
+from repro.core.parameters import ProtocolParameters
+
+N = 27
+
+
+@pytest.fixture(scope="module")
+def fault_free():
+    return run_everywhere_ba(N, inputs=[1] * N, seed=101)
+
+
+class TestFaultFree:
+    def test_success(self, fault_free):
+        assert fault_free.success()
+
+    def test_validity(self, fault_free):
+        assert fault_free.bit == 1
+        assert fault_free.is_valid()
+
+    def test_coin_subsequence_mostly_good(self, fault_free):
+        # Fault-free, every revealed coin word is genuinely random.
+        assert fault_free.coin.good_fraction() == 1.0
+
+    def test_everyone_decided(self, fault_free):
+        for pid, value in fault_free.ae2e_result.decided.items():
+            assert value == fault_free.bit
+
+    def test_bits_accounted_for_both_phases(self, fault_free):
+        # Tournament and push-phase traffic both appear per processor.
+        assert fault_free.max_bits_per_processor() > 0
+        ae_bits = fault_free.ae_result.ledger.sent_bits
+        ae2e_bits = fault_free.ae2e_result.sent_bits
+        for p in range(N):
+            combined = fault_free.bits_per_processor[p]
+            assert combined == ae_bits.get(p, 0) + ae2e_bits.get(p, 0)
+
+    def test_rounds_tracked(self, fault_free):
+        assert fault_free.total_rounds() > 0
+
+
+class TestZeroInput:
+    def test_agrees_on_zero(self):
+        result = run_everywhere_ba(N, inputs=[0] * N, seed=102)
+        assert result.bit == 0
+        assert result.success()
+
+
+class TestWithAdversary:
+    def test_moderate_adversary_success(self):
+        adv = BinStuffingAdversary(N, budget=3, seed=103)
+        result = run_everywhere_ba(
+            N, inputs=[1] * N, tournament_adversary=adv, seed=104
+        )
+        # Validity always; agreement among good processors.
+        assert result.bit == 1
+        good_decided = [
+            v
+            for p, v in result.ae2e_result.decided.items()
+            if p not in result.corrupted
+        ]
+        agreeing = sum(1 for v in good_decided if v == 1)
+        assert agreeing >= 0.9 * len(good_decided)
+
+    def test_no_good_processor_decides_wrong(self):
+        """Lemma 7(2) end to end: decide M or stay undecided — never the
+        forged message."""
+        adv = BinStuffingAdversary(N, budget=4, seed=105)
+        result = run_everywhere_ba(
+            N, inputs=[1] * N, tournament_adversary=adv, seed=106
+        )
+        forged = 1 - result.bit
+        for p, v in result.ae2e_result.decided.items():
+            if p not in result.corrupted:
+                assert v != forged
+
+
+class TestDeterminism:
+    def test_reproducible(self):
+        a = run_everywhere_ba(N, inputs=[1] * N, seed=107)
+        b = run_everywhere_ba(N, inputs=[1] * N, seed=107)
+        assert a.bit == b.bit
+        assert a.bits_per_processor == b.bits_per_processor

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script must run clean from a subprocess.
+
+Examples are the public face of the library; these tests guard them
+against bit-rot.  Each is executed exactly as a user would run it and
+must exit 0 with its headline output present.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+#: script name -> a string its stdout must contain.
+EXPECTED = {
+    "quickstart.py": "agreed bit",
+    "replica_sync.py": "",
+    "sensor_alarm.py": "",
+    "randomness_beacon.py": "",
+    "committee_election.py": "",
+    "rotating_leaders.py": "budget drain",
+    "ordered_log.py": "every slot valid",
+    "async_agreement.py": "speedup",
+    "lower_bound_attack.py": "ATTACK SUCCEEDED",
+    "private_aggregation.py": "never opened",
+    "sync_over_async.py": "members agree: True",
+}
+
+
+def run_example(name):
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"missing example {name}"
+    return subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_example_runs_clean(name):
+    result = run_example(name)
+    assert result.returncode == 0, (
+        f"{name} failed:\n{result.stderr[-2000:]}"
+    )
+    marker = EXPECTED[name]
+    if marker:
+        assert marker in result.stdout
+
+
+def test_every_example_file_is_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED), (
+        "examples/ and the EXPECTED map are out of sync: "
+        f"{scripts.symmetric_difference(set(EXPECTED))}"
+    )

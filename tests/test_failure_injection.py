@@ -1,0 +1,144 @@
+"""Failure-injection tests: the simulator's contract under misbehavior."""
+
+from typing import List
+
+import pytest
+
+from repro.adversary.behaviors import FixedBitBehavior, SilentBehavior
+from repro.adversary.flooding import FloodingAdversary
+from repro.adversary.static import StaticByzantineAdversary
+from repro.core.coins import perfect_coin_source
+from repro.core.unreliable_coin_ba import run_unreliable_coin_ba
+from repro.net.messages import Message
+from repro.net.simulator import (
+    NullAdversary,
+    ProcessorProtocol,
+    SimulationError,
+    SyncNetwork,
+)
+
+import random
+
+
+class ForgingProtocol(ProcessorProtocol):
+    """Tries to forge another sender's identity."""
+
+    def on_round(self, round_no: int, inbox: List[Message]) -> List[Message]:
+        return [Message(self.pid + 1, 0, "x", 1)]
+
+
+class MisaddressingProtocol(ProcessorProtocol):
+    """Sends to a recipient outside the network."""
+
+    def on_round(self, round_no: int, inbox: List[Message]) -> List[Message]:
+        return [Message(self.pid, 999, "x", 1)]
+
+
+class IdleProtocol(ProcessorProtocol):
+    def on_round(self, round_no: int, inbox: List[Message]) -> List[Message]:
+        return []
+
+
+class TestSimulatorContract:
+    def test_sender_forgery_rejected(self):
+        protocols = [ForgingProtocol(0), IdleProtocol(1)]
+        net = SyncNetwork(protocols, NullAdversary(2))
+        with pytest.raises(SimulationError):
+            net.step(1)
+
+    def test_unknown_recipient_rejected(self):
+        protocols = [MisaddressingProtocol(0), IdleProtocol(1)]
+        net = SyncNetwork(protocols, NullAdversary(2))
+        with pytest.raises(SimulationError):
+            net.step(1)
+
+    def test_adversary_cannot_send_from_good_processor(self):
+        class RogueAdversary(NullAdversary):
+            def act(self, view):
+                return [Message(1, 0, "x", 1)]  # pid 1 is not corrupted
+
+        protocols = [IdleProtocol(0), IdleProtocol(1)]
+        net = SyncNetwork(protocols, RogueAdversary(2))
+        with pytest.raises(SimulationError):
+            net.step(1)
+
+    def test_run_halts_on_round_budget(self):
+        protocols = [IdleProtocol(0), IdleProtocol(1)]
+        net = SyncNetwork(protocols, NullAdversary(2))
+        result = net.run(max_rounds=3)
+        assert result.rounds == 3
+        assert not result.halted  # nobody ever outputs
+
+
+class TestFloodingResilience:
+    def test_algorithm5_survives_flooding(self):
+        """Bad processors flooding junk must not break agreement — good
+        processors only count votes from graph neighbors."""
+        n = 40
+        source = perfect_coin_source(n, 6, random.Random(1))
+        inner = StaticByzantineAdversary(
+            n, targets=set(range(6)), behavior=FixedBitBehavior(0), seed=2
+        )
+        flooder = FloodingAdversary(inner, flood_factor=50, seed=3)
+        result = run_unreliable_coin_ba(
+            n, [1] * n, source, adversary=flooder, seed=4
+        )
+        assert result.agreed_bit() == 1
+        assert result.agreement_fraction() >= 0.9
+
+    def test_flood_bits_tracked_separately(self):
+        n = 20
+        source = perfect_coin_source(n, 4, random.Random(5))
+        inner = StaticByzantineAdversary(
+            n, targets={0}, behavior=SilentBehavior(), seed=6
+        )
+        flooder = FloodingAdversary(inner, flood_factor=25, seed=7)
+        # Run through the network directly to inspect flood accounting.
+        from repro.core.unreliable_coin_ba import (
+            SparseAEBAProcessor,
+            vote_threshold,
+        )
+        from repro.topology.sparse_graph import random_regular_graph
+
+        graph = random_regular_graph(n, 6, random.Random(8))
+        protocols = [
+            SparseAEBAProcessor(
+                p, 1, sorted(graph[p]), lambda i: 0, 4,
+                vote_threshold(1 / 12, 0.05),
+            )
+            for p in range(n)
+        ]
+        net = SyncNetwork(protocols, flooder)
+        net.run(max_rounds=6)
+        assert net.flood_bits > 25 * 64
+        # Good ledger untouched by the flood.
+        assert net.ledger.bits_sent_by(0) == 0
+
+
+class TestCrashFaults:
+    def test_silent_minority_never_blocks(self):
+        n = 30
+        source = perfect_coin_source(n, 6, random.Random(9))
+        adversary = StaticByzantineAdversary(
+            n, targets=set(range(7)), behavior=SilentBehavior(), seed=10
+        )
+        result = run_unreliable_coin_ba(
+            n, [0] * n, source, adversary=adversary, seed=11
+        )
+        assert result.agreed_bit() == 0
+        assert result.agreement_fraction() >= 0.9
+
+    def test_all_but_one_silent_is_degenerate_but_safe(self):
+        """Far beyond the fault bound everything may stall, but no good
+        processor adopts a fabricated value."""
+        n = 10
+        source = perfect_coin_source(n, 4, random.Random(12))
+        adversary = StaticByzantineAdversary(
+            n, targets=set(range(9)), behavior=SilentBehavior(), seed=13
+        )
+        result = run_unreliable_coin_ba(
+            n, [1] * n, source, adversary=adversary, seed=14
+        )
+        # The lone good processor keeps a bit that was some good input.
+        for pid, vote in result.good_votes().items():
+            assert vote in (0, 1)

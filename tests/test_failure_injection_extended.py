@@ -1,0 +1,301 @@
+"""Failure injection across the extension subsystems.
+
+Companion to test_failure_injection.py (which covers the synchronous
+simulator contract): malformed payloads, floods, crashes and lying
+reveals thrown at the asynchronous engine, the synchronizer, the MPC
+layer, CPA, and the VSS coin.
+"""
+
+import random
+
+import pytest
+
+from repro.asynchrony import (
+    NullAsyncAdversary,
+    RandomScheduler,
+    run_bracha_broadcast,
+    run_common_coin_ba,
+)
+from repro.asynchrony.scheduler import AsyncAdversary
+from repro.asynchrony.synchronizer import run_synchronized
+from repro.baselines.cpa import run_cpa
+from repro.mpc import secure_weighted_sum
+from repro.net.messages import Message
+from repro.net.simulator import Adversary, NullAdversary, SyncNetwork
+
+
+# -- async engine under hostile input ----------------------------------------------------
+
+
+class GarbageFlooder(AsyncAdversary):
+    """Corrupts one process and floods structurally invalid payloads."""
+
+    def __init__(self, n, garbage_per_step=5):
+        super().__init__(n, budget=1)
+        self.garbage_per_step = garbage_per_step
+        self._steps = 0
+
+    def select_corruptions(self, step):
+        return {self.n - 1}
+
+    def on_deliver(self, step, delivered):
+        self._steps += 1
+        if self._steps > 200:
+            return []
+        bad = self.n - 1
+        out = []
+        for i in range(self.garbage_per_step):
+            target = (step + i) % (self.n - 1)
+            payload = [
+                None, (1,), (1, 2, 3, 4), ("x", "y"), -7,
+            ][i % 5]
+            out.append(Message(bad, target, "report", payload))
+            out.append(Message(bad, target, "echo", payload))
+            out.append(Message(bad, target, "decided", payload))
+        return out
+
+
+def test_common_coin_ba_survives_garbage_flood():
+    """Flooding slows delivery (each step delivers one message, and the
+    queue fills with garbage) but cannot corrupt the outcome — raise the
+    step cap and every good process still decides the valid bit."""
+    n = 6
+    inputs = [1] * n
+    result = run_common_coin_ba(
+        n, inputs, adversary=GarbageFlooder(n),
+        scheduler=RandomScheduler(3), max_steps=100_000,
+    )
+    good = result.good_outputs()
+    assert all(v == 1 for v in good.values() if v is not None)
+    decided = [v for v in good.values() if v is not None]
+    assert len(decided) == n - 1  # every good process decided
+
+
+def test_bracha_survives_garbage_flood():
+    n = 7
+    result = run_bracha_broadcast(
+        n=n, dealer=0, value=9, adversary=GarbageFlooder(n),
+        scheduler=RandomScheduler(4), max_steps=100_000,
+    )
+    accepted = {v for v in result.good_outputs().values() if v is not None}
+    assert accepted == {9}
+
+
+def test_flood_does_not_charge_good_ledger():
+    n = 6
+    result = run_common_coin_ba(
+        n, [1] * n, adversary=GarbageFlooder(n),
+    )
+    assert result.ledger.bits_sent_by(n - 1) == 0
+
+
+# -- synchronizer under crashes ----------------------------------------------------------
+
+
+class AsyncCrash(AsyncAdversary):
+    """Corrupts t processes at start; they never send anything."""
+
+    def __init__(self, n, t):
+        super().__init__(n, budget=t)
+
+    def select_corruptions(self, step):
+        return set(range(self.n - self.budget, self.n))
+
+    def on_deliver(self, step, delivered):
+        return []
+
+
+def test_synchronizer_progresses_past_crashed_members():
+    from repro.net.simulator import ProcessorProtocol
+
+    n, rounds = 7, 4
+    t = 2  # within the n/3 marker allowance
+
+    class Counter(ProcessorProtocol):
+        def __init__(self, pid):
+            super().__init__(pid)
+            self._decided = None
+
+        def on_round(self, round_no, inbox):
+            if round_no >= rounds:
+                self._decided = round_no
+            return [
+                Message(self.pid, peer, "tick", round_no)
+                for peer in range(n)
+                if peer != self.pid
+            ]
+
+        def output(self):
+            return self._decided
+
+    protocols = [Counter(pid) for pid in range(n)]
+    result, wrappers = run_synchronized(
+        protocols, max_rounds=rounds + 1,
+        adversary=AsyncCrash(n, t),
+    )
+    good = result.good_outputs()
+    assert all(v == rounds for v in good.values())
+
+
+# -- MPC reveal tampering ------------------------------------------------------------------
+
+
+def test_tampered_reveal_flips_naive_reconstruction():
+    inputs = [10, 20, 30]
+    honest = secure_weighted_sum(inputs, [1, 1, 1], 7, seed=5)
+    tampered = secure_weighted_sum(
+        inputs, [1, 1, 1], 7, seed=5, tampered_shares={0: 12345}
+    )
+    assert honest.result == 60
+    assert tampered.result != 60  # share 0 is inside the naive window
+
+
+def test_robust_reconstruction_survives_minority_tampering():
+    """reconstruct_majority slides threshold windows over the sorted
+    share row, so it corrects tampering that leaves a majority of clean
+    windows (here: the two edge shares of 9)."""
+    inputs = [10, 20, 30]
+    transcript = secure_weighted_sum(
+        inputs, [1, 1, 1], 9, seed=6, robust=True,
+        tampered_shares={0: 999, 8: 777},
+    )
+    assert transcript.result == 60
+
+
+def test_robust_equals_naive_when_honest():
+    inputs = [4, 5, 6]
+    naive = secure_weighted_sum(inputs, [2, 2, 2], 7, seed=7)
+    robust = secure_weighted_sum(inputs, [2, 2, 2], 7, seed=7, robust=True)
+    assert naive.result == robust.result == 30
+
+
+# -- CPA with a corrupt (equivocating) dealer ----------------------------------------------
+
+
+class TwoFacedDealer(Adversary):
+    """Corrupts the dealer; tells half its neighbors 0, the others 1.
+
+    CPA guarantees consistency only for a *good* dealer — a corrupt
+    dealer splits its direct neighbors, and the relay quorum then
+    propagates whichever face dominates locally.  The test documents
+    that acceptance never invents a third value.
+    """
+
+    def __init__(self, adjacency, dealer):
+        super().__init__(len(adjacency), budget=1)
+        self.adjacency = adjacency
+        self.dealer = dealer
+        self._acted = False
+
+    def select_corruptions(self, round_no):
+        return {self.dealer} if round_no == 1 else set()
+
+    def act(self, view):
+        if self._acted:
+            return []
+        self._acted = True
+        out = []
+        for i, peer in enumerate(sorted(self.adjacency[self.dealer])):
+            out.append(Message(self.dealer, peer, "cpa", i % 2))
+        return out
+
+
+def test_cpa_corrupt_dealer_cannot_invent_values():
+    n = 60
+    outcome = run_cpa(
+        n=n, dealer=0, value=1, seed=9,
+        adversary_factory=lambda adj: TwoFacedDealer(adj, dealer=0),
+    )
+    # Acceptance may split 0/1 (dealer is corrupt) but stays within the
+    # dealt faces; accounting remains consistent.
+    good = outcome.n - len(outcome.corrupted)
+    assert (
+        outcome.accepted_correct
+        + outcome.accepted_wrong
+        + outcome.unreached
+        == good
+    )
+
+
+# -- VSS coin with malformed dealings -------------------------------------------------------
+
+
+class MalformedDealer(Adversary):
+    """A corrupted committee member deals rows of the wrong length."""
+
+    def __init__(self, k):
+        super().__init__(k, budget=1)
+        self.k = k
+        self._acted = False
+
+    def select_corruptions(self, round_no):
+        return {0} if round_no == 1 else set()
+
+    def act(self, view):
+        if self._acted:
+            return []
+        self._acted = True
+        return [
+            Message(0, member, "row", (0, (1, 2, 3)))  # wrong length
+            for member in range(1, self.k)
+        ]
+
+
+def test_vss_coin_rejects_malformed_rows():
+    from repro.core.vss_coin import VSSCoinMember
+
+    k = 7
+    members = [VSSCoinMember(pid, k, seed=10) for pid in range(k)]
+    SyncNetwork(members, MalformedDealer(k)).run(max_rounds=5)
+    good = [m for m in members if m.pid != 0]
+    coins = {m.output() for m in good}
+    assert len(coins) == 1
+    for m in good:
+        assert 0 not in m.qualified  # malformed dealing disqualified
+
+
+class TestReplicatedLogUnderFlood:
+    """The model allows corrupted processors to send any number of
+    messages; the log layer must shrug off junk floods in both the
+    Algorithm 5 and Algorithm 3 phases of every slot."""
+
+    def test_flooded_log_still_commits(self):
+        from repro.adversary.adaptive import TournamentAdversary
+        from repro.core.repeated_agreement import run_replicated_log
+
+        n = 27
+        adversary = TournamentAdversary(n, budget=2, seed=41)
+        adversary.take_over([5, 6])
+        result = run_replicated_log(
+            n,
+            [[1] * n, [0] * n],
+            tournament_adversary=adversary,
+            flood_factor=40,
+            seed=41,
+        )
+        assert result.success()
+        assert result.bits() == [1, 0]
+        assert result.all_valid()
+
+    def test_flood_does_not_inflate_good_accounting(self):
+        from repro.adversary.adaptive import TournamentAdversary
+        from repro.core.repeated_agreement import run_replicated_log
+
+        n = 27
+        quiet = run_replicated_log(
+            n,
+            [[1] * n],
+            tournament_adversary=TournamentAdversary(n, budget=0),
+            seed=43,
+        )
+        noisy_adversary = TournamentAdversary(n, budget=2, seed=43)
+        noisy_adversary.take_over([5, 6])
+        noisy = run_replicated_log(
+            n,
+            [[1] * n],
+            tournament_adversary=noisy_adversary,
+            flood_factor=40,
+            seed=43,
+        )
+        # Good processors' slot cost must not scale with the flood.
+        assert noisy.slot_max_bits(0) < 3 * quiet.slot_max_bits(0)

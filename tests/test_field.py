@@ -1,0 +1,138 @@
+"""Unit tests for prime-field arithmetic."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.field import (
+    DEFAULT_FIELD,
+    MERSENNE_31,
+    MERSENNE_61,
+    FieldError,
+    PrimeField,
+    is_probable_prime,
+)
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 101, 257):
+            assert is_probable_prime(p)
+
+    def test_small_composites(self):
+        for c in (0, 1, 4, 9, 100, 255, 561):  # 561 is a Carmichael number
+            assert not is_probable_prime(c)
+
+    def test_mersenne_61(self):
+        assert is_probable_prime(MERSENNE_61)
+
+    def test_mersenne_31(self):
+        assert is_probable_prime(MERSENNE_31)
+
+
+class TestFieldConstruction:
+    def test_default_modulus(self):
+        assert DEFAULT_FIELD.modulus == MERSENNE_31
+
+    def test_rejects_composite(self):
+        with pytest.raises(FieldError):
+            PrimeField(15)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(FieldError):
+            PrimeField(1)
+
+    def test_element_bits(self):
+        assert PrimeField(257).element_bits == 9
+        assert DEFAULT_FIELD.element_bits == 31
+        assert PrimeField(MERSENNE_61).element_bits == 61
+
+
+class TestArithmetic:
+    field = PrimeField(257)
+
+    def test_add_wraps(self):
+        assert self.field.add(200, 100) == 43
+
+    def test_sub_wraps(self):
+        assert self.field.sub(3, 5) == 255
+
+    def test_mul(self):
+        assert self.field.mul(16, 16) == 256
+
+    def test_neg(self):
+        assert self.field.add(self.field.neg(42), 42) == 0
+
+    def test_inverse_roundtrip(self):
+        for a in range(1, 257):
+            assert self.field.mul(a, self.field.inv(a)) == 1
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(FieldError):
+            self.field.inv(0)
+
+    def test_div(self):
+        assert self.field.mul(self.field.div(10, 7), 7) == 10
+
+    def test_pow_fermat(self):
+        for a in (1, 5, 100, 256):
+            assert self.field.pow(a, 256) == 1
+
+    def test_sum(self):
+        assert self.field.sum([100, 100, 100]) == 300 % 257
+
+    def test_dot(self):
+        assert self.field.dot([1, 2], [3, 4]) == 11
+
+    def test_dot_length_mismatch(self):
+        with pytest.raises(FieldError):
+            self.field.dot([1], [1, 2])
+
+    def test_contains(self):
+        assert self.field.contains(0)
+        assert self.field.contains(256)
+        assert not self.field.contains(257)
+        assert not self.field.contains(-1)
+
+
+class TestRandomElements:
+    def test_random_element_in_range(self):
+        rng = random.Random(7)
+        field = PrimeField(257)
+        for _ in range(100):
+            assert field.contains(field.random_element(rng))
+
+    def test_random_elements_count(self):
+        rng = random.Random(7)
+        assert len(DEFAULT_FIELD.random_elements(13, rng)) == 13
+
+    def test_reproducible(self):
+        a = DEFAULT_FIELD.random_elements(5, random.Random(42))
+        b = DEFAULT_FIELD.random_elements(5, random.Random(42))
+        assert a == b
+
+
+@given(a=st.integers(), b=st.integers())
+@settings(max_examples=100)
+def test_add_commutes(a, b):
+    f = DEFAULT_FIELD
+    assert f.add(f.element(a), f.element(b)) == f.add(f.element(b), f.element(a))
+
+
+@given(a=st.integers(), b=st.integers(), c=st.integers())
+@settings(max_examples=100)
+def test_mul_distributes_over_add(a, b, c):
+    f = DEFAULT_FIELD
+    a, b, c = f.element(a), f.element(b), f.element(c)
+    assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+
+
+@given(a=st.integers(min_value=1))
+@settings(max_examples=100)
+def test_inverse_property(a):
+    f = DEFAULT_FIELD
+    a = f.element(a)
+    if a != 0:
+        assert f.mul(a, f.inv(a)) == 1

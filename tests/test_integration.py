@@ -1,0 +1,90 @@
+"""Cross-module integration tests: components wired the way Algorithm 4
+wires them."""
+
+import random
+
+import pytest
+
+from repro.core.coins import coin_source_from_words
+from repro.core.global_coin import GlobalCoinSubsequence, synthetic_subsequence
+from repro.core.parameters import ProtocolParameters
+from repro.core.unreliable_coin_ba import run_unreliable_coin_ba
+from repro.core.ae_to_everywhere import run_ae_to_everywhere
+from repro.core.almost_everywhere import run_almost_everywhere_ba
+
+
+class TestCoinPlumbing:
+    def test_tournament_outputs_feed_algorithm5(self):
+        """The §3.5 output words drive Algorithm 5 as its coin oracle."""
+        n = 27
+        result = run_almost_everywhere_ba(
+            n, [1] * n, seed=201, output_words=1
+        )
+        source = coin_source_from_words(
+            n,
+            result.output_views,
+            num_rounds=len(result.output_truth),
+        )
+        # Fault-free: every revealed word is unanimous -> good coin round.
+        assert source.num_good_rounds() == source.num_rounds
+        ba = run_unreliable_coin_ba(
+            n, [p % 2 for p in range(n)], source, seed=202
+        )
+        assert ba.agreement_fraction() >= 0.9
+
+    def test_synthetic_subsequence_feeds_algorithm3(self):
+        """A (s, t) coin subsequence keys Algorithm 3's loops."""
+        n = 64
+        params = ProtocolParameters.simulation(n)
+        seq = synthetic_subsequence(
+            n, length=6, good_indices=[0, 2, 3, 5],
+            rng=random.Random(203),
+        )
+        ks = seq.k_sequence(params.sqrt_n())
+        knowledgeable = set(range(int(0.67 * n)))
+        result = run_ae_to_everywhere(
+            params, knowledgeable, 4, k_sequence=ks, seed=204
+        )
+        assert result.everyone_agrees(4)
+
+    def test_coin_goodness_matches_agreement(self):
+        """agreed_word/agreement_fraction are consistent with good flags."""
+        n = 27
+        result = run_almost_everywhere_ba(
+            n, [0] * n, seed=205, output_words=2
+        )
+        seq = GlobalCoinSubsequence(
+            views=result.output_views,
+            truth=result.output_truth,
+            corrupted=result.corrupted,
+        )
+        for index in seq.good_indices():
+            assert seq.agreed_word(index) == seq.truth[index]
+            assert seq.agreement_fraction(index) > 0.8
+
+
+class TestParameterPlumbing:
+    def test_tournament_respects_threshold_fraction(self):
+        """The parameters' share threshold reaches the communicator."""
+        from repro.adversary.adaptive import TournamentAdversary
+        from repro.core.almost_everywhere import Tournament
+
+        n = 27
+        params = ProtocolParameters.simulation(n).with_overrides(
+            share_threshold_fraction=0.5
+        )
+        tournament = Tournament(
+            params, [1] * n, TournamentAdversary(n, 0), seed=206
+        )
+        assert tournament.comm.threshold_fraction == 0.5
+
+    def test_everywhere_uses_coin_words_for_k(self):
+        from repro.core.byzantine_agreement import run_everywhere_ba
+
+        n = 27
+        result = run_everywhere_ba(n, [1] * n, seed=207, coin_words=1)
+        sqrt_n = ProtocolParameters.simulation(n).sqrt_n()
+        ks = result.coin.k_sequence(sqrt_n)
+        assert all(1 <= k <= sqrt_n for k in ks)
+        # The AE2E phase ran at most one loop per coin word.
+        assert result.ae2e_result.loops_run <= len(ks)

@@ -1,0 +1,130 @@
+"""Unit tests for iterated secret sharing (Definition 1, Lemma 1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.iterated import ShareTree, recoverable, reshare
+from repro.crypto.shamir import SecretSharingError, ShamirScheme
+
+
+def small_schemes():
+    return [ShamirScheme(4, 3), ShamirScheme(3, 2)]
+
+
+class TestReshare:
+    def test_reshare_roundtrip(self):
+        scheme = ShamirScheme(5, 3)
+        rng = random.Random(1)
+        sub = reshare(scheme, 4242, rng)
+        assert scheme.reconstruct(sub) == 4242
+
+
+class TestShareTree:
+    def test_deal_depth_and_leaf_count(self):
+        tree = ShareTree.deal(100, small_schemes(), random.Random(2))
+        assert tree.depth == 2
+        assert len(tree.leaves) == 4 * 3
+        assert all(len(path) == 2 for path in tree.leaves)
+
+    def test_empty_schemes_rejected(self):
+        with pytest.raises(SecretSharingError):
+            ShareTree.deal(1, [], random.Random(0))
+
+    def test_full_reconstruction(self):
+        tree = ShareTree.deal(2024, small_schemes(), random.Random(3))
+        assert tree.reconstruct() == 2024
+
+    def test_partial_reconstruction_succeeds_with_enough_leaves(self):
+        tree = ShareTree.deal(55, small_schemes(), random.Random(4))
+        # Keep 2-of-3 leaves under 3-of-4 level-1 shares: still recoverable.
+        known = {}
+        for path, value in tree.leaves.items():
+            if path[0] <= 3 and path[1] <= 2:
+                known[path] = value
+        assert tree.reconstruct_from(known) == 55
+
+    def test_partial_reconstruction_fails_below_threshold(self):
+        tree = ShareTree.deal(55, small_schemes(), random.Random(4))
+        # Only 1 leaf under each level-1 share: nothing recoverable.
+        known = {
+            path: value for path, value in tree.leaves.items() if path[1] == 1
+        }
+        with pytest.raises(SecretSharingError):
+            tree.reconstruct_from(known)
+
+    def test_reconstruct_from_wrong_level_path_raises(self):
+        tree = ShareTree.deal(55, small_schemes(), random.Random(4))
+        with pytest.raises(SecretSharingError):
+            tree.reconstruct_from({(1,): 7})
+
+    def test_recoverable_matches_reconstruction(self):
+        tree = ShareTree.deal(99, small_schemes(), random.Random(5))
+        rng = random.Random(6)
+        paths = tree.leaf_paths()
+        for trial in range(30):
+            k = rng.randrange(len(paths) + 1)
+            coalition = rng.sample(paths, k)
+            known = {p: tree.leaves[p] for p in coalition}
+            if tree.recoverable(coalition):
+                assert tree.reconstruct_from(known) == 99
+            else:
+                with pytest.raises(SecretSharingError):
+                    tree.reconstruct_from(known)
+
+
+class TestLemma1Secrecy:
+    """Lemma 1: holding <= t_i shares of each i-share reveals nothing.
+
+    We verify the exact combinatorial consequence: the coalition cannot
+    determine the secret (recoverable() is False), and — statistically —
+    the values it holds are identically distributed regardless of secret.
+    """
+
+    def test_below_threshold_everywhere_not_recoverable(self):
+        schemes = [ShamirScheme(4, 3), ShamirScheme(4, 3)]
+        # Hold 2 (= t) sub-shares of every 1-share: 4 * 2 = 8 leaves.
+        coalition = [
+            (top, sub) for top in range(1, 5) for sub in range(1, 3)
+        ]
+        assert not recoverable(schemes, coalition)
+
+    def test_threshold_at_one_node_still_insufficient(self):
+        schemes = [ShamirScheme(4, 3), ShamirScheme(4, 3)]
+        # Fully recover one 1-share; that is 1 < 3 level-1 shares.
+        coalition = [(1, sub) for sub in range(1, 5)]
+        assert not recoverable(schemes, coalition)
+
+    def test_exact_threshold_recovers(self):
+        schemes = [ShamirScheme(4, 3), ShamirScheme(4, 3)]
+        coalition = [
+            (top, sub) for top in range(1, 4) for sub in range(1, 4)
+        ]
+        assert recoverable(schemes, coalition)
+
+    def test_distribution_independent_of_secret(self):
+        """Two shares of a threshold-3 dealing look alike for any secret."""
+        schemes = [ShamirScheme(3, 3)]
+        observed = {0: set(), 1: set()}
+        for secret in (0, 1):
+            for seed in range(200):
+                tree = ShareTree.deal(
+                    secret, schemes, random.Random(seed + 1000 * secret)
+                )
+                observed[secret].add(tree.leaves[(1,)] % 64)
+        # Both secrets produce wide, overlapping share-value distributions.
+        assert len(observed[0] & observed[1]) > 32
+
+
+@given(
+    secret=st.integers(min_value=0, max_value=10**9),
+    seed=st.integers(min_value=0, max_value=2**32),
+    depth=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=30, deadline=None)
+def test_iterated_roundtrip_property(secret, seed, depth):
+    schemes = [ShamirScheme(3, 2) for _ in range(depth)]
+    tree = ShareTree.deal(secret, schemes, random.Random(seed))
+    assert tree.reconstruct() == secret

@@ -1,0 +1,355 @@
+"""Tests for scalable leader election (the [17] companion result, §2)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.adaptive import GreedyElectionAdversary, TournamentAdversary
+from repro.core.global_coin import GlobalCoinSubsequence, synthetic_subsequence
+from repro.core.leader_election import (
+    AttackOutcome,
+    LeaderDraw,
+    LeaderElectionError,
+    LeaderSchedule,
+    elect_leader,
+    expected_good_rounds,
+    leader_schedule,
+    run_leader_election,
+    schedule_length_for,
+    schedule_under_attack,
+)
+from repro.core.parameters import ProtocolParameters
+
+
+def make_coin(n, length, seed=0, confused_fraction=0.0, corrupted=None):
+    rng = random.Random(seed)
+    seq = synthetic_subsequence(
+        n, length=length, good_indices=range(length), rng=rng,
+        confused_fraction=confused_fraction,
+    )
+    if corrupted is not None:
+        seq.corrupted = set(corrupted)
+    return seq
+
+
+class TestElectLeader:
+    def test_leader_is_word_mod_n(self):
+        coin = make_coin(10, 5, seed=3)
+        draw = elect_leader(coin, 10, word_index=2)
+        assert draw.leader == coin.truth[2] % 10
+        assert draw.word_index == 2
+
+    def test_full_agreement_without_confusion(self):
+        coin = make_coin(30, 4)
+        draw = elect_leader(coin, 30)
+        assert draw.agreement_fraction == pytest.approx(1.0)
+
+    def test_agreement_drops_with_confusion(self):
+        coin = make_coin(100, 3, seed=7, confused_fraction=0.2)
+        draw = elect_leader(coin, 100)
+        assert 0.5 < draw.agreement_fraction < 1.0
+
+    def test_good_flag_tracks_corruption(self):
+        coin = make_coin(10, 5, seed=3)
+        leader = coin.truth[0] % 10
+        coin.corrupted = {leader}
+        draw = elect_leader(coin, 10)
+        assert draw.leader == leader
+        assert not draw.leader_is_good
+
+    def test_index_out_of_range_raises(self):
+        coin = make_coin(10, 2)
+        with pytest.raises(LeaderElectionError):
+            elect_leader(coin, 10, word_index=2)
+        with pytest.raises(LeaderElectionError):
+            elect_leader(coin, 10, word_index=-1)
+
+    def test_unlearned_word_raises(self):
+        coin = GlobalCoinSubsequence(
+            views={p: [None] for p in range(6)},
+            truth=[42],
+            corrupted=set(),
+        )
+        with pytest.raises(LeaderElectionError):
+            elect_leader(coin, 6)
+
+    def test_explicit_corrupted_overrides_coin(self):
+        coin = make_coin(10, 1, seed=1)
+        leader = coin.truth[0] % 10
+        draw = elect_leader(coin, 10, corrupted={leader})
+        assert not draw.leader_is_good
+
+
+class TestLeaderSchedule:
+    def test_draws_consecutive_words(self):
+        coin = make_coin(20, 8, seed=5)
+        schedule = leader_schedule(coin, 20, count=5)
+        assert [d.word_index for d in schedule.draws] == list(range(5))
+        assert schedule.leaders == [w % 20 for w in coin.truth[:5]]
+
+    def test_skips_unlearned_words(self):
+        coin = make_coin(20, 6, seed=5)
+        # Nobody learns word 1.
+        for p in coin.views:
+            coin.views[p][1] = None
+        schedule = leader_schedule(coin, 20, count=4)
+        assert [d.word_index for d in schedule.draws] == [0, 2, 3, 4]
+
+    def test_too_short_raises(self):
+        coin = make_coin(20, 3, seed=5)
+        with pytest.raises(LeaderElectionError):
+            leader_schedule(coin, 20, count=4)
+
+    def test_zero_count_raises(self):
+        coin = make_coin(20, 3)
+        with pytest.raises(LeaderElectionError):
+            leader_schedule(coin, 20, count=0)
+
+    def test_good_fraction(self):
+        coin = make_coin(10, 10, seed=2)
+        leaders = [w % 10 for w in coin.truth]
+        coin.corrupted = {leaders[0], leaders[3]}
+        schedule = leader_schedule(coin, 10, count=10)
+        expected = sum(1 for m in leaders if m not in coin.corrupted) / 10
+        assert schedule.good_fraction() == pytest.approx(expected)
+
+    def test_min_agreement_bounds_each_draw(self):
+        coin = make_coin(100, 6, seed=9, confused_fraction=0.1)
+        schedule = leader_schedule(coin, 100, count=6)
+        assert schedule.min_agreement() <= min(
+            d.agreement_fraction for d in schedule.draws
+        ) + 1e-12
+        assert 0.0 < schedule.min_agreement() <= 1.0
+
+    def test_empty_schedule_accessors(self):
+        schedule = LeaderSchedule(draws=[])
+        assert schedule.good_fraction() == 0.0
+        assert schedule.min_agreement() == 0.0
+        assert schedule.leaders == []
+
+    def test_schedule_length_polylog(self):
+        assert schedule_length_for(16) < schedule_length_for(1 << 20)
+        assert schedule_length_for(1 << 20) <= 3 * 20
+
+    def test_representative_against_quarter_corruption(self):
+        n = 120
+        coin = make_coin(n, 48, seed=13)
+        rng = random.Random(13)
+        coin.corrupted = set(rng.sample(range(n), n // 4))
+        schedule = leader_schedule(coin, n, count=48)
+        # Uniform draws: good fraction concentrates on 0.75.
+        assert abs(schedule.good_fraction() - 0.75) < 0.2
+
+
+class TestScheduleUnderAttack:
+    def _schedule(self, leaders, corrupted=frozenset()):
+        draws = [
+            LeaderDraw(
+                leader=m,
+                word_index=i,
+                agreement_fraction=1.0,
+                leader_is_good=m not in corrupted,
+            )
+            for i, m in enumerate(leaders)
+        ]
+        return LeaderSchedule(draws=draws, corrupted_at_draw=set(corrupted))
+
+    def test_instant_takeover_kills_every_round(self):
+        schedule = self._schedule([1, 2, 3, 4])
+        outcome = schedule_under_attack(schedule, budget=10, takeover_delay=0)
+        assert outcome.round_good == [False] * 4
+        assert outcome.useful_good_fraction() == 0.0
+
+    def test_instant_takeover_limited_by_budget(self):
+        schedule = self._schedule([1, 2, 3, 4])
+        outcome = schedule_under_attack(schedule, budget=2, takeover_delay=0)
+        assert outcome.round_good == [False, False, True, True]
+        assert outcome.budget_left == 0
+
+    def test_delayed_takeover_spares_sitting_leader(self):
+        schedule = self._schedule([1, 2, 3, 4])
+        outcome = schedule_under_attack(schedule, budget=10, takeover_delay=1)
+        assert outcome.round_good == [True] * 4
+        assert outcome.corrupted_leaders == [1, 2, 3, 4]
+
+    def test_delayed_takeover_catches_repeat_leader(self):
+        schedule = self._schedule([5, 5, 6])
+        outcome = schedule_under_attack(schedule, budget=10, takeover_delay=1)
+        # Leader 5 is corrupted after round 0, so its round-1 repeat is bad.
+        assert outcome.round_good == [True, False, True]
+        # Budget spent once on 5 (already corrupt at round 1) and once on 6.
+        assert outcome.corrupted_leaders == [5, 6]
+
+    def test_initially_corrupt_leader_costs_nothing(self):
+        schedule = self._schedule([7, 8], corrupted={7})
+        outcome = schedule_under_attack(schedule, budget=1, takeover_delay=0)
+        assert outcome.round_good == [False, False]
+        assert outcome.corrupted_leaders == [8]
+
+    def test_zero_budget_is_harmless_with_delay(self):
+        schedule = self._schedule([1, 2, 3])
+        outcome = schedule_under_attack(schedule, budget=0, takeover_delay=1)
+        assert outcome.round_good == [True] * 3
+        assert outcome.budget_left == 0
+
+    def test_long_delay_never_lands(self):
+        schedule = self._schedule([1, 1, 1])
+        outcome = schedule_under_attack(schedule, budget=5, takeover_delay=10)
+        assert outcome.round_good == [True] * 3
+
+    def test_negative_arguments_rejected(self):
+        schedule = self._schedule([1])
+        with pytest.raises(ValueError):
+            schedule_under_attack(schedule, budget=-1)
+        with pytest.raises(ValueError):
+            schedule_under_attack(schedule, budget=1, takeover_delay=-2)
+
+    def test_empty_schedule(self):
+        outcome = schedule_under_attack(self._schedule([]), budget=3)
+        assert outcome.round_good == []
+        assert outcome.useful_good_fraction() == 0.0
+        assert outcome.budget_left == 3
+
+
+class TestExpectedGoodRounds:
+    def test_delay_regime_matches_population(self):
+        assert expected_good_rounds(10, 0.8, budget=100, takeover_delay=1) == (
+            pytest.approx(8.0)
+        )
+
+    def test_instant_regime_subtracts_budget(self):
+        assert expected_good_rounds(10, 0.8, budget=3, takeover_delay=0) == (
+            pytest.approx(5.0)
+        )
+
+    def test_instant_regime_floors_at_zero(self):
+        assert expected_good_rounds(4, 0.5, budget=100, takeover_delay=0) == 0.0
+
+    def test_no_rounds(self):
+        assert expected_good_rounds(0, 0.9, budget=1, takeover_delay=0) == 0.0
+
+    def test_model_matches_simulator_instant(self):
+        rng = random.Random(21)
+        n = 50
+        leaders = [rng.randrange(n) for _ in range(30)]
+        draws = [
+            LeaderDraw(m, i, 1.0, True) for i, m in enumerate(leaders)
+        ]
+        schedule = LeaderSchedule(draws=draws)
+        outcome = schedule_under_attack(schedule, budget=30, takeover_delay=0)
+        model = expected_good_rounds(30, 1.0, budget=30, takeover_delay=0)
+        # Distinct leaders all die in office; repeats only help the model
+        # (already-corrupt repeats cost no budget).
+        assert sum(outcome.round_good) <= model + 1e-9
+
+
+class TestEndToEnd:
+    def test_fault_free_rotation(self):
+        n = 27
+        schedule = run_leader_election(n, schedule_length=4, seed=0)
+        assert len(schedule.draws) == 4
+        assert all(0 <= m < n for m in schedule.leaders)
+        assert schedule.good_fraction() == pytest.approx(1.0)
+        assert schedule.min_agreement() > 0.8
+
+    def test_deterministic_given_seed(self):
+        a = run_leader_election(27, schedule_length=3, seed=5)
+        b = run_leader_election(27, schedule_length=3, seed=5)
+        assert a.leaders == b.leaders
+
+    def test_seed_changes_schedule(self):
+        a = run_leader_election(27, schedule_length=4, seed=1)
+        b = run_leader_election(27, schedule_length=4, seed=2)
+        assert a.leaders != b.leaders  # 27^4 combinations; collision ~ never
+
+    def test_greedy_post_hoc_adversary_gains_nothing_at_draw_time(self):
+        # The greedy adversary corrupts election winners the moment they
+        # are announced — the attack that breaks processor-election.  The
+        # leaders are drawn from words committed before any winner was
+        # known, so the drawn schedule still tracks the population.
+        n = 27
+        adversary = GreedyElectionAdversary(n, budget=3, seed=4)
+        schedule = run_leader_election(
+            n, schedule_length=4, adversary=adversary, seed=4
+        )
+        assert len(schedule.draws) == 4
+        assert schedule.good_fraction() >= 0.5
+
+    def test_respects_explicit_params(self):
+        n = 27
+        params = ProtocolParameters.simulation(n)
+        schedule = run_leader_election(
+            n, schedule_length=3, params=params, seed=0
+        )
+        assert len(schedule.draws) == 3
+
+
+class TestProperties:
+    @given(
+        n=st.integers(min_value=2, max_value=500),
+        length=st.integers(min_value=1, max_value=40),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_leader_always_in_range(self, n, length, seed):
+        coin = make_coin(n, length, seed=seed)
+        schedule = leader_schedule(coin, n, count=length)
+        assert all(0 <= m < n for m in schedule.leaders)
+
+    @given(
+        leaders=st.lists(
+            st.integers(min_value=0, max_value=20), min_size=1, max_size=30
+        ),
+        budget=st.integers(min_value=0, max_value=40),
+        delay=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_attack_conservation(self, leaders, budget, delay):
+        draws = [
+            LeaderDraw(m, i, 1.0, True) for i, m in enumerate(leaders)
+        ]
+        schedule = LeaderSchedule(draws=draws)
+        outcome = schedule_under_attack(schedule, budget, delay)
+        spent = budget - outcome.budget_left
+        assert spent == len(outcome.corrupted_leaders)
+        assert spent <= min(budget, len(leaders))
+        assert len(outcome.round_good) == len(leaders)
+        # Distinct leaders are only corrupted once each.
+        assert len(set(outcome.corrupted_leaders)) == len(
+            outcome.corrupted_leaders
+        )
+
+    @given(
+        leaders=st.lists(
+            st.integers(min_value=0, max_value=20), min_size=1, max_size=30
+        ),
+        budget=st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_delay_dominates_instant(self, leaders, budget):
+        """A delayed takeover never yields fewer good rounds than instant."""
+        draws = [
+            LeaderDraw(m, i, 1.0, True) for i, m in enumerate(leaders)
+        ]
+        instant = schedule_under_attack(
+            LeaderSchedule(draws=list(draws)), budget, takeover_delay=0
+        )
+        delayed = schedule_under_attack(
+            LeaderSchedule(draws=list(draws)), budget, takeover_delay=1
+        )
+        assert sum(delayed.round_good) >= sum(instant.round_good)
+
+    @given(seed=st.integers(min_value=0, max_value=999))
+    @settings(max_examples=25, deadline=None)
+    def test_schedule_concentrates(self, seed):
+        """Good fraction of a 60-draw schedule stays within 0.25 of the
+        population's good fraction (Chernoff would give much tighter)."""
+        n = 90
+        coin = make_coin(n, 60, seed=seed)
+        rng = random.Random(seed + 1)
+        coin.corrupted = set(rng.sample(range(n), n // 3))
+        schedule = leader_schedule(coin, n, count=60)
+        assert abs(schedule.good_fraction() - 2 / 3) < 0.25

@@ -1,0 +1,201 @@
+"""Tests for the Dolev-Reischuk and Holtby-Kapron-King attack demos."""
+
+import pytest
+
+from repro.lowerbounds import (
+    CoinGuessingAdversary,
+    IsolationAdversary,
+    ObliviousFlipAdversary,
+    guessing_attack_demo,
+    isolation_attack_demo,
+    isolation_threshold,
+    run_listener_gossip,
+    run_sampled_majority,
+)
+from repro.lowerbounds.dolev_reischuk import (
+    default_sample_size,
+    sample_peers,
+)
+from repro.lowerbounds.holtby_kapron_king import minimum_safe_degree
+
+
+# -- Dolev-Reischuk: sampled majority + coin guessing ---------------------------------
+
+
+def test_sample_size_grows_logarithmically():
+    assert default_sample_size(100) < default_sample_size(10_000)
+    assert default_sample_size(2) >= 1
+    assert default_sample_size(10) <= 9
+
+
+def test_sample_peers_deterministic_and_self_free():
+    a = sample_peers(3, 50, 10, seed=7)
+    b = sample_peers(3, 50, 10, seed=7)
+    assert a == b
+    assert 3 not in a
+    assert len(set(a)) == 10
+
+
+def test_fault_free_sampled_majority_is_correct():
+    n = 60
+    result = run_sampled_majority(n, [1] * n)
+    assert result.agreement_value() == 1
+
+
+def test_sampled_majority_message_cost_subquadratic():
+    n = 120
+    result = run_sampled_majority(n, [0] * n)
+    # Queries + answers: 2 * n * sample_size << n^2.
+    assert result.ledger.total_messages() < n * n / 4
+
+
+def test_oblivious_adversary_rarely_flips_anyone():
+    n = 90
+    budget = n // 10
+    result = run_sampled_majority(
+        n, [1] * n,
+        adversary=ObliviousFlipAdversary(n, budget, seed=5),
+        seed=11,
+    )
+    wrong = sum(1 for v in result.good_outputs().values() if v == 0)
+    assert wrong <= n // 20
+
+
+def test_coin_guessing_adversary_flips_victim_deterministically():
+    n = 90
+    size = default_sample_size(n)
+    result = run_sampled_majority(
+        n, [1] * n,
+        adversary=CoinGuessingAdversary(
+            n, budget=n // 4, victim=0, sample_size=size,
+            guessed_seed=3, flip_to=0,
+        ),
+        sample_size=size, seed=3,
+    )
+    assert result.outputs[0] == 0  # victim flipped
+    others = {
+        pid: v for pid, v in result.good_outputs().items() if pid != 0
+    }
+    assert all(v == 1 for v in others.values())  # everyone else intact
+
+
+def test_coin_guessing_needs_budget_for_whole_sample():
+    with pytest.raises(ValueError):
+        CoinGuessingAdversary(
+            50, budget=1, victim=0, sample_size=10,
+            guessed_seed=0, flip_to=0,
+        )
+
+
+def test_wrong_guess_leaves_victim_correct():
+    """Guessing the wrong seed corrupts the wrong peers: attack fails whp."""
+    n = 90
+    size = default_sample_size(n)
+    result = run_sampled_majority(
+        n, [1] * n,
+        adversary=CoinGuessingAdversary(
+            n, budget=n // 4, victim=0, sample_size=size,
+            guessed_seed=999, flip_to=0,  # victim actually uses seed=3
+        ),
+        sample_size=size, seed=3,
+    )
+    assert result.outputs[0] == 1
+
+
+def test_guessing_attack_demo_contrast():
+    outcome = guessing_attack_demo(n=80, seed=2)
+    assert outcome.attack_succeeded
+    assert outcome.total_messages < 80 * 80
+    assert outcome.oblivious_wrong <= 4
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        run_sampled_majority(5, [1, 0])
+
+
+# -- Holtby-Kapron-King: isolation in the pre-specified-listener model ----------------
+
+
+def test_isolation_threshold_arithmetic():
+    assert isolation_threshold(30, 3) == 10
+    assert isolation_threshold(7, 2) == 3
+    with pytest.raises(ValueError):
+        isolation_threshold(10, 0)
+    assert minimum_safe_degree(100, 3, 30) == 11
+
+
+def test_fault_free_gossip_agrees():
+    n = 40
+    result = run_listener_gossip(n, [1] * n, listen_degree=5)
+    assert result.agreement_value() == 1
+
+
+def test_gossip_converges_from_lopsided_split():
+    n = 40
+    inputs = [1] * 32 + [0] * 8
+    result = run_listener_gossip(
+        n, inputs, listen_degree=9, gossip_rounds=4, seed=2
+    )
+    outputs = [v for v in result.good_outputs().values() if v is not None]
+    assert sum(outputs) >= 0.9 * len(outputs)  # heavy side wins
+
+
+def test_isolation_succeeds_below_threshold():
+    """degree * rounds within budget: the victim is fully surrounded."""
+    outcome = isolation_attack_demo(
+        n=60, listen_degree=4, gossip_rounds=3, budget=19, seed=1
+    )
+    assert not outcome.budget_exhausted
+    assert outcome.victim_output == 0
+    assert outcome.majority_output == 1
+    assert outcome.victim_isolated
+    assert outcome.corruptions_used <= 12
+
+
+def test_isolation_fails_above_threshold():
+    """degree * rounds exceeding budget: some honest voice gets through.
+
+    With budget 6 and degree 8, at most 6 of the first round's 8 declared
+    peers are corrupted, so the victim hears >= 2 honest ones plus its own
+    bit and the majority stays honest.
+    """
+    outcome = isolation_attack_demo(
+        n=60, listen_degree=8, gossip_rounds=3, budget=6, seed=1
+    )
+    assert outcome.budget_exhausted
+    assert outcome.victim_output == 1
+    assert not outcome.victim_isolated
+
+
+def test_isolation_budget_sweep_finds_cliff():
+    """The attack flips from success to failure as degree crosses budget/rounds."""
+    n = 60
+    rounds = 2
+    budget = 8
+    cliff = isolation_threshold(budget, rounds)  # = 4
+    below = isolation_attack_demo(
+        n=n, listen_degree=cliff, gossip_rounds=rounds,
+        budget=budget, seed=3,
+    )
+    above = isolation_attack_demo(
+        n=n, listen_degree=3 * cliff, gossip_rounds=rounds,
+        budget=budget, seed=3,
+    )
+    assert below.victim_isolated
+    assert not above.victim_isolated
+
+
+def test_gossip_input_validation():
+    with pytest.raises(ValueError):
+        run_listener_gossip(5, [1], listen_degree=2)
+
+
+def test_isolation_uses_small_budget_fraction():
+    """The whole attack costs degree*rounds corruptions, not Theta(n)."""
+    n = 200
+    outcome = isolation_attack_demo(
+        n=n, listen_degree=3, gossip_rounds=3, seed=4
+    )
+    assert outcome.victim_isolated
+    assert outcome.corruptions_used <= 9

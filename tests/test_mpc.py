@@ -1,0 +1,222 @@
+"""Tests for the secure multi-party computation layer (linear + Beaver)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.shamir import SecretSharingError, ShamirScheme
+from repro.mpc import (
+    BeaverTriple,
+    LinearMPCError,
+    coalition_learns_nothing_beyond_output,
+    generate_triple,
+    secure_inner_product,
+    secure_mean,
+    secure_multiply,
+    secure_sum,
+    secure_weighted_sum,
+)
+
+
+# -- linear layer ----------------------------------------------------------------------
+
+
+def test_secure_sum_matches_plain_sum():
+    inputs = [3, 14, 15, 92, 65]
+    transcript = secure_sum(inputs, committee_size=7)
+    assert transcript.result == sum(inputs)
+
+
+def test_secure_weighted_sum():
+    inputs = [10, 20, 30]
+    weights = [1, 2, 3]
+    transcript = secure_weighted_sum(inputs, weights, committee_size=5)
+    assert transcript.result == 10 + 40 + 90
+
+
+def test_secure_mean():
+    inputs = [4, 8, 12, 16]
+    mean, transcript = secure_mean(inputs, committee_size=5)
+    assert mean == 10.0
+    assert transcript.result == 40
+
+
+def test_cost_accounting():
+    inputs = [1, 2, 3, 4]
+    k = 9
+    transcript = secure_sum(inputs, committee_size=k)
+    assert transcript.dealt_shares == 4 * k
+    assert transcript.revealed_shares == k
+    assert transcript.committee_size == k
+    assert transcript.bits_per_input_owner == k * 31
+    assert transcript.bits_per_committee_member == 31
+
+
+def test_only_result_row_published():
+    inputs = [7, 11]
+    transcript = secure_sum(inputs, committee_size=5, seed=3)
+    # The published row reconstructs the sum and nothing else is revealed.
+    scheme = ShamirScheme(n_players=5, threshold=3)
+    assert (
+        scheme.reconstruct(transcript.member_result_shares[:3])
+        == sum(inputs)
+    )
+
+
+def test_input_validation():
+    with pytest.raises(LinearMPCError):
+        secure_sum([], committee_size=5)
+    with pytest.raises(LinearMPCError):
+        secure_weighted_sum([1, 2], [1], committee_size=5)
+    with pytest.raises(LinearMPCError):
+        secure_sum([1], committee_size=1)
+    with pytest.raises(LinearMPCError):
+        secure_sum(
+            [1], committee_size=5,
+            scheme=ShamirScheme(n_players=4, threshold=3),
+        )
+
+
+def test_subthreshold_coalition_learns_nothing():
+    inputs = [100, 200, 300]
+    k = 9  # threshold 5
+    assert coalition_learns_nothing_beyond_output(
+        inputs, k, coalition=[0, 1, 2, 3], seed=7
+    )
+
+
+def test_threshold_coalition_breaks_secrecy():
+    inputs = [100, 200, 300]
+    k = 9  # threshold 5: a 5-member coalition reconstructs everything
+    assert not coalition_learns_nothing_beyond_output(
+        inputs, k, coalition=[0, 1, 2, 3, 4], seed=7
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    inputs=st.lists(
+        st.integers(min_value=0, max_value=10**6), min_size=1, max_size=8
+    ),
+    weights=st.lists(
+        st.integers(min_value=0, max_value=100), min_size=8, max_size=8
+    ),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_weighted_sum_correct(inputs, weights, seed):
+    weights = weights[: len(inputs)]
+    expected = sum(w * x for w, x in zip(weights, inputs))
+    transcript = secure_weighted_sum(
+        inputs, weights, committee_size=7, seed=seed
+    )
+    assert transcript.result == expected % (2**31 - 1)
+
+
+# -- Beaver multiplication ---------------------------------------------------------------
+
+
+def committee(k=7):
+    return ShamirScheme(n_players=k, threshold=k // 2 + 1)
+
+
+def test_triple_is_consistent():
+    scheme = committee()
+    rng = random.Random(1)
+    triple = generate_triple(scheme, rng)
+    a = scheme.reconstruct(list(triple.a)[: scheme.threshold])
+    b = scheme.reconstruct(list(triple.b)[: scheme.threshold])
+    c = scheme.reconstruct(list(triple.c)[: scheme.threshold])
+    assert c == scheme.field.mul(a, b)
+
+
+def test_secure_multiply_correct():
+    scheme = committee()
+    rng = random.Random(2)
+    x, y = 123, 456
+    x_shares = scheme.deal(x, rng)
+    y_shares = scheme.deal(y, rng)
+    triple = generate_triple(scheme, rng)
+    z_shares = secure_multiply(x_shares, y_shares, triple, scheme)
+    z = scheme.reconstruct(z_shares[: scheme.threshold])
+    assert z == x * y
+
+
+def test_secure_multiply_large_values_wrap_in_field():
+    scheme = committee()
+    rng = random.Random(3)
+    p = scheme.field.modulus
+    x, y = p - 2, p - 3
+    x_shares = scheme.deal(x, rng)
+    y_shares = scheme.deal(y, rng)
+    triple = generate_triple(scheme, rng)
+    z = scheme.reconstruct(
+        secure_multiply(x_shares, y_shares, triple, scheme)[
+            : scheme.threshold
+        ]
+    )
+    assert z == (x * y) % p
+
+
+def test_misaligned_shares_rejected():
+    scheme = committee()
+    rng = random.Random(4)
+    x_shares = scheme.deal(5, rng)
+    y_shares = scheme.deal(6, rng)
+    triple = generate_triple(scheme, rng)
+    bad = list(reversed(x_shares))
+    with pytest.raises(SecretSharingError):
+        secure_multiply(bad, y_shares, triple, scheme)
+
+
+def test_triple_alignment_validated():
+    scheme = committee()
+    rng = random.Random(5)
+    t = generate_triple(scheme, rng)
+    with pytest.raises(SecretSharingError):
+        BeaverTriple(a=t.a, b=tuple(reversed(t.b)), c=t.c)
+
+
+def test_secure_inner_product():
+    scheme = committee(9)
+    rng = random.Random(6)
+    xs_plain = [2, 3, 5]
+    ys_plain = [7, 11, 13]
+    xs = [scheme.deal(v, rng) for v in xs_plain]
+    ys = [scheme.deal(v, rng) for v in ys_plain]
+    triples = [generate_triple(scheme, rng) for _ in xs_plain]
+    z_shares = secure_inner_product(xs, ys, triples, scheme)
+    z = scheme.reconstruct(z_shares[: scheme.threshold])
+    assert z == 2 * 7 + 3 * 11 + 5 * 13
+
+
+def test_inner_product_validation():
+    scheme = committee()
+    rng = random.Random(7)
+    xs = [scheme.deal(1, rng)]
+    ys = [scheme.deal(2, rng), scheme.deal(3, rng)]
+    with pytest.raises(SecretSharingError):
+        secure_inner_product(xs, ys, [], scheme)
+    with pytest.raises(SecretSharingError):
+        secure_inner_product(xs, ys[:1], [], scheme)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    x=st.integers(min_value=0, max_value=2**31 - 2),
+    y=st.integers(min_value=0, max_value=2**31 - 2),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_beaver_multiplication(x, y, seed):
+    scheme = committee()
+    rng = random.Random(seed)
+    x_shares = scheme.deal(x, rng)
+    y_shares = scheme.deal(y, rng)
+    triple = generate_triple(scheme, rng)
+    z = scheme.reconstruct(
+        secure_multiply(x_shares, y_shares, triple, scheme)[
+            : scheme.threshold
+        ]
+    )
+    assert z == (x * y) % scheme.field.modulus

@@ -1,0 +1,128 @@
+"""Tests for dealer-free triple generation (GRR degree reduction)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.shamir import SecretSharingError, ShamirScheme
+from repro.mpc import secure_multiply
+from repro.mpc.triples import (
+    check_reduction_compatible,
+    degree_reduce_product,
+    distributed_random_sharing,
+    generate_triple_distributed,
+    triple_generation_bits,
+    triple_scheme,
+)
+
+
+def test_triple_scheme_thresholds():
+    s = triple_scheme(7)
+    assert s.n_players == 7
+    assert s.threshold == 3  # t = 2, n >= 2t+1 = 5
+    check_reduction_compatible(s)
+
+
+def test_reduction_incompatible_scheme_rejected():
+    s = ShamirScheme(n_players=6, threshold=4)  # t = 3, needs n >= 7
+    with pytest.raises(SecretSharingError):
+        check_reduction_compatible(s)
+
+
+def test_distributed_random_sharing_reconstructs_to_sum():
+    s = triple_scheme(7)
+    rng = random.Random(1)
+    contributions = [10, 20, 30, 40, 50, 60, 70]
+    shares = distributed_random_sharing(s, rng, contributions)
+    total = s.reconstruct(shares[: s.threshold])
+    assert total == sum(contributions) % s.field.modulus
+
+
+def test_distributed_random_sharing_contribution_count_checked():
+    s = triple_scheme(7)
+    with pytest.raises(SecretSharingError):
+        distributed_random_sharing(s, random.Random(2), [1, 2])
+
+
+def test_fixed_minority_contributions_cannot_predict_sum():
+    """An adversary fixing t contributions still faces a uniform sum."""
+    s = triple_scheme(7)
+    sums = set()
+    for seed in range(6):
+        rng = random.Random(seed)
+        fld = s.field
+        contributions = [0, 0] + [
+            fld.random_element(rng) for _ in range(5)
+        ]
+        shares = distributed_random_sharing(s, rng, contributions)
+        sums.add(s.reconstruct(shares[: s.threshold]))
+    assert len(sums) >= 5  # honest randomness dominates
+
+
+def test_degree_reduction_gives_product():
+    s = triple_scheme(7)
+    rng = random.Random(3)
+    a, b = 1234, 5678
+    a_shares = s.deal(a, rng)
+    b_shares = s.deal(b, rng)
+    c_shares = degree_reduce_product(a_shares, b_shares, s, rng)
+    c = s.reconstruct(c_shares[: s.threshold])
+    assert c == (a * b) % s.field.modulus
+
+
+def test_degree_reduction_alignment_checked():
+    s = triple_scheme(7)
+    rng = random.Random(4)
+    a_shares = s.deal(1, rng)
+    b_shares = list(reversed(s.deal(2, rng)))
+    with pytest.raises(SecretSharingError):
+        degree_reduce_product(a_shares, b_shares, s, rng)
+
+
+def test_distributed_triple_is_consistent():
+    s = triple_scheme(10)
+    rng = random.Random(5)
+    triple = generate_triple_distributed(s, rng)
+    a = s.reconstruct(list(triple.a)[: s.threshold])
+    b = s.reconstruct(list(triple.b)[: s.threshold])
+    c = s.reconstruct(list(triple.c)[: s.threshold])
+    assert c == s.field.mul(a, b)
+
+
+def test_distributed_triple_drives_secure_multiply():
+    """End to end: dealer-free triples power the same online protocol."""
+    s = triple_scheme(7)
+    rng = random.Random(6)
+    x, y = 111, 222
+    x_shares = s.deal(x, rng)
+    y_shares = s.deal(y, rng)
+    triple = generate_triple_distributed(s, rng)
+    z_shares = secure_multiply(x_shares, y_shares, triple, s)
+    assert s.reconstruct(z_shares[: s.threshold]) == x * y
+
+
+def test_triple_generation_cost():
+    s = triple_scheme(8)
+    assert triple_generation_bits(s) == 3 * 64 * s.field.element_bits
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    x=st.integers(min_value=0, max_value=2**31 - 2),
+    y=st.integers(min_value=0, max_value=2**31 - 2),
+    seed=st.integers(min_value=0, max_value=2**16),
+    k=st.integers(min_value=4, max_value=10),
+)
+def test_property_distributed_triples_correct(x, y, seed, k):
+    s = triple_scheme(k)
+    rng = random.Random(seed)
+    x_shares = s.deal(x, rng)
+    y_shares = s.deal(y, rng)
+    triple = generate_triple_distributed(s, rng)
+    z_shares = secure_multiply(x_shares, y_shares, triple, s)
+    assert (
+        s.reconstruct(z_shares[: s.threshold])
+        == (x * y) % s.field.modulus
+    )

@@ -1,0 +1,107 @@
+"""Tests for multi-valued agreement (Turpin-Coan + scalable composition)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.adversary.behaviors import EquivocatingBehavior, SilentBehavior
+from repro.adversary.static import StaticByzantineAdversary
+from repro.baselines.phase_king import run_phase_king
+from repro.core.multivalued import (
+    MultiValuedResult,
+    run_scalable_multivalued,
+    turpin_coan_reduce,
+)
+
+
+def phase_king_binary(n):
+    """A binary-BA callable backed by Phase King."""
+
+    def agree(binary_inputs):
+        inputs = [binary_inputs.get(p, 0) for p in range(n)]
+        result = run_phase_king(n, inputs)
+        values = Counter(result.good_outputs().values())
+        return max(values, key=lambda v: (values[v], v))
+
+    return agree
+
+
+class TestTurpinCoan:
+    def test_unanimous_value_wins(self):
+        n = 16
+        result = turpin_coan_reduce(
+            n, [42] * n, binary_agree=phase_king_binary(n)
+        )
+        assert result.value == 42
+        assert result.unanimous()
+        assert all(v == 42 for v in result.good_decided().values())
+
+    def test_majority_value_wins_or_default(self):
+        n = 16
+        values = [7] * 13 + [9] * 3
+        result = turpin_coan_reduce(
+            n, values, binary_agree=phase_king_binary(n)
+        )
+        assert result.value in (7, 0)
+        assert result.unanimous()
+
+    def test_split_inputs_yield_default(self):
+        n = 16
+        values = [p % 4 for p in range(n)]
+        result = turpin_coan_reduce(
+            n, values, binary_agree=phase_king_binary(n), default=0
+        )
+        # No value close to unanimity -> binary agreement lands on 0.
+        assert result.value == 0
+
+    def test_under_byzantine_minority(self):
+        n = 16
+        adversary = StaticByzantineAdversary(
+            n, targets={0, 1, 2}, behavior=EquivocatingBehavior(), seed=1
+        )
+        result = turpin_coan_reduce(
+            n, [5] * n, binary_agree=phase_king_binary(n),
+            adversary=adversary,
+        )
+        assert result.value == 5
+        assert result.unanimous()
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            turpin_coan_reduce(
+                4, [1, 2, 3, -1], binary_agree=phase_king_binary(4)
+            )
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            turpin_coan_reduce(
+                4, [1, 2], binary_agree=phase_king_binary(4)
+            )
+
+
+class TestScalableMultiValued:
+    def test_unanimous_value_exact(self):
+        n = 27
+        result = run_scalable_multivalued(
+            n, [5] * n, value_bits=3, seed=61
+        )
+        assert result.value == 5
+        good = result.good_decided()
+        assert all(v == 5 for v in good.values())
+
+    def test_each_bit_valid(self):
+        """Bitwise validity: every output bit was some good input bit."""
+        n = 27
+        values = [3 if p % 2 else 5 for p in range(n)]  # 011 vs 101
+        result = run_scalable_multivalued(
+            n, values, value_bits=3, seed=62
+        )
+        # bit 0 is 1 for everyone; bits 1 and 2 are split.
+        assert result.value is not None
+        assert result.value & 1 == 1
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            run_scalable_multivalued(4, [1, 2], value_bits=2)
+        with pytest.raises(ValueError):
+            run_scalable_multivalued(4, [1] * 4, value_bits=0)

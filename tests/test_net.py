@@ -1,0 +1,218 @@
+"""Unit tests for the network simulator, messages, and accounting."""
+
+import random
+from typing import List
+
+import pytest
+
+from repro.net.accounting import BitLedger
+from repro.net.messages import HEADER_BITS, Message, MessageError, payload_bits
+from repro.net.rng import child_rng, derive_seed
+from repro.net.simulator import (
+    AdversaryView,
+    NullAdversary,
+    ProcessorProtocol,
+    SimulationError,
+    SyncNetwork,
+)
+from repro.adversary.behaviors import FixedBitBehavior, SilentBehavior
+from repro.adversary.flooding import FloodingAdversary
+from repro.adversary.static import StaticByzantineAdversary
+
+
+class TestPayloadBits:
+    def test_none(self):
+        assert payload_bits(None) == 1
+
+    def test_bool(self):
+        assert payload_bits(True) == 1
+        assert payload_bits(False) == 1
+
+    def test_int(self):
+        assert payload_bits(0) == 1
+        assert payload_bits(1) == 1
+        assert payload_bits(255) == 8
+        assert payload_bits(256) == 9
+        assert payload_bits(-1) == 2
+
+    def test_str(self):
+        assert payload_bits("ab") == 16
+
+    def test_tuple(self):
+        assert payload_bits((255, 255)) == 16
+
+    def test_dict(self):
+        assert payload_bits({"a": 255}) == 8 + 8
+
+    def test_unmeasurable_raises(self):
+        with pytest.raises(MessageError):
+            payload_bits(object())
+
+    def test_message_bits(self):
+        m = Message(0, 1, "v", 255)
+        assert m.bits() == HEADER_BITS + 8 + 8
+
+
+class TestRngDerivation:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_label_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a", "b") != derive_seed(1, "ab")
+
+    def test_child_rng_streams_independent(self):
+        a = child_rng(9, "x").random()
+        b = child_rng(9, "y").random()
+        assert a != b
+
+
+class TestBitLedger:
+    def test_record_and_totals(self):
+        ledger = BitLedger(3)
+        m = Message(0, 1, "v", 255)
+        ledger.record(m)
+        assert ledger.bits_sent_by(0) == m.bits()
+        assert ledger.total_bits() == m.bits()
+        assert ledger.total_messages() == 1
+
+    def test_max_and_mean(self):
+        ledger = BitLedger(2)
+        ledger.record(Message(0, 1, "v", 255))
+        ledger.record(Message(0, 1, "v", 255))
+        ledger.record(Message(1, 0, "v", 255))
+        assert ledger.max_bits_per_processor() == 2 * Message(0, 1, "v", 255).bits()
+        assert ledger.mean_bits_per_processor() == pytest.approx(
+            1.5 * Message(0, 1, "v", 255).bits()
+        )
+
+    def test_phase_breakdown(self):
+        ledger = BitLedger(2)
+        ledger.set_phase("alpha")
+        ledger.record(Message(0, 1, "v", 1))
+        ledger.set_phase("beta")
+        ledger.record(Message(1, 0, "v", 1))
+        breakdown = ledger.phase_breakdown()
+        assert set(breakdown) == {"alpha", "beta"}
+
+    def test_record_abstract(self):
+        ledger = BitLedger(2)
+        ledger.record_abstract(0, 1, 100)
+        assert ledger.bits_sent_by(0) == 100
+        assert ledger.received_bits[1] == 100
+
+    def test_snapshot(self):
+        ledger = BitLedger(2)
+        ledger.record(Message(0, 1, "v", 1))
+        ledger.tick_round()
+        snap = ledger.snapshot()
+        assert snap.rounds == 1
+        assert snap.total_messages == 1
+        assert "total_bits_sent" in snap.as_row()
+
+    def test_include_filter(self):
+        ledger = BitLedger(3)
+        ledger.record(Message(0, 1, "v", 1))
+        ledger.record(Message(2, 1, "v", (1, 1, 1)))
+        assert ledger.max_bits_per_processor(include=[0, 1]) == Message(
+            0, 1, "v", 1
+        ).bits()
+
+
+class EchoProtocol(ProcessorProtocol):
+    """Sends its pid to everyone in round 1; decides on sum of inputs."""
+
+    def __init__(self, pid: int, n: int):
+        super().__init__(pid)
+        self.n = n
+        self._output = None
+
+    def on_round(self, round_no: int, inbox: List[Message]) -> List[Message]:
+        if round_no == 1:
+            return [
+                Message(self.pid, other, "hello", self.pid)
+                for other in range(self.n)
+                if other != self.pid
+            ]
+        if round_no == 2:
+            self._output = sum(m.payload for m in inbox if m.tag == "hello")
+        return []
+
+    def output(self):
+        return self._output
+
+
+class TestSyncNetwork:
+    def test_fault_free_run(self):
+        n = 5
+        protocols = [EchoProtocol(pid, n) for pid in range(n)]
+        net = SyncNetwork(protocols, NullAdversary(n))
+        result = net.run(max_rounds=3)
+        assert result.halted
+        total = sum(range(n))
+        for pid, value in result.outputs.items():
+            assert value == total - pid
+
+    def test_ledger_counts_good_traffic(self):
+        n = 3
+        protocols = [EchoProtocol(pid, n) for pid in range(n)]
+        net = SyncNetwork(protocols, NullAdversary(n))
+        net.run(max_rounds=3)
+        assert net.ledger.total_messages() == n * (n - 1)
+
+    def test_pid_mismatch_rejected(self):
+        protocols = [EchoProtocol(1, 2), EchoProtocol(0, 2)]
+        with pytest.raises(SimulationError):
+            SyncNetwork(protocols, NullAdversary(2))
+
+    def test_static_adversary_excluded_from_good_outputs(self):
+        n = 4
+        protocols = [EchoProtocol(pid, n) for pid in range(n)]
+        adversary = StaticByzantineAdversary(
+            n, targets={0}, behavior=SilentBehavior()
+        )
+        net = SyncNetwork(protocols, adversary)
+        result = net.run(max_rounds=3)
+        assert 0 in result.corrupted
+        assert 0 not in result.good_outputs()
+
+    def test_adversary_messages_not_in_good_ledger(self):
+        n = 4
+        protocols = [EchoProtocol(pid, n) for pid in range(n)]
+        adversary = StaticByzantineAdversary(
+            n, targets={0}, behavior=FixedBitBehavior(1), vote_tag="hello"
+        )
+        net = SyncNetwork(protocols, adversary)
+        net.run(max_rounds=3)
+        assert net.ledger.bits_sent_by(0) == 0
+        assert net.flood_bits > 0
+
+    def test_flooding_adversary_floods(self):
+        n = 4
+        protocols = [EchoProtocol(pid, n) for pid in range(n)]
+        inner = StaticByzantineAdversary(
+            n, targets={0}, behavior=SilentBehavior()
+        )
+        adversary = FloodingAdversary(inner, flood_factor=10)
+        net = SyncNetwork(protocols, adversary)
+        net.run(max_rounds=3)
+        assert net.flood_bits >= 10 * 64
+
+    def test_agreement_value(self):
+        n = 3
+        protocols = [EchoProtocol(pid, n) for pid in range(n)]
+        net = SyncNetwork(protocols, NullAdversary(n))
+        result = net.run(max_rounds=3)
+        # Outputs differ per pid here, so no agreement value.
+        assert result.agreement_value() is None
+
+    def test_budget_enforced(self):
+        n = 4
+        adversary = StaticByzantineAdversary(
+            n, targets={0}, behavior=SilentBehavior()
+        )
+        adversary.budget = 0
+        protocols = [EchoProtocol(pid, n) for pid in range(n)]
+        net = SyncNetwork(protocols, adversary)
+        result = net.run(max_rounds=2)
+        assert result.corrupted == set()

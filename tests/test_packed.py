@@ -1,0 +1,107 @@
+"""Tests for packed (ramp) secret sharing."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.field import DEFAULT_FIELD, PrimeField
+from repro.crypto.packed import PackedShamirScheme
+from repro.crypto.shamir import SecretSharingError, Share
+
+
+def scheme(n=12, secrecy=4, k=3):
+    return PackedShamirScheme(n_players=n, secrecy=secrecy, block_size=k)
+
+
+class TestConstruction:
+    def test_threshold(self):
+        assert scheme().reconstruction_threshold == 7
+
+    def test_rejects_oversized_block(self):
+        with pytest.raises(SecretSharingError):
+            PackedShamirScheme(n_players=4, secrecy=3, block_size=3)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(SecretSharingError):
+            PackedShamirScheme(n_players=0, secrecy=1, block_size=1)
+        with pytest.raises(SecretSharingError):
+            PackedShamirScheme(n_players=4, secrecy=0, block_size=1)
+        with pytest.raises(SecretSharingError):
+            PackedShamirScheme(n_players=4, secrecy=1, block_size=0)
+
+
+class TestRoundtrip:
+    def test_basic(self):
+        s = scheme()
+        rng = random.Random(1)
+        block = [11, 22, 33]
+        shares = s.deal(block, rng)
+        assert len(shares) == 12
+        assert s.reconstruct(shares) == block
+
+    def test_threshold_subset_suffices(self):
+        s = scheme()
+        rng = random.Random(2)
+        block = [5, 6, 7]
+        shares = s.deal(block, rng)
+        assert s.reconstruct(shares[: s.reconstruction_threshold]) == block
+        assert s.reconstruct(shares[-s.reconstruction_threshold:]) == block
+
+    def test_below_threshold_fails(self):
+        s = scheme()
+        shares = s.deal([1, 2, 3], random.Random(3))
+        with pytest.raises(SecretSharingError):
+            s.reconstruct(shares[: s.reconstruction_threshold - 1])
+
+    def test_conflicting_shares_rejected(self):
+        s = scheme()
+        shares = s.deal([1, 2, 3], random.Random(4))
+        bad = list(shares) + [Share(shares[0].x, shares[0].value + 1)]
+        with pytest.raises(SecretSharingError):
+            s.reconstruct(bad)
+
+    def test_wrong_block_size_rejected(self):
+        with pytest.raises(SecretSharingError):
+            scheme().deal([1, 2], random.Random(5))
+
+
+class TestSecrecy:
+    def test_small_coalitions_see_uniform_shares(self):
+        """<= secrecy shares are consistent with any block (statistical
+        check: the same coalition positions take many values across
+        dealings of the same block)."""
+        field = PrimeField(257)
+        s = PackedShamirScheme(
+            n_players=8, secrecy=3, block_size=2, field=field
+        )
+        seen = set()
+        for seed in range(300):
+            shares = s.deal([42, 43], random.Random(seed))
+            seen.add(shares[0].value)
+        assert len(seen) > 120
+
+    def test_bandwidth_win(self):
+        s = scheme(k=3)
+        assert s.bandwidth_ratio_vs_shamir() == pytest.approx(1 / 3)
+        assert s.share_bits() == DEFAULT_FIELD.element_bits
+
+
+@given(
+    words=st.lists(
+        st.integers(min_value=0, max_value=DEFAULT_FIELD.modulus - 1),
+        min_size=1,
+        max_size=4,
+    ),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_property(words, seed):
+    s = PackedShamirScheme(
+        n_players=10, secrecy=3, block_size=len(words)
+    )
+    shares = s.deal(words, random.Random(seed))
+    assert s.reconstruct(shares) == [
+        w % DEFAULT_FIELD.modulus for w in words
+    ]

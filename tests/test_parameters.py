@@ -1,0 +1,122 @@
+"""Unit tests for protocol parameter derivation."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import ParameterError, ProtocolParameters, log2n
+
+
+class TestConstruction:
+    def test_defaults_valid(self):
+        params = ProtocolParameters(n=100)
+        assert params.n == 100
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ParameterError):
+            ProtocolParameters(n=0)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ParameterError):
+            ProtocolParameters(n=10, epsilon=0.5)
+        with pytest.raises(ParameterError):
+            ProtocolParameters(n=10, epsilon=0.0)
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ParameterError):
+            ProtocolParameters(n=10, q=1)
+
+    def test_rejects_no_winners(self):
+        with pytest.raises(ParameterError):
+            ProtocolParameters(n=10, winners_per_election=0)
+
+
+class TestPresets:
+    def test_paper_formulas(self):
+        n = 1 << 20
+        params = ProtocolParameters.paper(n, delta=5.0)
+        ln = log2n(n)
+        assert params.q == round(ln**5)
+        assert params.k1 == round(ln**3)
+        assert params.winners_per_election == round(5 * ln**3)
+
+    def test_paper_threshold_is_half(self):
+        params = ProtocolParameters.paper(1 << 20)
+        assert params.share_threshold_fraction == 0.5
+
+    def test_simulation_scales_gently(self):
+        small = ProtocolParameters.simulation(27)
+        large = ProtocolParameters.simulation(2048)
+        assert small.k1 <= large.k1
+        assert small.uplink_degree <= large.uplink_degree
+
+    def test_simulation_nondegenerate(self):
+        for n in (9, 27, 81, 243, 1000):
+            params = ProtocolParameters.simulation(n)
+            assert params.q >= 2
+            assert params.k1 >= 4
+            assert params.winners_per_election >= 1
+
+
+class TestDerived:
+    def test_corruption_budget(self):
+        params = ProtocolParameters(n=120, epsilon=1 / 12)
+        assert params.corruption_budget == int((1 / 3 - 1 / 12) * 120)
+
+    def test_good_node_threshold(self):
+        params = ProtocolParameters(n=100, epsilon=0.06)
+        assert params.good_node_threshold == pytest.approx(2 / 3 + 0.03)
+
+    def test_candidates_level2_is_q(self):
+        params = ProtocolParameters(n=100, q=4)
+        assert params.candidates_per_election(2) == 4
+
+    def test_candidates_higher_levels(self):
+        params = ProtocolParameters(n=100, q=4, winners_per_election=3)
+        assert params.candidates_per_election(3) == 12
+
+    def test_candidates_level1_rejected(self):
+        params = ProtocolParameters(n=100)
+        with pytest.raises(ParameterError):
+            params.candidates_per_election(1)
+
+    def test_num_bins_at_least_two(self):
+        params = ProtocolParameters(n=100, q=2, winners_per_election=2)
+        assert params.num_bins(2) >= 2
+
+    def test_num_bins_ratio(self):
+        params = ProtocolParameters(n=100, q=8, winners_per_election=2)
+        # r = 16, w = 2 -> 8 bins at level 3.
+        assert params.num_bins(3) == 8
+
+    def test_block_words(self):
+        params = ProtocolParameters(n=100, q=3, winners_per_election=2)
+        assert params.block_words(2) == 1 + 3
+        assert params.block_words(3) == 1 + 6
+
+    def test_sqrt_n(self):
+        assert ProtocolParameters(n=100).sqrt_n() == 10
+        assert ProtocolParameters(n=101).sqrt_n() == 11
+        assert ProtocolParameters(n=1).sqrt_n() == 1
+
+    def test_request_fanout_positive(self):
+        params = ProtocolParameters(n=64, request_fanout_a=4.0)
+        assert params.request_fanout() == round(4 * 6)
+
+    def test_overload_limit(self):
+        params = ProtocolParameters(n=64)
+        assert params.overload_limit() == round(8 * 6)
+
+    def test_with_overrides(self):
+        params = ProtocolParameters(n=64)
+        tweaked = params.with_overrides(q=7)
+        assert tweaked.q == 7
+        assert tweaked.n == 64
+        assert params.q != 7 or params.q == 7  # original untouched
+        assert params is not tweaked
+
+
+def test_log2n_floor():
+    assert log2n(1) == 2.0
+    assert log2n(2) == 2.0
+    assert log2n(1024) == 10.0

@@ -1,0 +1,104 @@
+"""Unit tests for polynomial evaluation and Lagrange interpolation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.field import DEFAULT_FIELD, FieldError, PrimeField
+from repro.crypto.polynomial import (
+    evaluate,
+    evaluate_many,
+    interpolate_constant,
+    lagrange_coefficients_at_zero,
+    lagrange_interpolate_at,
+    random_polynomial,
+)
+
+FIELD = PrimeField(257)
+
+
+class TestEvaluate:
+    def test_constant(self):
+        assert evaluate(FIELD, [42], 100) == 42
+
+    def test_linear(self):
+        # 3 + 2x at x=5 -> 13
+        assert evaluate(FIELD, [3, 2], 5) == 13
+
+    def test_quadratic_wraps(self):
+        # x^2 at x=16 -> 256
+        assert evaluate(FIELD, [0, 0, 1], 16) == 256
+        assert evaluate(FIELD, [0, 0, 1], 17) == 289 % 257
+
+    def test_empty_polynomial_is_zero(self):
+        assert evaluate(FIELD, [], 5) == 0
+
+    def test_evaluate_many(self):
+        assert evaluate_many(FIELD, [1, 1], [0, 1, 2]) == [1, 2, 3]
+
+
+class TestRandomPolynomial:
+    def test_constant_term_is_secret(self):
+        rng = random.Random(1)
+        poly = random_polynomial(FIELD, 77, 4, rng)
+        assert poly[0] == 77
+        assert len(poly) == 5
+
+    def test_degree_zero(self):
+        rng = random.Random(1)
+        assert random_polynomial(FIELD, 5, 0, rng) == [5]
+
+    def test_negative_degree_raises(self):
+        with pytest.raises(FieldError):
+            random_polynomial(FIELD, 5, -1, random.Random(1))
+
+
+class TestInterpolation:
+    def test_roundtrip_random_polynomials(self):
+        rng = random.Random(3)
+        for degree in range(5):
+            poly = random_polynomial(FIELD, rng.randrange(257), degree, rng)
+            points = [(x, evaluate(FIELD, poly, x)) for x in range(1, degree + 2)]
+            assert interpolate_constant(FIELD, points) == poly[0]
+
+    def test_interpolate_at_arbitrary_point(self):
+        rng = random.Random(4)
+        poly = random_polynomial(FIELD, 9, 3, rng)
+        points = [(x, evaluate(FIELD, poly, x)) for x in (1, 2, 3, 4)]
+        assert lagrange_interpolate_at(FIELD, points, 10) == evaluate(
+            FIELD, poly, 10
+        )
+
+    def test_duplicate_x_rejected(self):
+        with pytest.raises(FieldError):
+            interpolate_constant(FIELD, [(1, 2), (1, 3)])
+
+    def test_lagrange_coefficients(self):
+        rng = random.Random(5)
+        poly = random_polynomial(FIELD, 123, 2, rng)
+        xs = [1, 5, 9]
+        ys = [evaluate(FIELD, poly, x) for x in xs]
+        lambdas = lagrange_coefficients_at_zero(FIELD, xs)
+        secret = FIELD.sum(FIELD.mul(l, y) for l, y in zip(lambdas, ys))
+        assert secret == 123
+
+    def test_lagrange_coefficients_duplicate_x(self):
+        with pytest.raises(FieldError):
+            lagrange_coefficients_at_zero(FIELD, [1, 1])
+
+
+@given(
+    secret=st.integers(min_value=0, max_value=DEFAULT_FIELD.modulus - 1),
+    degree=st.integers(min_value=0, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+@settings(max_examples=50)
+def test_interpolation_recovers_any_secret(secret, degree, seed):
+    rng = random.Random(seed)
+    poly = random_polynomial(DEFAULT_FIELD, secret, degree, rng)
+    points = [
+        (x, evaluate(DEFAULT_FIELD, poly, x)) for x in range(1, degree + 2)
+    ]
+    assert interpolate_constant(DEFAULT_FIELD, points) == secret

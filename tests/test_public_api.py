@@ -1,0 +1,66 @@
+"""Guards on the public API surface.
+
+The README and examples promise a stable top-level import path; these
+tests fail when an ``__all__`` entry goes stale or a subpackage forgets
+to re-export something the top level advertises.
+"""
+
+import importlib
+
+import pytest
+
+SUBPACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.crypto",
+    "repro.samplers",
+    "repro.topology",
+    "repro.net",
+    "repro.adversary",
+    "repro.baselines",
+    "repro.analysis",
+    "repro.asynchrony",
+    "repro.lowerbounds",
+    "repro.mpc",
+]
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_all_entries_resolve(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", None)
+    assert exported, f"{name} must declare __all__"
+    for symbol in exported:
+        assert hasattr(module, symbol), f"{name}.{symbol} is missing"
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_all_entries_unique(name):
+    module = importlib.import_module(name)
+    exported = module.__all__
+    assert len(exported) == len(set(exported))
+
+
+def test_quickstart_symbols_at_top_level():
+    import repro
+
+    for symbol in (
+        "run_everywhere_ba",
+        "run_almost_everywhere_ba",
+        "run_ae_to_everywhere",
+        "run_unreliable_coin_ba",
+        "run_leader_election",
+        "run_replicated_log",
+        "ProtocolParameters",
+        "Tournament",
+    ):
+        assert symbol in repro.__all__
+        assert callable(getattr(repro, symbol)) or symbol[0].isupper()
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)

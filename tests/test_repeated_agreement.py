@@ -1,0 +1,265 @@
+"""Tests for repeated agreement (the replicated-log amortization layer)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.adaptive import TournamentAdversary
+from repro.adversary.behaviors import FixedBitBehavior, SilentBehavior
+from repro.core.repeated_agreement import (
+    ReplicatedLogError,
+    ReplicatedLogResult,
+    _slot_coin_source,
+    _slot_k_sequence,
+    run_replicated_log,
+    words_per_slot,
+)
+from repro.core.global_coin import GlobalCoinSubsequence, synthetic_subsequence
+
+
+N = 27
+
+
+def unanimous_slots(*bits):
+    return [[b] * N for b in bits]
+
+
+@pytest.fixture(scope="module")
+def fault_free_log():
+    """One shared three-slot fault-free run (module-scoped: tournaments
+    are the expensive part, which is the whole point of this layer)."""
+    slots = [[1] * N, [0] * N, [p % 2 for p in range(N)]]
+    return slots, run_replicated_log(N, slots, seed=11)
+
+
+class TestHappyPath:
+    def test_every_slot_succeeds(self, fault_free_log):
+        _, result = fault_free_log
+        assert result.success()
+
+    def test_unanimous_slots_keep_their_bit(self, fault_free_log):
+        _, result = fault_free_log
+        assert result.bits()[:2] == [1, 0]
+
+    def test_all_slots_valid(self, fault_free_log):
+        _, result = fault_free_log
+        assert result.all_valid()
+
+    def test_slot_count_matches(self, fault_free_log):
+        slots, result = fault_free_log
+        assert len(result.slots) == len(slots)
+        assert [s.index for s in result.slots] == [0, 1, 2]
+
+    def test_word_segments_disjoint_and_ordered(self, fault_free_log):
+        _, result = fault_free_log
+        seen = []
+        for slot in result.slots:
+            seen.extend(slot.word_indices)
+        assert seen == sorted(seen)
+        assert len(seen) == len(set(seen))
+        assert len(seen) == 3 * words_per_slot(6, 2)
+
+    def test_coin_covers_log(self, fault_free_log):
+        _, result = fault_free_log
+        assert result.coin.length >= 3 * words_per_slot(6, 2)
+
+    def test_marginal_cost_far_below_tournament(self, fault_free_log):
+        _, result = fault_free_log
+        tournament = result.tournament_max_bits()
+        for i in range(len(result.slots)):
+            assert result.slot_max_bits(i) < tournament / 10
+
+    def test_amortized_cost_decreases_with_slots(self):
+        short = run_replicated_log(N, unanimous_slots(1), seed=13)
+        long = run_replicated_log(N, unanimous_slots(1, 1, 1, 1), seed=13)
+        assert (
+            long.amortized_max_bits_per_slot()
+            < short.amortized_max_bits_per_slot()
+        )
+
+    def test_deterministic_per_seed(self):
+        a = run_replicated_log(N, unanimous_slots(1, 0), seed=5)
+        b = run_replicated_log(N, unanimous_slots(1, 0), seed=5)
+        assert a.bits() == b.bits()
+        assert a.tournament_max_bits() == b.tournament_max_bits()
+
+
+class TestValidation:
+    def test_empty_log_rejected(self):
+        with pytest.raises(ReplicatedLogError):
+            run_replicated_log(N, [])
+
+    def test_wrong_proposal_length_rejected(self):
+        with pytest.raises(ReplicatedLogError, match="slot 1"):
+            run_replicated_log(N, [[0] * N, [0] * (N - 1)])
+
+    def test_zero_rounds_rejected(self):
+        with pytest.raises(ReplicatedLogError):
+            run_replicated_log(N, unanimous_slots(1), aeba_rounds=0)
+        with pytest.raises(ReplicatedLogError):
+            run_replicated_log(N, unanimous_slots(1), ae2e_loops=0)
+
+    def test_words_per_slot(self):
+        assert words_per_slot(6, 2) == 8
+        assert words_per_slot(1, 1) == 2
+
+
+class TestUnderAttack:
+    def test_corrupted_run_still_commits(self):
+        adversary = TournamentAdversary(N, budget=2, seed=3)
+        result = run_replicated_log(
+            N, unanimous_slots(1, 0), tournament_adversary=adversary,
+            seed=3,
+        )
+        assert result.success()
+        assert result.all_valid()
+        assert result.corrupted == adversary.corrupted
+
+    def test_validity_excludes_bad_proposals(self):
+        # All good processors propose 1 in both slots; corrupted ones are
+        # made to push 0.  Validity must hold w.r.t. good proposals.
+        adversary = TournamentAdversary(N, budget=2, seed=7)
+        adversary.take_over([0, 1])
+        slots = [[1] * N, [1] * N]
+        result = run_replicated_log(
+            N,
+            slots,
+            tournament_adversary=adversary,
+            slot_behavior=FixedBitBehavior(0),
+            seed=7,
+        )
+        assert result.bits() == [1, 1]
+        assert result.all_valid()
+
+    def test_crash_faults_tolerated(self):
+        adversary = TournamentAdversary(N, budget=2, seed=9)
+        adversary.take_over([3, 4])
+        result = run_replicated_log(
+            N,
+            unanimous_slots(0, 1),
+            tournament_adversary=adversary,
+            slot_behavior=SilentBehavior(),
+            seed=9,
+        )
+        assert result.success()
+        assert result.bits() == [0, 1]
+
+
+class TestAccountingHelpers:
+    def _result_with_ledgers(self):
+        slots = unanimous_slots(1)
+        return run_replicated_log(N, slots, seed=21)
+
+    def test_slot_ledger_positive(self):
+        result = self._result_with_ledgers()
+        assert result.slot_max_bits(0) > 0
+
+    def test_amortized_formula(self):
+        result = self._result_with_ledgers()
+        expected = result.tournament_max_bits() + result.slot_max_bits(0)
+        assert result.amortized_max_bits_per_slot() == pytest.approx(
+            expected
+        )
+
+    def test_empty_log_result_accessors(self):
+        result = self._result_with_ledgers()
+        empty = ReplicatedLogResult(
+            slots=[],
+            tournament=result.tournament,
+            coin=result.coin,
+            inputs=[],
+        )
+        assert empty.amortized_max_bits_per_slot() == 0.0
+        assert empty.success()
+        assert empty.all_valid()
+        assert empty.bits() == []
+
+
+class TestSlotHelpers:
+    def _coin(self, n=10, length=8, seed=0):
+        return synthetic_subsequence(
+            n, length=length, good_indices=range(length),
+            rng=random.Random(seed),
+        )
+
+    def test_coin_source_good_rounds(self):
+        coin = self._coin()
+        source = _slot_coin_source(coin, 10, [0, 1, 2])
+        assert source.num_rounds == 3
+        assert source.num_good_rounds() == 3
+        for i in range(3):
+            assert source.rounds[i].true_bit == coin.truth[i] & 1
+
+    def test_coin_source_split_views_not_good(self):
+        coin = self._coin()
+        coin.views[0][1] ^= 1  # one processor sees a flipped word
+        source = _slot_coin_source(coin, 10, [0, 1])
+        assert source.rounds[0].good
+        assert not source.rounds[1].good
+        assert source.rounds[1].true_bit is None
+
+    def test_coin_source_adversarial_word_not_good(self):
+        n = 10
+        coin = synthetic_subsequence(
+            n, length=4, good_indices=[0, 2, 3],
+            rng=random.Random(1), adversary_word=6,
+        )
+        source = _slot_coin_source(coin, n, [0, 1])
+        assert source.rounds[0].good
+        # Word 1 is adversarial: unanimous views but not genuinely random.
+        assert not source.rounds[1].good
+
+    def test_coin_source_missing_views_default_zero(self):
+        coin = GlobalCoinSubsequence(
+            views={p: [None] for p in range(4)},
+            truth=[7],
+            corrupted=set(),
+        )
+        source = _slot_coin_source(coin, 4, [0])
+        assert not source.rounds[0].good
+        assert all(source.view(0, p) == 0 for p in range(4))
+
+    def test_k_sequence_in_range(self):
+        coin = self._coin(n=100, length=6)
+        ks = _slot_k_sequence(coin, range(6), sqrt_n=10)
+        assert len(ks) == 6
+        assert all(1 <= k <= 10 for k in ks)
+
+    def test_k_sequence_unlearned_defaults_to_one(self):
+        coin = GlobalCoinSubsequence(
+            views={p: [None] for p in range(4)},
+            truth=[7],
+            corrupted=set(),
+        )
+        assert _slot_k_sequence(coin, [0], sqrt_n=5) == [1]
+
+
+class TestProperties:
+    @given(
+        aeba_rounds=st.integers(min_value=1, max_value=12),
+        ae2e_loops=st.integers(min_value=1, max_value=6),
+        num_slots=st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_segment_arithmetic(self, aeba_rounds, ae2e_loops, num_slots):
+        """Slot word segments tile [0, total) exactly."""
+        per = words_per_slot(aeba_rounds, ae2e_loops)
+        indices = []
+        for i in range(num_slots):
+            base = i * per
+            indices.extend(range(base, base + per))
+        assert indices == list(range(num_slots * per))
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=15, deadline=None)
+    def test_coin_source_views_are_bits(self, seed):
+        coin = synthetic_subsequence(
+            8, length=5, good_indices=range(5),
+            rng=random.Random(seed),
+        )
+        source = _slot_coin_source(coin, 8, range(5))
+        for r in range(5):
+            for p in range(8):
+                assert source.view(r, p) in (0, 1)

@@ -1,0 +1,176 @@
+"""Unit tests for averaging samplers (Definition 2, Lemma 2)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.samplers.quality import (
+    adversarial_bad_set,
+    estimate_failure_fraction,
+    fraction_of_bad_committees,
+    measure_against_bad_set,
+)
+from repro.samplers.sampler import (
+    Sampler,
+    SamplerError,
+    bipartite_links,
+    paper_sampler_degree,
+    sampler_existence_bound,
+)
+
+
+class TestConstruction:
+    def test_random_dimensions(self):
+        s = Sampler.random(10, 50, 5, random.Random(0))
+        assert s.r == 10 and s.s == 50 and s.d == 5
+        assert len(s.assignments) == 10
+        assert all(len(row) == 5 for row in s.assignments)
+
+    def test_random_without_replacement_distinct(self):
+        s = Sampler.random(20, 30, 10, random.Random(1))
+        for row in s.assignments:
+            assert len(set(row)) == 10
+
+    def test_with_replacement_allows_duplicates(self):
+        s = Sampler.random(
+            200, 3, 3, random.Random(2), with_replacement=True
+        )
+        assert any(len(set(row)) < 3 for row in s.assignments)
+
+    def test_degree_larger_than_ground_set_uses_replacement(self):
+        s = Sampler.random(5, 3, 6, random.Random(3))
+        assert all(len(row) == 6 for row in s.assignments)
+
+    def test_complete_sampler(self):
+        s = Sampler.complete(4, 7)
+        assert all(row == tuple(range(7)) for row in s.assignments)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(SamplerError):
+            Sampler(r=0, s=1, d=1, assignments=())
+
+    def test_rows_validate_range(self):
+        with pytest.raises(SamplerError):
+            Sampler(r=1, s=3, d=2, assignments=((0, 5),))
+
+    def test_row_count_validated(self):
+        with pytest.raises(SamplerError):
+            Sampler(r=2, s=3, d=1, assignments=((0,),))
+
+    def test_row_degree_validated(self):
+        with pytest.raises(SamplerError):
+            Sampler(r=1, s=3, d=2, assignments=((0,),))
+
+    def test_reproducibility(self):
+        a = Sampler.random(10, 50, 5, random.Random(42))
+        b = Sampler.random(10, 50, 5, random.Random(42))
+        assert a.assignments == b.assignments
+
+
+class TestQueries:
+    def test_assign(self):
+        s = Sampler.random(4, 10, 3, random.Random(4))
+        assert s.assign(2) == s.assignments[2]
+
+    def test_intersection_fraction(self):
+        s = Sampler(r=1, s=4, d=4, assignments=((0, 1, 2, 3),))
+        assert s.intersection_fraction(0, {0, 1}) == 0.5
+
+    def test_degrees_sum(self):
+        s = Sampler.random(8, 20, 5, random.Random(5))
+        # Without replacement each row has 5 distinct elements.
+        assert sum(s.degrees().values()) == 8 * 5
+
+    def test_inputs_containing(self):
+        s = Sampler(r=2, s=3, d=2, assignments=((0, 1), (1, 2)))
+        assert s.inputs_containing(1) == [0, 1]
+        assert s.inputs_containing(0) == [0]
+
+    def test_max_degree(self):
+        s = Sampler(r=2, s=3, d=2, assignments=((0, 1), (1, 2)))
+        assert s.max_degree() == 2
+
+
+class TestLemma2:
+    def test_existence_bound_monotone_in_degree(self):
+        ok_small = sampler_existence_bound(100, 100, 10, 0.2, 0.2)
+        ok_large = sampler_existence_bound(100, 100, 1000, 0.2, 0.2)
+        assert ok_large and (ok_large or not ok_small)
+
+    def test_paper_degree_formula(self):
+        # d = O((s/r + 1) log^3 n), minimum 1.
+        d = paper_sampler_degree(r=100, s=100, n=1024)
+        assert d == math.ceil(2 * 10**3)
+        assert paper_sampler_degree(1, 1, 2) >= 1
+
+    def test_random_sampler_meets_spec_on_random_bad_sets(self):
+        """A well-sized random sampler should rarely exceed theta."""
+        rng = random.Random(6)
+        s = Sampler.random(60, 120, 40, rng)
+        worst = estimate_failure_fraction(
+            s, bad_set_size=40, theta=0.25, trials=20, rng=rng
+        )
+        assert worst <= 0.15
+
+    def test_quality_improves_with_degree(self):
+        rng = random.Random(7)
+        small = Sampler.random(50, 100, 6, random.Random(7))
+        large = Sampler.random(50, 100, 48, random.Random(7))
+        theta = 0.15
+        bad = set(range(33))
+        r_small = measure_against_bad_set(small, bad, theta)
+        r_large = measure_against_bad_set(large, bad, theta)
+        assert r_large.delta_measured <= r_small.delta_measured
+
+    def test_measure_reports(self):
+        s = Sampler.complete(3, 10)
+        report = measure_against_bad_set(s, set(range(5)), theta=0.1)
+        assert report.bad_fraction == 0.5
+        assert report.failing_inputs == 0  # complete sampler is exact
+        assert report.delta_measured == 0.0
+        assert report.worst_input_fraction == 0.5
+
+
+class TestAdversarialBadSets:
+    def test_greedy_targets_high_degree(self):
+        s = Sampler(
+            r=3, s=4, d=2, assignments=((0, 1), (0, 2), (0, 3))
+        )
+        assert adversarial_bad_set(s, 1) == {0}
+
+    def test_fraction_of_bad_committees(self):
+        s = Sampler(r=2, s=4, d=2, assignments=((0, 1), (2, 3)))
+        # Corrupt {0, 1}: first committee fully bad, second fully good.
+        assert fraction_of_bad_committees(s, {0, 1}, 0.5) == 0.5
+
+
+class TestBipartiteLinks:
+    def test_degree_respected(self):
+        links = bipartite_links([1, 2], [10, 11, 12, 13], 2, random.Random(8))
+        assert all(len(v) == 2 for v in links.values())
+
+    def test_oversized_degree_gives_all_targets(self):
+        links = bipartite_links([1], [10, 11], 5, random.Random(8))
+        assert links[1] == (10, 11)
+
+    def test_empty_targets_raises(self):
+        with pytest.raises(SamplerError):
+            bipartite_links([1], [], 1, random.Random(8))
+
+
+@given(
+    r=st.integers(min_value=1, max_value=30),
+    s=st.integers(min_value=1, max_value=30),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_sampler_always_valid(r, s, seed):
+    d = min(5, s)
+    sampler = Sampler.random(r, s, d, random.Random(seed))
+    for x in range(r):
+        row = sampler.assign(x)
+        assert len(row) == d
+        assert all(0 <= e < s for e in row)

@@ -1,0 +1,159 @@
+"""Unit tests for the Shamir (n, t+1) threshold scheme."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.field import DEFAULT_FIELD, PrimeField
+from repro.crypto.shamir import (
+    SecretSharingError,
+    ShamirScheme,
+    Share,
+    paper_threshold,
+)
+
+
+class TestSchemeConstruction:
+    def test_paper_threshold_is_half(self):
+        assert paper_threshold(10) == 6
+        assert paper_threshold(11) == 6
+        assert paper_threshold(2) == 2
+
+    def test_rejects_zero_players(self):
+        with pytest.raises(SecretSharingError):
+            ShamirScheme(0, 1)
+
+    def test_rejects_threshold_above_players(self):
+        with pytest.raises(SecretSharingError):
+            ShamirScheme(3, 4)
+
+    def test_rejects_threshold_zero(self):
+        with pytest.raises(SecretSharingError):
+            ShamirScheme(3, 0)
+
+    def test_rejects_field_too_small(self):
+        with pytest.raises(SecretSharingError):
+            ShamirScheme(300, 100, field=PrimeField(257))
+
+    def test_share_bits_match_field(self):
+        assert ShamirScheme(5, 3).share_bits() == DEFAULT_FIELD.element_bits
+
+
+class TestDealReconstruct:
+    def test_roundtrip(self):
+        scheme = ShamirScheme(7, 4)
+        rng = random.Random(11)
+        shares = scheme.deal(123456, rng)
+        assert len(shares) == 7
+        assert scheme.reconstruct(shares[:4]) == 123456
+
+    def test_any_threshold_subset_reconstructs(self):
+        scheme = ShamirScheme(6, 3)
+        rng = random.Random(12)
+        shares = scheme.deal(99, rng)
+        import itertools
+
+        for subset in itertools.combinations(shares, 3):
+            assert scheme.reconstruct(list(subset)) == 99
+
+    def test_too_few_shares_raises(self):
+        scheme = ShamirScheme(5, 3)
+        shares = scheme.deal(7, random.Random(0))
+        with pytest.raises(SecretSharingError):
+            scheme.reconstruct(shares[:2])
+
+    def test_conflicting_duplicate_raises(self):
+        scheme = ShamirScheme(5, 3)
+        shares = scheme.deal(7, random.Random(0))
+        bad = [shares[0], Share(x=shares[0].x, value=shares[0].value + 1)] + shares[1:3]
+        with pytest.raises(SecretSharingError):
+            scheme.reconstruct(bad)
+
+    def test_consistent_duplicates_tolerated(self):
+        scheme = ShamirScheme(5, 3)
+        shares = scheme.deal(7, random.Random(0))
+        assert scheme.reconstruct([shares[0]] + shares[:3]) == 7
+
+    def test_shares_below_threshold_are_uniformlike(self):
+        """Statistical sanity check of the secrecy property.
+
+        With t-1 shares, each possible share value should appear with
+        roughly uniform frequency across dealings of the *same* secret.
+        """
+        field = PrimeField(257)
+        scheme = ShamirScheme(4, 2, field=field)
+        rng = random.Random(13)
+        seen = set()
+        for _ in range(600):
+            shares = scheme.deal(42, rng)
+            seen.add(shares[0].value)
+        # One share of a threshold-2 scheme is uniform; over 600 draws we
+        # should see a large spread of the 257 possible values.
+        assert len(seen) > 150
+
+
+class TestSequences:
+    def test_deal_sequence_layout(self):
+        scheme = ShamirScheme(4, 3)
+        rng = random.Random(5)
+        per_player = scheme.deal_sequence([10, 20, 30], rng)
+        assert len(per_player) == 4
+        assert all(len(vec) == 3 for vec in per_player)
+
+    def test_reconstruct_sequence(self):
+        scheme = ShamirScheme(4, 3)
+        rng = random.Random(5)
+        secrets = [10, 20, 30]
+        per_player = scheme.deal_sequence(secrets, rng)
+        assert scheme.reconstruct_sequence(per_player[:3]) == secrets
+
+    def test_reconstruct_sequence_empty_raises(self):
+        scheme = ShamirScheme(4, 3)
+        with pytest.raises(SecretSharingError):
+            scheme.reconstruct_sequence([])
+
+    def test_reconstruct_sequence_ragged_raises(self):
+        scheme = ShamirScheme(4, 3)
+        rng = random.Random(5)
+        per_player = scheme.deal_sequence([1, 2], rng)
+        per_player[0] = per_player[0][:1]
+        with pytest.raises(SecretSharingError):
+            scheme.reconstruct_sequence(per_player)
+
+
+class TestMajorityReconstruct:
+    def test_majority_survives_minority_corruption(self):
+        scheme = ShamirScheme(9, 5)
+        rng = random.Random(21)
+        shares = scheme.deal(777, rng)
+        # Corrupt two shares.
+        tampered = [
+            Share(x=s.x, value=(s.value + 1) % scheme.field.modulus)
+            if i < 2
+            else s
+            for i, s in enumerate(shares)
+        ]
+        assert scheme.reconstruct_majority(tampered) == 777
+
+    def test_majority_too_few_raises(self):
+        scheme = ShamirScheme(9, 5)
+        shares = scheme.deal(777, random.Random(21))
+        with pytest.raises(SecretSharingError):
+            scheme.reconstruct_majority(shares[:3])
+
+
+@given(
+    secret=st.integers(min_value=0, max_value=DEFAULT_FIELD.modulus - 1),
+    n_players=st.integers(min_value=2, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+@settings(max_examples=60)
+def test_roundtrip_property(secret, n_players, seed):
+    threshold = paper_threshold(n_players)
+    scheme = ShamirScheme(n_players, threshold)
+    rng = random.Random(seed)
+    shares = scheme.deal(secret, rng)
+    assert scheme.reconstruct(shares) == secret
+    assert scheme.reconstruct(shares[-threshold:]) == secret

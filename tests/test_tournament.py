@@ -1,0 +1,154 @@
+"""Integration tests for the almost-everywhere tournament (Algorithm 2).
+
+These run the full pipeline at small n; heavier sweeps live in the
+benchmarks (E2, E6).
+"""
+
+import random
+
+import pytest
+
+from repro.adversary.adaptive import (
+    BinStuffingAdversary,
+    GreedyElectionAdversary,
+    TournamentAdversary,
+)
+from repro.core.almost_everywhere import Tournament, run_almost_everywhere_ba
+from repro.core.parameters import ProtocolParameters
+
+N = 27
+
+
+@pytest.fixture(scope="module")
+def fault_free_result():
+    return run_almost_everywhere_ba(N, inputs=[1] * N, seed=11)
+
+
+@pytest.fixture(scope="module")
+def split_result():
+    return run_almost_everywhere_ba(
+        N, inputs=[p % 2 for p in range(N)], seed=12
+    )
+
+
+class TestFaultFree:
+    def test_full_agreement(self, fault_free_result):
+        assert fault_free_result.agreement_fraction() == 1.0
+
+    def test_validity_unanimous(self, fault_free_result):
+        # Every good input is 1, so the output must be 1.
+        assert fault_free_result.agreed_bit() == 1
+        assert fault_free_result.is_valid()
+
+    def test_all_coin_rounds_good(self, fault_free_result):
+        assert fault_free_result.good_coin_rounds == (
+            fault_free_result.coin_rounds
+        )
+
+    def test_level_stats_cover_levels(self, fault_free_result):
+        levels = [ls.level for ls in fault_free_result.level_stats]
+        assert levels == sorted(levels)
+        assert levels[0] == 2
+
+    def test_all_arrays_good(self, fault_free_result):
+        for ls in fault_free_result.level_stats:
+            assert ls.good_candidate_fraction == 1.0
+            assert ls.good_winner_fraction == 1.0
+
+    def test_no_secrets_leaked_fault_free(self, fault_free_result):
+        """Lemma 3(1): with no bad nodes, nothing is readable early."""
+        for ls in fault_free_result.level_stats:
+            assert ls.secrets_audited > 0
+            assert ls.secrets_compromised == 0
+
+    def test_split_inputs_agree(self, split_result):
+        assert split_result.agreement_fraction() >= 0.95
+        assert split_result.is_valid()
+
+    def test_ledger_populated(self, fault_free_result):
+        assert fault_free_result.ledger.total_bits() > 0
+        assert fault_free_result.ledger.max_bits_per_processor() > 0
+
+
+class TestInputValidation:
+    def test_wrong_input_length(self):
+        params = ProtocolParameters.simulation(N)
+        with pytest.raises(ValueError):
+            Tournament(params, [1] * 5, TournamentAdversary(N, 0))
+
+
+class TestAgainstAdversaries:
+    def test_bin_stuffing_bounded_loss(self):
+        """Lemma 6's shape: good-array fraction decays boundedly per level."""
+        adv = BinStuffingAdversary(N, budget=4, seed=21)
+        result = run_almost_everywhere_ba(
+            N, inputs=[p % 2 for p in range(N)], adversary=adv, seed=22
+        )
+        for ls in result.level_stats:
+            # 4/27 initial bad arrays; winners stay majority-good.
+            assert ls.good_winner_fraction >= 0.5
+        assert result.is_valid()
+
+    def test_greedy_winner_corruption_gains_nothing(self):
+        """The paper's core claim: corrupting an array's owner after it
+        wins does not make the array bad."""
+        params = ProtocolParameters.simulation(N)
+        adv = GreedyElectionAdversary(
+            N, budget=params.corruption_budget, seed=23
+        )
+        result = run_almost_everywhere_ba(
+            N, inputs=[1] * N, adversary=adv, seed=24
+        )
+        # The adversary spent its budget, yet every array stayed good.
+        assert len(result.corrupted) > 0
+        for ls in result.level_stats:
+            assert ls.good_candidate_fraction == 1.0
+            assert ls.good_winner_fraction == 1.0
+
+    def test_agreement_under_moderate_adversary(self):
+        adv = BinStuffingAdversary(N, budget=3, seed=25)
+        result = run_almost_everywhere_ba(
+            N, inputs=[1] * N, adversary=adv, seed=26
+        )
+        assert result.agreement_fraction() >= 0.9
+        assert result.agreed_bit() == 1
+
+    def test_corrupted_excluded_from_agreement_stats(self):
+        adv = BinStuffingAdversary(N, budget=3, seed=27)
+        result = run_almost_everywhere_ba(
+            N, inputs=[1] * N, adversary=adv, seed=28
+        )
+        for pid in result.corrupted:
+            assert pid not in result.good_votes()
+
+
+class TestCoinSubsequence:
+    def test_output_words_revealed(self):
+        result = run_almost_everywhere_ba(
+            N, inputs=[1] * N, seed=31, output_words=1
+        )
+        assert len(result.output_truth) == len(result.root_contestants)
+        # Fault-free: every word has dealer truth and is widely learned.
+        assert all(t is not None for t in result.output_truth)
+        learned = 0
+        for p, views in result.output_views.items():
+            if views and views[0] == result.output_truth[0]:
+                learned += 1
+        assert learned >= 0.9 * N
+
+    def test_no_output_words_by_default(self, fault_free_result):
+        assert fault_free_result.output_views == {}
+        assert fault_free_result.output_truth == []
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        a = run_almost_everywhere_ba(N, inputs=[1] * N, seed=77)
+        b = run_almost_everywhere_ba(N, inputs=[1] * N, seed=77)
+        assert a.votes == b.votes
+        assert a.ledger.total_bits() == b.ledger.total_bits()
+
+    def test_different_seed_different_traffic(self):
+        a = run_almost_everywhere_ba(N, inputs=[1] * N, seed=78)
+        b = run_almost_everywhere_ba(N, inputs=[1] * N, seed=79)
+        assert a.ledger.total_bits() != b.ledger.total_bits()

@@ -1,0 +1,104 @@
+"""Tests for the execution-trace recorder."""
+
+import pytest
+
+from repro.net.tracing import TraceEvent, TraceRecorder, null_emit
+
+
+class TestRecorder:
+    def test_emit_and_count(self):
+        rec = TraceRecorder()
+        rec.emit("corrupt", 5)
+        rec.emit("corrupt", 6)
+        rec.emit("decide", 1, detail=0)
+        assert rec.count("corrupt") == 2
+        assert rec.count("decide") == 1
+        assert rec.count("other") == 0
+
+    def test_round_tagging(self):
+        rec = TraceRecorder()
+        rec.set_round(3)
+        rec.emit("phase", "expose")
+        assert rec.events("phase")[0].round_no == 3
+
+    def test_capacity_bounded_but_counts_exact(self):
+        rec = TraceRecorder(capacity=5)
+        for i in range(20):
+            rec.emit("tick", i)
+        assert len(rec.events()) == 5
+        assert rec.count("tick") == 20
+        assert rec.events()[0].subject == "15"
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+    def test_last(self):
+        rec = TraceRecorder()
+        rec.emit("a", 1)
+        rec.emit("b", 2)
+        rec.emit("a", 3)
+        assert rec.last("a").subject == "3"
+        assert rec.last("missing") is None
+
+    def test_rounds_spanned(self):
+        rec = TraceRecorder()
+        assert rec.rounds_spanned() == (0, 0)
+        rec.set_round(2)
+        rec.emit("x")
+        rec.set_round(7)
+        rec.emit("y")
+        assert rec.rounds_spanned() == (2, 7)
+
+    def test_filtered_events(self):
+        rec = TraceRecorder()
+        rec.emit("a")
+        rec.emit("b")
+        assert len(rec.events("a")) == 1
+        assert len(rec.events()) == 2
+
+
+class TestRendering:
+    def test_summary_ordering(self):
+        rec = TraceRecorder()
+        for _ in range(3):
+            rec.emit("common")
+        rec.emit("rare")
+        lines = rec.summary().splitlines()
+        assert "common" in lines[0]
+        assert "rare" in lines[1]
+
+    def test_timeline_filters_and_truncates(self):
+        rec = TraceRecorder()
+        rec.set_round(1)
+        for i in range(12):
+            rec.emit("evt", i)
+        rec.emit("skip", 99)
+        text = rec.timeline(kinds=["evt"])
+        assert "round    1" in text
+        assert "+4 more" in text
+        assert "skip" not in text
+
+    def test_null_emit_is_noop(self):
+        assert null_emit("anything", 1, {"x": 2}) is None
+
+
+class TestSimulatorIntegration:
+    def test_corruptions_traced(self):
+        from repro.adversary.behaviors import SilentBehavior
+        from repro.adversary.static import StaticByzantineAdversary
+        from repro.net.simulator import SyncNetwork
+        from tests.test_net import EchoProtocol
+
+        n = 4
+        recorder = TraceRecorder()
+        adversary = StaticByzantineAdversary(n, {0, 2}, SilentBehavior())
+        net = SyncNetwork(
+            [EchoProtocol(p, n) for p in range(n)],
+            adversary,
+            trace=recorder,
+        )
+        net.run(max_rounds=3)
+        assert recorder.count("corrupt") == 2
+        assert {e.subject for e in recorder.events("corrupt")} == {"0", "2"}
+        assert recorder.events("corrupt")[0].round_no == 1

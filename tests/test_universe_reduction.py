@@ -1,0 +1,99 @@
+"""Tests for universe reduction (the abstract's companion result)."""
+
+import random
+
+import pytest
+
+from repro.adversary.adaptive import BinStuffingAdversary
+from repro.core.global_coin import synthetic_subsequence
+from repro.core.parameters import ProtocolParameters
+from repro.core.universe_reduction import (
+    CommitteeResult,
+    UniverseReductionError,
+    committee_size_for,
+    reduce_universe,
+    run_universe_reduction,
+    sample_committee_from_words,
+)
+
+
+class TestSampling:
+    def test_basic_sampling(self):
+        committee = sample_committee_from_words([3, 7, 11], 10, 3)
+        assert committee == [3, 7, 1]
+
+    def test_duplicates_skipped(self):
+        committee = sample_committee_from_words([3, 13, 7], 10, 2)
+        assert committee == [3, 7]
+
+    def test_too_few_words_raises(self):
+        with pytest.raises(UniverseReductionError):
+            sample_committee_from_words([1, 11], 10, 2)
+
+    def test_deterministic(self):
+        rng = random.Random(1)
+        words = [rng.randrange(1000) for _ in range(20)]
+        a = sample_committee_from_words(words, 50, 5)
+        b = sample_committee_from_words(words, 50, 5)
+        assert a == b
+
+    def test_committee_size_polylog(self):
+        assert committee_size_for(16) < committee_size_for(1 << 20)
+        assert committee_size_for(1 << 20) < 1 << 12
+
+
+class TestReduceFromSyntheticCoin:
+    def test_representative_committee(self):
+        n = 200
+        rng = random.Random(11)
+        seq = synthetic_subsequence(
+            n, length=60, good_indices=range(60), rng=rng,
+            confused_fraction=0.02,
+        )
+        corrupted = set(rng.sample(range(n), 50))  # 25%
+        seq.corrupted = corrupted
+        result = reduce_universe(seq, n, committee_size=20)
+        assert len(result.committee) == 20
+        assert result.bad_fraction_population == pytest.approx(0.25)
+        # Uniform sampling: committee bad fraction concentrates; allow a
+        # generous slack for one sample.
+        assert result.representative(slack=0.2)
+
+    def test_agreement_tracks_views(self):
+        n = 100
+        rng = random.Random(12)
+        seq = synthetic_subsequence(
+            n, length=40, good_indices=range(40), rng=rng,
+            confused_fraction=0.0,
+        )
+        result = reduce_universe(seq, n, committee_size=10)
+        assert result.agreement_fraction == 1.0
+
+    def test_confusion_lowers_agreement(self):
+        n = 100
+        rng = random.Random(13)
+        seq = synthetic_subsequence(
+            n, length=40, good_indices=range(40), rng=rng,
+            confused_fraction=0.3,
+        )
+        result = reduce_universe(seq, n, committee_size=10)
+        assert result.agreement_fraction < 1.0
+
+
+class TestEndToEnd:
+    def test_fault_free_reduction(self):
+        n = 27
+        result = run_universe_reduction(n, committee_size=6, seed=31)
+        assert len(result.committee) == 6
+        assert result.agreement_fraction >= 0.9
+        assert result.bad_fraction_committee == 0.0
+
+    def test_under_adversary(self):
+        n = 27
+        adversary = BinStuffingAdversary(n, budget=3, seed=32)
+        result = run_universe_reduction(
+            n, committee_size=6, adversary=adversary, seed=33
+        )
+        assert len(result.committee) == 6
+        # The descriptor is still widely agreed.
+        assert result.agreement_fraction >= 0.7

@@ -1,0 +1,189 @@
+"""Tests for Algorithm 5: AEBA with unreliable global coins (Theorem 5)."""
+
+import random
+
+import pytest
+
+from repro.adversary.behaviors import (
+    AntiMajorityBehavior,
+    EquivocatingBehavior,
+    SilentBehavior,
+)
+from repro.adversary.static import StaticByzantineAdversary
+from repro.core.coins import perfect_coin_source, unreliable_coin_source
+from repro.core.unreliable_coin_ba import (
+    aeba_vote_update,
+    majority_and_fraction,
+    run_aeba_dataflow,
+    run_unreliable_coin_ba,
+    vote_threshold,
+)
+
+
+class TestPureFunctions:
+    def test_majority_empty(self):
+        assert majority_and_fraction([]) == (0, 0.0)
+
+    def test_majority_basic(self):
+        assert majority_and_fraction([1, 1, 0]) == (1, pytest.approx(2 / 3))
+
+    def test_majority_tie_prefers_one(self):
+        maj, frac = majority_and_fraction([0, 1])
+        assert maj == 1
+        assert frac == 0.5
+
+    def test_threshold_formula(self):
+        assert vote_threshold(0.1, 0.0) == pytest.approx(2 / 3 + 0.05)
+        assert vote_threshold(0.1, 0.1) < vote_threshold(0.1, 0.0)
+
+    def test_update_takes_majority_above_threshold(self):
+        votes = [1] * 9 + [0]
+        assert aeba_vote_update(0, votes, coin=0, threshold=0.7) == 1
+
+    def test_update_takes_coin_below_threshold(self):
+        votes = [1] * 5 + [0] * 5
+        assert aeba_vote_update(1, votes, coin=0, threshold=0.7) == 0
+        assert aeba_vote_update(0, votes, coin=1, threshold=0.7) == 1
+
+
+class TestFaultFree:
+    def test_validity_unanimous_input(self):
+        """All good processors start with b -> all commit b."""
+        n = 40
+        source = perfect_coin_source(n, 6, random.Random(0))
+        for bit in (0, 1):
+            result = run_unreliable_coin_ba(
+                n, [bit] * n, source, seed=1
+            )
+            assert result.agreement_fraction() == 1.0
+            assert result.agreed_bit() == bit
+
+    def test_split_inputs_converge_with_good_coins(self):
+        n = 40
+        source = perfect_coin_source(n, 8, random.Random(1))
+        result = run_unreliable_coin_ba(
+            n, [p % 2 for p in range(n)], source, seed=2
+        )
+        assert result.agreement_fraction() >= 0.95
+
+    def test_bit_budget_sublinear_total(self):
+        """Each processor sends O(log^2 n) bits — degree x rounds votes."""
+        n = 60
+        source = perfect_coin_source(n, 6, random.Random(2))
+        result = run_unreliable_coin_ba(n, [1] * n, source, seed=3)
+        # degree ~ 4 log n = 24, 6+1 rounds, ~49 bits/vote message: the
+        # budget is polylogarithmic per round, far below all-to-all.
+        degree_bound = 4 * 6  # 4 log2(60) rounded up
+        assert result.max_bits_per_processor < degree_bound * 7 * 60
+        # And strictly below what one all-to-all round would cost.
+        assert result.max_bits_per_processor < (n - 1) * 49 * 7
+
+
+class TestAgainstAdversaries:
+    def test_anti_majority_with_good_coins(self):
+        n = 60
+        source = perfect_coin_source(n, 10, random.Random(3))
+        targets = set(range(0, n, 5))  # 20%
+        adversary = StaticByzantineAdversary(
+            n, targets, AntiMajorityBehavior(), seed=4
+        )
+        result = run_unreliable_coin_ba(
+            n, [p % 2 for p in range(n)], source, adversary=adversary,
+            seed=5,
+        )
+        assert result.agreement_fraction() >= 0.9
+
+    def test_validity_holds_under_attack(self):
+        n = 60
+        source = perfect_coin_source(n, 8, random.Random(4))
+        targets = set(range(12))
+        adversary = StaticByzantineAdversary(
+            n, targets, EquivocatingBehavior(), seed=5
+        )
+        result = run_unreliable_coin_ba(
+            n, [1] * n, source, adversary=adversary, seed=6
+        )
+        # All good inputs are 1: the unique valid output is 1.  Theorem 5
+        # promises all but C2 n / log n processors agree — at n = 60 that
+        # allows a ~log-fraction of stragglers.
+        assert result.agreed_bit() == 1
+        assert result.agreement_fraction() >= 0.75
+
+    def test_silent_faults_harmless(self):
+        n = 40
+        source = perfect_coin_source(n, 6, random.Random(5))
+        adversary = StaticByzantineAdversary(
+            n, set(range(8)), SilentBehavior(), seed=6
+        )
+        result = run_unreliable_coin_ba(
+            n, [0] * n, source, adversary=adversary, seed=7
+        )
+        assert result.agreed_bit() == 0
+        assert result.agreement_fraction() >= 0.95
+
+    def test_unreliable_coins_still_converge(self):
+        """Theorem 5: only *some* good coin rounds are needed."""
+        n = 60
+        source = unreliable_coin_source(
+            n, 10, good_round_indices=[3, 5, 7, 9],
+            confused_fraction=0.05, rng=random.Random(6),
+        )
+        adversary = StaticByzantineAdversary(
+            n, set(range(10)), AntiMajorityBehavior(), seed=7
+        )
+        result = run_unreliable_coin_ba(
+            n, [p % 2 for p in range(n)], source, adversary=adversary,
+            seed=8,
+        )
+        assert result.agreement_fraction() >= 0.9
+
+
+class TestDataflowVariant:
+    def test_matches_semantics(self):
+        """The fast dataflow execution also converges and respects validity."""
+        members = list(range(30))
+        neighbors = {
+            m: [(m + d) % 30 for d in (1, 2, 3, 28, 29, 27)] for m in members
+        }
+        votes = run_aeba_dataflow(
+            members=members,
+            inputs={m: 1 for m in members},
+            neighbors=neighbors,
+            coin_views=lambda r, p: 0,
+            num_rounds=5,
+            bad_members=set(),
+            bad_vote_fn=lambda r, p, v: 0,
+            threshold=0.7,
+        )
+        assert all(v == 1 for v in votes.values())
+
+    def test_traffic_callback_invoked(self):
+        members = list(range(6))
+        neighbors = {m: [(m + 1) % 6] for m in members}
+        calls = []
+        run_aeba_dataflow(
+            members, {m: 0 for m in members}, neighbors,
+            coin_views=lambda r, p: 0, num_rounds=2,
+            bad_members=set(), bad_vote_fn=lambda r, p, v: 0,
+            threshold=0.7,
+            on_traffic=lambda s, r, b: calls.append((s, r, b)),
+        )
+        assert len(calls) == 6 * 2
+
+    def test_bad_members_excluded_from_output(self):
+        members = list(range(10))
+        neighbors = {m: [(m + 1) % 10, (m - 1) % 10] for m in members}
+        votes = run_aeba_dataflow(
+            members, {m: 1 for m in members}, neighbors,
+            coin_views=lambda r, p: 0, num_rounds=3,
+            bad_members={0, 1}, bad_vote_fn=lambda r, p, v: 0,
+            threshold=0.7,
+        )
+        assert set(votes) == set(range(2, 10))
+
+
+class TestInputValidation:
+    def test_wrong_input_length(self):
+        source = perfect_coin_source(4, 2, random.Random(0))
+        with pytest.raises(ValueError):
+            run_unreliable_coin_ba(4, [1, 0], source)

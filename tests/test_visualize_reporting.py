@@ -1,0 +1,90 @@
+"""Tests for tree visualization and report writers."""
+
+import random
+
+import pytest
+
+from repro.analysis.reporting import Table, tables_to_markdown
+from repro.topology.tree import NodeId, TreeTopology
+from repro.topology.visualize import render_node, render_paths, render_tree
+
+
+def small_tree():
+    return TreeTopology(n=9, q=3, k1=3, rng=random.Random(0))
+
+
+class TestRenderTree:
+    def test_levels_root_first(self):
+        text = render_tree(small_tree())
+        lines = text.splitlines()
+        assert lines[0].startswith("L3")
+        assert lines[-1].startswith("L1")
+
+    def test_node_counts_shown(self):
+        text = render_tree(small_tree())
+        assert "(9 nodes" in text
+        assert "(1 nodes" in text
+
+    def test_candidates_annotation(self):
+        tree = small_tree()
+        candidates = {NodeId(2, 0): [4, 5, 6]}
+        text = render_tree(tree, candidates=candidates)
+        assert "4,5,6 |" in text
+
+    def test_member_eliding(self):
+        tree = TreeTopology(n=30, q=3, k1=5, rng=random.Random(1))
+        text = render_tree(tree, member_limit=2, max_nodes_per_level=2)
+        assert "+3" in text or "+" in text
+        assert "... +" in text
+
+    def test_render_node_without_candidates(self):
+        tree = small_tree()
+        text = render_node(tree, NodeId(1, 0))
+        assert text.startswith("[") and text.endswith("]")
+        assert "|" not in text
+
+    def test_render_paths(self):
+        text = render_paths(small_tree(), 4)
+        assert text.startswith("L1N4")
+        assert "L3N0" in text
+        assert "->" in text
+
+
+class TestTable:
+    def make(self):
+        t = Table("demo", ["a", "b"], note="a note")
+        t.add_row(1, "x")
+        t.add_row(22, "yy")
+        return t
+
+    def test_add_row_validates_width(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_text_output(self):
+        text = self.make().to_text()
+        assert "=== demo ===" in text
+        assert "a note" in text
+        assert "22" in text
+
+    def test_markdown_output(self):
+        md = self.make().to_markdown()
+        assert "### demo" in md
+        assert "| a | b |" in md
+        assert "| 22 | yy |" in md
+
+    def test_csv_output(self):
+        csv = self.make().to_csv()
+        lines = csv.splitlines()
+        assert lines[0] == "a,b"
+        assert lines[2] == "22,yy"
+
+    def test_csv_escaping(self):
+        t = Table("q", ["v"])
+        t.add_row('he said "hi", twice')
+        assert '"he said ""hi"", twice"' in t.to_csv()
+
+    def test_tables_to_markdown(self):
+        md = tables_to_markdown([self.make(), Table("two", ["z"])])
+        assert "### demo" in md and "### two" in md
