@@ -6,21 +6,19 @@
 * Lemma 9: the number of overloaded responders stays tiny.
 * Lemma 13: in a round where the global coin succeeds, all-but-O(n/log n)
   processors land on one bit with probability >= 1/2 — we measure the
-  per-round coalescence frequency.
+  per-round coalescence frequency as a 12-trial ``unreliable-coin-ba``
+  sweep through :mod:`repro.engine` (flip backends with
+  ``--engine-backend``; the runner is batchable, so ``batch`` multiplexes
+  all 12 instances over one round loop).
 """
-
-import math
-import random
-from collections import Counter
 
 import pytest
 
 from conftest import print_table
 from repro.analysis.bounds import chernoff_below
 from repro.core.ae_to_everywhere import run_ae_to_everywhere
-from repro.core.coins import perfect_coin_source
 from repro.core.parameters import ProtocolParameters
-from repro.core.unreliable_coin_ba import run_unreliable_coin_ba
+from repro.engine import Engine, ExperimentSpec
 
 
 def test_e11_lemma8_lemma9(benchmark, capsys):
@@ -68,28 +66,37 @@ def test_e11_lemma8_lemma9(benchmark, capsys):
     assert all(s.overloaded_responders <= n // 4 for s in result.loop_stats)
 
 
-def test_e11_lemma13_coalescence(benchmark, capsys):
+def test_e11_lemma13_coalescence(benchmark, capsys, engine):
     """P[good coin round coalesces the votes] >= 1/2."""
     n = 100
     trials = 12
+    spec = ExperimentSpec(
+        runner="unreliable-coin-ba",
+        n=n,
+        trials=trials,
+        seed=200,
+        params={"num_rounds": 1, "inputs": "split"},
+    )
+    result = engine.run(spec)
     coalesced = 0
     rows = []
-    for seed in range(trials):
-        source = perfect_coin_source(n, 1, random.Random(200 + seed))
-        result = run_unreliable_coin_ba(
-            n, [p % 2 for p in range(n)], source, num_rounds=1,
-            seed=300 + seed,
-        )
-        votes = Counter(result.votes.values())
-        top = max(votes.values()) / n
-        hit = top >= 1 - 1 / math.log2(n)
+    for trial in result.trials:
+        metrics = trial.metric_dict()
+        hit = metrics["coalesced"] == 1.0
         coalesced += hit
-        rows.append((seed, f"{top:.2f}", "yes" if hit else "no"))
+        rows.append(
+            (
+                trial.trial_index,
+                f"{metrics['top_fraction']:.2f}",
+                "yes" if hit else "no",
+            )
+        )
     benchmark.pedantic(
-        lambda: run_unreliable_coin_ba(
-            n, [p % 2 for p in range(n)],
-            perfect_coin_source(n, 1, random.Random(1)), num_rounds=1,
-            seed=2,
+        lambda: Engine("serial").run(
+            ExperimentSpec(
+                runner="unreliable-coin-ba", n=n, trials=1, seed=2,
+                params={"num_rounds": 1},
+            )
         ),
         rounds=1,
         iterations=1,

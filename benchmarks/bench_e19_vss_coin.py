@@ -7,7 +7,10 @@ generates each coin on demand with verifiable secret sharing
 (Canetti-Rabin style).  This bench prices both:
 
 * E19a — correctness and robustness of the on-demand VSS coin: member
-  agreement fault-free, under crashes, and under reveal-withholding.
+  agreement fault-free, under crashes, and under reveal-withholding,
+  run as three 6-trial ``vss-coin`` specs through :mod:`repro.engine`
+  (the runner is batchable: ``--engine-backend batch`` multiplexes each
+  case's trials over one round loop).
 * E19b — the amortization crossover: Theta(k^2) per VSS coin versus the
   tournament's one-time cost divided by the coins it serves — the paper's
   design wins as soon as more than a handful of coins are needed.
@@ -16,73 +19,39 @@ generates each coin on demand with verifiable secret sharing
 import pytest
 
 from conftest import print_table
-from repro.core.vss_coin import (
-    CoinCostModel,
-    VSSCoinMember,
-    run_vss_coin,
-    vss_coin_fault_bound,
-)
-from repro.net.simulator import Adversary, SyncNetwork
+from repro.core.vss_coin import CoinCostModel, vss_coin_fault_bound
+from repro.engine import Engine, ExperimentSpec
 
 
-class SilentMembers(Adversary):
-    """t members crash from the start."""
-
-    def __init__(self, k, t):
-        super().__init__(k, budget=t)
-
-    def select_corruptions(self, round_no):
-        return set(range(self.budget)) if round_no == 1 else set()
-
-    def act(self, view):
-        return []
+def _spec(adversary, k=7, trials=6, seed=0):
+    return ExperimentSpec(
+        runner="vss-coin",
+        n=k,
+        trials=trials,
+        seed=seed,
+        params={"k": k, "adversary": adversary},
+    )
 
 
-class RevealWithholder(Adversary):
-    """t members honest until the reveal round, then silent."""
-
-    def __init__(self, k, t):
-        super().__init__(k, budget=t)
-
-    def select_corruptions(self, round_no):
-        return set(range(self.budget)) if round_no == 4 else set()
-
-    def act(self, view):
-        return []
-
-
-def test_e19a_vss_coin_robustness(benchmark, capsys):
+def test_e19a_vss_coin_robustness(benchmark, capsys, engine):
     k = 7
     t = vss_coin_fault_bound(k)
+    trials = 6
     cases = []
-    for label, adversary_factory in (
-        ("fault-free", lambda: None),
-        (f"{t} crashed from start", lambda: SilentMembers(k, t)),
-        (f"{t} withhold reveals", lambda: RevealWithholder(k, t)),
+    for label, adversary in (
+        ("fault-free", "none"),
+        (f"{t} crashed from start", "crash"),
+        (f"{t} withhold reveals", "withhold"),
     ):
-        agreements = 0
-        trials = 6
-        for seed in range(trials):
-            adversary = adversary_factory()
-            if adversary is None:
-                result = run_vss_coin(k=k, seed=seed)
-                coins = set(result.good_outputs().values())
-            else:
-                members = [
-                    VSSCoinMember(pid, k, seed=seed) for pid in range(k)
-                ]
-                SyncNetwork(members, adversary).run(max_rounds=5)
-                coins = {
-                    m.output()
-                    for m in members
-                    if m.pid not in adversary.corrupted
-                }
-            if len(coins) == 1 and coins.pop() in (0, 1):
-                agreements += 1
+        result = engine.run(_spec(adversary, k=k, trials=trials))
+        agreements = int(sum(result.metric_values("agreed")))
         cases.append((label, f"{agreements}/{trials}"))
         assert agreements == trials
-    benchmark.pedantic(lambda: run_vss_coin(k=7, seed=0),
-                       rounds=1, iterations=1)
+    benchmark.pedantic(
+        lambda: Engine("serial").run(_spec("none", trials=1)),
+        rounds=1,
+        iterations=1,
+    )
     print_table(
         capsys,
         f"E19a on-demand VSS coin robustness (k={k}, t={t})",

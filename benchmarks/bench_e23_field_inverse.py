@@ -1,0 +1,88 @@
+"""E23 — micro-benchmark: memoised field inverses on the hot path.
+
+Lagrange interpolation (reconstruction, Berlekamp-Welch decoding) keeps
+inverting the same small coordinate differences ``x_i - x_j``; before
+this cache every call recomputed ``pow(a, p-2, p)``.  This bench times
+repeated inversion of a committee-sized working set with a cold field
+versus a warmed one, and checks the cache answers stay exact.
+
+Wall-clock ratios on shared CI boxes are noisy, so the assertion is a
+generous floor (the measured advantage is typically 5-20x); the exact
+per-element agreement with ``pow`` is asserted unconditionally.
+"""
+
+import time
+
+import pytest
+
+from conftest import print_table
+from repro.crypto.field import MERSENNE_31, PrimeField
+
+#: Distinct denominators a committee-sized interpolation touches.
+WORKING_SET = 64
+#: Repetitions across the working set (hot-path shape: heavy reuse).
+REPEATS = 400
+
+
+def _time_inversions(field):
+    start = time.perf_counter()
+    total = 0
+    for _ in range(REPEATS):
+        for a in range(1, WORKING_SET + 1):
+            total ^= field.inv(a)
+    return time.perf_counter() - start, total
+
+
+def test_e23_inverse_cache_speedup(benchmark, capsys):
+    # Baseline: the exact arithmetic inv() runs on a cache miss, with no
+    # field-construction overhead — so the ratio isolates memoisation.
+    start = time.perf_counter()
+    total_uncached = 0
+    for _ in range(REPEATS):
+        for a in range(1, WORKING_SET + 1):
+            total_uncached ^= pow(a, MERSENNE_31 - 2, MERSENNE_31)
+    uncached_s = time.perf_counter() - start
+
+    warm = PrimeField(MERSENNE_31)
+    warm.precompute_inverses(WORKING_SET)
+    cached_s, total_cached = _time_inversions(warm)
+
+    assert total_cached == total_uncached  # exactness, not just speed
+    for a in range(1, WORKING_SET + 1):
+        assert warm.inv(a) == pow(a, MERSENNE_31 - 2, MERSENNE_31)
+        assert warm.mul(a, warm.inv(a)) == 1
+
+    speedup = uncached_s / cached_s if cached_s else float("inf")
+    benchmark.pedantic(
+        lambda: _time_inversions(warm), rounds=1, iterations=1
+    )
+    print_table(
+        capsys,
+        f"E23 field inverse cache ({WORKING_SET} distinct elements x "
+        f"{REPEATS} repeats, p = 2^31 - 1)",
+        ["path", "wall clock", "speedup"],
+        [
+            ("pow(a, p-2, p) every call", f"{uncached_s * 1e3:.1f}ms",
+             "1.0x"),
+            ("memoised inv()", f"{cached_s * 1e3:.1f}ms",
+             f"{speedup:.1f}x"),
+        ],
+        note=(
+            "Interpolation re-inverts the same committee coordinate "
+            "differences; memoisation turns each repeat into a dict hit."
+        ),
+    )
+    assert speedup >= 1.5, (
+        f"inverse cache should beat repeated pow; measured {speedup:.2f}x"
+    )
+
+
+def test_e23_cache_bound_and_exactness():
+    """The cache never grows past its bound and never goes stale-wrong."""
+    field = PrimeField(257)
+    for a in range(1, 257):
+        assert field.mul(a, field.inv(a)) == 1
+    # 256 distinct inverses fit comfortably under the bound.
+    assert len(field._inv_cache) <= field.INV_CACHE_MAX
+    field.precompute_inverses(10**9)  # clamped to p - 1, no blow-up
+    assert len(field._inv_cache) <= 256

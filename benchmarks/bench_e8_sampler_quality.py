@@ -7,41 +7,49 @@ committee over-represents a bad set by more than theta) as the degree
 grows, for random and for greedy-adversarial bad sets, and the
 committee-health statistic the protocol actually consumes (fraction of
 bad committees at the 2/3+eps/2 threshold).
-"""
 
-import random
+Each degree point is one ``sampler-quality`` :class:`ExperimentSpec`
+executed through :mod:`repro.engine` — flip the backend suite-wide with
+``--engine-backend``.
+"""
 
 import pytest
 
 from conftest import print_table
-from repro.samplers.quality import (
-    adversarial_bad_set,
-    estimate_failure_fraction,
-    fraction_of_bad_committees,
-    measure_against_bad_set,
-)
-from repro.samplers.sampler import Sampler, sampler_existence_bound
+from repro.engine import Engine, ExperimentSpec
+from repro.samplers.sampler import sampler_existence_bound
 
 R, S = 100, 300
 THETA = 0.15
 BAD_FRACTION = 0.25
 
 
-def test_e8_sampler_quality(benchmark, capsys):
-    rng = random.Random(101)
+def _spec(degree, seed=102, trials=1):
+    return ExperimentSpec(
+        runner="sampler-quality",
+        n=S,
+        trials=trials,
+        seed=seed,
+        params={
+            "r": R,
+            "s": S,
+            "degree": degree,
+            "theta": THETA,
+            "bad_fraction": BAD_FRACTION,
+            "inner_trials": 15,
+        },
+    )
+
+
+def test_e8_sampler_quality(benchmark, capsys, engine):
     rows = []
+    greedy_by_degree = {}
     for d in (4, 8, 16, 32, 64):
-        sampler = Sampler.random(R, S, d, random.Random(102))
-        random_delta = estimate_failure_fraction(
-            sampler, int(BAD_FRACTION * S), THETA, trials=15, rng=rng
-        )
-        greedy = adversarial_bad_set(sampler, int(BAD_FRACTION * S))
-        greedy_delta = measure_against_bad_set(
-            sampler, greedy, THETA
-        ).delta_measured
-        bad_committees = fraction_of_bad_committees(
-            sampler, greedy, good_threshold=2 / 3
-        )
+        result = engine.run(_spec(d))
+        random_delta = result.summary("delta_random").mean
+        greedy_delta = result.summary("delta_greedy").mean
+        bad_committees = result.summary("bad_committees").mean
+        greedy_by_degree[d] = greedy_delta
         exists = sampler_existence_bound(R, S, d, THETA, 1 / 8)
         rows.append(
             (
@@ -53,7 +61,7 @@ def test_e8_sampler_quality(benchmark, capsys):
             )
         )
     benchmark.pedantic(
-        lambda: Sampler.random(R, S, 16, random.Random(103)),
+        lambda: Engine("serial").run(_spec(16, seed=103)),
         rounds=1,
         iterations=1,
     )
@@ -73,18 +81,4 @@ def test_e8_sampler_quality(benchmark, capsys):
         ),
     )
     # The largest degree must dominate the smallest.
-    first = measure_against_bad_set(
-        Sampler.random(R, S, 4, random.Random(102)),
-        adversarial_bad_set(
-            Sampler.random(R, S, 4, random.Random(102)), int(0.25 * S)
-        ),
-        THETA,
-    ).delta_measured
-    last = measure_against_bad_set(
-        Sampler.random(R, S, 64, random.Random(102)),
-        adversarial_bad_set(
-            Sampler.random(R, S, 64, random.Random(102)), int(0.25 * S)
-        ),
-        THETA,
-    ).delta_measured
-    assert last <= first
+    assert greedy_by_degree[64] <= greedy_by_degree[4]

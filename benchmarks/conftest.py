@@ -12,6 +12,22 @@ from typing import Iterable, Sequence
 
 import pytest
 
+from repro.engine import Engine, get_backend
+
+
+@pytest.fixture
+def engine(request) -> Engine:
+    """An :class:`repro.engine.Engine` on the CLI-selected backend.
+
+    Flip the whole benchmark suite between backends without editing
+    files:  ``pytest benchmarks/ --engine-backend process``.
+    """
+    backend = get_backend(
+        request.config.getoption("--engine-backend"),
+        workers=request.config.getoption("--engine-workers"),
+    )
+    return Engine(backend)
+
 
 def print_table(
     capsys,

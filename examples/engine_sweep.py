@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Engine sweep: one experiment spec, three execution backends.
+
+The :mod:`repro.engine` subsystem expresses a Monte-Carlo experiment as
+data (an :class:`ExperimentSpec`) and executes it on pluggable backends:
+serial, a sharded process pool, and a batch backend that multiplexes
+independent protocol instances over one simulated round loop.  Because
+every trial's seed derives from the spec alone, all backends return
+bit-identical results — this script proves it, then prints the
+aggregated table the CLI (`python -m repro run-experiment`) shows.
+
+Run:  python examples/engine_sweep.py
+"""
+
+from repro.engine import Engine, ExperimentSpec
+
+
+def main():
+    spec = ExperimentSpec(
+        runner="vss-coin",
+        n=7,
+        trials=12,
+        seed=42,
+        params={"k": 7, "adversary": "withhold"},
+    )
+    print(f"spec: {spec.describe()}\n")
+
+    results = {
+        name: Engine(name).run(spec) for name in ("serial", "batch", "process")
+    }
+    serial = results["serial"]
+    for name, result in results.items():
+        identical = result.trials == serial.trials
+        print(
+            f"{name:>8}: {result.elapsed_seconds:6.2f}s, "
+            f"{result.failure_count} failures, "
+            f"bit-identical to serial: {identical}"
+        )
+        assert identical, f"{name} diverged from serial"
+
+    print()
+    print(serial.to_table(title="aggregated (any backend)").to_text())
+    coins = serial.metric_values("coin")
+    print(f"coin values across trials: {[int(c) for c in coins]}")
+    print("all backends agree")
+
+
+if __name__ == "__main__":
+    main()

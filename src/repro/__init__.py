@@ -26,6 +26,8 @@ Package map (see DESIGN.md for the full inventory):
   Holtby-Kapron-King attacks (the bounds of Sections 1-2).
 * :mod:`repro.mpc` — secure computation on the sharing substrate (open
   problem 3): linear MPC, Beaver multiplication, dealer-free triples.
+* :mod:`repro.engine` — sharded/batched Monte-Carlo execution of
+  experiment specs (serial, process-pool and batch backends; ENGINE.md).
 * :mod:`repro.cli` — the ``python -m repro`` command line.
 """
 
@@ -47,13 +49,25 @@ from .core import (
     run_replicated_log,
     run_unreliable_coin_ba,
 )
+from .engine import (
+    Engine,
+    ExperimentResult,
+    ExperimentSpec,
+    TrialResult,
+    run_experiment,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AEBAResult",
     "AEToEResult",
+    "Engine",
     "EverywhereBAResult",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "TrialResult",
+    "run_experiment",
     "GlobalCoinSubsequence",
     "LeaderSchedule",
     "ProtocolParameters",

@@ -11,6 +11,8 @@ Python.  Subcommands:
 * ``elect-leader`` — an adaptive-safe leader rotation (E21).
 * ``commit-log``   — a replicated log off one amortized tournament (E22).
 * ``report``    — a compact battery written as Markdown.
+* ``run-experiment`` — Monte-Carlo trials of a named experiment through
+  the :mod:`repro.engine` backends (serial / process pool / batched).
 
 Every command prints a compact plain-text report and exits non-zero on a
 protocol failure, so the CLI doubles as a smoke test in CI.
@@ -315,6 +317,66 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_params(pairs: List[str]) -> dict:
+    """``key=value`` CLI parameters, with numeric coercion."""
+    params = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--param expects key=value, got {pair!r}")
+        key, raw = pair.split("=", 1)
+        value: object = raw
+        for cast in (int, float):
+            try:
+                value = cast(raw)
+                break
+            except ValueError:
+                continue
+        params[key] = value
+    return params
+
+
+def _cmd_run_experiment(args: argparse.Namespace) -> int:
+    from .engine import (
+        Engine,
+        ExperimentSpec,
+        get_backend,
+        get_runner,
+        runner_names,
+    )
+
+    if args.list:
+        print("Registered experiment runners:")
+        for name in runner_names():
+            runner = get_runner(name)
+            batch = " [batchable]" if runner.batchable else ""
+            print(f"  {name:>20}{batch} : {runner.description}")
+        return 0
+
+    from .engine import EngineError
+
+    try:
+        spec = ExperimentSpec(
+            runner=args.name,
+            n=args.n,
+            trials=args.trials,
+            seed=args.seed,
+            params=_parse_params(args.param),
+        )
+        get_runner(spec.runner)  # fail fast with the known-runner list
+        backend = get_backend(args.backend, workers=args.workers)
+        result = Engine(backend).run(spec)
+    except EngineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.to_table().to_text())
+    if result.failure_count:
+        for trial in result.failures:
+            detail = trial.failure or "protocol-level failure"
+            print(f"  trial {trial.trial_index} FAILED: {detail}")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse parser with every subcommand registered."""
     parser = argparse.ArgumentParser(
@@ -382,6 +444,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="adaptive corruption fraction (e.g. 0.1)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_commit_log)
+
+    p = sub.add_parser(
+        "run-experiment",
+        help="run Monte-Carlo trials of a named experiment on an "
+             "engine backend",
+    )
+    p.add_argument("--name", default="everywhere-ba",
+                   help="registered experiment runner "
+                        "(see --list)")
+    p.add_argument("-n", type=int, default=27, help="network size")
+    p.add_argument("--trials", type=int, default=8,
+                   help="number of independent trials")
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed (per-trial seeds are derived)")
+    p.add_argument("--backend", default="serial",
+                   choices=("serial", "process", "batch"),
+                   help="execution backend")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool workers (default: cpu count)")
+    p.add_argument("--param", action="append", default=[],
+                   metavar="KEY=VALUE",
+                   help="runner parameter (repeatable)")
+    p.add_argument("--list", action="store_true",
+                   help="list registered runners and exit")
+    p.set_defaults(func=_cmd_run_experiment)
 
     p = sub.add_parser(
         "report", help="run a compact battery and write a Markdown report"

@@ -140,6 +140,11 @@ def robust_reconstruct(
     Replicated transfers can deliver the same coordinate several times
     (possibly with conflicting values from corrupted holders); the
     majority value per coordinate is taken first.
+
+    ``rng`` and ``max_tries`` are accepted for call-site compatibility
+    but unused: decoding is fully deterministic (fast-path interpolation
+    plus Berlekamp-Welch), which is what lets every engine backend
+    reproduce a trial bit-for-bit from its derived seed alone.
     """
     by_x: Dict[int, Dict[int, int]] = {}
     for share in shares:
@@ -183,7 +188,12 @@ class TreeCommunicator:
         links: uplinks / ℓ-links / intra-node graphs.
         field: share arithmetic field.
         ledger: bit ledger charged for every transfer.
-        rng: harness RNG (dealer polynomials etc.).
+        rng: harness RNG (dealer polynomials etc.).  Must be a *seeded*
+            ``random.Random``, preferably a labelled child stream of the
+            caller's master seed (the tournament passes
+            ``child_rng(seed, "comm")``) — required explicitly so no two
+            Monte-Carlo trials can silently share dealer randomness, and
+            no code path ever falls back to global module randomness.
         threshold_fraction: reconstruction threshold as a fraction of each
             dealing's group (paper: 1/2; "any t in [1/3, 2/3] would work").
     """
@@ -199,6 +209,11 @@ class TreeCommunicator:
     ) -> None:
         if not 0.0 < threshold_fraction < 1.0:
             raise CommunicationError("threshold_fraction must be in (0,1)")
+        if rng is None:
+            raise CommunicationError(
+                "TreeCommunicator requires a seeded rng stream "
+                "(e.g. child_rng(seed, 'comm'))"
+            )
         self.tree = tree
         self.links = links
         self.field = field

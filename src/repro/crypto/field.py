@@ -13,8 +13,8 @@ integers in ``[0, p)`` and all operations are module-level-simple methods.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
 
 #: The Mersenne prime 2**61 - 1 (large-word option).
 MERSENNE_61 = (1 << 61) - 1
@@ -79,6 +79,19 @@ class PrimeField:
 
     modulus: int = MERSENNE_31
 
+    #: Memoised multiplicative inverses.  Interpolation inverts the same
+    #: small coordinate differences (x_i - x_j over committee indices)
+    #: millions of times across a tournament, and each miss costs a full
+    #: ``pow(a, p-2, p)``.  The cache is excluded from equality/hash so
+    #: the field stays a value object, and bounded so adversarial access
+    #: patterns cannot grow it without limit.
+    _inv_cache: Dict[int, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    #: Cache bound; past it, inverses are computed without memoisation.
+    INV_CACHE_MAX = 1 << 16
+
     def __post_init__(self) -> None:
         if self.modulus < 2 or not is_probable_prime(self.modulus):
             raise FieldError(f"modulus {self.modulus} is not prime")
@@ -116,11 +129,35 @@ class PrimeField:
         return (-a) % self.modulus
 
     def inv(self, a: int) -> int:
-        """Multiplicative inverse; raises FieldError on zero."""
+        """Multiplicative inverse (memoised); raises FieldError on zero."""
         a %= self.modulus
         if a == 0:
             raise FieldError("zero has no multiplicative inverse")
-        return pow(a, self.modulus - 2, self.modulus)
+        cached = self._inv_cache.get(a)
+        if cached is None:
+            cached = pow(a, self.modulus - 2, self.modulus)
+            if len(self._inv_cache) < self.INV_CACHE_MAX:
+                self._inv_cache[a] = cached
+        return cached
+
+    def precompute_inverses(self, limit: int) -> None:
+        """Warm the cache for elements ``1..limit`` in O(limit) total.
+
+        Uses the batched-inversion trick (one ``pow`` for the running
+        product, then back-substitution with multiplications only) —
+        cheaper than ``limit`` independent ``pow`` calls when priming
+        the small coordinates interpolation actually touches.
+        """
+        limit = min(limit, self.modulus - 1, self.INV_CACHE_MAX)
+        if limit < 1:
+            return
+        prefix = [1] * (limit + 1)
+        for i in range(1, limit + 1):
+            prefix[i] = (prefix[i - 1] * i) % self.modulus
+        running = pow(prefix[limit], self.modulus - 2, self.modulus)
+        for i in range(limit, 0, -1):
+            self._inv_cache[i] = (running * prefix[i - 1]) % self.modulus
+            running = (running * i) % self.modulus
 
     def div(self, a: int, b: int) -> int:
         """a / b mod p; raises FieldError when b is zero."""

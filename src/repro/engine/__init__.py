@@ -1,0 +1,85 @@
+"""repro.engine — sharded, parallel execution of Monte-Carlo experiments.
+
+The engine turns every benchmark- and example-style workload into data:
+
+    from repro.engine import Engine, ExperimentSpec
+
+    spec = ExperimentSpec(
+        runner="everywhere-ba", n=27, trials=32, seed=7,
+        params={"corrupt": 0.1},
+    )
+    result = Engine("process").run(spec)
+    print(result.to_table().to_text())
+
+Layers (see ENGINE.md for the architecture notes):
+
+* :mod:`repro.engine.spec` — :class:`ExperimentSpec` /
+  :class:`TrialResult` and deterministic per-trial seed derivation.
+* :mod:`repro.engine.registry` — named, picklable experiment runners.
+* :mod:`repro.engine.backends` — :class:`SerialBackend` and
+  :class:`ProcessPoolBackend` behind one :class:`ExecutionBackend` API.
+* :mod:`repro.engine.batch` — :class:`BatchBackend`, multiplexing many
+  independent protocol instances over one simulated round loop.
+* :mod:`repro.engine.aggregate` — ledger merging, percentiles, failure
+  counts, and tables for :mod:`repro.analysis.reporting`.
+
+All backends are bit-identical for the same spec; only wall-clock and
+memory profiles differ.
+"""
+
+from .aggregate import (
+    ExperimentResult,
+    merge_ledger_stats,
+    percentile,
+)
+from .backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    default_worker_count,
+    make_context,
+    run_one_trial,
+)
+from .batch import BatchBackend
+from .engine import BACKEND_NAMES, Engine, get_backend, run_experiment
+from .registry import (
+    BatchInstance,
+    ExperimentRunner,
+    get_runner,
+    register,
+    runner_names,
+)
+from .spec import (
+    EngineError,
+    ExperimentSpec,
+    LedgerStats,
+    TrialContext,
+    TrialResult,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BatchBackend",
+    "BatchInstance",
+    "Engine",
+    "EngineError",
+    "ExecutionBackend",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "LedgerStats",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "TrialContext",
+    "TrialResult",
+    "default_worker_count",
+    "get_backend",
+    "get_runner",
+    "make_context",
+    "merge_ledger_stats",
+    "percentile",
+    "register",
+    "run_experiment",
+    "run_one_trial",
+    "runner_names",
+]

@@ -1,0 +1,144 @@
+"""Result aggregation: trial lists -> summaries, percentiles, tables.
+
+Backends return ordered :class:`TrialResult` lists; this module folds
+them into an :class:`ExperimentResult` — merged ledger totals (via the
+associative :meth:`LedgerStats.merge`), per-metric summaries reusing
+:func:`repro.analysis.sweep.summarise`, percentiles, and failure counts
+— and renders them through :mod:`repro.analysis.reporting` so CLI
+output, benchmarks and Markdown reports all share one table model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.reporting import Table
+from ..analysis.sweep import MetricSummary, summarise
+from .spec import ExperimentSpec, LedgerStats, TrialResult
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (q in [0, 100]) of raw values."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def merge_ledger_stats(stats: Sequence[LedgerStats]) -> LedgerStats:
+    """Fold many trials' ledger summaries into one (order-insensitive)."""
+    merged = LedgerStats()
+    for s in stats:
+        merged = merged.merge(s)
+    return merged
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregated outcome of one spec under one backend."""
+
+    spec: ExperimentSpec
+    backend: str
+    trials: List[TrialResult]
+    elapsed_seconds: float = 0.0
+
+    # -- scalar aggregates ---------------------------------------------------------
+
+    @property
+    def failures(self) -> List[TrialResult]:
+        """Trials that failed (protocol-level or crashed)."""
+        return [t for t in self.trials if not t.ok]
+
+    @property
+    def failure_count(self) -> int:
+        """Number of failed trials."""
+        return len(self.failures)
+
+    def success_rate(self) -> float:
+        """Fraction of trials that succeeded."""
+        if not self.trials:
+            return 0.0
+        return 1 - self.failure_count / len(self.trials)
+
+    def merged_ledger(self) -> LedgerStats:
+        """All trials' ledger summaries merged."""
+        return merge_ledger_stats([t.ledger for t in self.trials])
+
+    # -- per-metric aggregates --------------------------------------------------------
+
+    def metric_names(self) -> List[str]:
+        """Every metric name observed across trials, sorted."""
+        names = set()
+        for t in self.trials:
+            names.update(t.metric_dict())
+        return sorted(names)
+
+    def metric_values(self, name: str) -> List[float]:
+        """Raw per-trial values of one metric (trial order)."""
+        return [
+            t.metric_dict()[name]
+            for t in self.trials
+            if name in t.metric_dict()
+        ]
+
+    def summary(self, name: str) -> MetricSummary:
+        """Mean/min/max/stdev of one metric across trials."""
+        return summarise(name, self.metric_values(name))
+
+    def metric_percentile(self, name: str, q: float) -> float:
+        """One percentile of one metric across trials."""
+        return percentile(self.metric_values(name), q)
+
+    def summaries(self) -> Dict[str, MetricSummary]:
+        """All metric summaries keyed by name."""
+        return {name: self.summary(name) for name in self.metric_names()}
+
+    # -- rendering ---------------------------------------------------------------
+
+    def to_table(self, title: Optional[str] = None) -> Table:
+        """The aggregate as a :mod:`repro.analysis.reporting` table."""
+        table = Table(
+            title=title or f"{self.spec.describe()} [{self.backend}]",
+            headers=["metric", "mean", "min", "p50", "p90", "max"],
+            note=(
+                f"{len(self.trials)} trials, "
+                f"{self.failure_count} failures, "
+                f"{self.elapsed_seconds:.2f}s on {self.backend} backend"
+            ),
+        )
+        for name in self.metric_names():
+            s = self.summary(name)
+            table.add_row(
+                name,
+                f"{s.mean:.4g}",
+                f"{s.minimum:.4g}",
+                f"{self.metric_percentile(name, 50):.4g}",
+                f"{self.metric_percentile(name, 90):.4g}",
+                f"{s.maximum:.4g}",
+            )
+        ledger = self.merged_ledger()
+        if ledger.total_bits or ledger.total_messages:
+            table.add_row(
+                "ledger.total_bits", f"{ledger.total_bits:,}", "", "", "", ""
+            )
+            table.add_row(
+                "ledger.max_bits_per_processor",
+                f"{ledger.max_bits_per_processor:,}",
+                "", "", "", "",
+            )
+            table.add_row(
+                "ledger.rounds(total)", f"{ledger.rounds:,}", "", "", "", ""
+            )
+        return table

@@ -1,0 +1,141 @@
+"""Execution backends: one Engine API, pluggable trial execution.
+
+A backend's only job is to map an :class:`ExperimentSpec` to its list of
+:class:`TrialResult`, ordered by trial index.  Because trial seeds are
+derived from the spec alone (never from scheduling), every backend must
+return *bit-identical* results for the same spec — the engine's central
+correctness property, enforced by ``tests/test_engine.py``.
+
+* :class:`SerialBackend` — trials run in-process, one after another
+  (the seed repo's original behaviour).
+* :class:`ProcessPoolBackend` — trials shard across ``multiprocessing``
+  workers in contiguous chunks.  Specs cross the process boundary as
+  plain data (runner resolved by name in the worker), results come back
+  as picklable dataclasses and are re-ordered by trial index.
+* :class:`BatchBackend` (see :mod:`repro.engine.batch`) — many
+  independent protocol instances multiplexed over one round loop.
+
+Future backends (async event-loop, distributed dispatch) plug in behind
+the same two methods.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import os
+from typing import List, Optional, Sequence, Tuple
+
+from .registry import get_runner
+from .spec import EngineError, ExperimentSpec, TrialContext, TrialResult
+
+
+def make_context(spec: ExperimentSpec, trial_index: int) -> TrialContext:
+    """The deterministic context of one trial of a spec."""
+    if not 0 <= trial_index < spec.trials:
+        raise EngineError(
+            f"trial index {trial_index} outside 0..{spec.trials - 1}"
+        )
+    return TrialContext(
+        spec=spec,
+        trial_index=trial_index,
+        seed=spec.trial_seed(trial_index),
+    )
+
+
+def run_one_trial(spec: ExperimentSpec, trial_index: int) -> TrialResult:
+    """Execute a single trial, converting crashes into failed results."""
+    ctx = make_context(spec, trial_index)
+    runner = get_runner(spec.runner)
+    try:
+        return runner.run_trial(ctx)
+    except Exception as exc:  # protocol bugs must not kill the sweep
+        return TrialResult(
+            trial_index=trial_index,
+            seed=ctx.seed,
+            metrics=(),
+            ok=False,
+            failure=f"{type(exc).__name__}: {exc}",
+        )
+
+
+class ExecutionBackend(abc.ABC):
+    """Interface every backend implements."""
+
+    #: Human-readable backend identifier (CLI / reports).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run_trials(self, spec: ExperimentSpec) -> List[TrialResult]:
+        """All trial results of ``spec``, ordered by trial index."""
+
+    def close(self) -> None:
+        """Release any held workers (no-op by default)."""
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process, one-trial-at-a-time execution."""
+
+    name = "serial"
+
+    def run_trials(self, spec: ExperimentSpec) -> List[TrialResult]:
+        return [run_one_trial(spec, i) for i in range(spec.trials)]
+
+
+def _worker_run_chunk(
+    payload: Tuple[ExperimentSpec, Sequence[int]]
+) -> List[TrialResult]:
+    """Pool worker: run one contiguous chunk of trial indices."""
+    spec, indices = payload
+    return [run_one_trial(spec, i) for i in indices]
+
+
+def default_worker_count() -> int:
+    """Worker count when unspecified: every core, capped at 8."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Shard trials across ``multiprocessing`` workers.
+
+    Trials are dispatched in contiguous chunks (``chunk_size`` trials per
+    task) to amortise task-dispatch overhead; results are flattened back
+    in trial order, so the output is indistinguishable from
+    :class:`SerialBackend` — only the wall clock differs.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        self.workers = workers if workers else default_worker_count()
+        if self.workers < 1:
+            raise EngineError("need at least one worker")
+        self.chunk_size = chunk_size
+
+    def _chunks(self, trials: int) -> List[List[int]]:
+        size = self.chunk_size
+        if size is None:
+            # ~4 chunks per worker balances dispatch overhead against
+            # stragglers (trials can have very different durations).
+            size = max(1, trials // (self.workers * 4))
+        indices = list(range(trials))
+        return [indices[i : i + size] for i in range(0, trials, size)]
+
+    def run_trials(self, spec: ExperimentSpec) -> List[TrialResult]:
+        # Resolve the runner up front so unknown names fail fast in the
+        # parent, and a single-worker pool degrades gracefully to serial
+        # (no point paying fork + pickle for one lane).
+        get_runner(spec.runner)
+        if self.workers == 1 or spec.trials == 1:
+            return SerialBackend().run_trials(spec)
+        chunks = self._chunks(spec.trials)
+        payloads = [(spec, chunk) for chunk in chunks]
+        with multiprocessing.Pool(processes=self.workers) as pool:
+            nested = pool.map(_worker_run_chunk, payloads)
+        results = [result for chunk in nested for result in chunk]
+        results.sort(key=lambda r: r.trial_index)
+        return results

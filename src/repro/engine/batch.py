@@ -1,0 +1,109 @@
+"""Batch backend: many protocol instances over one simulated round loop.
+
+Monte-Carlo trials of the simulator-backed protocols are dominated by
+per-round Python overhead (inbox rebuilds, adversary views, ledger
+ticks) rather than by per-message arithmetic.  The batch backend builds
+every trial's :class:`~repro.net.simulator.SyncNetwork` up front and
+drives them *breadth-first*: round 1 of every live instance, then round
+2, and so on — one shared loop instead of ``trials`` nested ones.  This
+is the sharding/batching seam from the ROADMAP: the same breadth-first
+schedule is what an async or vectorised backend would consume, with the
+per-round barrier already explicit.
+
+Isolation is structural: each instance owns its protocols, its
+adversary, and its ledger, so corruption or flooding in one trial cannot
+leak into another's accounting (guarded by ``tests/test_engine.py``).
+
+Because instances are mutually independent, interleaving their rounds
+cannot change any instance's state sequence — each instance sees exactly
+the step sequence :meth:`SyncNetwork.run` would have given it, so batch
+results are bit-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .backends import ExecutionBackend, make_context, run_one_trial
+from .registry import BatchInstance, get_runner
+from .spec import ExperimentSpec, TrialResult
+
+
+def _failed_result(
+    spec: ExperimentSpec, trial_index: int, exc: Exception
+) -> TrialResult:
+    """The same crash containment :func:`run_one_trial` applies."""
+    return TrialResult(
+        trial_index=trial_index,
+        seed=spec.trial_seed(trial_index),
+        metrics=(),
+        ok=False,
+        failure=f"{type(exc).__name__}: {exc}",
+    )
+
+
+class BatchBackend(ExecutionBackend):
+    """Multiplex independent trials of a batchable runner.
+
+    ``max_live`` bounds how many instances are resident at once (memory
+    control for large sweeps); runners without a batch builder fall back
+    to serial execution trial by trial.
+    """
+
+    name = "batch"
+
+    def __init__(self, max_live: int = 64) -> None:
+        if max_live < 1:
+            raise ValueError("max_live must be >= 1")
+        self.max_live = max_live
+
+    def run_trials(self, spec: ExperimentSpec) -> List[TrialResult]:
+        runner = get_runner(spec.runner)
+        if not runner.batchable:
+            return [run_one_trial(spec, i) for i in range(spec.trials)]
+        results: List[TrialResult] = []
+        for start in range(0, spec.trials, self.max_live):
+            window = range(
+                start, min(start + self.max_live, spec.trials)
+            )
+            instances: Dict[int, BatchInstance] = {}
+            for i in window:
+                # Same crash containment as run_one_trial: one trial's
+                # broken construction must not kill the sweep (or skew
+                # its wave-mates, which hold independent networks).
+                try:
+                    instances[i] = runner.build_instance(
+                        make_context(spec, i)
+                    )
+                except Exception as exc:
+                    results.append(_failed_result(spec, i, exc))
+            results.extend(self._drive_wave(spec, instances))
+        results.sort(key=lambda r: r.trial_index)
+        return results
+
+    def _drive_wave(
+        self, spec: ExperimentSpec, instances: Dict[int, BatchInstance]
+    ) -> List[TrialResult]:
+        """Breadth-first round loop over one wave of live instances."""
+        live = dict(instances)
+        rounds_done = {index: 0 for index in live}
+        finished: Dict[int, TrialResult] = {}
+        while live:
+            for index in sorted(live):
+                instance = live[index]
+                network = instance.network
+                round_no = rounds_done[index] + 1
+                try:
+                    network.step(round_no)
+                    rounds_done[index] = round_no
+                    halted = network.all_good_decided()
+                    if halted or round_no >= instance.max_rounds:
+                        finished[index] = instance.collect(
+                            network.collect_result(round_no, halted),
+                            instance.ctx,
+                        )
+                except Exception as exc:
+                    finished[index] = _failed_result(spec, index, exc)
+            for index in finished:
+                live.pop(index, None)
+        return [finished[index] for index in sorted(finished)]

@@ -1,0 +1,73 @@
+"""The Engine: run a spec on a backend, get an aggregated result.
+
+Thin by design — the spec layer owns determinism, backends own
+execution, the aggregate layer owns statistics.  The engine wires them
+together and keeps the timing honest.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Union
+
+from .aggregate import ExperimentResult
+from .backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+)
+from .batch import BatchBackend
+from .spec import EngineError, ExperimentSpec
+
+#: Names accepted by :func:`get_backend` (and the CLI / conftest flags).
+BACKEND_NAMES = ("serial", "process", "batch")
+
+
+def get_backend(
+    name: str,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> ExecutionBackend:
+    """Construct a backend from its CLI name."""
+    if name == "serial":
+        return SerialBackend()
+    if name == "process":
+        return ProcessPoolBackend(workers=workers, chunk_size=chunk_size)
+    if name == "batch":
+        return BatchBackend()
+    raise EngineError(
+        f"unknown backend {name!r} (choose from {', '.join(BACKEND_NAMES)})"
+    )
+
+
+class Engine:
+    """Runs experiment specs on a pluggable backend."""
+
+    def __init__(
+        self, backend: Union[str, ExecutionBackend, None] = None
+    ) -> None:
+        if backend is None:
+            backend = SerialBackend()
+        elif isinstance(backend, str):
+            backend = get_backend(backend)
+        self.backend = backend
+
+    def run(self, spec: ExperimentSpec) -> ExperimentResult:
+        """Execute every trial of ``spec`` and aggregate the results."""
+        start = time.perf_counter()
+        trials = self.backend.run_trials(spec)
+        elapsed = time.perf_counter() - start
+        return ExperimentResult(
+            spec=spec,
+            backend=self.backend.name,
+            trials=trials,
+            elapsed_seconds=elapsed,
+        )
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    backend: Union[str, ExecutionBackend, None] = None,
+) -> ExperimentResult:
+    """One-call convenience: ``Engine(backend).run(spec)``."""
+    return Engine(backend).run(spec)

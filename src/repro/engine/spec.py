@@ -1,0 +1,201 @@
+"""Experiment descriptions: specs, per-trial contexts, and trial results.
+
+The engine's contract is that a Monte-Carlo experiment is *data*: an
+:class:`ExperimentSpec` names a registered runner, a network size, a
+trial count and a master seed.  Everything else — which backend executes
+the trials, in which process, in what order — is an execution detail
+that must not change the results.  Two invariants make that hold:
+
+* **Deterministic seed derivation.**  Trial ``i`` of a spec always runs
+  with ``trial_seed(spec, i)``, a SHA-256 child seed of the spec's
+  master seed and the trial index (via :func:`repro.net.rng.derive_seed`).
+  No backend state, scheduling order or worker identity enters the
+  derivation, so serial, process-pool and batched executions of the same
+  spec are bit-identical.
+* **Picklable specs.**  A spec references its runner *by name*; the
+  worker process resolves the name against :mod:`repro.engine.registry`
+  after import.  Specs therefore cross process boundaries as plain data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..net.accounting import BitLedger
+from ..net.rng import child_rng, derive_seed
+
+
+class EngineError(RuntimeError):
+    """Raised on engine contract violations (bad specs, unknown runners)."""
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One Monte-Carlo experiment, expressed as data.
+
+    Attributes:
+        runner: name of a registered experiment runner
+            (see :mod:`repro.engine.registry`).
+        n: network size handed to the runner.
+        trials: number of independent trials.
+        seed: master seed; every trial seed is derived from it.
+        params: runner-specific keyword parameters.  Values must be
+            picklable for the process-pool backend (plain scalars and
+            strings in practice).
+    """
+
+    runner: str
+    n: int
+    trials: int
+    seed: int = 0
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise EngineError("spec needs at least one trial")
+        if self.n < 1:
+            raise EngineError("spec needs n >= 1")
+        # Normalise mapping-style params into a sorted, hashable tuple so
+        # specs are order-insensitive value objects.
+        if isinstance(self.params, Mapping):
+            object.__setattr__(
+                self, "params", tuple(sorted(self.params.items()))
+            )
+        else:
+            object.__setattr__(
+                self, "params", tuple(sorted(tuple(self.params)))
+            )
+
+    def param_dict(self) -> Dict[str, Any]:
+        """The runner parameters as a plain dict."""
+        return dict(self.params)
+
+    def trial_seed(self, trial_index: int) -> int:
+        """The deterministic seed of one trial (backend-independent)."""
+        return derive_seed(self.seed, "engine", self.runner, trial_index)
+
+    def describe(self) -> str:
+        """A one-line human-readable summary."""
+        params = ", ".join(f"{k}={v}" for k, v in self.params)
+        suffix = f", {params}" if params else ""
+        return (
+            f"{self.runner}(n={self.n}, trials={self.trials}, "
+            f"seed={self.seed}{suffix})"
+        )
+
+
+@dataclass(frozen=True)
+class TrialContext:
+    """Everything a runner sees for one trial."""
+
+    spec: ExperimentSpec
+    trial_index: int
+    seed: int
+
+    @property
+    def n(self) -> int:
+        """Network size from the spec."""
+        return self.spec.n
+
+    def param(self, name: str, default: Any = None) -> Any:
+        """One runner parameter, with a default."""
+        return self.spec.param_dict().get(name, default)
+
+    def rng(self, *labels: Any):
+        """A labelled child RNG rooted at this trial's seed."""
+        return child_rng(self.seed, *labels)
+
+
+@dataclass(frozen=True)
+class LedgerStats:
+    """A mergeable, picklable summary of a :class:`BitLedger`.
+
+    Full ledgers hold per-processor dicts; across thousands of trials we
+    only need the aggregates, and they must merge associatively so any
+    sharding of trials over workers produces the same totals.
+    """
+
+    total_bits: int = 0
+    total_messages: int = 0
+    max_bits_per_processor: int = 0
+    rounds: int = 0
+    phase_bits: Tuple[Tuple[str, int], ...] = ()
+
+    @classmethod
+    def from_ledger(
+        cls, ledger: BitLedger, include: Optional[Any] = None
+    ) -> "LedgerStats":
+        """Summarise one trial's ledger (optionally over a processor subset)."""
+        return cls(
+            total_bits=(
+                ledger.total_bits()
+                if include is None
+                else sum(ledger.sent_bits.get(p, 0) for p in include)
+            ),
+            total_messages=ledger.total_messages(),
+            max_bits_per_processor=ledger.max_bits_per_processor(include),
+            rounds=ledger.rounds,
+            phase_bits=tuple(sorted(ledger.phase_breakdown().items())),
+        )
+
+    def merge(self, other: "LedgerStats") -> "LedgerStats":
+        """Combine two trials' stats (associative and commutative).
+
+        Bits, messages and rounds add; the per-processor maximum is the
+        max over trials (the quantity Theorem 1 bounds per execution).
+        """
+        phases: Dict[str, int] = dict(self.phase_bits)
+        for phase, bits in other.phase_bits:
+            phases[phase] = phases.get(phase, 0) + bits
+        return LedgerStats(
+            total_bits=self.total_bits + other.total_bits,
+            total_messages=self.total_messages + other.total_messages,
+            max_bits_per_processor=max(
+                self.max_bits_per_processor, other.max_bits_per_processor
+            ),
+            rounds=self.rounds + other.rounds,
+            phase_bits=tuple(sorted(phases.items())),
+        )
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Outcome of one trial — the unit every backend must reproduce.
+
+    ``metrics`` holds the runner's named numeric results; ``ok`` is the
+    trial's success flag (protocol-level failure, not a crash); a crashed
+    trial carries the exception text in ``failure`` with ``ok=False``.
+    """
+
+    trial_index: int
+    seed: int
+    metrics: Tuple[Tuple[str, float], ...]
+    ledger: LedgerStats = LedgerStats()
+    ok: bool = True
+    failure: str = ""
+
+    def metric_dict(self) -> Dict[str, float]:
+        """The metrics as a plain dict."""
+        return dict(self.metrics)
+
+    @classmethod
+    def make(
+        cls,
+        ctx: TrialContext,
+        metrics: Mapping[str, float],
+        ledger: Optional[LedgerStats] = None,
+        ok: bool = True,
+        failure: str = "",
+    ) -> "TrialResult":
+        """Build a result from a runner's raw outputs."""
+        return cls(
+            trial_index=ctx.trial_index,
+            seed=ctx.seed,
+            metrics=tuple(
+                sorted((k, float(v)) for k, v in metrics.items())
+            ),
+            ledger=ledger if ledger is not None else LedgerStats(),
+            ok=ok,
+            failure=failure,
+        )

@@ -2,7 +2,7 @@
 
 from .accounting import BitLedger, LedgerSnapshot
 from .messages import HEADER_BITS, Message, MessageError, payload_bits, total_bits
-from .rng import child_rng, derive_seed
+from .rng import child_rng, derive_seed, fork_rng
 from .tracing import TraceEvent, TraceRecorder
 from .simulator import (
     Adversary,
@@ -24,6 +24,7 @@ __all__ = [
     "total_bits",
     "child_rng",
     "derive_seed",
+    "fork_rng",
     "TraceEvent",
     "TraceRecorder",
     "Adversary",

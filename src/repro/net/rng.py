@@ -5,6 +5,16 @@ labelled child streams, so whole protocol executions are reproducible
 bit-for-bit.  Processors' *private coins* are child streams labelled by
 processor ID; the adversary cannot see them (the simulator never exposes a
 good processor's stream), matching the private-coin model of Section 1.1.
+
+This discipline is what makes the execution engine's backends
+interchangeable: :mod:`repro.engine` derives each trial's seed with
+:func:`derive_seed` from the spec alone, so serial, process-pool and
+batched runs are bit-identical.  Audit invariant (guarded by
+``tests/test_engine.py``): no module under ``src/repro`` may call the
+``random`` module's global functions (``random.random``,
+``random.randrange``, …) or construct an *unseeded* ``Random`` — every
+stream must be a seeded instance, preferably a
+:func:`child_rng`/:func:`fork_rng` derivation.
 """
 
 from __future__ import annotations
@@ -29,3 +39,13 @@ def derive_seed(master_seed: int, *labels: Label) -> int:
 def child_rng(master_seed: int, *labels: Label) -> random.Random:
     """An independent ``random.Random`` stream for a labelled purpose."""
     return random.Random(derive_seed(master_seed, *labels))
+
+
+def fork_rng(rng: random.Random, *labels: Label) -> random.Random:
+    """A labelled child stream of an *existing* stream.
+
+    Draws one 128-bit value from ``rng`` (advancing it deterministically)
+    and hashes it with the labels, so sibling forks are independent and
+    the whole tree of streams stays a pure function of the original seed.
+    """
+    return child_rng(rng.getrandbits(128), *labels)

@@ -186,14 +186,23 @@ class SyncNetwork:
         round_no = 0
         for round_no in range(1, max_rounds + 1):
             self.step(round_no)
-            if self._all_good_decided():
+            if self.all_good_decided():
                 halted = True
                 break
+        return self.collect_result(round_no, halted)
+
+    def collect_result(self, rounds: int, halted: bool) -> RunResult:
+        """Freeze the network's current state into a :class:`RunResult`.
+
+        Shared by :meth:`run` and external drivers (the engine's batch
+        backend steps many networks breadth-first and finishes each
+        through this same path, so both executions stay bit-identical).
+        """
         outputs = {
             pid: self.protocols[pid].output() for pid in range(self.n)
         }
         return RunResult(
-            rounds=round_no,
+            rounds=rounds,
             outputs=outputs,
             corrupted=set(self.adversary.corrupted),
             ledger=self.ledger,
@@ -271,7 +280,8 @@ class SyncNetwork:
             if self.trace is not None:
                 self.trace.emit("corrupt", pid)
 
-    def _all_good_decided(self) -> bool:
+    def all_good_decided(self) -> bool:
+        """Whether every uncorrupted processor has produced an output."""
         return all(
             self.protocols[pid].output() is not None
             for pid in range(self.n)

@@ -133,3 +133,82 @@ def test_commit_log_with_corruption(capsys):
     out = capsys.readouterr().out
     assert "corruption = 10%" in out
     assert "amortized bits/slot" in out
+
+
+def test_run_experiment_list(capsys):
+    assert main(["run-experiment", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "everywhere-ba" in out
+    assert "vss-coin [batchable]" in out
+
+
+def test_run_experiment_serial(capsys):
+    assert main(
+        ["run-experiment", "--name", "vss-coin", "-n", "7",
+         "--trials", "3", "--seed", "5"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "vss-coin(n=7, trials=3, seed=5" in out
+    assert "agreed" in out
+    assert "3 trials, 0 failures" in out
+
+
+def test_run_experiment_batch_backend(capsys):
+    assert main(
+        ["run-experiment", "--name", "unreliable-coin-ba", "-n", "40",
+         "--trials", "4", "--backend", "batch",
+         "--param", "num_rounds=1"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "batch backend" in out
+    assert "top_fraction" in out
+
+
+def test_run_experiment_process_backend(capsys):
+    assert main(
+        ["run-experiment", "--name", "vss-coin", "-n", "7",
+         "--trials", "4", "--backend", "process", "--workers", "2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "process backend" in out
+
+
+def test_run_experiment_backends_bit_identical(capsys):
+    for backend in ("serial", "process", "batch"):
+        assert main(
+            ["run-experiment", "--name", "vss-coin", "-n", "7",
+             "--trials", "2", "--seed", "9", "--backend", backend]
+        ) == 0
+    out = capsys.readouterr().out
+    tables = [
+        block for block in out.split("=== ") if block.startswith("vss-coin")
+    ]
+    assert len(tables) == 3
+    # Identical aggregates modulo the backend-name/timing note line.
+    bodies = [
+        "\n".join(
+            line for line in block.splitlines()
+            if "backend" not in line and "[" not in line
+        )
+        for block in tables
+    ]
+    assert bodies[0] == bodies[1] == bodies[2]
+
+
+def test_run_experiment_unknown_runner(capsys):
+    assert main(
+        ["run-experiment", "--name", "no-such-runner", "--trials", "1"]
+    ) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment runner" in err
+    assert "vss-coin" in err  # the error names the valid choices
+
+
+def test_run_experiment_zero_trials(capsys):
+    assert main(["run-experiment", "--trials", "0"]) == 2
+    assert "at least one trial" in capsys.readouterr().err
+
+
+def test_run_experiment_bad_param():
+    with pytest.raises(SystemExit):
+        main(["run-experiment", "--param", "not-a-pair", "--trials", "1"])

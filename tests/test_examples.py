@@ -23,6 +23,7 @@ EXPECTED = {
     "rotating_leaders.py": "budget drain",
     "ordered_log.py": "every slot valid",
     "async_agreement.py": "speedup",
+    "engine_sweep.py": "bit-identical to serial: True",
     "lower_bound_attack.py": "ATTACK SUCCEEDED",
     "private_aggregation.py": "never opened",
     "sync_over_async.py": "members agree: True",

@@ -22,6 +22,7 @@ SUBPACKAGES = [
     "repro.asynchrony",
     "repro.lowerbounds",
     "repro.mpc",
+    "repro.engine",
 ]
 
 
