@@ -10,7 +10,10 @@ model.  This bench quantifies the landscape the question lives in:
   the identical skeleton driven by a common coin, on split inputs.  The
   common coin collapses the phase count — what King-Saia's global coin
   subsequence would buy asynchronously *if* it could be generated below
-  n^2 bits, which is exactly the open problem.
+  n^2 bits, which is exactly the open problem.  Runs as two 8-trial
+  specs of the ``async-benor`` / ``common-coin-ba`` scenarios through
+  :mod:`repro.engine` (``--engine-backend async`` multiplexes each
+  spec's networks breadth-first over delivery steps).
 * E15c — adversarial scheduling: the common-coin protocol under FIFO,
   random and victim-starving schedulers; agreement and validity hold
   under all three (safety is scheduler-independent), only delivery
@@ -32,7 +35,6 @@ from repro.asynchrony import (
     RandomScheduler,
     SeededCoinOracle,
     TargetedDelayScheduler,
-    run_async_benor,
     run_bracha_broadcast,
     run_common_coin_ba,
 )
@@ -64,45 +66,43 @@ def test_e15a_bracha_quadratic_growth(benchmark, capsys):
     )
 
 
-def test_e15b_local_vs_common_coin(benchmark, capsys):
-    n = 6
-    inputs = [i % 2 for i in range(n)]
-    seeds = range(8)
+def test_e15b_local_vs_common_coin(benchmark, capsys, engine):
+    from repro.engine import Engine, ExperimentSpec
+
+    n, trials = 6, 8
+    specs = {
+        name: ExperimentSpec(
+            runner=name, n=n, trials=trials, seed=0,
+            params={"inputs": "split"},
+        )
+        for name in ("async-benor", "common-coin-ba")
+    }
+    results = {name: engine.run(spec) for name, spec in specs.items()}
+    benor, coin = results["async-benor"], results["common-coin-ba"]
     rows = []
-    benor_total = 0
-    coin_total = 0
-    for seed in seeds:
-        b = run_async_benor(
-            n, inputs, seed=seed, scheduler=RandomScheduler(seed)
-        )
-        c = run_common_coin_ba(
-            n, inputs, oracle=SeededCoinOracle(seed),
-            scheduler=RandomScheduler(seed),
-        )
-        benor_total += b.steps
-        coin_total += c.steps
+    for b, c in zip(benor.trials, coin.trials):
         rows.append(
             (
-                seed,
-                b.steps,
-                c.steps,
-                b.agreement_value(),
-                c.agreement_value(),
+                b.trial_index,
+                int(b.metric_dict()["steps"]),
+                int(c.metric_dict()["steps"]),
+                int(b.metric_dict()["value"]),
+                int(c.metric_dict()["value"]),
             )
         )
-        assert b.decided_fraction() == 1.0
-        assert c.decided_fraction() == 1.0
+        assert b.metric_dict()["decided_fraction"] == 1.0
+        assert c.metric_dict()["decided_fraction"] == 1.0
+    benor_total = int(sum(benor.metric_values("steps")))
+    coin_total = int(sum(coin.metric_values("steps")))
     benchmark.pedantic(
-        lambda: run_common_coin_ba(
-            n, inputs, oracle=SeededCoinOracle(0),
-            scheduler=RandomScheduler(0),
-        ),
+        lambda: Engine("async").run(specs["common-coin-ba"]),
         rounds=1, iterations=1,
     )
     print_table(
         capsys,
-        f"E15b async BA deliveries, split inputs (n={n})",
-        ["seed", "Ben-Or (local coin)", "common coin", "B-O value",
+        f"E15b async BA deliveries, split inputs (n={n}, "
+        f"{trials}-trial engine specs)",
+        ["trial", "Ben-Or (local coin)", "common coin", "B-O value",
          "coin value"],
         rows,
         note=(

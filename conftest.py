@@ -26,7 +26,7 @@ def pytest_addoption(parser):
         "--engine-backend",
         action="store",
         default="serial",
-        choices=("serial", "process", "batch"),
+        choices=("serial", "process", "batch", "async"),
         help=(
             "repro.engine execution backend used by the engine-ported "
             "benchmarks (default: serial)"

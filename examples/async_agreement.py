@@ -1,65 +1,72 @@
 #!/usr/bin/env python
-"""Asynchronous agreement: the paper's open problem, explored.
+"""Asynchronous agreement, engine edition: the open problem as scenarios.
 
 King & Saia close with: "Can we adapt our results to the asynchronous
-communication model?"  This example runs the asynchronous substrate the
-library provides for studying that question:
+communication model?"  The library's asynchronous substrate now runs
+behind the same engine seam as everything else: each protocol is a
+registered *scenario* (``bracha-broadcast``, ``async-benor``,
+``common-coin-ba``) whose trials execute on the ``async`` backend —
+many independent :class:`~repro.asynchrony.scheduler.AsyncNetwork`
+instances multiplexed breadth-first over delivery steps, with each
+trial's scheduler and coins forked deterministically from the spec's
+master seed.
 
-1. Bracha reliable broadcast — the standard async primitive, already
-   Theta(n^2) messages for a single broadcast.
+The experiment itself is the paper's point in miniature:
+
+1. Bracha reliable broadcast — already Theta(n^2) messages per use.
 2. Ben-Or agreement with *local* coins — safe, but slow on split inputs.
 3. The same skeleton with a *common* coin — fast, which is exactly what
-   the paper's global coin subsequence provides in the synchronous
-   world.  Generating such a coin asynchronously in o(n^2) bits is the
-   open problem.
+   the paper's global coin subsequence provides synchronously.
+   Generating such a coin asynchronously in o(n^2) bits is the open
+   problem.
 
 Run:  python examples/async_agreement.py
 """
 
-from repro.asynchrony import (
-    RandomScheduler,
-    SeededCoinOracle,
-    TargetedDelayScheduler,
-    run_async_benor,
-    run_bracha_broadcast,
-    run_common_coin_ba,
-)
+from repro.engine import Engine, ExperimentSpec
+
+
+def run(name: str, n: int, trials: int = 8, **params):
+    """One scenario on the async backend, checked against serial."""
+    spec = ExperimentSpec(
+        runner=name, n=n, trials=trials, seed=4, params=params
+    )
+    stepped = Engine("async").run(spec)
+    serial = Engine("serial").run(spec)
+    assert stepped.trials == serial.trials, f"{name} diverged from serial"
+    return stepped
 
 
 def main():
     n = 8
-    print(f"Asynchronous model, n = {n}\n")
+    print(f"Asynchronous model as engine scenarios, n = {n}")
+    print("(every result below is bit-identical on the serial backend)\n")
 
-    print("1) Bracha reliable broadcast (dealer 0 sends 42)")
-    result = run_bracha_broadcast(n=n, dealer=0, value=42)
-    print(f"   accepted value : {result.agreement_value()}")
-    print(f"   messages       : {result.ledger.total_messages()}"
-          f"  (n^2 = {n * n})")
-    print(f"   deliveries     : {result.steps}\n")
+    print("1) bracha-broadcast — dealer 0 sends 42, 8 seeds")
+    bracha = run("bracha-broadcast", n)
+    print(bracha.to_table().to_text())
 
-    inputs = [i % 2 for i in range(n)]
-    print(f"2) Ben-Or with local coins, split inputs {inputs}")
-    benor = run_async_benor(n, inputs, seed=4,
-                            scheduler=RandomScheduler(4))
-    print(f"   agreed value   : {benor.agreement_value()}")
-    print(f"   deliveries     : {benor.steps}\n")
+    print("\n2) async-benor — local coins, split inputs")
+    benor = run("async-benor", n, inputs="split", scheduler="random")
+    print(benor.to_table().to_text())
 
-    print("3) Same skeleton, common coin (the paper's coin, as an oracle)")
-    coin = run_common_coin_ba(n, inputs, oracle=SeededCoinOracle(4),
-                              scheduler=RandomScheduler(4))
-    print(f"   agreed value   : {coin.agreement_value()}")
-    print(f"   deliveries     : {coin.steps}")
-    speedup = benor.steps / max(1, coin.steps)
-    print(f"   speedup        : {speedup:.1f}x fewer deliveries\n")
+    print("\n3) common-coin-ba — same skeleton, common coin oracle")
+    coin = run("common-coin-ba", n, inputs="split", scheduler="random")
+    print(coin.to_table().to_text())
 
-    print("4) Adversarial scheduling: starve processor 0")
-    starved = run_common_coin_ba(
-        n, inputs, oracle=SeededCoinOracle(4),
-        scheduler=TargetedDelayScheduler(victims={0}, seed=4),
+    benor_steps = benor.summary("steps").mean
+    coin_steps = coin.summary("steps").mean
+    speedup = benor_steps / max(1.0, coin_steps)
+    print(
+        f"\nmean deliveries: {benor_steps:.0f} (local coins) vs "
+        f"{coin_steps:.0f} (common coin)"
     )
-    print(f"   agreed value   : {starved.agreement_value()}")
-    print(f"   all decided    : {starved.decided_fraction():.0%}")
-    print("   safety holds under any fair schedule; only latency moves.")
+    print(f"speedup        : {speedup:.1f}x fewer deliveries")
+    print(
+        "safety holds under any fair schedule; the common coin buys "
+        "liveness — asynchronously it still costs Omega(n^2) bits, "
+        "which is the open problem."
+    )
 
 
 if __name__ == "__main__":

@@ -247,6 +247,9 @@ class AsyncNetwork:
         self._pending: List[PendingMessage] = []
         self._seq = 0
         self._deliveries = 0
+        self._started = False
+        self._steps = 0
+        self._quiescent = False
 
     # -- execution ---------------------------------------------------------------
 
@@ -257,27 +260,57 @@ class AsyncNetwork:
         protocols may keep pending messages in flight — asynchronous
         protocols rarely quiesce on their own) or when no messages remain
         pending.
+
+        Implemented entirely through :meth:`begin` / :meth:`advance` /
+        :meth:`result` — the same primitives external drivers use (the
+        engine's async backend steps many networks breadth-first), so
+        both executions are bit-identical by construction.
         """
+        self.begin()
+        while self._steps < max_steps and self.advance():
+            pass
+        return self.result()
+
+    def begin(self) -> None:
+        """Start every process and collect initial messages (idempotent)."""
+        if self._started:
+            return
+        self._started = True
         self._start_processes()
-        step = 0
-        quiescent = False
-        while step < max_steps:
-            if self._all_good_decided():
-                break
-            if not self._pending:
-                quiescent = True
-                break
-            step += 1
-            self._deliver_one(step)
+
+    @property
+    def steps(self) -> int:
+        """Delivery steps executed so far."""
+        return self._steps
+
+    def advance(self) -> bool:
+        """Deliver one message; False once the run is over.
+
+        The run is over when every good processor has decided or no
+        messages remain pending (quiescence).  Callers enforce their own
+        step cap by checking :attr:`steps` before advancing.
+        """
+        self.begin()
+        if self._all_good_decided():
+            return False
+        if not self._pending:
+            self._quiescent = True
+            return False
+        self._steps += 1
+        self._deliver_one(self._steps)
+        return True
+
+    def result(self) -> AsyncRunResult:
+        """Freeze the network's current state into an :class:`AsyncRunResult`."""
         outputs = {
             pid: self.processes[pid].output() for pid in range(self.n)
         }
         return AsyncRunResult(
-            steps=step,
+            steps=self._steps,
             outputs=outputs,
             corrupted=set(self.adversary.corrupted),
             ledger=self.ledger,
-            quiescent=quiescent,
+            quiescent=self._quiescent,
             undelivered=len(self._pending),
         )
 

@@ -11,8 +11,11 @@ Python.  Subcommands:
 * ``elect-leader`` — an adaptive-safe leader rotation (E21).
 * ``commit-log``   — a replicated log off one amortized tournament (E22).
 * ``report``    — a compact battery written as Markdown.
-* ``run-experiment`` — Monte-Carlo trials of a named experiment through
-  the :mod:`repro.engine` backends (serial / process pool / batched).
+* ``run-experiment`` — Monte-Carlo trials of a registered scenario
+  through the :mod:`repro.engine` backends (serial / process pool /
+  batched / async).  ``--list`` prints every scenario's declared
+  parameter schema; ``--param`` values are validated against it;
+  ``--smoke`` runs each scenario once as a registration guard.
 
 Every command prints a compact plain-text report and exits non-zero on a
 protocol failure, so the CLI doubles as a smoke test in CI.
@@ -318,51 +321,142 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _parse_params(pairs: List[str]) -> dict:
-    """``key=value`` CLI parameters, with numeric coercion."""
+    """``key=value`` CLI parameters, kept raw for schema coercion."""
     params = {}
     for pair in pairs:
         if "=" not in pair:
             raise SystemExit(f"--param expects key=value, got {pair!r}")
         key, raw = pair.split("=", 1)
-        value: object = raw
-        for cast in (int, float):
-            try:
-                value = cast(raw)
-                break
-            except ValueError:
-                continue
-        params[key] = value
+        params[key] = raw
     return params
 
 
-def _cmd_run_experiment(args: argparse.Namespace) -> int:
+def _coerce_undeclared(raw: str) -> object:
+    """Legacy numeric guess for scenarios without a declared schema."""
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def _scenario_flags(runner) -> str:
+    flags = ""
+    if runner.batchable:
+        flags += " [batchable]"
+    if runner.asynchronous:
+        flags += " [async]"
+    return flags
+
+
+def _cmd_list_scenarios() -> int:
+    """``run-experiment --list``: the schema-driven scenario catalogue."""
+    from .engine import get_runner, runner_names
+
+    print("Registered scenarios (run with --name <scenario>):")
+    for name in runner_names():
+        runner = get_runner(name)
+        print(f"\n  {name}{_scenario_flags(runner)} : {runner.description}")
+        if runner.params is None:
+            print("      (no declared schema: parameters pass through)")
+            continue
+        for param in runner.params:
+            note = f"  {param.help}" if param.help else ""
+            if param.choices is not None:
+                note += (
+                    f"  (one of: "
+                    f"{', '.join(str(c) for c in param.choices)})"
+                )
+            print(f"      --param {param.signature():<28}{note}")
+        if runner.metrics:
+            print(f"      metrics: {', '.join(runner.metrics)}")
+    return 0
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    """``run-experiment --smoke``: every declared scenario, one tiny run.
+
+    CI's registration guard — a scenario that fails to build, validate,
+    or execute two cheap trials fails the whole command.
+    """
     from .engine import (
         Engine,
         ExperimentSpec,
         get_backend,
         get_runner,
-        runner_names,
+        scenario_names,
+    )
+
+    failures = []
+    for name in scenario_names(declared_only=True):
+        runner = get_runner(name)
+        spec = ExperimentSpec(
+            runner=name,
+            n=runner.smoke_n,
+            trials=2,
+            seed=args.seed,
+            params=dict(runner.smoke_params),
+        )
+        backend = "serial"
+        if args.backend != "serial":
+            # Honour a backend flip where the scenario supports it.
+            if args.backend == "batch" and runner.batchable:
+                backend = "batch"
+            elif args.backend == "async" and runner.asynchronous:
+                backend = "async"
+            elif args.backend == "process":
+                backend = "process"
+        result = Engine(
+            get_backend(backend, workers=args.workers)
+        ).run(spec)
+        status = "ok" if not result.failure_count else "FAILED"
+        print(
+            f"  {name:>20} [{backend}] n={spec.n}: {status} "
+            f"({result.elapsed_seconds:.2f}s)"
+        )
+        if result.failure_count:
+            failures.append(name)
+            for trial in result.failures:
+                detail = trial.failure or "protocol-level failure"
+                print(f"      trial {trial.trial_index}: {detail}")
+    if failures:
+        print(f"smoke failures: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"all {len(scenario_names(declared_only=True))} scenarios ok")
+    return 0
+
+
+def _cmd_run_experiment(args: argparse.Namespace) -> int:
+    from .engine import (
+        Engine,
+        EngineError,
+        ExperimentSpec,
+        get_backend,
+        get_runner,
     )
 
     if args.list:
-        print("Registered experiment runners:")
-        for name in runner_names():
-            runner = get_runner(name)
-            batch = " [batchable]" if runner.batchable else ""
-            print(f"  {name:>20}{batch} : {runner.description}")
-        return 0
-
-    from .engine import EngineError
+        return _cmd_list_scenarios()
 
     try:
+        if args.smoke:
+            return _cmd_smoke(args)
+        runner = get_runner(args.name)
+        raw = _parse_params(args.param)
+        # Schema-declared scenarios coerce and reject unknown keys;
+        # ad-hoc runners fall back to the legacy numeric guess.
+        if runner.params is not None:
+            params = runner.validate(raw)
+        else:
+            params = {k: _coerce_undeclared(v) for k, v in raw.items()}
         spec = ExperimentSpec(
             runner=args.name,
             n=args.n,
             trials=args.trials,
             seed=args.seed,
-            params=_parse_params(args.param),
+            params=params,
         )
-        get_runner(spec.runner)  # fail fast with the known-runner list
         backend = get_backend(args.backend, workers=args.workers)
         result = Engine(backend).run(spec)
     except EngineError as exc:
@@ -447,27 +541,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "run-experiment",
-        help="run Monte-Carlo trials of a named experiment on an "
+        help="run Monte-Carlo trials of a registered scenario on an "
              "engine backend",
     )
     p.add_argument("--name", default="everywhere-ba",
-                   help="registered experiment runner "
-                        "(see --list)")
+                   help="registered scenario (see --list)")
     p.add_argument("-n", type=int, default=27, help="network size")
     p.add_argument("--trials", type=int, default=8,
                    help="number of independent trials")
     p.add_argument("--seed", type=int, default=0,
                    help="master seed (per-trial seeds are derived)")
     p.add_argument("--backend", default="serial",
-                   choices=("serial", "process", "batch"),
+                   choices=("serial", "process", "batch", "async"),
                    help="execution backend")
     p.add_argument("--workers", type=int, default=None,
                    help="process-pool workers (default: cpu count)")
     p.add_argument("--param", action="append", default=[],
                    metavar="KEY=VALUE",
-                   help="runner parameter (repeatable)")
+                   help="scenario parameter, validated against the "
+                        "declared schema (repeatable)")
     p.add_argument("--list", action="store_true",
-                   help="list registered runners and exit")
+                   help="list scenarios with their declared "
+                        "parameters, types and defaults, then exit")
+    p.add_argument("--smoke", action="store_true",
+                   help="run every declared scenario once (tiny n, "
+                        "2 trials) — CI's registration guard")
     p.set_defaults(func=_cmd_run_experiment)
 
     p = sub.add_parser(

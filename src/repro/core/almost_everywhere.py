@@ -179,6 +179,8 @@ class Tournament:
         #: property).
         self.bad_arrays: Set[int] = set()
         self._layout_cache: Dict[int, Dict[str, object]] = {}
+        #: Set by :meth:`run_stepwise` once the final phase completes.
+        self.result: Optional[TournamentResult] = None
 
     # -- word layout -----------------------------------------------------------------
 
@@ -235,11 +237,32 @@ class Tournament:
 
     def run(self) -> TournamentResult:
         """Execute the whole tournament; see the module docstring."""
+        for _ in self.run_stepwise():
+            pass
+        assert self.result is not None
+        return self.result
+
+    def run_stepwise(self):
+        """Phase-by-phase execution: a generator of consumed round counts.
+
+        Each ``next()`` executes one whole tournament phase (array
+        dealing, one level's elections, the root agreement) and yields
+        the number of synchronous rounds that phase occupied on the
+        clock.  Lock-step drivers — the engine's batch backend, via
+        :mod:`repro.core.tournament_net` — burn that many simulator
+        rounds before resuming, so many tournaments interleave over one
+        round loop.  Draining the generator is exactly :meth:`run`
+        (which is implemented as precisely that), so stepped and
+        monolithic executions are bit-identical by construction.  The
+        final phase leaves :attr:`result` set.
+        """
         params = self.params
         adversary = self.adversary
         adversary.initial_corruptions()
         self.bad_arrays = set(adversary.corrupted)
+        mark = self._rounds
         self._generate_and_share_arrays()
+        yield self._rounds - mark
 
         # Candidates entering level 2: the leaf owners, one per leaf.
         winners_per_node: Dict[NodeId, List[int]] = {
@@ -247,14 +270,17 @@ class Tournament:
         }
 
         for level in self.election_levels:
+            mark = self._rounds
             winners_per_node = self._run_level(level, winners_per_node)
+            yield self._rounds - mark
 
+        mark = self._rounds
         votes, contestants, good_coins, coin_rounds = self._root_agreement(
             winners_per_node
         )
         output_views, output_truth = self._reveal_outputs(contestants)
 
-        return TournamentResult(
+        self.result = TournamentResult(
             votes=votes,
             corrupted=set(adversary.corrupted),
             level_stats=self.level_stats,
@@ -266,6 +292,7 @@ class Tournament:
             output_truth=output_truth,
             inputs={p: self.inputs[p] for p in range(params.n)},
         )
+        yield self._rounds - mark
 
     def _generate_and_share_arrays(self) -> None:
         """Algorithm 2 step 1: arrays generated, shared, and sent to level 2."""

@@ -74,6 +74,110 @@ class EverywhereBAResult:
         return self.ae_result.ledger.rounds + self.ae2e_result.rounds
 
 
+class EverywhereBAExecution:
+    """Phase-stepped Theorem 1 execution (Algorithm 2 then Algorithm 3).
+
+    :meth:`phases` is a generator of consumed round counts, one entry
+    per tournament phase plus one for the almost-everywhere-to-
+    everywhere push.  Lock-step drivers (the engine's batch backend via
+    :mod:`repro.core.tournament_net`) burn that many simulator rounds
+    between resumptions, so many full Theorem 1 runs interleave over one
+    round loop; draining the generator in place is exactly
+    :func:`run_everywhere_ba`.  The final phase leaves :attr:`result`
+    set.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        inputs: Sequence[int],
+        tournament_adversary: Optional[TournamentAdversary] = None,
+        ae2e_adversary: Optional[Adversary] = None,
+        params: Optional[ProtocolParameters] = None,
+        seed: int = 0,
+        coin_words: int = 2,
+        forge_fake_responses: bool = True,
+    ) -> None:
+        if params is None:
+            params = ProtocolParameters.simulation(n)
+        if tournament_adversary is None:
+            tournament_adversary = TournamentAdversary(n, budget=0)
+        self.n = n
+        self.inputs = inputs
+        self.params = params
+        self.seed = seed
+        self.ae2e_adversary = ae2e_adversary
+        self.forge_fake_responses = forge_fake_responses
+        self.tournament = Tournament(
+            params,
+            inputs,
+            tournament_adversary,
+            seed=seed,
+            output_words=coin_words,
+        )
+        self.result: Optional[EverywhereBAResult] = None
+
+    def phases(self):
+        """Generator of per-phase round counts; sets :attr:`result` at the end."""
+        # Phase 1: almost-everywhere agreement + coin subsequence.
+        yield from self.tournament.run_stepwise()
+        ae_result = self.tournament.result
+        assert ae_result is not None
+        n, params, seed = self.n, self.params, self.seed
+        bit = ae_result.agreed_bit()
+
+        coin = GlobalCoinSubsequence(
+            views=ae_result.output_views,
+            truth=ae_result.output_truth,
+            corrupted=ae_result.corrupted,
+        )
+        k_sequence = coin.k_sequence(params.sqrt_n())
+        if not k_sequence:
+            k_sequence = [1]
+
+        # Knowledgeable = good processors holding the almost-everywhere bit.
+        knowledgeable = {
+            p
+            for p, vote in ae_result.votes.items()
+            if p not in ae_result.corrupted and vote == bit
+        }
+
+        # Phase 2: push the bit everywhere.
+        ae2e_adversary = self.ae2e_adversary
+        if ae2e_adversary is None:
+            if self.forge_fake_responses and ae_result.corrupted:
+                ae2e_adversary = FakeResponderAdversary(
+                    n,
+                    targets=sorted(ae_result.corrupted),
+                    fake_message=1 - bit,
+                    seed=seed,
+                )
+            else:
+                ae2e_adversary = NullAdversary(n)
+        ae2e_result = run_ae_to_everywhere(
+            params,
+            knowledgeable=knowledgeable,
+            message=bit,
+            k_sequence=k_sequence,
+            adversary=ae2e_adversary,
+            seed=seed,
+        )
+
+        bits_per_processor = {
+            p: ae_result.ledger.sent_bits.get(p, 0)
+            + ae2e_result.sent_bits.get(p, 0)
+            for p in range(n)
+        }
+        self.result = EverywhereBAResult(
+            bit=bit,
+            ae_result=ae_result,
+            ae2e_result=ae2e_result,
+            coin=coin,
+            bits_per_processor=bits_per_processor,
+        )
+        yield ae2e_result.rounds
+
+
 def run_everywhere_ba(
     n: int,
     inputs: Sequence[int],
@@ -97,68 +201,22 @@ def run_everywhere_ba(
             ``forge_fake_responses`` is set.
         coin_words: output words revealed per root contestant (the coin
             subsequence length is contestants x coin_words).
+
+    Implemented as a drain of :class:`EverywhereBAExecution` — the same
+    phase sequence a stepped driver resumes — so monolithic and
+    multiplexed executions are bit-identical by construction.
     """
-    if params is None:
-        params = ProtocolParameters.simulation(n)
-    if tournament_adversary is None:
-        tournament_adversary = TournamentAdversary(n, budget=0)
-
-    # Phase 1: almost-everywhere agreement + coin subsequence.
-    tournament = Tournament(
-        params,
+    execution = EverywhereBAExecution(
+        n,
         inputs,
-        tournament_adversary,
+        tournament_adversary=tournament_adversary,
+        ae2e_adversary=ae2e_adversary,
+        params=params,
         seed=seed,
-        output_words=coin_words,
+        coin_words=coin_words,
+        forge_fake_responses=forge_fake_responses,
     )
-    ae_result = tournament.run()
-    bit = ae_result.agreed_bit()
-
-    coin = GlobalCoinSubsequence(
-        views=ae_result.output_views,
-        truth=ae_result.output_truth,
-        corrupted=ae_result.corrupted,
-    )
-    k_sequence = coin.k_sequence(params.sqrt_n())
-    if not k_sequence:
-        k_sequence = [1]
-
-    # Knowledgeable = good processors that hold the almost-everywhere bit.
-    knowledgeable = {
-        p
-        for p, vote in ae_result.votes.items()
-        if p not in ae_result.corrupted and vote == bit
-    }
-
-    # Phase 2: push the bit everywhere.
-    if ae2e_adversary is None:
-        if forge_fake_responses and ae_result.corrupted:
-            ae2e_adversary = FakeResponderAdversary(
-                n,
-                targets=sorted(ae_result.corrupted),
-                fake_message=1 - bit,
-                seed=seed,
-            )
-        else:
-            ae2e_adversary = NullAdversary(n)
-    ae2e_result = run_ae_to_everywhere(
-        params,
-        knowledgeable=knowledgeable,
-        message=bit,
-        k_sequence=k_sequence,
-        adversary=ae2e_adversary,
-        seed=seed,
-    )
-
-    bits_per_processor = {
-        p: ae_result.ledger.sent_bits.get(p, 0)
-        + ae2e_result.sent_bits.get(p, 0)
-        for p in range(n)
-    }
-    return EverywhereBAResult(
-        bit=bit,
-        ae_result=ae_result,
-        ae2e_result=ae2e_result,
-        coin=coin,
-        bits_per_processor=bits_per_processor,
-    )
+    for _ in execution.phases():
+        pass
+    assert execution.result is not None
+    return execution.result

@@ -1,0 +1,146 @@
+"""The Algorithm 2 tournament as a :class:`ProcessorProtocol` network.
+
+The tournament (and the full Theorem 1 pipeline built on it) is
+implemented as an orchestrated dataflow — whole phases execute at once
+while a round clock records what a lock-step execution would need.
+That was the one protocol the engine's batch backend could not
+multiplex: it drives :class:`~repro.net.simulator.SyncNetwork` objects
+round by round.
+
+This module closes that gap.  :class:`PhasedRoundDriver` adapts a
+*phase generator* (each ``next()`` runs one phase and yields the number
+of synchronous rounds it occupied — see
+:meth:`repro.core.almost_everywhere.Tournament.run_stepwise` and
+:meth:`repro.core.byzantine_agreement.EverywhereBAExecution.phases`) to
+a per-round budget: each simulator round burns one round of the current
+phase's budget, and exhausting it resumes the generator, executing the
+next phase.  :func:`build_everywhere_ba_network` wraps one driver in a
+real ``SyncNetwork`` of :class:`PhasedMemberProtocol` processors, so
+the batch backend interleaves *full Theorem 1 runs* breadth-first —
+round 1 of every tournament, then round 2, … — exactly as it already
+does for actor-model protocols.
+
+Faithfulness note: the network's adversary is
+:class:`~repro.net.simulator.NullAdversary` because the *real*
+adversary (adaptive corruptions, bin stuffing, fake responders) acts
+inside the phase-stepped execution, where the paper grants it its
+moves.  The wrapper processors carry no protocol state of their own;
+they exist to give the orchestrated run the simulator's round
+interface, one output slot per processor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from ..adversary.adaptive import TournamentAdversary
+from ..net.messages import Message
+from ..net.simulator import NullAdversary, ProcessorProtocol, SyncNetwork
+from .byzantine_agreement import EverywhereBAExecution
+
+#: Output slot value for processors the inner run left undecided
+#: (corrupted processors, mainly).  The wrapper network needs *some*
+#: non-None output per slot to halt; collectors read the inner result,
+#: never this sentinel.
+UNDECIDED = -1
+
+
+class PhasedRoundDriver:
+    """Burns simulator rounds against a phase generator's round budget.
+
+    ``advance_round()`` is called once per simulated round.  When the
+    current phase's budget is exhausted the generator is resumed, which
+    executes the next phase's work and deposits its round budget.  The
+    driver is ``done`` once the generator is exhausted — by then the
+    execution behind it has published its result.
+    """
+
+    def __init__(self, phases: Iterator[int]) -> None:
+        self._phases = phases
+        self._remaining = 0
+        self.done = False
+        self._pull()
+
+    def _pull(self) -> None:
+        """Execute phases until rounds remain to burn (or none are left)."""
+        while not self.done and self._remaining == 0:
+            try:
+                # A phase always occupies at least one round on the
+                # wrapper clock, so instances make progress even if an
+                # inner phase reports zero rounds.
+                self._remaining += max(1, next(self._phases))
+            except StopIteration:
+                self.done = True
+
+    def advance_round(self) -> None:
+        """Consume one simulator round (no-op once done)."""
+        if self.done:
+            return
+        self._remaining -= 1
+        self._pull()
+
+
+class PhasedMemberProtocol(ProcessorProtocol):
+    """One processor's slot in a phase-stepped orchestrated protocol.
+
+    Processor 0 advances the shared driver (once per round — the
+    simulator calls processors in pid order); every slot exposes its
+    decision through ``decide_fn`` once the driver completes.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        driver: PhasedRoundDriver,
+        decide_fn: Callable[[int], Any],
+    ) -> None:
+        super().__init__(pid)
+        self.driver = driver
+        self.decide_fn = decide_fn
+
+    def on_round(self, round_no: int, inbox: List[Message]) -> List[Message]:
+        if self.pid == 0:
+            self.driver.advance_round()
+        return []
+
+    def output(self) -> Optional[Any]:
+        if not self.driver.done:
+            return None
+        return self.decide_fn(self.pid)
+
+
+def build_everywhere_ba_network(
+    n: int,
+    inputs: Sequence[int],
+    tournament_adversary: Optional[TournamentAdversary] = None,
+    seed: int = 0,
+    coin_words: int = 2,
+) -> Tuple[SyncNetwork, EverywhereBAExecution]:
+    """One full Theorem 1 run as a steppable ``SyncNetwork``.
+
+    Returns the network plus the underlying
+    :class:`EverywhereBAExecution`; once the network halts (every slot
+    decided), ``execution.result`` holds the
+    :class:`~repro.core.byzantine_agreement.EverywhereBAResult` —
+    identical to :func:`~repro.core.byzantine_agreement.run_everywhere_ba`
+    with the same arguments, whichever driver stepped the rounds.
+    """
+    execution = EverywhereBAExecution(
+        n,
+        inputs,
+        tournament_adversary=tournament_adversary,
+        seed=seed,
+        coin_words=coin_words,
+    )
+    driver = PhasedRoundDriver(execution.phases())
+
+    def decide(pid: int) -> int:
+        assert execution.result is not None
+        decided = execution.result.ae2e_result.decided.get(pid)
+        return UNDECIDED if decided is None else int(decided)
+
+    protocols = [
+        PhasedMemberProtocol(pid, driver, decide) for pid in range(n)
+    ]
+    network = SyncNetwork(protocols, NullAdversary(n))
+    return network, execution

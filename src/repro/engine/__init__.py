@@ -1,6 +1,8 @@
-"""repro.engine — sharded, parallel execution of Monte-Carlo experiments.
+"""repro.engine — declarative scenarios on sharded, parallel backends.
 
 The engine turns every benchmark- and example-style workload into data:
+a spec names a registered *scenario* (typed parameter schema + metric
+contract + execution modes), and pluggable backends execute its trials:
 
     from repro.engine import Engine, ExperimentSpec
 
@@ -15,11 +17,16 @@ Layers (see ENGINE.md for the architecture notes):
 
 * :mod:`repro.engine.spec` — :class:`ExperimentSpec` /
   :class:`TrialResult` and deterministic per-trial seed derivation.
-* :mod:`repro.engine.registry` — named, picklable experiment runners.
+* :mod:`repro.engine.scenario` — :class:`Param` schemas: typed,
+  validated, self-documenting experiment parameters.
+* :mod:`repro.engine.registry` — named, picklable :class:`Scenario`
+  objects; built-ins register from :mod:`repro.engine.scenarios`.
 * :mod:`repro.engine.backends` — :class:`SerialBackend` and
   :class:`ProcessPoolBackend` behind one :class:`ExecutionBackend` API.
 * :mod:`repro.engine.batch` — :class:`BatchBackend`, multiplexing many
-  independent protocol instances over one simulated round loop.
+  independent sync protocol instances over one round loop.
+* :mod:`repro.engine.async_backend` — :class:`AsyncBackend`, the same
+  idea over the asynchronous scheduler's delivery steps.
 * :mod:`repro.engine.aggregate` — ledger merging, percentiles, failure
   counts, and tables for :mod:`repro.analysis.reporting`.
 
@@ -32,6 +39,7 @@ from .aggregate import (
     merge_ledger_stats,
     percentile,
 )
+from .async_backend import AsyncBackend
 from .backends import (
     ExecutionBackend,
     ProcessPoolBackend,
@@ -43,12 +51,20 @@ from .backends import (
 from .batch import BatchBackend
 from .engine import BACKEND_NAMES, Engine, get_backend, run_experiment
 from .registry import (
+    AsyncInstance,
     BatchInstance,
     ExperimentRunner,
+    Scenario,
+    drive_async_instance,
+    drive_instance,
     get_runner,
+    get_scenario,
+    load_builtin_scenarios,
     register,
     runner_names,
+    scenario_names,
 )
+from .scenario import Param, ScenarioError
 from .spec import (
     EngineError,
     ExperimentSpec,
@@ -59,6 +75,8 @@ from .spec import (
 
 __all__ = [
     "BACKEND_NAMES",
+    "AsyncBackend",
+    "AsyncInstance",
     "BatchBackend",
     "BatchInstance",
     "Engine",
@@ -68,13 +86,20 @@ __all__ = [
     "ExperimentRunner",
     "ExperimentSpec",
     "LedgerStats",
+    "Param",
     "ProcessPoolBackend",
+    "Scenario",
+    "ScenarioError",
     "SerialBackend",
     "TrialContext",
     "TrialResult",
     "default_worker_count",
+    "drive_async_instance",
+    "drive_instance",
     "get_backend",
     "get_runner",
+    "get_scenario",
+    "load_builtin_scenarios",
     "make_context",
     "merge_ledger_stats",
     "percentile",
@@ -82,4 +107,5 @@ __all__ = [
     "run_experiment",
     "run_one_trial",
     "runner_names",
+    "scenario_names",
 ]

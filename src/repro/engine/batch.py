@@ -89,6 +89,7 @@ class BatchBackend(ExecutionBackend):
         rounds_done = {index: 0 for index in live}
         finished: Dict[int, TrialResult] = {}
         while live:
+            done: List[int] = []
             for index in sorted(live):
                 instance = live[index]
                 network = instance.network
@@ -102,8 +103,10 @@ class BatchBackend(ExecutionBackend):
                             network.collect_result(round_no, halted),
                             instance.ctx,
                         )
+                        done.append(index)
                 except Exception as exc:
                     finished[index] = _failed_result(spec, index, exc)
-            for index in finished:
-                live.pop(index, None)
+                    done.append(index)
+            for index in done:
+                del live[index]
         return [finished[index] for index in sorted(finished)]

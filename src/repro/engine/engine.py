@@ -7,20 +7,23 @@ together and keeps the timing honest.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from typing import Optional, Union
 
 from .aggregate import ExperimentResult
+from .async_backend import AsyncBackend
 from .backends import (
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
 )
 from .batch import BatchBackend
+from .registry import get_runner
 from .spec import EngineError, ExperimentSpec
 
 #: Names accepted by :func:`get_backend` (and the CLI / conftest flags).
-BACKEND_NAMES = ("serial", "process", "batch")
+BACKEND_NAMES = ("serial", "process", "batch", "async")
 
 
 def get_backend(
@@ -35,6 +38,8 @@ def get_backend(
         return ProcessPoolBackend(workers=workers, chunk_size=chunk_size)
     if name == "batch":
         return BatchBackend()
+    if name == "async":
+        return AsyncBackend()
     raise EngineError(
         f"unknown backend {name!r} (choose from {', '.join(BACKEND_NAMES)})"
     )
@@ -53,7 +58,18 @@ class Engine:
         self.backend = backend
 
     def run(self, spec: ExperimentSpec) -> ExperimentResult:
-        """Execute every trial of ``spec`` and aggregate the results."""
+        """Execute every trial of ``spec`` and aggregate the results.
+
+        The spec's parameters are validated against the scenario's
+        declared schema before anything runs: unknown keys and ill-typed
+        values raise :class:`~repro.engine.scenario.ScenarioError`
+        (coercion never touches trial seeds, which derive from the
+        master seed and trial index alone).
+        """
+        runner = get_runner(spec.runner)
+        validated = runner.validate(spec.param_dict())
+        if validated != spec.param_dict():
+            spec = dataclasses.replace(spec, params=validated)
         start = time.perf_counter()
         trials = self.backend.run_trials(spec)
         elapsed = time.perf_counter() - start

@@ -1,39 +1,46 @@
-"""Named experiment runners — the data half of `experiments as data`.
+"""The scenario registry — the data half of `experiments as data`.
 
-A runner turns one :class:`~repro.engine.spec.TrialContext` into one
-:class:`~repro.engine.spec.TrialResult`.  Specs reference runners by
-name so they stay picklable; worker processes resolve the name against
-this module after import.
+A :class:`Scenario` is one named, registered experiment: a typed
+parameter schema (:class:`~repro.engine.scenario.Param`), a metric
+contract, and one or more *execution modes*:
 
-Two runner flavours exist:
+* ``run_trial`` — an isolated, self-contained trial, usable by the
+  serial and process-pool backends (every scenario has one, declared or
+  derived);
+* ``build_instance`` — for *sync batchable* scenarios: returns a
+  :class:`BatchInstance` (a ready
+  :class:`~repro.net.simulator.SyncNetwork` plus a collector) that the
+  batch backend multiplexes over one round loop;
+* ``build_async_instance`` — for scheduler-driven protocols: returns an
+  :class:`AsyncInstance` (a ready
+  :class:`~repro.asynchrony.scheduler.AsyncNetwork` plus a collector)
+  that the async backend multiplexes over delivery steps.
 
-* every runner has ``run_trial`` — an isolated, self-contained trial,
-  usable by the serial and process-pool backends;
-* *batchable* runners additionally provide ``build_instance``, which
-  returns a :class:`BatchInstance` (a ready
-  :class:`~repro.net.simulator.SyncNetwork` plus a collector).  The
-  batch backend multiplexes many such instances over one round loop;
-  for these runners ``run_trial`` is derived from the same builder, so
-  all three backends execute literally the same construction.
+When only a builder is declared, ``run_trial`` is derived from it, so
+every backend executes literally the same construction — the engine's
+bit-identical-backends property by construction.
+
+Specs reference scenarios *by name* so they stay picklable; worker
+processes resolve the name against this module after import.  Built-in
+scenarios live in :mod:`repro.engine.scenarios` and are loaded lazily on
+first lookup, so ad-hoc test scenarios can register without importing
+the whole protocol stack.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
-from ..net.simulator import (
-    Adversary,
-    NullAdversary,
-    RunResult,
-    SyncNetwork,
-)
-from .spec import EngineError, LedgerStats, TrialContext, TrialResult
+from ..asynchrony.scheduler import AsyncNetwork, AsyncRunResult
+from ..net.simulator import RunResult, SyncNetwork
+from .scenario import Param, ScenarioError, validate_mapping
+from .spec import EngineError, TrialContext, TrialResult
 
 
 @dataclass(frozen=True)
 class BatchInstance:
-    """One trial prepared as a steppable network plus result collector."""
+    """One trial prepared as a steppable sync network plus collector."""
 
     network: SyncNetwork
     max_rounds: int
@@ -42,53 +49,34 @@ class BatchInstance:
 
 
 @dataclass(frozen=True)
-class ExperimentRunner:
-    """A named experiment: trial function and optional batch builder."""
+class AsyncInstance:
+    """One trial prepared as a steppable async network plus collector."""
 
-    name: str
-    run_trial: Callable[[TrialContext], TrialResult]
-    build_instance: Optional[Callable[[TrialContext], BatchInstance]] = None
-    description: str = ""
-
-    @property
-    def batchable(self) -> bool:
-        """Whether the batch backend can multiplex this runner."""
-        return self.build_instance is not None
-
-
-_REGISTRY: Dict[str, ExperimentRunner] = {}
-
-
-def register(runner: ExperimentRunner) -> ExperimentRunner:
-    """Add a runner to the registry (idempotent on identical names)."""
-    _REGISTRY[runner.name] = runner
-    return runner
-
-
-def get_runner(name: str) -> ExperimentRunner:
-    """Look up a runner; raises :class:`EngineError` on unknown names."""
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        known = ", ".join(sorted(_REGISTRY))
-        raise EngineError(
-            f"unknown experiment runner {name!r} (known: {known})"
-        ) from None
-
-
-def runner_names() -> List[str]:
-    """All registered runner names, sorted."""
-    return sorted(_REGISTRY)
+    network: AsyncNetwork
+    max_steps: int
+    collect: Callable[[AsyncRunResult, TrialContext], TrialResult]
+    ctx: TrialContext
 
 
 def drive_instance(instance: BatchInstance) -> TrialResult:
-    """Run one prepared instance to completion (the serial path).
+    """Run one prepared sync instance to completion (the serial path).
 
     Mirrors :meth:`SyncNetwork.run`, so a batched execution — which
     steps the same network through the same rounds, merely interleaved
     with other instances — produces the identical result.
     """
     result = instance.network.run(max_rounds=instance.max_rounds)
+    return instance.collect(result, instance.ctx)
+
+
+def drive_async_instance(instance: AsyncInstance) -> TrialResult:
+    """Run one prepared async instance to completion (the serial path).
+
+    Mirrors :meth:`AsyncNetwork.run` step for step, so the async
+    backend's delivery-interleaved execution produces the identical
+    result.
+    """
+    result = instance.network.run(max_steps=instance.max_steps)
     return instance.collect(result, instance.ctx)
 
 
@@ -101,299 +89,151 @@ def _run_trial_from_builder(
     return run_trial
 
 
-# --------------------------------------------------------------------------
-# Built-in runner: everywhere-ba (Theorem 1 pipeline, benchmark E1's unit)
-# --------------------------------------------------------------------------
+def _run_trial_from_async_builder(
+    builder: Callable[[TrialContext], AsyncInstance]
+) -> Callable[[TrialContext], TrialResult]:
+    def run_trial(ctx: TrialContext) -> TrialResult:
+        return drive_async_instance(builder(ctx))
+
+    return run_trial
 
 
-def _input_bits(pattern: str, n: int) -> List[int]:
-    if pattern == "split":
-        return [p % 2 for p in range(n)]
-    if pattern == "thirds":
-        return [1 if p % 3 else 0 for p in range(n)]
-    if pattern == "ones":
-        return [1] * n
-    if pattern == "zeros":
-        return [0] * n
-    raise EngineError(f"unknown input pattern {pattern!r}")
+@dataclass(frozen=True)
+class Scenario:
+    """A named experiment: schema, metric contract, execution modes.
 
+    ``params=None`` marks an *undeclared* schema (ad-hoc test scenarios):
+    validation passes everything through, and the scenario is excluded
+    from schema-driven surfaces (``--list`` details, ``--smoke``,
+    registry-wide parity tests).  Built-in scenarios always declare a
+    schema, even an empty one.
+    """
 
-def _everywhere_ba_trial(ctx: TrialContext) -> TrialResult:
-    from ..adversary.adaptive import BinStuffingAdversary, TournamentAdversary
-    from ..core.byzantine_agreement import run_everywhere_ba
+    name: str
+    run_trial: Optional[Callable[[TrialContext], TrialResult]] = None
+    build_instance: Optional[
+        Callable[[TrialContext], BatchInstance]
+    ] = None
+    build_async_instance: Optional[
+        Callable[[TrialContext], AsyncInstance]
+    ] = None
+    description: str = ""
+    params: Optional[Tuple[Param, ...]] = None
+    metrics: Tuple[str, ...] = ()
+    #: Network size / parameters for one cheap smoke trial (CI's
+    #: ``run-experiment --smoke`` runs every declared scenario with
+    #: these, so a broken registration fails the build).
+    smoke_n: int = 7
+    smoke_params: Tuple[Tuple[str, Any], ...] = ()
 
-    n = ctx.n
-    inputs = _input_bits(ctx.param("inputs", "split"), n)
-    corrupt = float(ctx.param("corrupt", 0.0))
-    adversary = None
-    if corrupt > 0:
-        budget = max(1, int(corrupt * n))
-        kind = ctx.param("adversary", "bin-stuffing")
-        if kind == "bin-stuffing":
-            adversary = BinStuffingAdversary(n, budget=budget, seed=ctx.seed)
-        elif kind == "tournament":
-            adversary = TournamentAdversary(n, budget=budget, seed=ctx.seed)
-        else:
-            raise EngineError(f"unknown adversary kind {kind!r}")
-
-    result = run_everywhere_ba(
-        n, inputs, tournament_adversary=adversary, seed=ctx.seed
-    )
-    good = [p for p in range(n) if p not in result.corrupted]
-    decided = [result.ae2e_result.decided.get(p) for p in good]
-    agree = sum(1 for v in decided if v == result.bit) / max(1, len(good))
-    good_bits = [result.bits_per_processor[p] for p in good]
-    ledger = LedgerStats(
-        total_bits=sum(good_bits),
-        total_messages=result.ae_result.ledger.total_messages(),
-        max_bits_per_processor=max(good_bits, default=0),
-        rounds=result.total_rounds(),
-    )
-    return TrialResult.make(
-        ctx,
-        metrics={
-            "bit": result.bit,
-            "agreement": agree,
-            "valid": float(result.is_valid()),
-            "rounds": result.total_rounds(),
-            "max_bits_per_processor": result.max_bits_per_processor(),
-        },
-        ledger=ledger,
-        ok=result.success() and result.is_valid(),
-    )
-
-
-register(
-    ExperimentRunner(
-        name="everywhere-ba",
-        run_trial=_everywhere_ba_trial,
-        description=(
-            "Theorem 1 end to end: tournament + coin subsequence + "
-            "almost-everywhere-to-everywhere push"
-        ),
-    )
-)
-
-
-# --------------------------------------------------------------------------
-# Built-in runner: unreliable-coin-ba (Algorithm 5 on a sparse graph, E11's
-# coalescence unit) — batchable.
-# --------------------------------------------------------------------------
-
-
-def _aeba_instance(ctx: TrialContext) -> BatchInstance:
-    from ..core.coins import perfect_coin_source
-    from ..core.unreliable_coin_ba import (
-        SparseAEBAProcessor,
-        vote_threshold,
-    )
-    from ..topology.sparse_graph import random_regular_graph, theorem5_degree
-
-    n = ctx.n
-    num_rounds = int(ctx.param("num_rounds", 1))
-    degree = ctx.param("degree")
-    if degree is None:
-        degree = theorem5_degree(n)
-    graph = random_regular_graph(n, int(degree), ctx.rng("graph"))
-    source = perfect_coin_source(n, num_rounds, ctx.rng("coins"))
-    threshold = vote_threshold(
-        float(ctx.param("epsilon", 1 / 12)),
-        float(ctx.param("epsilon0", 0.05)),
-    )
-    inputs = _input_bits(ctx.param("inputs", "split"), n)
-    protocols = [
-        SparseAEBAProcessor(
-            pid=p,
-            input_bit=inputs[p],
-            neighbors=sorted(graph[p]),
-            coin_view=lambda idx, p=p: source.view(idx, p),
-            num_rounds=num_rounds,
-            threshold=threshold,
+    def __post_init__(self) -> None:
+        if self.run_trial is None:
+            if self.build_instance is not None:
+                object.__setattr__(
+                    self,
+                    "run_trial",
+                    _run_trial_from_builder(self.build_instance),
+                )
+            elif self.build_async_instance is not None:
+                object.__setattr__(
+                    self,
+                    "run_trial",
+                    _run_trial_from_async_builder(self.build_async_instance),
+                )
+            else:
+                raise ScenarioError(
+                    f"scenario {self.name!r} declares no execution mode"
+                )
+        if self.params is not None:
+            object.__setattr__(self, "params", tuple(self.params))
+        object.__setattr__(self, "metrics", tuple(self.metrics))
+        object.__setattr__(
+            self, "smoke_params", tuple(sorted(tuple(self.smoke_params)))
         )
-        for p in range(n)
+
+    @property
+    def batchable(self) -> bool:
+        """Whether the batch backend can multiplex this scenario."""
+        return self.build_instance is not None
+
+    @property
+    def asynchronous(self) -> bool:
+        """Whether the async backend can multiplex this scenario."""
+        return self.build_async_instance is not None
+
+    @property
+    def declared(self) -> bool:
+        """Whether this scenario carries a parameter schema."""
+        return self.params is not None
+
+    def validate(self, raw: Mapping[str, Any]) -> Dict[str, Any]:
+        """Coerce ``raw`` parameters against the schema.
+
+        Unknown keys raise :class:`ScenarioError` with a did-you-mean
+        hint; ill-typed values raise with the expected type.  Scenarios
+        without a declared schema pass everything through unchanged.
+        """
+        if self.params is None:
+            return dict(raw)
+        return validate_mapping(self.name, self.params, raw)
+
+
+#: Legacy name from the first engine iteration; same object.
+ExperimentRunner = Scenario
+
+
+_REGISTRY: Dict[str, Scenario] = {}
+_BUILTINS_LOADED = False
+
+
+def load_builtin_scenarios() -> None:
+    """Import :mod:`repro.engine.scenarios`, registering the built-ins.
+
+    The loaded flag is only set on success, so an import error during
+    development surfaces on every lookup instead of being cached into a
+    misleading ``unknown runner`` error.
+    """
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    from . import scenarios  # noqa: F401  (import side effect: register)
+
+    _BUILTINS_LOADED = True
+
+
+def register(runner: Scenario) -> Scenario:
+    """Add a scenario to the registry (idempotent on identical names)."""
+    _REGISTRY[runner.name] = runner
+    return runner
+
+
+def get_runner(name: str) -> Scenario:
+    """Look up a scenario; raises :class:`EngineError` on unknown names."""
+    if name not in _REGISTRY:
+        load_builtin_scenarios()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise EngineError(
+            f"unknown experiment runner {name!r} (known: {known})"
+        ) from None
+
+
+def runner_names() -> List[str]:
+    """All registered scenario names, sorted."""
+    load_builtin_scenarios()
+    return sorted(_REGISTRY)
+
+
+#: Scenario-flavoured aliases (the runner vocabulary is the legacy name).
+get_scenario = get_runner
+
+
+def scenario_names(declared_only: bool = False) -> List[str]:
+    """Registered scenario names; optionally only schema-declared ones."""
+    return [
+        name
+        for name in runner_names()
+        if not declared_only or _REGISTRY[name].declared
     ]
-    network = SyncNetwork(protocols, NullAdversary(n))
-
-    def collect(result: RunResult, ctx: TrialContext) -> TrialResult:
-        from collections import Counter
-        import math
-
-        votes = Counter(
-            protocols[p].vote
-            for p in range(ctx.n)
-            if p not in result.corrupted
-        )
-        top = max(votes.values()) / max(1, sum(votes.values()))
-        coalesced = top >= 1 - 1 / math.log2(max(4, ctx.n))
-        return TrialResult.make(
-            ctx,
-            metrics={
-                "top_fraction": top,
-                "coalesced": float(coalesced),
-                "rounds": result.rounds,
-                "max_bits_per_processor": (
-                    result.ledger.max_bits_per_processor()
-                ),
-            },
-            ledger=LedgerStats.from_ledger(result.ledger),
-            ok=True,
-        )
-
-    return BatchInstance(
-        network=network,
-        max_rounds=num_rounds + 2,
-        collect=collect,
-        ctx=ctx,
-    )
-
-
-register(
-    ExperimentRunner(
-        name="unreliable-coin-ba",
-        run_trial=_run_trial_from_builder(_aeba_instance),
-        build_instance=_aeba_instance,
-        description=(
-            "Algorithm 5 sparse-graph BA with perfect global coins "
-            "(Lemma 13 coalescence unit)"
-        ),
-    )
-)
-
-
-# --------------------------------------------------------------------------
-# Built-in runner: vss-coin (the on-demand committee coin of E19) —
-# batchable.
-# --------------------------------------------------------------------------
-
-
-class _CrashFromStart(Adversary):
-    """t members crash in round 1 and stay silent."""
-
-    def __init__(self, k: int, t: int) -> None:
-        super().__init__(k, budget=t)
-
-    def select_corruptions(self, round_no: int):
-        return set(range(self.budget)) if round_no == 1 else set()
-
-    def act(self, view):
-        return []
-
-
-class _WithholdReveals(Adversary):
-    """t members go silent exactly at the reveal round."""
-
-    def __init__(self, k: int, t: int) -> None:
-        super().__init__(k, budget=t)
-
-    def select_corruptions(self, round_no: int):
-        return set(range(self.budget)) if round_no == 4 else set()
-
-    def act(self, view):
-        return []
-
-
-def _vss_coin_instance(ctx: TrialContext) -> BatchInstance:
-    from ..core.vss_coin import VSSCoinMember, vss_coin_fault_bound
-
-    k = int(ctx.param("k", ctx.n))
-    t = vss_coin_fault_bound(k)
-    kind = ctx.param("adversary", "none")
-    if kind == "none":
-        adversary: Adversary = NullAdversary(k)
-    elif kind == "crash":
-        adversary = _CrashFromStart(k, t)
-    elif kind == "withhold":
-        adversary = _WithholdReveals(k, t)
-    else:
-        raise EngineError(f"unknown vss-coin adversary {kind!r}")
-    members = [VSSCoinMember(pid, k, seed=ctx.seed) for pid in range(k)]
-    network = SyncNetwork(members, adversary)
-
-    def collect(result: RunResult, ctx: TrialContext) -> TrialResult:
-        # None outputs (an honest member that never decided) count as
-        # disagreement — matching E19's original strict check.
-        coins = set(result.good_outputs().values())
-        agreed = len(coins) == 1 and next(iter(coins)) in (0, 1)
-        return TrialResult.make(
-            ctx,
-            metrics={
-                "agreed": float(agreed),
-                "coin": float(coins.pop()) if agreed else -1.0,
-                "corrupted": len(result.corrupted),
-            },
-            ledger=LedgerStats.from_ledger(result.ledger),
-            ok=agreed,
-        )
-
-    return BatchInstance(
-        network=network, max_rounds=5, collect=collect, ctx=ctx
-    )
-
-
-register(
-    ExperimentRunner(
-        name="vss-coin",
-        run_trial=_run_trial_from_builder(_vss_coin_instance),
-        build_instance=_vss_coin_instance,
-        description=(
-            "on-demand Canetti-Rabin-style committee coin (E19's "
-            "per-coin alternative to the tournament)"
-        ),
-    )
-)
-
-
-# --------------------------------------------------------------------------
-# Built-in runner: sampler-quality (Lemma 2 measurement, E8's unit)
-# --------------------------------------------------------------------------
-
-
-def _sampler_quality_trial(ctx: TrialContext) -> TrialResult:
-    from ..samplers.quality import (
-        adversarial_bad_set,
-        estimate_failure_fraction,
-        fraction_of_bad_committees,
-        measure_against_bad_set,
-    )
-    from ..samplers.sampler import Sampler
-
-    r = int(ctx.param("r", 100))
-    s = int(ctx.param("s", 300))
-    degree = int(ctx.param("degree", 16))
-    theta = float(ctx.param("theta", 0.15))
-    bad_fraction = float(ctx.param("bad_fraction", 0.25))
-    inner_trials = int(ctx.param("inner_trials", 15))
-
-    sampler = Sampler.random(r, s, degree, ctx.rng("sampler"))
-    bad_size = int(bad_fraction * s)
-    random_delta = estimate_failure_fraction(
-        sampler, bad_size, theta, trials=inner_trials, rng=ctx.rng("bad-sets")
-    )
-    greedy = adversarial_bad_set(sampler, bad_size)
-    greedy_delta = measure_against_bad_set(
-        sampler, greedy, theta
-    ).delta_measured
-    bad_committees = fraction_of_bad_committees(
-        sampler, greedy, good_threshold=2 / 3
-    )
-    return TrialResult.make(
-        ctx,
-        metrics={
-            "delta_random": random_delta,
-            "delta_greedy": greedy_delta,
-            "bad_committees": bad_committees,
-        },
-        ok=True,
-    )
-
-
-register(
-    ExperimentRunner(
-        name="sampler-quality",
-        run_trial=_sampler_quality_trial,
-        description=(
-            "Lemma 2 averaging-sampler failure fractions vs degree, "
-            "random and greedy-adversarial bad sets"
-        ),
-    )
-)

@@ -1,0 +1,163 @@
+"""Declarative parameter schemas for scenarios.
+
+Every scenario (see :mod:`repro.engine.registry`) declares its
+parameters once as a tuple of :class:`Param` objects: a name, a python
+type, a default, and optional bounds/choices.  The schema is the single
+front door for experiment parameters:
+
+* the CLI enumerates it (``run-experiment --list``) so every scenario is
+  self-documenting;
+* :meth:`repro.engine.registry.Scenario.validate` coerces raw values
+  (CLI strings included) to the declared types and **rejects unknown
+  keys** with a did-you-mean suggestion — closing the silent-typo hole
+  where a misspelled ``--param`` key was simply ignored.
+
+Validation is deliberately value-level, not seed-level: coercing
+``"0.1"`` to ``0.1`` never changes a trial seed (seeds derive from the
+spec's master seed and trial index only), so a validated spec stays
+bit-identical to a hand-typed one.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple, Type
+
+from .spec import EngineError
+
+
+class ScenarioError(EngineError):
+    """Raised on scenario contract violations (bad parameters, schemas)."""
+
+
+_TRUE_WORDS = frozenset({"1", "true", "yes", "on"})
+_FALSE_WORDS = frozenset({"0", "false", "no", "off"})
+
+
+def _to_bool(raw: Any) -> bool:
+    if isinstance(raw, bool):
+        return raw
+    if isinstance(raw, int) and raw in (0, 1):
+        return bool(raw)
+    if isinstance(raw, str):
+        word = raw.strip().lower()
+        if word in _TRUE_WORDS:
+            return True
+        if word in _FALSE_WORDS:
+            return False
+    raise ValueError(f"not a boolean: {raw!r}")
+
+
+def _to_int(raw: Any) -> int:
+    if isinstance(raw, bool):
+        raise ValueError(f"not an integer: {raw!r}")
+    if isinstance(raw, int):
+        return raw
+    if isinstance(raw, float):
+        if raw != int(raw):
+            raise ValueError(f"not an integer: {raw!r}")
+        return int(raw)
+    return int(str(raw).strip(), 10)
+
+
+def _to_float(raw: Any) -> float:
+    if isinstance(raw, bool):
+        raise ValueError(f"not a number: {raw!r}")
+    if isinstance(raw, (int, float)):
+        return float(raw)
+    return float(str(raw).strip())
+
+
+@dataclass(frozen=True)
+class Param:
+    """One declared scenario parameter.
+
+    Attributes:
+        name: the ``--param`` key.
+        type: python type of the value (``int``, ``float``, ``str`` or
+            ``bool``); raw values — CLI strings included — are coerced.
+        default: value used when the parameter is omitted.  ``None``
+            means "derived at runtime" (e.g. a degree computed from
+            ``n``); it is shown as ``auto`` in listings.
+        help: one-line description for ``run-experiment --list``.
+        choices: closed set of admissible values, checked post-coercion.
+        minimum / maximum: inclusive numeric bounds, checked
+            post-coercion.
+    """
+
+    name: str
+    type: Type[Any] = float
+    default: Any = None
+    help: str = ""
+    choices: Optional[Tuple[Any, ...]] = None
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+
+    def coerce(self, raw: Any) -> Any:
+        """``raw`` as a value of the declared type, or :class:`ScenarioError`."""
+        try:
+            if self.type is bool:
+                value: Any = _to_bool(raw)
+            elif self.type is int:
+                value = _to_int(raw)
+            elif self.type is float:
+                value = _to_float(raw)
+            elif self.type is str:
+                value = raw if isinstance(raw, str) else str(raw)
+            else:  # pragma: no cover - schemas only declare the four above
+                value = self.type(raw)
+        except (TypeError, ValueError):
+            raise ScenarioError(
+                f"parameter {self.name!r} expects {self.type.__name__}, "
+                f"got {raw!r}"
+            ) from None
+        if self.choices is not None and value not in self.choices:
+            options = ", ".join(str(c) for c in self.choices)
+            raise ScenarioError(
+                f"parameter {self.name!r} must be one of: {options} "
+                f"(got {value!r})"
+            )
+        if self.minimum is not None and value < self.minimum:
+            raise ScenarioError(
+                f"parameter {self.name!r} must be >= {self.minimum} "
+                f"(got {value!r})"
+            )
+        if self.maximum is not None and value > self.maximum:
+            raise ScenarioError(
+                f"parameter {self.name!r} must be <= {self.maximum} "
+                f"(got {value!r})"
+            )
+        return value
+
+    def signature(self) -> str:
+        """``name: type = default`` (defaults of None render as ``auto``)."""
+        default = "auto" if self.default is None else repr(self.default)
+        return f"{self.name}: {self.type.__name__} = {default}"
+
+
+def validate_mapping(
+    scenario_name: str,
+    schema: Tuple[Param, ...],
+    raw: Mapping[str, Any],
+) -> Dict[str, Any]:
+    """Coerce ``raw`` against ``schema``; reject unknown keys loudly."""
+    declared = {param.name: param for param in schema}
+    validated: Dict[str, Any] = {}
+    for key, value in raw.items():
+        param = declared.get(key)
+        if param is None:
+            close = difflib.get_close_matches(key, declared, n=1)
+            hint = f" — did you mean {close[0]!r}?" if close else ""
+            known = ", ".join(sorted(declared)) or "none"
+            raise ScenarioError(
+                f"unknown parameter {key!r} for scenario "
+                f"{scenario_name!r}{hint} (declared parameters: {known})"
+            )
+        validated[key] = param.coerce(value)
+    return validated
+
+
+def defaults_of(schema: Tuple[Param, ...]) -> Dict[str, Any]:
+    """The schema's default value per parameter name."""
+    return {param.name: param.default for param in schema}

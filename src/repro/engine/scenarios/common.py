@@ -1,0 +1,106 @@
+"""Shared helpers for scenario modules.
+
+Small, deterministic building blocks: input-bit patterns, the standard
+crash-fault adversary wiring behind a ``corrupt`` fraction, and
+scheduler construction for asynchronous scenarios.  Everything derives
+its randomness from the trial context, never from global state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ...adversary.behaviors import behavior_by_name
+from ...adversary.static import StaticByzantineAdversary, random_target_set
+from ...asynchrony.scheduler import (
+    FIFOScheduler,
+    RandomScheduler,
+    Scheduler,
+)
+from ...net.rng import derive_seed
+from ...net.simulator import Adversary, NullAdversary
+from ..scenario import Param, ScenarioError, defaults_of
+from ..spec import TrialContext
+
+
+def param_reader(schema):
+    """A ``get(ctx, name)`` reader whose defaults come from the schema.
+
+    Scenario builders read every parameter through this, so the declared
+    :class:`Param` defaults are the single source of truth — what
+    ``--list`` advertises is what runs.
+    """
+    defaults = defaults_of(tuple(schema))
+
+    def get(ctx: TrialContext, name: str):
+        return ctx.param(name, defaults[name])
+
+    return get
+
+#: The ``inputs`` parameter every agreement scenario shares.
+INPUT_PATTERNS = ("split", "thirds", "ones", "zeros")
+
+INPUTS_PARAM = Param(
+    "inputs", str, "split",
+    help="input-bit pattern per processor",
+    choices=INPUT_PATTERNS,
+)
+
+SCHEDULER_PARAM = Param(
+    "scheduler", str, "random",
+    help="asynchronous delivery order",
+    choices=("fifo", "random"),
+)
+
+
+def input_bits(pattern: str, n: int) -> List[int]:
+    """The input bit of every processor under a named pattern."""
+    if pattern == "split":
+        return [p % 2 for p in range(n)]
+    if pattern == "thirds":
+        return [1 if p % 3 else 0 for p in range(n)]
+    if pattern == "ones":
+        return [1] * n
+    if pattern == "zeros":
+        return [0] * n
+    raise ScenarioError(f"unknown input pattern {pattern!r}")
+
+
+def static_adversary(
+    ctx: TrialContext,
+    n: int,
+    corrupt: float,
+    behavior: str,
+    recipients_of: Optional[Dict[int, Sequence[int]]] = None,
+    vote_tag: str = "vote",
+) -> Adversary:
+    """The standard static adversary behind a ``corrupt`` fraction.
+
+    Picks ``floor(corrupt * n)`` targets from the trial's own seed tree
+    and wires a named :mod:`~repro.adversary.behaviors` vote behavior —
+    silent (crash) by default in the scenarios that use it.  A zero
+    fraction yields :class:`NullAdversary`, keeping fault-free specs
+    bit-identical to the pre-schema engine.
+    """
+    if corrupt <= 0:
+        return NullAdversary(n)
+    targets = random_target_set(n, corrupt, ctx.rng("adversary-targets"))
+    if not targets:
+        return NullAdversary(n)
+    return StaticByzantineAdversary(
+        n,
+        targets,
+        behavior_by_name(behavior),
+        recipients_of=recipients_of,
+        vote_tag=vote_tag,
+        seed=derive_seed(ctx.seed, "adversary"),
+    )
+
+
+def make_scheduler(ctx: TrialContext, name: str) -> Scheduler:
+    """A per-trial scheduler: FIFO, or seed-forked random delivery."""
+    if name == "fifo":
+        return FIFOScheduler()
+    if name == "random":
+        return RandomScheduler(derive_seed(ctx.seed, "scheduler"))
+    raise ScenarioError(f"unknown scheduler {name!r}")

@@ -142,6 +142,54 @@ def test_run_experiment_list(capsys):
     assert "vss-coin [batchable]" in out
 
 
+def test_run_experiment_list_shows_schema(capsys):
+    """--list renders each scenario's declared parameters, types and
+    defaults from the schema, plus the metric contract."""
+    assert main(["run-experiment", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "--param corrupt: float = 0.0" in out
+    assert "--param degree: int = auto" in out
+    assert "one of: split, thirds, ones, zeros" in out
+    assert "metrics: agreed, coin, corrupted" in out
+    assert "common-coin-ba [async]" in out
+
+
+def test_run_experiment_unknown_param_rejected(capsys):
+    assert main(
+        ["run-experiment", "--name", "everywhere-ba", "--trials", "1",
+         "--param", "corupt=0.1"]
+    ) == 2
+    err = capsys.readouterr().err
+    assert "unknown parameter 'corupt'" in err
+    assert "did you mean 'corrupt'?" in err
+
+
+def test_run_experiment_ill_typed_param_rejected(capsys):
+    assert main(
+        ["run-experiment", "--name", "unreliable-coin-ba", "-n", "24",
+         "--trials", "1", "--param", "num_rounds=lots"]
+    ) == 2
+    assert "expects int" in capsys.readouterr().err
+
+
+def test_run_experiment_bad_choice_rejected(capsys):
+    assert main(
+        ["run-experiment", "--name", "vss-coin", "-n", "7",
+         "--trials", "1", "--param", "adversary=nope"]
+    ) == 2
+    assert "must be one of" in capsys.readouterr().err
+
+
+def test_run_experiment_async_backend(capsys):
+    assert main(
+        ["run-experiment", "--name", "common-coin-ba", "-n", "6",
+         "--trials", "3", "--backend", "async"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "async backend" in out
+    assert "steps" in out
+
+
 def test_run_experiment_serial(capsys):
     assert main(
         ["run-experiment", "--name", "vss-coin", "-n", "7",

@@ -1,0 +1,301 @@
+"""Tests for the declarative Scenario API.
+
+Three contracts pinned here:
+
+* **Backend parity, registry-wide** — every registered (schema-declared)
+  scenario returns bit-identical trial lists on the serial and
+  process-pool backends, on the batch backend where batchable, and on
+  the async backend where asynchronous.  This is the acceptance
+  property of the scenario redesign: execution mode is unobservable.
+* **Schema validation** — unknown parameter keys are rejected with a
+  did-you-mean hint, ill-typed values with the expected type, and raw
+  CLI strings coerce to the declared types without touching trial
+  seeds.
+* **Metric contracts** — a scenario's trials report exactly the metric
+  names its registration declares, so downstream tables and sweeps can
+  rely on the schema.
+"""
+
+import pytest
+
+from repro.engine import (
+    AsyncBackend,
+    BatchBackend,
+    Engine,
+    ExperimentSpec,
+    Param,
+    ProcessPoolBackend,
+    Scenario,
+    ScenarioError,
+    SerialBackend,
+    TrialResult,
+    get_scenario,
+    make_context,
+    scenario_names,
+)
+
+#: Built-in scenarios only: ad-hoc test runners (registered without a
+#: schema by other test modules) are excluded by declared_only.
+DECLARED = scenario_names(declared_only=True)
+
+
+def _smoke_spec(name: str, trials: int = 2, **overrides) -> ExperimentSpec:
+    """The scenario's own cheap configuration, as used by CI smoke."""
+    runner = get_scenario(name)
+    params = dict(runner.smoke_params)
+    params.update(overrides)
+    return ExperimentSpec(
+        runner=name, n=runner.smoke_n, trials=trials, seed=13,
+        params=params,
+    )
+
+
+def test_registry_covers_the_protocol_stack():
+    """The redesign's coverage floor: all six baselines, the paper's own
+    protocols, and the async stack are reachable through the registry."""
+    for name in (
+        "benor", "eig", "phase-king", "rabin", "cpa", "disc09-ae2e",
+        "everywhere-ba", "unreliable-coin-ba", "vss-coin",
+        "sampler-quality",
+        "async-benor", "bracha-broadcast", "common-coin-ba",
+        "async-sparse-aeba",
+    ):
+        assert name in DECLARED
+
+
+# -- backend parity over the whole registry ------------------------------------------
+
+
+@pytest.mark.parametrize("name", DECLARED)
+def test_every_scenario_bit_identical_across_backends(name):
+    runner = get_scenario(name)
+    spec = _smoke_spec(name)
+    serial = SerialBackend().run_trials(spec)
+    assert [t.trial_index for t in serial] == list(range(spec.trials))
+    pooled = ProcessPoolBackend(workers=2, chunk_size=1).run_trials(spec)
+    assert serial == pooled
+    if runner.batchable:
+        assert BatchBackend().run_trials(spec) == serial
+    if runner.asynchronous:
+        assert AsyncBackend(max_live=1).run_trials(spec) == serial
+        assert AsyncBackend(max_live=64).run_trials(spec) == serial
+
+
+@pytest.mark.parametrize("name", DECLARED)
+def test_metric_contract_matches_schema(name):
+    runner = get_scenario(name)
+    trial = SerialBackend().run_trials(_smoke_spec(name, trials=1))[0]
+    assert trial.ok, trial.failure
+    assert tuple(sorted(trial.metric_dict())) == runner.metrics
+
+
+def test_everywhere_ba_batch_bit_identical_under_corruption():
+    """The acceptance criterion: full Theorem 1 runs — adaptive
+    adversary included — multiplex under the batch backend with results
+    bit-identical to the serial backend."""
+    spec = ExperimentSpec(
+        runner="everywhere-ba", n=27, trials=3, seed=5,
+        params={"corrupt": 0.1},
+    )
+    serial = SerialBackend().run_trials(spec)
+    batched = BatchBackend(max_live=2).run_trials(spec)
+    assert serial == batched
+    assert all(t.ok for t in serial)
+
+
+def test_async_backend_falls_back_for_sync_scenarios():
+    spec = _smoke_spec("vss-coin")
+    assert (
+        AsyncBackend().run_trials(spec)
+        == SerialBackend().run_trials(spec)
+    )
+
+
+def test_async_backend_contains_broken_construction():
+    """A scenario whose async builder raises yields a failed TrialResult
+    without killing the wave (mirroring the batch backend's guarantee)."""
+    from repro.engine import register
+
+    def _fragile(ctx):
+        if ctx.trial_index == 1:
+            raise RuntimeError(f"bad async build in trial {ctx.trial_index}")
+        return get_scenario("bracha-broadcast").build_async_instance(ctx)
+
+    register(
+        Scenario(
+            name="test-fragile-bracha",
+            build_async_instance=_fragile,
+            description="test-only: one trial's async builder raises",
+        )
+    )
+    spec = ExperimentSpec(runner="test-fragile-bracha", n=7, trials=3, seed=2)
+    serial = SerialBackend().run_trials(spec)
+    stepped = AsyncBackend().run_trials(spec)
+    assert serial == stepped
+    assert [t.ok for t in serial] == [True, False, True]
+    assert "bad async build in trial 1" in serial[1].failure
+
+
+def test_async_backend_zero_step_instance_matches_serial():
+    """A zero-step cap still starts processes (begin), exactly as the
+    serial path's run(0) does — outputs must match bit for bit."""
+    from repro.engine import AsyncInstance, register
+
+    def _stalled(ctx):
+        inner = get_scenario("bracha-broadcast").build_async_instance(ctx)
+        return AsyncInstance(
+            network=inner.network, max_steps=0,
+            collect=inner.collect, ctx=inner.ctx,
+        )
+
+    register(
+        Scenario(
+            name="test-stalled-bracha",
+            build_async_instance=_stalled,
+            description="test-only: zero delivery steps allowed",
+        )
+    )
+    spec = ExperimentSpec(runner="test-stalled-bracha", n=7, trials=2, seed=1)
+    serial = SerialBackend().run_trials(spec)
+    stepped = AsyncBackend().run_trials(spec)
+    assert serial == stepped
+    for trial in serial:
+        assert trial.metric_dict()["steps"] == 0.0
+
+
+def test_unreliable_coin_ba_corrupt_param_wires_an_adversary():
+    """The once-ignored `corrupt` key now corrupts processors (and the
+    corrupted count is reported as a metric)."""
+    clean = SerialBackend().run_trials(_smoke_spec("unreliable-coin-ba"))
+    attacked = SerialBackend().run_trials(
+        _smoke_spec("unreliable-coin-ba", corrupt=0.25)
+    )
+    for trial in clean:
+        assert trial.metric_dict()["corrupted"] == 0
+    n = get_scenario("unreliable-coin-ba").smoke_n
+    for trial in attacked:
+        assert trial.metric_dict()["corrupted"] == int(0.25 * n)
+    assert clean != attacked
+
+
+# -- schema validation ---------------------------------------------------------------
+
+
+def test_unknown_param_rejected_with_did_you_mean():
+    runner = get_scenario("everywhere-ba")
+    with pytest.raises(ScenarioError, match="did you mean 'corrupt'"):
+        runner.validate({"corupt": 0.1})
+    with pytest.raises(ScenarioError, match="unknown parameter"):
+        runner.validate({"zzz": 1})
+
+
+def test_engine_run_validates_and_coerces():
+    result = Engine("serial").run(
+        ExperimentSpec(
+            runner="vss-coin", n=7, trials=1,
+            params={"k": "7", "adversary": "crash"},
+        )
+    )
+    assert result.spec.param_dict() == {"k": 7, "adversary": "crash"}
+    with pytest.raises(ScenarioError, match="unknown parameter"):
+        Engine("serial").run(
+            ExperimentSpec(
+                runner="vss-coin", n=7, trials=1, params={"kk": 7}
+            )
+        )
+
+
+def test_coercion_does_not_change_results():
+    """Raw CLI strings and typed values produce bit-identical trials —
+    coercion is value-level; seeds never depend on parameters."""
+    typed = Engine("serial").run(
+        ExperimentSpec(
+            runner="unreliable-coin-ba", n=24, trials=2,
+            params={"num_rounds": 2, "corrupt": 0.25},
+        )
+    )
+    raw = Engine("serial").run(
+        ExperimentSpec(
+            runner="unreliable-coin-ba", n=24, trials=2,
+            params={"num_rounds": "2", "corrupt": "0.25"},
+        )
+    )
+    assert typed.trials == raw.trials
+
+
+def test_param_type_coercion_and_errors():
+    p_int = Param("k", int, 4)
+    assert p_int.coerce("12") == 12
+    assert p_int.coerce(12.0) == 12
+    with pytest.raises(ScenarioError, match="expects int"):
+        p_int.coerce("4.5")
+    with pytest.raises(ScenarioError, match="expects int"):
+        p_int.coerce("nope")
+
+    p_float = Param("eps", float, 0.1)
+    assert p_float.coerce("0.25") == 0.25
+    assert p_float.coerce(1) == 1.0
+    with pytest.raises(ScenarioError, match="expects float"):
+        p_float.coerce("big")
+
+    p_bool = Param("flag", bool, False)
+    assert p_bool.coerce("true") is True
+    assert p_bool.coerce("0") is False
+    with pytest.raises(ScenarioError, match="expects bool"):
+        p_bool.coerce("maybe")
+
+
+def test_param_choices_and_bounds():
+    p = Param("mode", str, "a", choices=("a", "b"))
+    assert p.coerce("b") == "b"
+    with pytest.raises(ScenarioError, match="must be one of"):
+        p.coerce("c")
+    bounded = Param("corrupt", float, 0.0, minimum=0.0, maximum=0.5)
+    assert bounded.coerce("0.5") == 0.5
+    with pytest.raises(ScenarioError, match=">="):
+        bounded.coerce(-0.1)
+    with pytest.raises(ScenarioError, match="<="):
+        bounded.coerce(0.9)
+
+
+def test_scenario_without_execution_mode_rejected():
+    with pytest.raises(ScenarioError, match="no execution mode"):
+        Scenario(name="broken")
+
+
+def test_undeclared_scenario_passes_params_through():
+    runner = Scenario(
+        name="test-passthrough",
+        run_trial=lambda ctx: TrialResult.make(ctx, metrics={}),
+    )
+    assert runner.params is None
+    assert runner.validate({"anything": "goes"}) == {"anything": "goes"}
+
+
+def test_vss_coin_degenerate_committee_rejected():
+    """`k=0` must fail the schema's minimum, not silently fall back to n."""
+    with pytest.raises(ScenarioError, match=">= 1"):
+        get_scenario("vss-coin").validate({"k": 0})
+
+
+def test_param_signature_rendering():
+    assert Param("corrupt", float, 0.0).signature() == (
+        "corrupt: float = 0.0"
+    )
+    assert Param("degree", int, None).signature() == "degree: int = auto"
+
+
+# -- async backend determinism details ------------------------------------------------
+
+
+def test_async_scheduler_forks_from_trial_seed():
+    """Two trials of one spec see different delivery orders, and the
+    same trial rebuilt twice sees the same one."""
+    spec = ExperimentSpec(runner="async-benor", n=5, trials=2, seed=4)
+    build = get_scenario("async-benor").build_async_instance
+    once = build(make_context(spec, 0)).network.run(max_steps=10_000)
+    again = build(make_context(spec, 0)).network.run(max_steps=10_000)
+    assert once.steps == again.steps
+    assert once.outputs == again.outputs
+    other = build(make_context(spec, 1)).network.run(max_steps=10_000)
+    assert (once.steps, once.outputs) != (other.steps, other.outputs)
