@@ -12,7 +12,32 @@ from typing import Iterable, Sequence
 
 import pytest
 
-from repro.engine import Engine, get_backend
+from repro.engine import Engine, get_backend, get_runner
+
+
+class _SuiteEngine(Engine):
+    """Engine honouring the suite-wide backend flag per scenario.
+
+    The hybrid backend deliberately has no serial fallback (a sync
+    scenario on it is a misconfiguration), but the suite-wide
+    ``--engine-backend`` flag must still run the sync benchmarks — so,
+    exactly like ``run-experiment --smoke``, hybrid is applied only
+    where the scenario supports it and everything else runs serial.
+    """
+
+    def __init__(self, name: str, workers) -> None:
+        super().__init__(get_backend("serial"))
+        self._name = name
+        self._workers = workers
+
+    def run(self, spec):
+        backend = self._name
+        if backend == "hybrid" and not get_runner(spec.runner).supports(
+            "hybrid"
+        ):
+            backend = "serial"
+        self.backend = get_backend(backend, workers=self._workers)
+        return super().run(spec)
 
 
 @pytest.fixture
@@ -20,13 +45,12 @@ def engine(request) -> Engine:
     """An :class:`repro.engine.Engine` on the CLI-selected backend.
 
     Flip the whole benchmark suite between backends without editing
-    files:  ``pytest benchmarks/ --engine-backend process``.
+    files:  ``pytest benchmarks/bench_*.py --engine-backend process``.
     """
-    backend = get_backend(
+    return _SuiteEngine(
         request.config.getoption("--engine-backend"),
-        workers=request.config.getoption("--engine-workers"),
+        request.config.getoption("--engine-workers"),
     )
-    return Engine(backend)
 
 
 def print_table(

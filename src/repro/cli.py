@@ -13,9 +13,10 @@ Python.  Subcommands:
 * ``report``    — a compact battery written as Markdown.
 * ``run-experiment`` — Monte-Carlo trials of a registered scenario
   through the :mod:`repro.engine` backends (serial / process pool /
-  batched / async).  ``--list`` prints every scenario's declared
-  parameter schema; ``--param`` values are validated against it;
-  ``--smoke`` runs each scenario once as a registration guard.
+  batched / async / hybrid).  ``--list`` prints every scenario's
+  declared parameter schema; ``--param`` values are validated against
+  it (cross-field constraints included); ``--smoke`` runs each
+  scenario once as a registration guard.
 
 Every command prints a compact plain-text report and exits non-zero on a
 protocol failure, so the CLI doubles as a smoke test in CI.
@@ -401,14 +402,23 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
         backend = "serial"
         if args.backend != "serial":
             # Honour a backend flip where the scenario supports it.
+            # Hybrid (unlike batch/async) has no serial fallback of its
+            # own, so the capability check here is what keeps the smoke
+            # sweep total.
             if args.backend == "batch" and runner.batchable:
                 backend = "batch"
             elif args.backend == "async" and runner.asynchronous:
                 backend = "async"
+            elif args.backend == "hybrid" and runner.supports("hybrid"):
+                backend = "hybrid"
             elif args.backend == "process":
                 backend = "process"
         result = Engine(
-            get_backend(backend, workers=args.workers)
+            get_backend(
+                backend,
+                workers=args.workers,
+                wave_size=args.wave_size,
+            )
         ).run(spec)
         status = "ok" if not result.failure_count else "FAILED"
         print(
@@ -444,10 +454,11 @@ def _cmd_run_experiment(args: argparse.Namespace) -> int:
             return _cmd_smoke(args)
         runner = get_runner(args.name)
         raw = _parse_params(args.param)
-        # Schema-declared scenarios coerce and reject unknown keys;
-        # ad-hoc runners fall back to the legacy numeric guess.
+        # Schema-declared scenarios coerce, reject unknown keys, and
+        # apply cross-field checks against -n; ad-hoc runners fall back
+        # to the legacy numeric guess.
         if runner.params is not None:
-            params = runner.validate(raw)
+            params = runner.validate(raw, n=args.n)
         else:
             params = {k: _coerce_undeclared(v) for k, v in raw.items()}
         spec = ExperimentSpec(
@@ -457,7 +468,9 @@ def _cmd_run_experiment(args: argparse.Namespace) -> int:
             seed=args.seed,
             params=params,
         )
-        backend = get_backend(args.backend, workers=args.workers)
+        backend = get_backend(
+            args.backend, workers=args.workers, wave_size=args.wave_size
+        )
         result = Engine(backend).run(spec)
     except EngineError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -552,10 +565,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0,
                    help="master seed (per-trial seeds are derived)")
     p.add_argument("--backend", default="serial",
-                   choices=("serial", "process", "batch", "async"),
+                   choices=("serial", "process", "batch", "async",
+                            "hybrid"),
                    help="execution backend")
     p.add_argument("--workers", type=int, default=None,
                    help="process-pool workers (default: cpu count)")
+    p.add_argument("--wave-size", type=int, default=None,
+                   help="hybrid backend: async trials per process wave "
+                        "(default: ~2 waves per worker)")
     p.add_argument("--param", action="append", default=[],
                    metavar="KEY=VALUE",
                    help="scenario parameter, validated against the "

@@ -27,6 +27,8 @@ Layers (see ENGINE.md for the architecture notes):
   independent sync protocol instances over one round loop.
 * :mod:`repro.engine.async_backend` — :class:`AsyncBackend`, the same
   idea over the asynchronous scheduler's delivery steps.
+* :mod:`repro.engine.hybrid` — :class:`HybridBackend`, waves of async
+  instances sharded across pool workers (async × process).
 * :mod:`repro.engine.aggregate` — ledger merging, percentiles, failure
   counts, and tables for :mod:`repro.analysis.reporting`.
 
@@ -39,16 +41,19 @@ from .aggregate import (
     merge_ledger_stats,
     percentile,
 )
-from .async_backend import AsyncBackend
+from .async_backend import AsyncBackend, run_wave
 from .backends import (
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
+    chunk_indices,
     default_worker_count,
     make_context,
+    make_pool,
     run_one_trial,
 )
 from .batch import BatchBackend
+from .hybrid import HybridBackend
 from .engine import BACKEND_NAMES, Engine, get_backend, run_experiment
 from .registry import (
     AsyncInstance,
@@ -85,6 +90,7 @@ __all__ = [
     "ExperimentResult",
     "ExperimentRunner",
     "ExperimentSpec",
+    "HybridBackend",
     "LedgerStats",
     "Param",
     "ProcessPoolBackend",
@@ -93,6 +99,7 @@ __all__ = [
     "SerialBackend",
     "TrialContext",
     "TrialResult",
+    "chunk_indices",
     "default_worker_count",
     "drive_async_instance",
     "drive_instance",
@@ -101,11 +108,13 @@ __all__ = [
     "get_scenario",
     "load_builtin_scenarios",
     "make_context",
+    "make_pool",
     "merge_ledger_stats",
     "percentile",
     "register",
     "run_experiment",
     "run_one_trial",
+    "run_wave",
     "runner_names",
     "scenario_names",
 ]

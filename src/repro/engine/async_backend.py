@@ -19,15 +19,21 @@ same argument, and the same tests, as the batch backend.
 
 Scenarios without an async builder fall back to serial execution trial
 by trial, mirroring :class:`~repro.engine.batch.BatchBackend`.
+
+:func:`run_wave` is the process-worker entry point used by
+:class:`~repro.engine.hybrid.HybridBackend`: it rebuilds the scenario
+*by name* from the registry (so it works under the ``spawn`` start
+method, which inherits nothing from the parent) and drives one wave of
+trial indices through a local breadth-first step loop.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from .backends import ExecutionBackend, make_context, run_one_trial
 from .registry import AsyncInstance, get_runner
-from .spec import ExperimentSpec, TrialResult
+from .spec import EngineError, ExperimentSpec, TrialResult
 
 
 def _failed_result(
@@ -61,11 +67,26 @@ class AsyncBackend(ExecutionBackend):
         runner = get_runner(spec.runner)
         if runner.build_async_instance is None:
             return [run_one_trial(spec, i) for i in range(spec.trials)]
-        results: List[TrialResult] = []
-        for start in range(0, spec.trials, self.max_live):
-            window = range(
-                start, min(start + self.max_live, spec.trials)
+        return self.run_indices(spec, range(spec.trials))
+
+    def run_indices(
+        self, spec: ExperimentSpec, indices: Iterable[int]
+    ) -> List[TrialResult]:
+        """Drive the given trial indices, ``max_live`` at a time.
+
+        The unit the hybrid backend shards: a wave of trial indices of
+        one spec, multiplexed breadth-first, returned in index order.
+        Requires an asynchronous scenario.
+        """
+        runner = get_runner(spec.runner)
+        if runner.build_async_instance is None:
+            raise EngineError(
+                f"scenario {spec.runner!r} declares no async builder"
             )
+        ordered = sorted(indices)
+        results: List[TrialResult] = []
+        for start in range(0, len(ordered), self.max_live):
+            window = ordered[start : start + self.max_live]
             instances: Dict[int, AsyncInstance] = {}
             for i in window:
                 # One trial's broken construction must not kill the
@@ -113,3 +134,27 @@ class AsyncBackend(ExecutionBackend):
             for index in done:
                 del live[index]
         return [finished[index] for index in sorted(finished)]
+
+
+def run_wave(
+    spec: ExperimentSpec,
+    indices: Sequence[int],
+    max_live: Optional[int] = None,
+) -> List[TrialResult]:
+    """Worker entry point: rebuild the scenario by name, drive one wave.
+
+    This is what a :class:`~repro.engine.hybrid.HybridBackend` pool
+    worker executes.  ``spec`` crosses the process boundary as plain
+    data; the scenario is resolved from the registry *inside the
+    worker* (:func:`~repro.engine.registry.get_runner` loads the
+    built-ins on first lookup), so the function is start-method
+    agnostic — ``spawn`` workers, which inherit no parent state, run it
+    identically to ``fork`` workers.  Trial seeds derive from the spec
+    alone, so the wave's results are bit-identical to the serial path
+    regardless of which worker runs which wave.
+
+    ``max_live`` bounds resident instances within the wave; ``None``
+    multiplexes the whole wave at once.
+    """
+    live = max_live if max_live is not None else max(1, len(indices))
+    return AsyncBackend(max_live=live).run_indices(spec, indices)

@@ -14,15 +14,24 @@ correctness property, enforced by ``tests/test_engine.py``.
   as picklable dataclasses and are re-ordered by trial index.
 * :class:`BatchBackend` (see :mod:`repro.engine.batch`) — many
   independent protocol instances multiplexed over one round loop.
+* :class:`HybridBackend` (see :mod:`repro.engine.hybrid`) — waves of
+  asynchronous instances sharded across pool workers, each wave driven
+  by a local async step loop.
 
-Future backends (async event-loop, distributed dispatch) plug in behind
-the same two methods.
+The sharded backends share :func:`chunk_indices` (contiguous trial
+chunks) and :func:`make_pool` (pool construction on an explicit start
+method); because workers resolve scenarios by name from the registry,
+both ``fork`` and ``spawn`` start methods produce identical results.
+
+Future backends (distributed dispatch) plug in behind the same two
+methods.
 """
 
 from __future__ import annotations
 
 import abc
 import multiprocessing
+import multiprocessing.pool
 import os
 from typing import List, Optional, Sequence, Tuple
 
@@ -95,6 +104,40 @@ def default_worker_count() -> int:
     return max(1, min(8, os.cpu_count() or 1))
 
 
+def chunk_indices(
+    trials: int, chunk_size: Optional[int], workers: int
+) -> List[List[int]]:
+    """Contiguous chunks of ``range(trials)`` for sharded dispatch.
+
+    ``chunk_size=None`` picks ~4 chunks per worker, balancing
+    task-dispatch overhead against stragglers (trials can have very
+    different durations).  Shared by every process-sharded backend so
+    chunking behaviour stays uniform.
+    """
+    size = chunk_size
+    if size is None:
+        size = max(1, trials // (workers * 4))
+    indices = list(range(trials))
+    return [indices[i : i + size] for i in range(0, trials, size)]
+
+
+def make_pool(
+    workers: int, start_method: Optional[str] = None
+) -> multiprocessing.pool.Pool:
+    """A worker pool on an explicit ``multiprocessing`` start method.
+
+    ``None`` uses the platform default (``fork`` on Linux).  Workers
+    carry no state beyond their imports: specs arrive as plain data and
+    scenarios are resolved *by name* in the worker, so ``spawn`` — which
+    inherits nothing from the parent — produces results bit-identical to
+    ``fork`` for every registered scenario.  (Ad-hoc scenarios
+    registered at runtime in the parent are only visible under ``fork``;
+    :mod:`repro.engine.scenarios` is the supported extension point.)
+    """
+    context = multiprocessing.get_context(start_method)
+    return context.Pool(processes=workers)
+
+
 class ProcessPoolBackend(ExecutionBackend):
     """Shard trials across ``multiprocessing`` workers.
 
@@ -102,6 +145,10 @@ class ProcessPoolBackend(ExecutionBackend):
     task) to amortise task-dispatch overhead; results are flattened back
     in trial order, so the output is indistinguishable from
     :class:`SerialBackend` — only the wall clock differs.
+
+    ``start_method`` selects the ``multiprocessing`` start method
+    (``None`` = platform default); workers resolve the scenario by name
+    from the registry, so ``spawn`` works identically to ``fork``.
     """
 
     name = "process"
@@ -110,20 +157,16 @@ class ProcessPoolBackend(ExecutionBackend):
         self,
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        start_method: Optional[str] = None,
     ) -> None:
         self.workers = workers if workers else default_worker_count()
         if self.workers < 1:
             raise EngineError("need at least one worker")
         self.chunk_size = chunk_size
+        self.start_method = start_method
 
     def _chunks(self, trials: int) -> List[List[int]]:
-        size = self.chunk_size
-        if size is None:
-            # ~4 chunks per worker balances dispatch overhead against
-            # stragglers (trials can have very different durations).
-            size = max(1, trials // (self.workers * 4))
-        indices = list(range(trials))
-        return [indices[i : i + size] for i in range(0, trials, size)]
+        return chunk_indices(trials, self.chunk_size, self.workers)
 
     def run_trials(self, spec: ExperimentSpec) -> List[TrialResult]:
         # Resolve the runner up front so unknown names fail fast in the
@@ -134,7 +177,7 @@ class ProcessPoolBackend(ExecutionBackend):
             return SerialBackend().run_trials(spec)
         chunks = self._chunks(spec.trials)
         payloads = [(spec, chunk) for chunk in chunks]
-        with multiprocessing.Pool(processes=self.workers) as pool:
+        with make_pool(self.workers, self.start_method) as pool:
             nested = pool.map(_worker_run_chunk, payloads)
         results = [result for chunk in nested for result in chunk]
         results.sort(key=lambda r: r.trial_index)

@@ -19,17 +19,19 @@ from .backends import (
     SerialBackend,
 )
 from .batch import BatchBackend
+from .hybrid import HybridBackend
 from .registry import get_runner
 from .spec import EngineError, ExperimentSpec
 
 #: Names accepted by :func:`get_backend` (and the CLI / conftest flags).
-BACKEND_NAMES = ("serial", "process", "batch", "async")
+BACKEND_NAMES = ("serial", "process", "batch", "async", "hybrid")
 
 
 def get_backend(
     name: str,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    wave_size: Optional[int] = None,
 ) -> ExecutionBackend:
     """Construct a backend from its CLI name."""
     if name == "serial":
@@ -40,6 +42,8 @@ def get_backend(
         return BatchBackend()
     if name == "async":
         return AsyncBackend()
+    if name == "hybrid":
+        return HybridBackend(workers=workers, wave_size=wave_size)
     raise EngineError(
         f"unknown backend {name!r} (choose from {', '.join(BACKEND_NAMES)})"
     )
@@ -61,13 +65,15 @@ class Engine:
         """Execute every trial of ``spec`` and aggregate the results.
 
         The spec's parameters are validated against the scenario's
-        declared schema before anything runs: unknown keys and ill-typed
-        values raise :class:`~repro.engine.scenario.ScenarioError`
-        (coercion never touches trial seeds, which derive from the
-        master seed and trial index alone).
+        declared schema before anything runs: unknown keys, ill-typed
+        values and cross-field violations (the scenario's ``check``
+        hook, run against the spec's ``n``) raise
+        :class:`~repro.engine.scenario.ScenarioError` (coercion never
+        touches trial seeds, which derive from the master seed and
+        trial index alone).
         """
         runner = get_runner(spec.runner)
-        validated = runner.validate(spec.param_dict())
+        validated = runner.validate(spec.param_dict(), n=spec.n)
         if validated != spec.param_dict():
             spec = dataclasses.replace(spec, params=validated)
         start = time.perf_counter()

@@ -1,0 +1,122 @@
+"""Hybrid backend: waves of async instances sharded across processes.
+
+The :class:`~repro.engine.async_backend.AsyncBackend` multiplexes
+adversarial delivery schedules breadth-first, but only in-process — a
+large asynchronous sweep leaves every core but one idle.  The
+:class:`~repro.engine.backends.ProcessPoolBackend` uses every core, but
+runs each trial's delivery loop in isolation, paying the per-step
+Python overhead once per trial.  :class:`HybridBackend` composes the
+two moves: the trial list is sharded into contiguous *waves*, each wave
+is dispatched to a ``multiprocessing`` pool worker, and the worker
+drives a full async step loop over its wave locally
+(:func:`~repro.engine.async_backend.run_wave`).  Results merge back in
+canonical trial order.
+
+Determinism is inherited twice over:
+
+* per-trial seeds derive from the spec exactly as
+  :class:`~repro.engine.backends.SerialBackend` derives them — no wave
+  identity, worker identity or scheduling order enters the derivation;
+* each worker rebuilds the scenario *by name* from the registry
+  (spawn-safe: nothing but the picklable spec crosses the process
+  boundary), so every wave executes literally the same construction the
+  serial and async backends execute.
+
+Hence hybrid results are bit-identical to serial and async results —
+the invariant ``tests/test_scenarios.py`` pins registry-wide, odd wave
+sizes included.
+
+Unlike the batch and async backends, the hybrid backend does *not*
+fall back to serial execution for scenarios without an async builder:
+sharding a synchronous scenario's trials is exactly what the process
+backend already does, so a silent fallback would only mask a
+misconfiguration.  It raises a clear error naming the scenario's
+actual capabilities instead.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .async_backend import AsyncBackend, run_wave
+from .backends import (
+    ExecutionBackend,
+    chunk_indices,
+    default_worker_count,
+    make_pool,
+)
+from .registry import get_runner
+from .spec import EngineError, ExperimentSpec, TrialResult
+
+
+def _worker_run_wave(
+    payload: Tuple[ExperimentSpec, Sequence[int], int]
+) -> List[TrialResult]:
+    """Pool worker: rebuild the scenario by name and drive one wave."""
+    spec, indices, max_live = payload
+    return run_wave(spec, indices, max_live=max_live)
+
+
+class HybridBackend(ExecutionBackend):
+    """Shard waves of asynchronous trials across a process pool.
+
+    Parameters:
+        workers: pool size (default: every core, capped at 8).
+        wave_size: trials per dispatched wave.  ``None`` picks ~2 waves
+            per worker — large enough to amortise the per-wave step
+            loop, small enough to rebalance stragglers once.  Any wave
+            size produces bit-identical results; only wall-clock moves.
+        max_live: bound on instances resident at once *within* a
+            worker's wave (memory control, as in the async backend).
+        start_method: ``multiprocessing`` start method (``None`` =
+            platform default).  Workers resolve scenarios by name, so
+            ``spawn`` is fully supported.
+    """
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        wave_size: Optional[int] = None,
+        max_live: int = 64,
+        start_method: Optional[str] = None,
+    ) -> None:
+        self.workers = workers if workers else default_worker_count()
+        if self.workers < 1:
+            raise EngineError("need at least one worker")
+        if wave_size is not None and wave_size < 1:
+            raise EngineError("wave_size must be >= 1")
+        self.wave_size = wave_size
+        if max_live < 1:
+            raise EngineError("max_live must be >= 1")
+        self.max_live = max_live
+        self.start_method = start_method
+
+    def _waves(self, trials: int) -> List[List[int]]:
+        size = self.wave_size
+        if size is None:
+            # ~2 waves per worker (ceil division so nothing is dropped).
+            size = max(1, -(-trials // (self.workers * 2)))
+        return chunk_indices(trials, size, self.workers)
+
+    def run_trials(self, spec: ExperimentSpec) -> List[TrialResult]:
+        # Resolve the runner in the parent so unknown names and missing
+        # capabilities fail fast, before any worker is paid for.
+        runner = get_runner(spec.runner)
+        if runner.build_async_instance is None:
+            raise EngineError(
+                f"scenario {spec.runner!r} does not support the hybrid "
+                "backend (no async builder); its backends are: "
+                f"{', '.join(runner.capabilities)}"
+            )
+        if self.workers == 1 or spec.trials == 1:
+            # One lane: skip pool + pickle, keep the async step loop.
+            return AsyncBackend(max_live=self.max_live).run_trials(spec)
+        waves = self._waves(spec.trials)
+        payloads = [(spec, wave, self.max_live) for wave in waves]
+        with make_pool(self.workers, self.start_method) as pool:
+            nested = pool.map(_worker_run_wave, payloads)
+        results = [result for wave in nested for result in wave]
+        results.sort(key=lambda r: r.trial_index)
+        return results

@@ -34,7 +34,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..asynchrony.scheduler import AsyncNetwork, AsyncRunResult
 from ..net.simulator import RunResult, SyncNetwork
-from .scenario import Param, ScenarioError, validate_mapping
+from .scenario import Param, ScenarioError, defaults_of, validate_mapping
 from .spec import EngineError, TrialContext, TrialResult
 
 
@@ -107,6 +107,16 @@ class Scenario:
     from schema-driven surfaces (``--list`` details, ``--smoke``,
     registry-wide parity tests).  Built-in scenarios always declare a
     schema, even an empty one.
+
+    ``check`` is the *cross-field* validation hook: per-``Param``
+    schemas validate types, choices and bounds of one value at a time,
+    but relations between fields — ``degree < n``, a corruption budget
+    below the protocol's fault bound — need the network size and the
+    whole parameter mapping at once.  ``check(n, params)`` receives the
+    coerced parameters merged over the schema defaults and returns an
+    error message (or ``None`` when fine); :meth:`validate` raises it
+    as a :class:`~repro.engine.scenario.ScenarioError`, so violations
+    fail at the schema front door instead of deep inside a builder.
     """
 
     name: str
@@ -125,6 +135,10 @@ class Scenario:
     #: these, so a broken registration fails the build).
     smoke_n: int = 7
     smoke_params: Tuple[Tuple[str, Any], ...] = ()
+    #: Cross-field constraint hook: ``check(n, params) -> error or None``.
+    check: Optional[
+        Callable[[int, Dict[str, Any]], Optional[str]]
+    ] = None
 
     def __post_init__(self) -> None:
         if self.run_trial is None:
@@ -166,16 +180,56 @@ class Scenario:
         """Whether this scenario carries a parameter schema."""
         return self.params is not None
 
-    def validate(self, raw: Mapping[str, Any]) -> Dict[str, Any]:
+    @property
+    def capabilities(self) -> Tuple[str, ...]:
+        """Backend names that execute this scenario *natively*.
+
+        Every scenario runs on ``serial`` and ``process``; a sync
+        builder adds ``batch``; an async builder adds ``async`` and
+        ``hybrid``.  The batch and async backends additionally fall
+        back to serial for unsupported scenarios; the hybrid backend
+        does not (it raises, naming this tuple).
+        """
+        caps = ["serial", "process"]
+        if self.batchable:
+            caps.append("batch")
+        if self.asynchronous:
+            caps.extend(("async", "hybrid"))
+        return tuple(caps)
+
+    def supports(self, backend_name: str) -> bool:
+        """Whether ``backend_name`` runs this scenario natively."""
+        return backend_name in self.capabilities
+
+    def validate(
+        self, raw: Mapping[str, Any], n: Optional[int] = None
+    ) -> Dict[str, Any]:
         """Coerce ``raw`` parameters against the schema.
 
         Unknown keys raise :class:`ScenarioError` with a did-you-mean
         hint; ill-typed values raise with the expected type.  Scenarios
         without a declared schema pass everything through unchanged.
+
+        When the network size ``n`` is given (the engine and CLI pass
+        it), the scenario's cross-field ``check`` hook also runs, over
+        the coerced values merged onto the schema defaults — so
+        relational violations (``degree >= n``, an over-budget
+        corruption fraction) raise here rather than deep in the
+        builder.  Without ``n`` validation stays value-level only.
         """
         if self.params is None:
             return dict(raw)
-        return validate_mapping(self.name, self.params, raw)
+        validated = validate_mapping(self.name, self.params, raw)
+        if n is not None and self.check is not None:
+            effective = defaults_of(self.params)
+            effective.update(validated)
+            problem = self.check(n, effective)
+            if problem:
+                raise ScenarioError(
+                    f"invalid parameters for scenario {self.name!r}: "
+                    f"{problem}"
+                )
+        return validated
 
 
 #: Legacy name from the first engine iteration; same object.

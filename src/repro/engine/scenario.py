@@ -21,6 +21,7 @@ bit-identical to a hand-typed one.
 from __future__ import annotations
 
 import difflib
+import math
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Tuple, Type
 
@@ -107,11 +108,23 @@ class Param:
                 value = raw if isinstance(raw, str) else str(raw)
             else:  # pragma: no cover - schemas only declare the four above
                 value = self.type(raw)
-        except (TypeError, ValueError):
+        except (TypeError, ValueError, OverflowError):
+            # OverflowError: int(float("inf")) — still just a bad value.
             raise ScenarioError(
                 f"parameter {self.name!r} expects {self.type.__name__}, "
                 f"got {raw!r}"
             ) from None
+        if (
+            (self.minimum is not None or self.maximum is not None)
+            and isinstance(value, float)
+            and math.isnan(value)
+        ):
+            # NaN compares False against any bound, so it would slip
+            # through the checks below; a bounded parameter rejects it.
+            raise ScenarioError(
+                f"parameter {self.name!r} must be within its declared "
+                f"bounds (got nan)"
+            )
         if self.choices is not None and value not in self.choices:
             options = ", ".join(str(c) for c in self.choices)
             raise ScenarioError(

@@ -32,6 +32,7 @@ from .common import (
     input_bits,
     make_scheduler,
     param_reader,
+    sparse_degree_problem,
 )
 
 
@@ -173,6 +174,14 @@ _BRACHA_PARAMS = (
 _bracha = param_reader(_BRACHA_PARAMS)
 
 
+def _bracha_check(n, params):
+    """The dealer must be one of the ``n`` processors."""
+    dealer = int(params.get("dealer") or 0)
+    if dealer >= n:
+        return f"dealer {dealer} out of range for n = {n} processors"
+    return None
+
+
 def _bracha_instance(ctx: TrialContext) -> AsyncInstance:
     from ...asynchrony.bracha import BrachaBroadcaster
     from ...asynchrony.scheduler import AsyncNetwork
@@ -225,6 +234,7 @@ register(
         params=_BRACHA_PARAMS,
         metrics=("accepted_fraction", "messages", "steps"),
         smoke_n=7,
+        check=_bracha_check,
     )
 )
 
@@ -248,6 +258,11 @@ _SPARSE_AEBA_PARAMS = (
     ),
 )
 _saeba = param_reader(_SPARSE_AEBA_PARAMS)
+
+
+def _saeba_check(n, params):
+    """Explicit degrees must leave the sparse graph constructible."""
+    return sparse_degree_problem(n, params)
 
 
 def _async_sparse_aeba_instance(ctx: TrialContext) -> AsyncInstance:
@@ -355,5 +370,6 @@ register(
         ),
         smoke_n=16,
         smoke_params=(("num_rounds", 2),),
+        check=_saeba_check,
     )
 )

@@ -104,3 +104,19 @@ def make_scheduler(ctx: TrialContext, name: str) -> Scheduler:
     if name == "random":
         return RandomScheduler(derive_seed(ctx.seed, "scheduler"))
     raise ScenarioError(f"unknown scheduler {name!r}")
+
+
+def sparse_degree_problem(n: int, params: Dict) -> Optional[str]:
+    """Cross-field check shared by the sparse-graph scenarios.
+
+    An explicit ``degree`` must leave ``random_regular_graph``
+    constructible (``degree < n``); ``None`` means auto-derived from
+    ``n`` and is always legal.
+    """
+    degree = params.get("degree")
+    if degree is not None and int(degree) >= n:
+        return (
+            f"degree {degree} must be < n = {n} "
+            "(the sparse graph needs room for every edge)"
+        )
+    return None

@@ -27,7 +27,13 @@ from ...net.simulator import (
 from ..registry import BatchInstance, Scenario, register
 from ..scenario import Param, ScenarioError
 from ..spec import LedgerStats, TrialContext, TrialResult
-from .common import INPUTS_PARAM, input_bits, param_reader, static_adversary
+from .common import (
+    INPUTS_PARAM,
+    input_bits,
+    param_reader,
+    sparse_degree_problem,
+    static_adversary,
+)
 
 #: Round cap for phase-stepped everywhere-ba instances; the wrapper
 #: halts itself when the execution completes, so this is a backstop.
@@ -163,6 +169,21 @@ _AEBA_PARAMS = (
 _aeba = param_reader(_AEBA_PARAMS)
 
 
+def _aeba_check(n, params):
+    """Cross-field constraints Algorithm 5's builder would hit late."""
+    problem = sparse_degree_problem(n, params)
+    if problem:
+        return problem
+    corrupted = int(float(params.get("corrupt") or 0.0) * n)
+    bound = (n - 1) // 3
+    if corrupted > bound:
+        return (
+            f"corrupt fraction {params['corrupt']} corrupts {corrupted} "
+            f"of n = {n}, above the fault bound b(n) = {bound}"
+        )
+    return None
+
+
 def _aeba_instance(ctx: TrialContext) -> BatchInstance:
     from ...core.coins import perfect_coin_source
     from ...core.unreliable_coin_ba import (
@@ -258,6 +279,7 @@ register(
         ),
         smoke_n=24,
         smoke_params=(("num_rounds", 1),),
+        check=_aeba_check,
     )
 )
 
@@ -303,6 +325,14 @@ _VSS_COIN_PARAMS = (
     ),
 )
 _vss = param_reader(_VSS_COIN_PARAMS)
+
+
+def _vss_check(n, params):
+    """The committee is drawn from the network: ``k`` cannot exceed n."""
+    k = params.get("k")
+    if k is not None and int(k) > n:
+        return f"committee size k = {k} exceeds the network size n = {n}"
+    return None
 
 
 def _vss_coin_instance(ctx: TrialContext) -> BatchInstance:
@@ -355,6 +385,7 @@ register(
         params=_VSS_COIN_PARAMS,
         metrics=("agreed", "coin", "corrupted"),
         smoke_n=7,
+        check=_vss_check,
     )
 )
 

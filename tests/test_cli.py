@@ -221,6 +221,36 @@ def test_run_experiment_process_backend(capsys):
     assert "process backend" in out
 
 
+def test_run_experiment_hybrid_backend(capsys):
+    assert main(
+        ["run-experiment", "--name", "common-coin-ba", "-n", "6",
+         "--trials", "5", "--backend", "hybrid", "--workers", "2",
+         "--wave-size", "2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "hybrid backend" in out
+    assert "steps" in out
+
+
+def test_run_experiment_hybrid_rejects_sync_scenario(capsys):
+    assert main(
+        ["run-experiment", "--name", "vss-coin", "-n", "7",
+         "--trials", "2", "--backend", "hybrid"]
+    ) == 2
+    err = capsys.readouterr().err
+    assert "does not support the hybrid backend" in err
+    assert "serial, process, batch" in err
+
+
+def test_run_experiment_cross_field_check_rejected(capsys):
+    assert main(
+        ["run-experiment", "--name", "unreliable-coin-ba", "-n", "24",
+         "--trials", "1", "--param", "degree=30"]
+    ) == 2
+    err = capsys.readouterr().err
+    assert "degree 30 must be < n = 24" in err
+
+
 def test_run_experiment_backends_bit_identical(capsys):
     for backend in ("serial", "process", "batch"):
         assert main(

@@ -1,0 +1,207 @@
+"""Property-based tests for the Param schema layer (stdlib-only).
+
+A miniature property harness: a ``random.Random`` with a fixed seed
+generates a few hundred raw values per property, so the sampling is
+deterministic across runs (no hypothesis dependency, no flakiness) but
+still sweeps a far wider input space than example-based tests.
+
+Properties pinned:
+
+* **Idempotence** — whenever ``coerce(x)`` succeeds, coercing the
+  result again returns the same value of the same type: coercion is a
+  retraction onto the declared type, so validated specs can be
+  re-validated (the engine does exactly that) without drift.
+* **Containment** — a successful coercion always lands inside the
+  declared choices/bounds; violations always raise
+  :class:`ScenarioError`, never any other exception.
+* **Front-door totality** — ``validate_mapping`` over arbitrary key
+  mappings either returns a coerced dict or raises ``ScenarioError``
+  whose did-you-mean machinery never raises on its own, whatever the
+  unknown key looks like.
+"""
+
+import math
+import random
+import string
+
+import pytest
+
+from repro.engine import Param, ScenarioError
+from repro.engine.scenario import defaults_of, validate_mapping
+
+SAMPLES = 300
+
+
+def _rng(label: str) -> random.Random:
+    return random.Random(f"param-properties:{label}")
+
+
+def _raw_value(rng: random.Random):
+    """One raw value of any shape a CLI or caller might hand over."""
+    kind = rng.randrange(8)
+    if kind == 0:
+        return rng.randint(-10**6, 10**6)
+    if kind == 1:
+        return rng.uniform(-10**6, 10**6)
+    if kind == 2:
+        return str(rng.randint(-10**4, 10**4))
+    if kind == 3:
+        return f"{rng.uniform(-100, 100):.6f}"
+    if kind == 4:
+        return rng.choice(
+            ["true", "false", "yes", "no", "on", "off", "0", "1"]
+        )
+    if kind == 5:
+        return "".join(
+            rng.choice(string.ascii_letters + string.digits + ". -")
+            for _ in range(rng.randrange(1, 12))
+        )
+    if kind == 6:
+        return rng.choice([True, False])
+    return rng.choice([None, (), [], {}, float("nan"), float("inf")])
+
+
+@pytest.mark.parametrize("ptype", [int, float, bool, str])
+def test_coerce_is_idempotent(ptype):
+    """coerce(coerce(x)) == coerce(x) whenever the first coercion
+    succeeds — with NaN as the one float value unequal to itself."""
+    param = Param("p", ptype)
+    rng = _rng(f"idempotent-{ptype.__name__}")
+    coerced_count = 0
+    for _ in range(SAMPLES):
+        raw = _raw_value(rng)
+        try:
+            once = param.coerce(raw)
+        except ScenarioError:
+            continue
+        coerced_count += 1
+        assert type(once) is ptype
+        twice = param.coerce(once)
+        assert type(twice) is ptype
+        if isinstance(once, float) and math.isnan(once):
+            assert math.isnan(twice)
+        else:
+            assert twice == once
+    assert coerced_count > 0  # the property was actually exercised
+
+
+def test_coerce_respects_bounds_or_raises():
+    rng = _rng("bounds")
+    for _ in range(SAMPLES):
+        low = rng.uniform(-100, 100)
+        high = low + rng.uniform(0, 100)
+        param = Param("p", float, minimum=low, maximum=high)
+        raw = _raw_value(rng)
+        try:
+            value = param.coerce(raw)
+        except ScenarioError:
+            continue
+        assert low <= value <= high
+
+
+def test_coerce_respects_choices_or_raises():
+    rng = _rng("choices")
+    for _ in range(SAMPLES):
+        choices = tuple(
+            "".join(rng.choice(string.ascii_lowercase) for _ in range(4))
+            for _ in range(rng.randrange(1, 5))
+        )
+        param = Param("mode", str, choices=choices)
+        raw = _raw_value(rng)
+        try:
+            value = param.coerce(raw)
+        except ScenarioError:
+            continue
+        assert value in choices
+
+
+def test_int_coercion_never_truncates():
+    """A successful int coercion is exact: no fractional value (raw
+    float or float-string) ever silently floors to an int."""
+    param = Param("k", int)
+    rng = _rng("truncation")
+    for _ in range(SAMPLES):
+        whole = rng.randint(-10**4, 10**4)
+        fraction = rng.uniform(0.01, 0.99)
+        for raw in (whole + fraction, f"{whole + fraction:.4f}"):
+            with pytest.raises(ScenarioError):
+                param.coerce(raw)
+        assert param.coerce(float(whole)) == whole
+        assert param.coerce(str(whole)) == whole
+
+
+def test_validate_mapping_unknown_keys_always_scenario_error():
+    """The did-you-mean machinery is total: any unknown key — close to
+    a declared name, garbage, empty, weird characters — raises
+    ScenarioError (never KeyError/AttributeError) with the key named."""
+    schema = (
+        Param("corrupt", float, 0.0),
+        Param("num_rounds", int, 1),
+        Param("scheduler", str, "fifo", choices=("fifo", "random")),
+    )
+    declared = {p.name for p in schema}
+    rng = _rng("unknown-keys")
+    for _ in range(SAMPLES):
+        base = rng.choice(sorted(declared))
+        mutation = rng.randrange(4)
+        if mutation == 0:  # drop a character
+            pos = rng.randrange(len(base))
+            key = base[:pos] + base[pos + 1 :]
+        elif mutation == 1:  # swap two characters
+            pos = rng.randrange(len(base) - 1)
+            key = (
+                base[:pos] + base[pos + 1] + base[pos] + base[pos + 2 :]
+            )
+        elif mutation == 2:  # pure noise
+            key = "".join(
+                rng.choice(string.printable.strip() or "x")
+                for _ in range(rng.randrange(1, 16))
+            )
+        else:  # empty-ish
+            key = rng.choice(["", " ", "\t"])
+        if key in declared:
+            continue
+        with pytest.raises(ScenarioError) as excinfo:
+            validate_mapping("prop-test", schema, {key: 1})
+        assert "unknown parameter" in str(excinfo.value)
+
+
+def test_validate_mapping_round_trips_validated_output():
+    """validate(validate(x)) == validate(x): the engine re-validates
+    specs it already validated, which must be a no-op."""
+    schema = (
+        Param("corrupt", float, 0.0, minimum=0.0, maximum=0.5),
+        Param("num_rounds", int, 1, minimum=1),
+        Param("inputs", str, "split", choices=("split", "ones")),
+        Param("verbose", bool, False),
+    )
+    rng = _rng("round-trip")
+    accepted = 0
+    for _ in range(SAMPLES):
+        raw = {}
+        if rng.random() < 0.8:
+            raw["corrupt"] = rng.choice(
+                [rng.uniform(0, 0.5), f"{rng.uniform(0, 0.5):.4f}"]
+            )
+        if rng.random() < 0.8:
+            raw["num_rounds"] = rng.choice(
+                [rng.randint(1, 50), str(rng.randint(1, 50))]
+            )
+        if rng.random() < 0.5:
+            raw["inputs"] = rng.choice(["split", "ones"])
+        if rng.random() < 0.5:
+            raw["verbose"] = rng.choice(["true", "false", True, False, 0, 1])
+        once = validate_mapping("prop-test", schema, raw)
+        twice = validate_mapping("prop-test", schema, once)
+        assert twice == once
+        accepted += 1
+    assert accepted == SAMPLES  # in-range raws always validate
+
+
+def test_defaults_of_covers_every_declared_param():
+    schema = (
+        Param("a", int, 1),
+        Param("b", float, None),
+        Param("c", str, "x"),
+    )
+    assert defaults_of(schema) == {"a": 1, "b": None, "c": "x"}

@@ -5,12 +5,15 @@ Three contracts pinned here:
 * **Backend parity, registry-wide** — every registered (schema-declared)
   scenario returns bit-identical trial lists on the serial and
   process-pool backends, on the batch backend where batchable, and on
-  the async backend where asynchronous.  This is the acceptance
-  property of the scenario redesign: execution mode is unobservable.
+  the async and hybrid backends where asynchronous (hybrid at odd wave
+  sizes included: 1, 3, and larger than the trial count).  This is the
+  acceptance property of the scenario redesign and of every backend
+  added since: execution mode is unobservable.
 * **Schema validation** — unknown parameter keys are rejected with a
-  did-you-mean hint, ill-typed values with the expected type, and raw
-  CLI strings coerce to the declared types without touching trial
-  seeds.
+  did-you-mean hint, ill-typed values with the expected type, raw CLI
+  strings coerce to the declared types without touching trial seeds,
+  and cross-field constraints (the scenario ``check`` hook) fail at
+  validation instead of deep in a builder.
 * **Metric contracts** — a scenario's trials report exactly the metric
   names its registration declares, so downstream tables and sweeps can
   rely on the schema.
@@ -22,7 +25,9 @@ from repro.engine import (
     AsyncBackend,
     BatchBackend,
     Engine,
+    EngineError,
     ExperimentSpec,
+    HybridBackend,
     Param,
     ProcessPoolBackend,
     Scenario,
@@ -79,6 +84,14 @@ def test_every_scenario_bit_identical_across_backends(name):
     if runner.asynchronous:
         assert AsyncBackend(max_live=1).run_trials(spec) == serial
         assert AsyncBackend(max_live=64).run_trials(spec) == serial
+        # Hybrid parity at odd wave sizes: 1 (one trial per worker
+        # task), 3 (> n_trials here, so a single short wave), and the
+        # auto default.  Wave geometry must be unobservable.
+        for wave_size in (1, 3, None):
+            sharded = HybridBackend(
+                workers=2, wave_size=wave_size
+            ).run_trials(spec)
+            assert sharded == serial, f"wave_size={wave_size}"
 
 
 @pytest.mark.parametrize("name", DECLARED)
@@ -109,6 +122,39 @@ def test_async_backend_falls_back_for_sync_scenarios():
         AsyncBackend().run_trials(spec)
         == SerialBackend().run_trials(spec)
     )
+
+
+def test_hybrid_64_trials_bit_identical_to_serial_and_async():
+    """The acceptance criterion: a paper-scale async sweep (>= 64
+    trials) sharded across pool workers in waves returns metrics
+    bit-identical to the serial and async backends."""
+    spec = ExperimentSpec(
+        runner="bracha-broadcast", n=5, trials=64, seed=17
+    )
+    serial = SerialBackend().run_trials(spec)
+    stepped = AsyncBackend(max_live=16).run_trials(spec)
+    sharded = HybridBackend(workers=2, wave_size=13).run_trials(spec)
+    assert serial == stepped == sharded
+    assert [t.trial_index for t in sharded] == list(range(64))
+    assert all(t.ok for t in sharded)
+
+
+def test_hybrid_rejects_non_async_scenarios_with_capabilities():
+    """No silent serial fallback: a sync scenario on the hybrid backend
+    is a misconfiguration, reported with the scenario's real backends."""
+    spec = _smoke_spec("vss-coin")
+    with pytest.raises(EngineError, match="hybrid"):
+        HybridBackend(workers=2).run_trials(spec)
+    with pytest.raises(EngineError, match="serial, process, batch"):
+        HybridBackend(workers=2).run_trials(spec)
+    runner = get_scenario("vss-coin")
+    assert runner.capabilities == ("serial", "process", "batch")
+    assert not runner.supports("hybrid")
+    bracha = get_scenario("bracha-broadcast")
+    assert bracha.capabilities == (
+        "serial", "process", "async", "hybrid"
+    )
+    assert bracha.supports("hybrid")
 
 
 def test_async_backend_contains_broken_construction():
@@ -276,6 +322,61 @@ def test_vss_coin_degenerate_committee_rejected():
     """`k=0` must fail the schema's minimum, not silently fall back to n."""
     with pytest.raises(ScenarioError, match=">= 1"):
         get_scenario("vss-coin").validate({"k": 0})
+
+
+# -- cross-field checks (the `check` hook) --------------------------------------------
+
+
+def test_check_hook_degree_must_be_below_n():
+    """A degree >= n fails at validation with a schema error instead of
+    a GraphError deep inside the builder."""
+    for name in ("unreliable-coin-ba", "async-sparse-aeba"):
+        runner = get_scenario(name)
+        with pytest.raises(ScenarioError, match="degree 24 must be < n"):
+            runner.validate({"degree": 24}, n=24)
+        assert runner.validate({"degree": 8}, n=24)["degree"] == 8
+        # Default (auto) degrees are derived from n and always legal.
+        runner.validate({}, n=24)
+
+
+def test_check_hook_corrupt_budget_vs_fault_bound():
+    runner = get_scenario("unreliable-coin-ba")
+    with pytest.raises(ScenarioError, match="fault bound"):
+        runner.validate({"corrupt": 0.5}, n=24)  # 12 > b(24) = 7
+    assert runner.validate({"corrupt": 0.25}, n=24) == {"corrupt": 0.25}
+
+
+def test_check_hook_vss_committee_within_network():
+    runner = get_scenario("vss-coin")
+    with pytest.raises(ScenarioError, match="exceeds the network size"):
+        runner.validate({"k": 9}, n=7)
+    assert runner.validate({"k": 7}, n=7) == {"k": 7}
+
+
+def test_check_hook_bracha_dealer_in_range():
+    runner = get_scenario("bracha-broadcast")
+    with pytest.raises(ScenarioError, match="dealer 7 out of range"):
+        runner.validate({"dealer": 7}, n=7)
+    # Without n, validation stays value-level (builders still guard).
+    assert runner.validate({"dealer": 7})["dealer"] == 7
+
+
+def test_check_hook_runs_through_engine_and_reports_scenario():
+    with pytest.raises(ScenarioError, match="unreliable-coin-ba"):
+        Engine("serial").run(
+            ExperimentSpec(
+                runner="unreliable-coin-ba", n=24, trials=1,
+                params={"degree": 30},
+            )
+        )
+    # A passing check leaves results untouched.
+    ok = Engine("serial").run(
+        ExperimentSpec(
+            runner="unreliable-coin-ba", n=24, trials=1,
+            params={"num_rounds": 1, "degree": 8},
+        )
+    )
+    assert ok.failure_count == 0
 
 
 def test_param_signature_rendering():
