@@ -86,3 +86,63 @@ def test_e23_cache_bound_and_exactness():
     assert len(field._inv_cache) <= field.INV_CACHE_MAX
     field.precompute_inverses(10**9)  # clamped to p - 1, no blow-up
     assert len(field._inv_cache) <= 256
+
+
+def test_e23_batched_denominator_inversion(benchmark, capsys):
+    """Companion note: Lagrange denominators via one batched inversion.
+
+    ``lagrange_interpolate_at`` used to invert each of its k
+    denominators separately (k ``pow`` calls on a cold cache); it now
+    routes them through ``batch_inverse`` — Montgomery's trick, one
+    ``pow`` plus 3(k-1) multiplications — as do the cached
+    ``InterpPlan`` weights.  This bench prices that substitution on a
+    committee-sized denominator vector.
+    """
+    from repro.crypto.field import PrimeField
+    from repro.crypto.polynomial import batch_inverse
+
+    k = 64
+    repeats = 200
+    field = PrimeField(MERSENNE_31)
+    # Committee-shaped denominators: products of coordinate differences.
+    values = [((i * 37 + 11) % (MERSENNE_31 - 1)) + 1 for i in range(k)]
+
+    start = time.perf_counter()
+    total_pow = 0
+    for _ in range(repeats):
+        for v in values:
+            total_pow ^= pow(v, MERSENNE_31 - 2, MERSENNE_31)
+    per_pow_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    total_batch = 0
+    for _ in range(repeats):
+        for inv in batch_inverse(field, values):
+            total_batch ^= inv
+    batched_s = time.perf_counter() - start
+
+    assert total_batch == total_pow  # exactness, not just speed
+    speedup = per_pow_s / batched_s if batched_s else float("inf")
+    benchmark.pedantic(
+        lambda: batch_inverse(field, values), rounds=1, iterations=1
+    )
+    print_table(
+        capsys,
+        f"E23b Lagrange denominators: {k} inversions x {repeats} repeats",
+        ["path", "wall clock", "speedup"],
+        [
+            (f"{k} independent pow calls", f"{per_pow_s * 1e3:.1f}ms",
+             "1.0x"),
+            ("batch_inverse (1 pow + 3(k-1) mul)",
+             f"{batched_s * 1e3:.1f}ms", f"{speedup:.1f}x"),
+        ],
+        note=(
+            "The uncached path of lagrange_interpolate_at now pays one "
+            "pow per call instead of k; InterpPlan pays it once per "
+            "cached grid."
+        ),
+    )
+    assert speedup >= 1.5, (
+        f"batched inversion should beat per-denominator pow; "
+        f"measured {speedup:.2f}x"
+    )

@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Perf-gate entry point: ``python benchmarks/perf_gate.py [options]``.
+
+Thin wrapper over :mod:`repro.analysis.perf_gate` (also reachable as
+``python -m repro bench --json``) so the harness runs straight from a
+checkout without installation.  See that module for the suite list,
+the JSON schema, and the speedup-based gating rules.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.analysis.perf_gate import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

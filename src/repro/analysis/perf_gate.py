@@ -1,0 +1,361 @@
+"""Machine-readable perf baseline: the repo's reconstruction fast paths.
+
+The ROADMAP's north star is "as fast as the hardware allows", but until
+this harness existed no speedup was ever *recorded* — so none was ever
+*protected*.  ``run_suites`` times the reconstruction-heavy workloads
+(the shapes of benches E9, E17 and E19) on both the naive reference
+kernels (:mod:`repro.crypto.polynomial`) and the cached plan kernels
+(:mod:`repro.crypto.kernels`), plus a simulator round-loop micro-bench,
+and emits one JSON document — ``BENCH_core.json`` — that seeds the
+repo's perf trajectory.
+
+Gating: :func:`compare` checks a fresh run against the committed
+baseline.  Because absolute wall-clock is machine-bound, the gate
+compares the **dimensionless speedups** (plan vs naive on identical
+inputs — the suites that emit a ``speedup`` field); a suite whose
+speedup drops by more than ``--max-regression`` (default 25%)
+soft-fails with exit code 3, which CI surfaces via a
+``continue-on-error`` job.  Wall-clock fields and the simulator
+``null_vs_tracked`` ratio are recorded for trend reading, not gated.
+
+Entry points:
+
+* ``python benchmarks/perf_gate.py [--quick] [--out F] [--baseline F]``
+* ``python -m repro bench --json [--quick] [--out F] [--baseline F]``
+
+Every suite also asserts bit-exact parity between the naive and plan
+results before timing is trusted — a gate that records a speedup for a
+wrong answer would be worse than no gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+SCHEMA = "repro-perf-gate/1"
+
+#: Exit code for a soft regression (CI marks the step continue-on-error).
+EXIT_REGRESSION = 3
+
+
+def _time(fn, reps: int) -> float:
+    start = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return time.perf_counter() - start
+
+
+def _suite_e9_reconstruct(quick: bool) -> Dict[str, Any]:
+    """E9 shape: iterated-sharing reconstruction at n=64 (threshold 33).
+
+    Reconstruct-at-0 over the fixed player grid — the exact call
+    ``sendDown`` and ``ShareTree.reconstruct_from`` bottom out in.
+    """
+    from repro.crypto import kernels
+    from repro.crypto.field import DEFAULT_FIELD as field
+    from repro.crypto.polynomial import interpolate_constant
+    from repro.crypto.shamir import ShamirScheme, paper_threshold
+
+    threshold = paper_threshold(64)
+    scheme = ShamirScheme(n_players=64, threshold=threshold)
+    rng = random.Random(0xE9)
+    pools = []
+    for _ in range(16):
+        shares = scheme.deal(rng.randrange(field.modulus), rng)
+        pools.append([(s.x, s.value) for s in shares[:threshold]])
+
+    for pool in pools:  # parity before speed
+        assert kernels.interpolate_constant(field, pool) == (
+            interpolate_constant(field, pool)
+        )
+
+    reps = 40 if quick else 400
+
+    def naive() -> None:
+        for pool in pools:
+            interpolate_constant(field, pool)
+
+    def plan() -> None:
+        for pool in pools:
+            kernels.interpolate_constant(field, pool)
+
+    naive_s = _time(naive, reps)
+    plan_s = _time(plan, reps)
+    ops = reps * len(pools)
+    return {
+        "desc": "reconstruct-at-0, grid 1..33 (n=64 iterated sharing)",
+        "ops": ops,
+        "naive_s": round(naive_s, 6),
+        "plan_s": round(plan_s, 6),
+        "plan_us_per_op": round(plan_s / ops * 1e6, 3),
+        "speedup": round(naive_s / plan_s, 2) if plan_s else float("inf"),
+        "parity": True,
+    }
+
+
+def _suite_e17_row_check(quick: bool) -> Dict[str, Any]:
+    """E17 shape: bivariate VSS row-degree verification at n=64.
+
+    Predict every off-basis point of a dealt row from the first
+    ``threshold`` points — the echo-phase hot loop of the VSS ablation.
+    """
+    from repro.crypto import kernels
+    from repro.crypto.bivariate import BivariateScheme
+    from repro.crypto.field import DEFAULT_FIELD as field
+    from repro.crypto.polynomial import lagrange_interpolate_at
+    from repro.crypto.shamir import paper_threshold
+
+    n = 64
+    scheme = BivariateScheme(n_players=n, threshold=paper_threshold(n))
+    rng = random.Random(0xE17)
+    rows = scheme.deal(123456789, rng)[:4]
+    t = scheme.threshold
+
+    def check_with(predict) -> bool:
+        ok = True
+        for row in rows:
+            points = [(y, row.values[y]) for y in range(n + 1)]
+            basis, rest = points[:t], points[t:]
+            for y, value in rest:
+                ok &= predict(basis, y) == value
+        return ok
+
+    def naive_predict(basis, y):
+        return lagrange_interpolate_at(field, basis, y)
+
+    def plan_predict(basis, y):
+        return kernels.interpolate_at(field, basis, y)
+
+    assert check_with(naive_predict) and check_with(plan_predict)
+
+    reps = 2 if quick else 12
+    naive_s = _time(lambda: check_with(naive_predict), reps)
+    plan_s = _time(lambda: check_with(plan_predict), reps)
+    ops = reps * len(rows) * (n + 1 - t)
+    return {
+        "desc": "bivariate row-degree checks (n=64 VSS ablation)",
+        "ops": ops,
+        "naive_s": round(naive_s, 6),
+        "plan_s": round(plan_s, 6),
+        "plan_us_per_op": round(plan_s / ops * 1e6, 3),
+        "speedup": round(naive_s / plan_s, 2) if plan_s else float("inf"),
+        "parity": True,
+    }
+
+
+def _suite_e19_vss_coin(quick: bool) -> Dict[str, Any]:
+    """E19 end-to-end: full VSS-coin protocol runs (wall-clock trend).
+
+    No naive twin — this is the whole stack (bivariate dealing, echo,
+    blame, robust reveal) through the simulator; recorded so the
+    trajectory of the integrated path is visible commit over commit.
+    """
+    from repro.core.vss_coin import run_vss_coin
+
+    k = 7 if quick else 16
+    reps = 2 if quick else 4
+    results = []
+
+    def run() -> None:
+        results.append(run_vss_coin(k, seed=len(results)))
+
+    seconds = _time(run, reps)
+    assert all(r.halted for r in results)
+    return {
+        "desc": f"full vss-coin toss, k={k} committee",
+        "ops": reps,
+        "seconds": round(seconds, 6),
+        "s_per_op": round(seconds / reps, 6),
+    }
+
+
+def _suite_sim_round_loop(quick: bool) -> Dict[str, Any]:
+    """Simulator micro-bench: NullAdversary fast path vs tracked path.
+
+    The same ping protocol under (a) an exact ``NullAdversary`` — which
+    skips corruption scans, the rushing view and adversary dispatch, and
+    reuses inbox buffers — and (b) a do-nothing ``Adversary`` subclass
+    that still pays the full bookkeeping.  Outputs must match exactly.
+    """
+    from repro.net.messages import Message
+    from repro.net.simulator import (
+        Adversary,
+        NullAdversary,
+        ProcessorProtocol,
+        SyncNetwork,
+    )
+
+    n = 32
+    rounds = 40 if quick else 200
+
+    class Ping(ProcessorProtocol):
+        def on_round(self, round_no, inbox):
+            return [
+                Message(self.pid, (self.pid + j) % n, "ping", round_no)
+                for j in range(1, 5)
+            ]
+
+        def output(self):
+            return None
+
+    class TrackedIdle(Adversary):
+        def __init__(self, count: int) -> None:
+            super().__init__(count, budget=0)
+
+        def act(self, view):
+            return []
+
+    def drive(adversary) -> int:
+        net = SyncNetwork([Ping(pid) for pid in range(n)], adversary)
+        for rnd in range(1, rounds + 1):
+            net.step(rnd)
+        return net.ledger.total_bits()
+
+    fast_bits = drive(NullAdversary(n))
+    tracked_bits = drive(TrackedIdle(n))
+    assert fast_bits == tracked_bits  # identical executions
+
+    reps = 1 if quick else 3
+    tracked_s = _time(lambda: drive(TrackedIdle(n)), reps)
+    fast_s = _time(lambda: drive(NullAdversary(n)), reps)
+    ops = reps * rounds
+    # null_vs_tracked is informational, not gated: buffer reuse benefits
+    # both paths, so the remaining delta (skipped corruption scans and
+    # rushing views) is small and noisy on shared runners.
+    return {
+        "desc": f"sync round loop, n={n}, {rounds} rounds, 4 msgs/proc",
+        "ops": ops,
+        "tracked_s": round(tracked_s, 6),
+        "fast_s": round(fast_s, 6),
+        "fast_us_per_round": round(fast_s / ops * 1e6, 3),
+        "null_vs_tracked": (
+            round(tracked_s / fast_s, 2) if fast_s else float("inf")
+        ),
+        "parity": True,
+    }
+
+
+_SUITES = {
+    "e9_reconstruct_n64": _suite_e9_reconstruct,
+    "e17_row_check_n64": _suite_e17_row_check,
+    "e19_vss_coin": _suite_e19_vss_coin,
+    "sim_round_loop_n32": _suite_sim_round_loop,
+}
+
+
+def run_suites(quick: bool = False) -> Dict[str, Any]:
+    """Execute every suite and assemble the baseline document."""
+    suites = {name: fn(quick) for name, fn in _SUITES.items()}
+    return {
+        "schema": SCHEMA,
+        "mode": "quick" if quick else "full",
+        "python": ".".join(str(v) for v in sys.version_info[:3]),
+        "suites": suites,
+    }
+
+
+def compare(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    max_regression: float = 0.25,
+) -> List[str]:
+    """Speedup regressions of ``current`` against ``baseline``.
+
+    Only the dimensionless ``speedup`` fields are gated (machine-
+    portable); wall-clock fields are informational.  Returns one
+    human-readable line per regressed suite.
+    """
+    problems = []
+    for name, base in baseline.get("suites", {}).items():
+        base_speedup = base.get("speedup")
+        cur = current.get("suites", {}).get(name)
+        if base_speedup is None or cur is None:
+            continue
+        cur_speedup = cur.get("speedup")
+        if cur_speedup is None:
+            problems.append(f"{name}: speedup field missing from current run")
+            continue
+        floor = base_speedup * (1.0 - max_regression)
+        if cur_speedup < floor:
+            problems.append(
+                f"{name}: speedup {cur_speedup:.2f}x < "
+                f"{floor:.2f}x floor (baseline {base_speedup:.2f}x, "
+                f"max regression {max_regression:.0%})"
+            )
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="perf_gate",
+        description=(
+            "Run the reconstruction/simulator perf suites, emit the "
+            "BENCH_core.json baseline, and optionally gate against a "
+            "committed baseline."
+        ),
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized repetitions (same suites, smaller reps/committees)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the JSON document here ('-' for stdout only)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="committed baseline to gate speedups against",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.25,
+        help="allowed fractional speedup drop before soft-failing "
+             "(default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    # Load the baseline *before* writing --out: CI points both flags at
+    # BENCH_core.json (gate against the committed file, upload the fresh
+    # one), which must not degenerate into comparing a file to itself.
+    baseline = None
+    if args.baseline:
+        try:
+            with open(args.baseline) as f:
+                baseline = json.load(f)
+        except FileNotFoundError:
+            print(
+                f"no baseline at {args.baseline}; nothing to gate against",
+                file=sys.stderr,
+            )
+
+    current = run_suites(quick=args.quick)
+    body = json.dumps(current, indent=2, sort_keys=True) + "\n"
+    if args.out and args.out != "-":
+        with open(args.out, "w") as f:
+            f.write(body)
+        print(f"wrote {args.out}")
+    else:
+        print(body, end="")
+
+    if baseline is not None:
+        problems = compare(
+            current, baseline, max_regression=args.max_regression
+        )
+        if problems:
+            print("PERF REGRESSION (soft fail):", file=sys.stderr)
+            for line in problems:
+                print(f"  {line}", file=sys.stderr)
+            return EXIT_REGRESSION
+        print(
+            f"perf gate ok against {args.baseline} "
+            f"(max regression {args.max_regression:.0%})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

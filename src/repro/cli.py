@@ -11,6 +11,9 @@ Python.  Subcommands:
 * ``elect-leader`` — an adaptive-safe leader rotation (E21).
 * ``commit-log``   — a replicated log off one amortized tournament (E22).
 * ``report``    — a compact battery written as Markdown.
+* ``bench``     — the perf-gate suites (reconstruction kernels +
+  simulator round loop) as machine-readable JSON; ``--baseline``
+  soft-gates speedups against a committed ``BENCH_core.json``.
 * ``run-experiment`` — Monte-Carlo trials of a registered scenario
   through the :mod:`repro.engine` backends (serial / process pool /
   batched / async / hybrid).  ``--list`` prints every scenario's
@@ -484,6 +487,21 @@ def _cmd_run_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench``: run the perf-gate suites, emit/gate JSON."""
+    from .analysis.perf_gate import main as perf_gate_main
+
+    forwarded: List[str] = []
+    if args.quick:
+        forwarded.append("--quick")
+    if args.out is not None:
+        forwarded.extend(["--out", args.out])
+    if args.baseline is not None:
+        forwarded.extend(["--baseline", args.baseline])
+    forwarded.extend(["--max-regression", str(args.max_regression)])
+    return perf_gate_main(forwarded)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse parser with every subcommand registered."""
     parser = argparse.ArgumentParser(
@@ -584,6 +602,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run every declared scenario once (tiny n, "
                         "2 trials) — CI's registration guard")
     p.set_defaults(func=_cmd_run_experiment)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the perf-gate suites and emit BENCH_core-style JSON",
+    )
+    p.add_argument("--json", action="store_true",
+                   help="accepted for symmetry; output is always JSON")
+    p.add_argument("--quick", action="store_true",
+                   help="CI-sized repetitions")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the JSON here ('-' for stdout only)")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="gate speedups against this committed baseline")
+    p.add_argument("--max-regression", type=float, default=0.25,
+                   help="allowed fractional speedup drop (default 0.25)")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
         "report", help="run a compact battery and write a Markdown report"

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..crypto.field import PrimeField
-from ..crypto.polynomial import evaluate, interpolate_coefficients
+from ..crypto.kernels import get_interp_plan
 from ..crypto.reed_solomon import decode_constant
 from ..crypto.shamir import SecretSharingError, ShamirScheme, Share
 from ..net.accounting import BitLedger
@@ -115,11 +115,18 @@ def robust_reconstruct_points(
     if len(points) < threshold:
         return None
     # Fast path: interpolate a prefix sample; in clean pools it explains
-    # everything immediately.
+    # everything immediately.  The pool grids (committee coordinates)
+    # recur across dealings, so the sample's interpolation plan — its
+    # barycentric weights and the lambda vector at every checked x —
+    # is a cache hit after the first reconstruction.
     sample = points[:threshold]
-    coefficients = interpolate_coefficients(field, sample)
-    if all(evaluate(field, coefficients, x) == y for x, y in points):
-        return coefficients[0]
+    plan = get_interp_plan(field, tuple(x for x, _y in sample))
+    sample_ys = [y for _x, y in sample]
+    if all(
+        plan.interpolate_at(x, sample_ys) == y % field.modulus
+        for x, y in points
+    ):
+        return plan.constant(sample_ys)
     # Noisy pool: deterministic Berlekamp-Welch decoding up to the unique
     # radius e = (|pool| - threshold) // 2 (two degree-(threshold-1)
     # polynomials agree on <= threshold-1 points, so the decoded one is

@@ -50,9 +50,11 @@ from __future__ import annotations
 import random
 from collections import Counter, defaultdict
 from dataclasses import dataclass
+from itertools import combinations
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..crypto.bivariate import BivariateRow, BivariateScheme
+from ..crypto.kernels import interpolate_constant
 from ..net.messages import Message
 from ..net.simulator import (
     Adversary,
@@ -249,24 +251,23 @@ class VSSCoinMember(ProcessorProtocol):
         approximate the (expensive) exhaustive decoding by trying
         threshold-sized windows and taking the plurality result, which
         suffices at the committee sizes simulated here.
-        """
-        from itertools import combinations
 
+        The same windows over the same member coordinates recur for
+        every dealer of every coin, so each window's interpolation plan
+        (weights + lambdas at zero) is a cache hit after the first toss.
+        """
         shares = sorted(self.reveal_shares[dealer].items())
         if len(shares) < self.scheme.threshold:
             return None
         candidates: Counter = Counter()
         points = [(member + 1, value) for member, value in shares]
         window = self.scheme.threshold
+        field = self.scheme.field
         tried = 0
         for combo in combinations(range(len(points)), window):
             subset = [points[i] for i in combo]
             try:
-                from ..crypto.polynomial import interpolate_constant
-
-                candidates[
-                    interpolate_constant(self.scheme.field, subset)
-                ] += 1
+                candidates[interpolate_constant(field, subset)] += 1
             except Exception:
                 continue
             tried += 1

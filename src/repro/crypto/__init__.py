@@ -5,6 +5,10 @@ Public surface:
 * :class:`~repro.crypto.field.PrimeField` — GF(p) arithmetic.
 * :class:`~repro.crypto.shamir.ShamirScheme` — (n, t+1) threshold sharing.
 * :class:`~repro.crypto.iterated.ShareTree` — iterated "i-share" dealing.
+* :class:`~repro.crypto.kernels.EvalPlan` /
+  :class:`~repro.crypto.kernels.InterpPlan` — cached reconstruction and
+  evaluation kernels (the hot-path fast lane over
+  :mod:`repro.crypto.polynomial`'s reference implementations).
 """
 
 from .field import (
@@ -16,6 +20,13 @@ from .field import (
     is_probable_prime,
 )
 from .iterated import ShareTree, SharePath, recoverable, reshare
+from .kernels import (
+    EvalPlan,
+    InterpPlan,
+    clear_plan_caches,
+    get_eval_plan,
+    get_interp_plan,
+)
 from .packed import PackedShamirScheme
 from .reed_solomon import berlekamp_welch, decode_constant
 from .polynomial import (
@@ -43,6 +54,11 @@ __all__ = [
     "SharePath",
     "recoverable",
     "reshare",
+    "EvalPlan",
+    "InterpPlan",
+    "clear_plan_caches",
+    "get_eval_plan",
+    "get_interp_plan",
     "PackedShamirScheme",
     "berlekamp_welch",
     "decode_constant",

@@ -74,9 +74,14 @@ class ShareTree:
             raise SecretSharingError("need at least one scheme level")
         frontier: Dict[SharePath, int] = {(): secret}
         for scheme in schemes:
+            # Whole-level bulk dealing: every node at this depth shares
+            # over the same grid, so deal_many fetches the evaluation
+            # plan once for the entire frontier.
+            paths = list(frontier)
+            dealt = scheme.deal_many([frontier[p] for p in paths], rng)
             next_frontier: Dict[SharePath, int] = {}
-            for path, value in frontier.items():
-                for share in scheme.deal(value, rng):
+            for path, shares in zip(paths, dealt):
+                for share in shares:
                     next_frontier[path + (share.x,)] = share.value
             frontier = next_frontier
         return cls(secret=secret, schemes=list(schemes), leaves=frontier)

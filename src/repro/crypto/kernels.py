@@ -1,0 +1,250 @@
+"""Cached reconstruction and evaluation kernels — the crypto fast path.
+
+Every layer of the Section-3 stack (Shamir dealing, iterated re-sharing,
+VSS coins, robust reconstruction) bottoms out in two polynomial
+primitives: *evaluate this polynomial on a fixed grid of points* and
+*interpolate these points at a fixed x*.  The naive implementations in
+:mod:`repro.crypto.polynomial` redo all structural work on every call —
+``lagrange_interpolate_at`` spends O(k^2) products plus one modular
+inversion per point even though a sweep reconstructs thousands of
+secrets over the *same* x-grid (players ``1..n``).
+
+This module precomputes that recurring structure once into *plan*
+objects and caches the plans:
+
+* :class:`EvalPlan` — batch grid evaluation.  Fixes the grid ``xs``,
+  runs one tight Horner loop per point, and lazily maintains a power
+  table ``xs[i]**j`` for callers (Berlekamp-Welch) that need raw
+  Vandermonde rows.
+* :class:`InterpPlan` — fixes the interpolation nodes ``xs`` and
+  precomputes the barycentric weights ``w_i = 1 / prod_{j!=i}
+  (x_i - x_j)`` with a **single** modular inversion via
+  :func:`~repro.crypto.polynomial.batch_inverse` (Montgomery's trick).
+  The Lagrange coefficient vector at any evaluation point ``x`` is then
+  O(k) multiplications plus one further batched inversion, and is
+  memoised per ``x`` — so reconstruct-at-0 over a warm plan is a plain
+  O(k) dot product.
+
+Cache invalidation rules (also documented in ENGINE.md):
+
+* Plans are keyed on ``(modulus, xs)`` and are immutable with respect to
+  that key — the weights depend on nothing else — so a cached plan can
+  never go stale; the caches exist purely to bound memory.
+* Both global plan caches and the per-plan lambda memo are bounded;
+  overflowing them drops the *whole* cache (plans are cheap to rebuild,
+  and adversarial access patterns — e.g. sliding reconstruction windows
+  over huge pools — must not grow memory without limit).
+* Two fields with the same ``xs`` never share a plan: the modulus is
+  part of the key.
+
+Exactness: every kernel performs the same GF(p) arithmetic as its naive
+counterpart, so results are bit-identical — pinned over random degrees,
+grids and fields by ``tests/test_kernels.py`` and registry-wide by the
+engine parity suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .field import FieldError, PrimeField
+from .polynomial import batch_inverse, pairwise_denominators
+
+#: Bound on the number of plans each global cache may hold.
+PLAN_CACHE_MAX = 2048
+
+#: Bound on memoised per-x lambda vectors within one :class:`InterpPlan`.
+LAMBDA_CACHE_MAX = 1024
+
+
+class EvalPlan:
+    """Batch evaluation of polynomials on one fixed grid of points.
+
+    The plan owns the grid (reduced into the field once) and a lazily
+    grown power table; :meth:`evaluate` is the single Horner
+    implementation every dealing path routes through.
+    """
+
+    __slots__ = ("modulus", "xs", "_powers")
+
+    def __init__(self, field: PrimeField, xs: Sequence[int]) -> None:
+        self.modulus = field.modulus
+        self.xs: Tuple[int, ...] = tuple(x % self.modulus for x in xs)
+        # _powers[i][j] == xs[i] ** j (mod p); columns extend on demand.
+        self._powers: List[List[int]] = []
+
+    def evaluate(self, coefficients: Sequence[int]) -> List[int]:
+        """The polynomial's value at every grid point (Horner per point)."""
+        mod = self.modulus
+        rev = coefficients[::-1]
+        out = []
+        append = out.append
+        for x in self.xs:
+            acc = 0
+            for c in rev:
+                acc = (acc * x + c) % mod
+            append(acc)
+        return out
+
+    def power_table(self, count: int) -> List[List[int]]:
+        """Rows ``[x**0, x**1, ..., x**(count-1)]`` per grid point.
+
+        Grown monotonically and kept on the plan, so repeated decodes
+        over the same pool (Berlekamp-Welch's Vandermonde rows) reuse
+        the powers instead of remultiplying them.
+
+        The returned rows ARE the live cache: they may be longer than
+        ``count`` (a previous caller asked for more) and must not be
+        mutated — slice-copy before building on them, as
+        :func:`~repro.crypto.reed_solomon.berlekamp_welch` does.
+        """
+        mod = self.modulus
+        if not self._powers:
+            self._powers = [[1] for _ in self.xs]
+        have = len(self._powers[0]) if self._powers else 0
+        if count > have:
+            for x, row in zip(self.xs, self._powers):
+                acc = row[-1]
+                for _ in range(count - len(row)):
+                    acc = (acc * x) % mod
+                    row.append(acc)
+        return self._powers
+
+
+class InterpPlan:
+    """Lagrange interpolation from one fixed set of nodes.
+
+    Setup computes the barycentric weights with one batched inversion;
+    afterwards :meth:`interpolate_at` costs O(k) multiplications per
+    call for any memoised evaluation point (0, the share grid, packed
+    sharing's reserved negative points, ...).
+    """
+
+    __slots__ = ("modulus", "xs", "weights", "_field", "_index", "_lambdas")
+
+    def __init__(self, field: PrimeField, xs: Sequence[int]) -> None:
+        mod = field.modulus
+        nodes = tuple(x % mod for x in xs)
+        if len(set(nodes)) != len(nodes):
+            raise FieldError("interpolation points must have distinct x values")
+        self.modulus = mod
+        self.xs = nodes
+        self._field = field
+        # w_i = 1 / prod_{j != i} (x_i - x_j): one pow for all of them.
+        self.weights: Tuple[int, ...] = tuple(
+            batch_inverse(field, pairwise_denominators(field, nodes))
+        )
+        self._index: Dict[int, int] = {x: i for i, x in enumerate(nodes)}
+        self._lambdas: Dict[int, Tuple[int, ...]] = {}
+
+    def lambdas_at(self, x: int) -> Tuple[int, ...]:
+        """Lagrange coefficients lambda_i(x): value = sum lambda_i * y_i."""
+        x %= self.modulus
+        cached = self._lambdas.get(x)
+        if cached is None:
+            cached = self._compute_lambdas(x)
+            if len(self._lambdas) >= LAMBDA_CACHE_MAX:
+                self._lambdas.clear()
+            self._lambdas[x] = cached
+        return cached
+
+    def _compute_lambdas(self, x: int) -> Tuple[int, ...]:
+        node = self._index.get(x)
+        if node is not None:
+            # x is a node: the interpolating polynomial passes through it.
+            lam = [0] * len(self.xs)
+            lam[node] = 1
+            return tuple(lam)
+        mod = self.modulus
+        diffs = [(x - xj) % mod for xj in self.xs]
+        inverses = batch_inverse(self._field, diffs)
+        full = 1
+        for d in diffs:
+            full = (full * d) % mod
+        return tuple(
+            (w * full % mod) * inv % mod
+            for w, inv in zip(self.weights, inverses)
+        )
+
+    def interpolate_at(self, x: int, ys: Sequence[int]) -> int:
+        """Evaluate the polynomial through ``zip(xs, ys)`` at ``x``."""
+        if len(ys) != len(self.xs):
+            raise FieldError("one y value per interpolation node required")
+        total = 0
+        for lam, y in zip(self.lambdas_at(x), ys):
+            total += lam * y
+        return total % self.modulus
+
+    def constant(self, ys: Sequence[int]) -> int:
+        """The constant coefficient — the Shamir secret."""
+        return self.interpolate_at(0, ys)
+
+
+# -- plan caches --------------------------------------------------------------------
+
+_EVAL_PLANS: Dict[Tuple[int, Tuple[int, ...]], EvalPlan] = {}
+_INTERP_PLANS: Dict[Tuple[int, Tuple[int, ...]], InterpPlan] = {}
+
+
+def get_eval_plan(field: PrimeField, xs: Sequence[int]) -> EvalPlan:
+    """The cached :class:`EvalPlan` for ``(field.modulus, xs)``."""
+    key = (field.modulus, tuple(x % field.modulus for x in xs))
+    plan = _EVAL_PLANS.get(key)
+    if plan is None:
+        if len(_EVAL_PLANS) >= PLAN_CACHE_MAX:
+            _EVAL_PLANS.clear()
+        plan = EvalPlan(field, key[1])
+        _EVAL_PLANS[key] = plan
+    return plan
+
+
+def get_interp_plan(field: PrimeField, xs: Sequence[int]) -> InterpPlan:
+    """The cached :class:`InterpPlan` for ``(field.modulus, xs)``."""
+    key = (field.modulus, tuple(x % field.modulus for x in xs))
+    plan = _INTERP_PLANS.get(key)
+    if plan is None:
+        if len(_INTERP_PLANS) >= PLAN_CACHE_MAX:
+            _INTERP_PLANS.clear()
+        plan = InterpPlan(field, key[1])
+        _INTERP_PLANS[key] = plan
+    return plan
+
+
+def clear_plan_caches() -> None:
+    """Drop every cached plan (tests; never required for correctness)."""
+    _EVAL_PLANS.clear()
+    _INTERP_PLANS.clear()
+
+
+# -- drop-in fast front ends ---------------------------------------------------------
+
+
+def evaluate_on(
+    field: PrimeField, coefficients: Sequence[int], xs: Sequence[int]
+) -> List[int]:
+    """Plan-cached equivalent of :func:`polynomial.evaluate_many`."""
+    return get_eval_plan(field, xs).evaluate(coefficients)
+
+
+def interpolate_at(
+    field: PrimeField, points: Sequence[Tuple[int, int]], x: int
+) -> int:
+    """Plan-cached equivalent of :func:`polynomial.lagrange_interpolate_at`."""
+    xs = tuple(p[0] for p in points)
+    ys = [p[1] for p in points]
+    return get_interp_plan(field, xs).interpolate_at(x, ys)
+
+
+def interpolate_constant(
+    field: PrimeField, points: Sequence[Tuple[int, int]]
+) -> int:
+    """Plan-cached equivalent of :func:`polynomial.interpolate_constant`."""
+    return interpolate_at(field, points, 0)
+
+
+def lambdas_at_zero(
+    field: PrimeField, xs: Sequence[int]
+) -> Tuple[int, ...]:
+    """Plan-cached equivalent of
+    :func:`polynomial.lagrange_coefficients_at_zero`."""
+    return get_interp_plan(field, xs).lambdas_at(0)

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from .field import DEFAULT_FIELD, PrimeField
-from .polynomial import evaluate, lagrange_interpolate_at, random_polynomial
+from .kernels import get_interp_plan
 from .shamir import SecretSharingError, Share
 
 
@@ -83,8 +83,13 @@ class PackedShamirScheme:
             points.append(
                 (self.n_players + 1 + j, self.field.random_element(rng))
             )
+        # The constraint grid (reserved negative points + anchors) is
+        # fixed per scheme, so its interpolation plan — and the lambda
+        # vector at every player coordinate — is cached after one deal.
+        plan = get_interp_plan(self.field, tuple(p[0] for p in points))
+        ys = [p[1] for p in points]
         return [
-            Share(x=x, value=lagrange_interpolate_at(self.field, points, x))
+            Share(x=x, value=plan.interpolate_at(x, ys))
             for x in range(1, self.n_players + 1)
         ]
 
@@ -106,8 +111,10 @@ class PackedShamirScheme:
             )
         points = list(unique.items())[: self.reconstruction_threshold]
         mod = self.field.modulus
+        plan = get_interp_plan(self.field, tuple(p[0] for p in points))
+        ys = [p[1] for p in points]
         return [
-            lagrange_interpolate_at(self.field, points, (-(i + 1)) % mod)
+            plan.interpolate_at((-(i + 1)) % mod, ys)
             for i in range(self.block_size)
         ]
 

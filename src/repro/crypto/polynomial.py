@@ -44,29 +44,62 @@ def random_polynomial(
     return coefficients
 
 
+def pairwise_denominators(
+    field: PrimeField, xs: Sequence[int]
+) -> List[int]:
+    """Lagrange denominators ``prod_{j != i} (x_i - x_j)`` per node.
+
+    Shared by the reference interpolation below and the cached
+    :class:`~repro.crypto.kernels.InterpPlan` weights, so both paths
+    provably invert the same quantities.
+    """
+    mod = field.modulus
+    denominators = []
+    for i, xi in enumerate(xs):
+        denominator = 1
+        for j, xj in enumerate(xs):
+            if i != j:
+                denominator = (denominator * (xi - xj)) % mod
+        denominators.append(denominator)
+    return denominators
+
+
 def lagrange_interpolate_at(
     field: PrimeField, points: Sequence[Tuple[int, int]], x: int
 ) -> int:
     """Interpolate the unique polynomial through ``points`` and evaluate at ``x``.
 
     ``points`` is a sequence of distinct ``(x_i, y_i)`` pairs.  Runs in
-    O(len(points)**2) field operations, which is fine for the committee
-    sizes this library simulates (tens to low hundreds of shares).
+    O(len(points)**2) field operations with a *single* modular inversion:
+    the per-point denominators go through :func:`batch_inverse`
+    (Montgomery's trick) instead of one ``pow`` each, and the numerators
+    ``prod_{j != i} (x - x_j)`` come from prefix/suffix products.
+
+    This is the reference implementation; hot paths route through the
+    cached plans in :mod:`repro.crypto.kernels`, which are pinned
+    bit-identical to this function by ``tests/test_kernels.py``.
     """
-    xs = [p[0] % field.modulus for p in points]
+    mod = field.modulus
+    xs = [p[0] % mod for p in points]
     if len(set(xs)) != len(xs):
         raise FieldError("interpolation points must have distinct x values")
+    k = len(points)
+    if k == 0:
+        return 0
+    inverses = batch_inverse(field, pairwise_denominators(field, xs))
+    # Numerators prod_{j != i} (x - x_j) via prefix/suffix products.
+    diffs = [(x - xj) % mod for xj in xs]
+    prefix = [1] * (k + 1)
+    for i, d in enumerate(diffs):
+        prefix[i + 1] = (prefix[i] * d) % mod
+    suffix = [1] * (k + 1)
+    for i in range(k - 1, -1, -1):
+        suffix[i] = (suffix[i + 1] * diffs[i]) % mod
     total = 0
-    for i, (xi, yi) in enumerate(points):
-        numerator = 1
-        denominator = 1
-        for j, (xj, _yj) in enumerate(points):
-            if i == j:
-                continue
-            numerator = (numerator * (x - xj)) % field.modulus
-            denominator = (denominator * (xi - xj)) % field.modulus
-        term = (yi % field.modulus) * numerator % field.modulus
-        total = (total + term * field.inv(denominator)) % field.modulus
+    for i, (_xi, yi) in enumerate(points):
+        numerator = (prefix[i] * suffix[i + 1]) % mod
+        term = (yi % mod) * numerator % mod
+        total = (total + term * inverses[i]) % mod
     return total
 
 
@@ -124,14 +157,7 @@ def interpolate_coefficients(
             nxt[d] = (nxt[d] - c * xj) % mod
             nxt[d + 1] = (nxt[d + 1] + c) % mod
         master = nxt
-    denominators = []
-    for xi in xs:
-        denominator = 1
-        for xj in xs:
-            if xj != xi:
-                denominator = (denominator * (xi - xj)) % mod
-        denominators.append(denominator)
-    inverses = batch_inverse(field, denominators)
+    inverses = batch_inverse(field, pairwise_denominators(field, xs))
 
     result = [0] * k
     for index, (xi, yi) in enumerate(points):

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from .field import FieldError, PrimeField
-from .polynomial import evaluate
+from .kernels import get_eval_plan
 
 
 def _solve_linear_system(
@@ -117,6 +117,12 @@ def berlekamp_welch(
         max_errors = max(0, (m - degree_bound) // 2)
     mod = field.modulus
 
+    # The same share pools recur across rounds, so the grid's power
+    # table (the Vandermonde rows below) and batch evaluations come
+    # from the cached plan instead of being remultiplied per decode.
+    plan = get_eval_plan(field, [x for x, _y in points])
+    grid_ys = [y % mod for _x, y in points]
+
     # Solving at the full radius e_max suffices whenever the true error
     # count is within it (E absorbs spurious factors); one step down
     # covers the rare degenerate division.  Beyond that the pool is
@@ -126,25 +132,17 @@ def berlekamp_welch(
         candidate_error_counts.append(max_errors - 1)
     for e in candidate_error_counts:
         q_len = degree_bound + e  # Q has degree < degree_bound + e
+        powers = plan.power_table(q_len + 1)
         # Unknowns: q_0..q_{q_len-1}, E_0..E_{e-1} (E monic of degree e).
-        cols = q_len + e
         matrix: List[List[int]] = []
         rhs: List[int] = []
-        for x, y in points:
-            x %= mod
-            y %= mod
-            row = [0] * cols
-            power = 1
-            for j in range(q_len):
-                row[j] = power
-                power = (power * x) % mod
-            power = 1
-            for j in range(e):
-                row[q_len + j] = (-y * power) % mod
-                power = (power * x) % mod
+        for i, y in enumerate(grid_ys):
+            xpow = powers[i]
+            row = xpow[:q_len]
+            row.extend((-y * xpow[j]) % mod for j in range(e))
             # monic term: y * x^e moved to the rhs.
             matrix.append(row)
-            rhs.append((y * power) % mod)
+            rhs.append((y * xpow[e]) % mod)
         solution = _solve_linear_system(field, matrix, rhs)
         if solution is None:
             continue
@@ -159,10 +157,9 @@ def berlekamp_welch(
         if len(p_coeffs) > degree_bound:
             continue
         # Verify against the pool: must explain all but <= e points.
+        decoded = plan.evaluate(p_coeffs)
         mismatches = sum(
-            1
-            for x, y in points
-            if evaluate(field, p_coeffs, x) != y % mod
+            1 for got, y in zip(decoded, grid_ys) if got != y
         )
         if mismatches <= e:
             return p_coeffs + [0] * (degree_bound - len(p_coeffs))

@@ -18,7 +18,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from .field import DEFAULT_FIELD, FieldError, PrimeField
-from .polynomial import interpolate_constant, random_polynomial
+from .kernels import get_eval_plan, interpolate_constant
+from .polynomial import random_polynomial
 
 
 class SecretSharingError(ValueError):
@@ -72,22 +73,42 @@ class ShamirScheme:
 
     # -- dealing ----------------------------------------------------------------
 
+    def _grid_plan(self):
+        """The cached evaluation plan for this scheme's share grid 1..n."""
+        return get_eval_plan(self.field, range(1, self.n_players + 1))
+
     def deal(self, secret: int, rng: random.Random) -> List[Share]:
-        """Split one secret word into ``n_players`` shares."""
-        coefficients = random_polynomial(
-            self.field, secret, self.threshold - 1, rng
-        )
-        shares = []
-        x = 1
-        result = 0
-        for player in range(self.n_players):
-            x_point = player + 1
-            result = 0
-            for coefficient in reversed(coefficients):
-                result = (result * x_point + coefficient) % self.field.modulus
-            shares.append(Share(x=x_point, value=result))
-            x += 1
-        return shares
+        """Split one secret word into ``n_players`` shares.
+
+        Evaluation routes through the scheme's cached
+        :class:`~repro.crypto.kernels.EvalPlan` — the library's one
+        Horner implementation — rather than an inlined loop.
+        """
+        return self.deal_many([secret], rng)[0]
+
+    def deal_many(
+        self, secrets: Sequence[int], rng: random.Random
+    ) -> List[List[Share]]:
+        """Share many words with one plan fetch: ``result[w]`` is word
+        ``w``'s full share list — the layout :meth:`deal` returns.
+
+        The bulk fast path for iterated sharing and dealer-free MPC,
+        which deal hundreds of values over the same grid.
+        """
+        plan = self._grid_plan()
+        degree = self.threshold - 1
+        out = []
+        for secret in secrets:
+            coefficients = random_polynomial(self.field, secret, degree, rng)
+            out.append(
+                [
+                    Share(x=x, value=value)
+                    for x, value in enumerate(
+                        plan.evaluate(coefficients), start=1
+                    )
+                ]
+            )
+        return out
 
     def deal_sequence(
         self, secrets: Sequence[int], rng: random.Random
@@ -97,7 +118,7 @@ class ShamirScheme:
         ``result[p]`` is player ``p``'s list of shares, one per word — the
         layout processors actually store in the protocol.
         """
-        per_word = [self.deal(word, rng) for word in secrets]
+        per_word = self.deal_many(secrets, rng)
         return [
             [per_word[w][p] for w in range(len(secrets))]
             for p in range(self.n_players)
@@ -160,6 +181,8 @@ class ShamirScheme:
             raise SecretSharingError("not enough shares")
         votes: Dict[int, int] = {}
         # Slide a window of threshold-many points; each window votes.
+        # Window grids recur across calls, so each window's interpolation
+        # plan (weights + lambdas-at-zero) is a cache hit after the first.
         for start in range(len(points) - self.threshold + 1):
             window = points[start : start + self.threshold]
             candidate = interpolate_constant(self.field, window)

@@ -32,7 +32,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from .backends import ExecutionBackend, make_context, run_one_trial
-from .registry import AsyncInstance, get_runner
+from .registry import AsyncInstance, resolve_cached
 from .spec import EngineError, ExperimentSpec, TrialResult
 
 
@@ -64,7 +64,7 @@ class AsyncBackend(ExecutionBackend):
         self.max_live = max_live
 
     def run_trials(self, spec: ExperimentSpec) -> List[TrialResult]:
-        runner = get_runner(spec.runner)
+        runner = resolve_cached(spec.runner)
         if runner.build_async_instance is None:
             return [run_one_trial(spec, i) for i in range(spec.trials)]
         return self.run_indices(spec, range(spec.trials))
@@ -76,9 +76,11 @@ class AsyncBackend(ExecutionBackend):
 
         The unit the hybrid backend shards: a wave of trial indices of
         one spec, multiplexed breadth-first, returned in index order.
-        Requires an asynchronous scenario.
+        Requires an asynchronous scenario.  Resolution is memoised per
+        process, so a pool worker driving many waves of the same spec
+        resolves the scenario name exactly once.
         """
-        runner = get_runner(spec.runner)
+        runner = resolve_cached(spec.runner)
         if runner.build_async_instance is None:
             raise EngineError(
                 f"scenario {spec.runner!r} declares no async builder"

@@ -35,7 +35,7 @@ import multiprocessing.pool
 import os
 from typing import List, Optional, Sequence, Tuple
 
-from .registry import get_runner
+from .registry import get_runner, resolve_cached
 from .spec import EngineError, ExperimentSpec, TrialContext, TrialResult
 
 
@@ -53,9 +53,14 @@ def make_context(spec: ExperimentSpec, trial_index: int) -> TrialContext:
 
 
 def run_one_trial(spec: ExperimentSpec, trial_index: int) -> TrialResult:
-    """Execute a single trial, converting crashes into failed results."""
+    """Execute a single trial, converting crashes into failed results.
+
+    Scenario resolution is memoised per process
+    (:func:`~repro.engine.registry.resolve_cached`): a pool worker
+    executing many chunks of one spec resolves the name once.
+    """
     ctx = make_context(spec, trial_index)
-    runner = get_runner(spec.runner)
+    runner = resolve_cached(spec.runner)
     try:
         return runner.run_trial(ctx)
     except Exception as exc:  # protocol bugs must not kill the sweep

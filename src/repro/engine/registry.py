@@ -258,6 +258,8 @@ def load_builtin_scenarios() -> None:
 def register(runner: Scenario) -> Scenario:
     """Add a scenario to the registry (idempotent on identical names)."""
     _REGISTRY[runner.name] = runner
+    # Latest registration wins everywhere: drop any memoised resolution.
+    _RESOLVED.pop(runner.name, None)
     return runner
 
 
@@ -272,6 +274,24 @@ def get_runner(name: str) -> Scenario:
         raise EngineError(
             f"unknown experiment runner {name!r} (known: {known})"
         ) from None
+
+
+#: Per-process memo over :func:`get_runner`.  Pool workers execute many
+#: waves/chunks of the same spec; resolving the scenario name once per
+#: worker process (instead of once per wave, each paying the registry
+#: lookup plus the lazy-builtins guard) is the cheap half of the
+#: worker-rebuild contract.  Invalidated by :func:`register`, so ad-hoc
+#: re-registrations still win.
+_RESOLVED: Dict[str, Scenario] = {}
+
+
+def resolve_cached(name: str) -> Scenario:
+    """Memoised scenario resolution for hot per-trial/per-wave paths."""
+    runner = _RESOLVED.get(name)
+    if runner is None:
+        runner = get_runner(name)
+        _RESOLVED[name] = runner
+    return runner
 
 
 def runner_names() -> List[str]:

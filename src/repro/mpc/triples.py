@@ -33,7 +33,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence
 
-from ..crypto.polynomial import lagrange_coefficients_at_zero
+from ..crypto.kernels import lambdas_at_zero
 from ..crypto.shamir import SecretSharingError, ShamirScheme, Share
 from .beaver import BeaverTriple
 
@@ -77,7 +77,7 @@ def distributed_random_sharing(
         contributions = [fld.random_element(rng) for _ in range(k)]
     if len(contributions) != k:
         raise SecretSharingError("one contribution per member required")
-    rows = [scheme.deal(value, rng) for value in contributions]
+    rows = scheme.deal_many(contributions, rng)
     summed = []
     for i in range(k):
         x = rows[0][i].x
@@ -112,12 +112,14 @@ def degree_reduce_product(
     ]
 
     # Step 3: each member re-shares its product point at degree t...
-    reshared = [scheme.deal(d_i, rng) for d_i in products]
+    reshared = scheme.deal_many(products, rng)
 
     # ...and everyone linearly combines with the public Lagrange weights
-    # for interpolating the degree-2t polynomial at zero from all k points.
+    # for interpolating the degree-2t polynomial at zero from all k points
+    # (plan-cached: the committee grid is fixed, so repeated triples pay
+    # the weight setup once).
     xs = [s.x for s in a_shares]
-    lambdas = lagrange_coefficients_at_zero(fld, xs)
+    lambdas = lambdas_at_zero(fld, xs)
     reduced = []
     for j in range(k):
         x = reshared[0][j].x

@@ -52,9 +52,14 @@ def payload_bits(payload: Any) -> int:
     raise MessageError(f"payload of type {type(payload)!r} is not measurable")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """One point-to-point message on a private channel.
+
+    Slotted: a round of an n-processor protocol allocates O(n^2) of
+    these, and ``__slots__`` drops the per-instance ``__dict__`` — less
+    memory traffic in the simulator's inner loop for an object that is
+    immutable data anyway.
 
     Attributes:
         sender: origin processor ID (authenticated by the channel — the

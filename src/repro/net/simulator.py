@@ -174,9 +174,18 @@ class SyncNetwork:
         self.count_adversary_traffic = count_adversary_traffic
         self.trace = trace
         self.flood_bits = 0
-        self._inboxes: Dict[int, List[Message]] = {
-            pid: [] for pid in range(self.n)
-        }
+        # Double-buffered inboxes, reused round over round: protocols
+        # consume their inbox within on_round (the simulator contract),
+        # so the buffer handed out in round r can be cleared and
+        # refilled for round r+2 instead of reallocated every round.
+        self._inboxes: List[List[Message]] = [[] for _ in range(self.n)]
+        self._spare_inboxes: List[List[Message]] = [
+            [] for _ in range(self.n)
+        ]
+        # Exactly a NullAdversary (not a subclass) can neither corrupt
+        # nor speak, so the per-round corruption scan, rushing view and
+        # adversary dispatch are skipped wholesale.
+        self._null_adversary = type(adversary) is NullAdversary
 
     # -- execution ---------------------------------------------------------------
 
@@ -213,16 +222,18 @@ class SyncNetwork:
         """Execute one synchronous round."""
         if self.trace is not None:
             self.trace.set_round(round_no)
-        self._apply_corruptions(round_no)
+        fast = self._null_adversary
+        if not fast:
+            self._apply_corruptions(round_no)
         corrupted = self.adversary.corrupted
 
         outgoing: List[Message] = []
+        protocols = self.protocols
+        inboxes = self._inboxes
         for pid in range(self.n):
-            if pid in corrupted:
+            if corrupted and pid in corrupted:
                 continue
-            messages = self.protocols[pid].on_round(
-                round_no, self._inboxes[pid]
-            )
+            messages = protocols[pid].on_round(round_no, inboxes[pid])
             for message in messages:
                 if message.sender != pid:
                     raise SimulationError(
@@ -235,30 +246,41 @@ class SyncNetwork:
             self.ledger.record_many(messages)
             outgoing.extend(messages)
 
-        # Rushing: adversary sees its inbound traffic before acting.
-        view = AdversaryView(
-            round_no=round_no,
-            corrupted=set(corrupted),
-            inbound=[m for m in outgoing if m.recipient in corrupted],
-            n=self.n,
-        )
-        adversary_messages = self.adversary.act(view)
-        for message in adversary_messages:
-            if message.sender not in corrupted:
-                raise SimulationError(
-                    "adversary may only send from corrupted processors"
-                )
-            self.flood_bits += message.bits()
-            if self.count_adversary_traffic:
-                self.ledger.record(message)
+        if fast:
+            adversary_messages: List[Message] = []
+        else:
+            # Rushing: adversary sees its inbound traffic before acting.
+            view = AdversaryView(
+                round_no=round_no,
+                corrupted=set(corrupted),
+                inbound=[m for m in outgoing if m.recipient in corrupted],
+                n=self.n,
+            )
+            adversary_messages = self.adversary.act(view)
+            for message in adversary_messages:
+                if message.sender not in corrupted:
+                    raise SimulationError(
+                        "adversary may only send from corrupted processors"
+                    )
+                if not 0 <= message.recipient < self.n:
+                    raise SimulationError(
+                        f"adversary message to unknown recipient "
+                        f"{message.recipient}"
+                    )
+                self.flood_bits += message.bits()
+                if self.count_adversary_traffic:
+                    self.ledger.record(message)
 
-        next_inboxes: Dict[int, List[Message]] = {
-            pid: [] for pid in range(self.n)
-        }
+        # Swap in the spare buffers: clear-and-refill instead of a
+        # fresh dict of lists every round.
+        next_inboxes = self._spare_inboxes
+        for box in next_inboxes:
+            box.clear()
         for message in outgoing:
             next_inboxes[message.recipient].append(message)
         for message in adversary_messages:
             next_inboxes[message.recipient].append(message)
+        self._spare_inboxes = inboxes
         self._inboxes = next_inboxes
         self.ledger.tick_round()
 

@@ -175,3 +175,51 @@ def test_hybrid_spawn_bit_identical_to_serial():
         workers=2, wave_size=2, start_method="spawn"
     ).run_trials(spec)
     assert spawned == serial
+
+
+# -- per-process scenario resolution memo ---------------------------------------------
+
+
+def test_worker_scenario_resolution_memoised(monkeypatch):
+    """Waves resolve the scenario by name exactly once per process.
+
+    ``run_wave`` is what a pool worker executes per wave; resolution
+    must go through the per-process memo so repeated waves of the same
+    spec skip the registry lookup (and its lazy-builtins guard).
+    """
+    from repro.engine import registry
+
+    registry._RESOLVED.pop("bracha-broadcast", None)
+    lookups = []
+    real_get_runner = registry.get_runner
+
+    def counting_get_runner(name):
+        lookups.append(name)
+        return real_get_runner(name)
+
+    monkeypatch.setattr(registry, "get_runner", counting_get_runner)
+    spec = _bracha_spec(trials=6)
+    serial = SerialBackend().run_trials(spec)
+    first = run_wave(spec, [0, 1])
+    second = run_wave(spec, [2, 3])
+    assert first + second == serial[:4]
+    assert lookups.count("bracha-broadcast") == 1
+
+
+def test_resolution_memo_invalidated_by_reregistration():
+    """Latest registration wins even through the memo."""
+    from repro.engine import Scenario, registry
+    from repro.engine.spec import TrialResult
+
+    def _trial_a(ctx):
+        return TrialResult(
+            trial_index=ctx.trial_index, seed=ctx.seed, metrics=(), ok=True
+        )
+
+    name = "test-memo-reregister"
+    a = Scenario(name=name, run_trial=_trial_a, description="first")
+    registry.register(a)
+    assert registry.resolve_cached(name) is a
+    b = Scenario(name=name, run_trial=_trial_a, description="second")
+    registry.register(b)
+    assert registry.resolve_cached(name) is b

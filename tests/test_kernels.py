@@ -1,0 +1,170 @@
+"""Property tests: cached kernels == naive reference implementations.
+
+The plan kernels in :mod:`repro.crypto.kernels` are the hot path of
+every reconstruction in the library; these tests pin them bit-identical
+to the reference functions in :mod:`repro.crypto.polynomial` over random
+degrees, grids and fields, and pin the cache semantics (duplicate-x
+rejection, cross-field key separation, bounded growth) plus the
+simulator fast paths that ride along in this PR.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto import kernels
+from repro.crypto.field import (
+    DEFAULT_FIELD,
+    MERSENNE_31,
+    MERSENNE_61,
+    FieldError,
+    PrimeField,
+)
+from repro.crypto.kernels import (
+    EvalPlan,
+    InterpPlan,
+    clear_plan_caches,
+    get_eval_plan,
+    get_interp_plan,
+)
+from repro.crypto.polynomial import (
+    evaluate,
+    evaluate_many,
+    interpolate_constant,
+    lagrange_coefficients_at_zero,
+    lagrange_interpolate_at,
+)
+
+FIELDS = (PrimeField(257), PrimeField(MERSENNE_31), PrimeField(MERSENNE_61))
+
+
+def _random_case(field, rng, max_k=12):
+    k = rng.randrange(1, max_k)
+    universe = min(field.modulus, 1 << 20)
+    xs = rng.sample(range(universe), k)
+    coefficients = [rng.randrange(field.modulus) for _ in range(k)]
+    ys = evaluate_many(field, coefficients, xs)
+    return xs, coefficients, ys
+
+
+# -- plan == naive, property style ---------------------------------------------------
+
+
+def test_eval_plan_matches_evaluate_many_over_random_cases():
+    rng = random.Random(101)
+    for field in FIELDS:
+        for _ in range(60):
+            xs, coefficients, ys = _random_case(field, rng)
+            assert EvalPlan(field, xs).evaluate(coefficients) == ys
+            assert kernels.evaluate_on(field, coefficients, xs) == ys
+
+
+def test_interp_plan_matches_lagrange_over_random_cases():
+    rng = random.Random(202)
+    for field in FIELDS:
+        for _ in range(60):
+            xs, coefficients, ys = _random_case(field, rng)
+            points = list(zip(xs, ys))
+            plan = InterpPlan(field, xs)
+            # Off-grid, on-grid, and zero evaluation points.
+            probes = [rng.randrange(1 << 20), rng.choice(xs), 0]
+            for x in probes:
+                expected = lagrange_interpolate_at(field, points, x)
+                assert plan.interpolate_at(x, ys) == expected
+                assert kernels.interpolate_at(field, points, x) == expected
+                assert expected == evaluate(field, coefficients, x)
+            assert plan.constant(ys) == interpolate_constant(field, points)
+
+
+def test_lambdas_at_zero_matches_reference():
+    rng = random.Random(303)
+    for field in FIELDS:
+        for _ in range(30):
+            xs, _coefficients, _ys = _random_case(field, rng)
+            assert list(kernels.lambdas_at_zero(field, xs)) == (
+                lagrange_coefficients_at_zero(field, xs)
+            )
+
+
+def test_power_table_is_exact_and_extends_monotonically():
+    field = DEFAULT_FIELD
+    plan = EvalPlan(field, [3, 5, 11])
+    table = plan.power_table(4)
+    assert table == [
+        [pow(x, j, field.modulus) for j in range(4)] for x in (3, 5, 11)
+    ]
+    wider = plan.power_table(7)
+    assert wider is table  # grown in place, not rebuilt
+    assert all(len(row) >= 7 for row in wider)
+    assert wider[1][6] == pow(5, 6, field.modulus)
+
+
+# -- rejection and key semantics -----------------------------------------------------
+
+
+def test_duplicate_x_rejected_like_the_naive_path():
+    field = DEFAULT_FIELD
+    points = [(1, 5), (2, 6), (1, 7)]
+    with pytest.raises(FieldError):
+        lagrange_interpolate_at(field, points, 0)
+    with pytest.raises(FieldError):
+        InterpPlan(field, [1, 2, 1])
+    with pytest.raises(FieldError):
+        kernels.interpolate_at(field, points, 0)
+    # Duplicates *mod p* are duplicates too.
+    with pytest.raises(FieldError):
+        InterpPlan(PrimeField(257), [1, 258])
+
+
+def test_interp_plan_requires_one_y_per_node():
+    plan = InterpPlan(DEFAULT_FIELD, [1, 2, 3])
+    with pytest.raises(FieldError):
+        plan.interpolate_at(0, [4, 5])
+
+
+def test_same_xs_in_different_fields_never_share_a_plan():
+    clear_plan_caches()
+    xs = (1, 2, 3, 4)
+    small = PrimeField(257)
+    p_small = get_interp_plan(small, xs)
+    p_default = get_interp_plan(DEFAULT_FIELD, xs)
+    assert p_small is not p_default
+    assert p_small.modulus == 257
+    assert p_default.modulus == DEFAULT_FIELD.modulus
+    # Identical (modulus, xs) key -> identical plan object.
+    assert get_interp_plan(PrimeField(257), xs) is p_small
+    assert get_eval_plan(small, xs) is not get_eval_plan(DEFAULT_FIELD, xs)
+    # The shared grid must still reconstruct correctly in both fields.
+    rng = random.Random(9)
+    for field, plan in ((small, p_small), (DEFAULT_FIELD, p_default)):
+        coefficients = [rng.randrange(field.modulus) for _ in range(4)]
+        ys = evaluate_many(field, coefficients, xs)
+        assert plan.constant(ys) == coefficients[0]
+
+
+def test_plan_caches_stay_bounded(monkeypatch):
+    clear_plan_caches()
+    monkeypatch.setattr(kernels, "PLAN_CACHE_MAX", 8)
+    for i in range(40):
+        get_interp_plan(DEFAULT_FIELD, (i + 1, i + 2))
+        get_eval_plan(DEFAULT_FIELD, (i + 1, i + 2))
+    assert len(kernels._INTERP_PLANS) <= 8
+    assert len(kernels._EVAL_PLANS) <= 8
+    clear_plan_caches()
+    assert not kernels._INTERP_PLANS and not kernels._EVAL_PLANS
+
+
+def test_lambda_memo_stays_bounded(monkeypatch):
+    monkeypatch.setattr(kernels, "LAMBDA_CACHE_MAX", 4)
+    field = DEFAULT_FIELD
+    plan = InterpPlan(field, [1, 2, 3])
+    ys = [7, 8, 9]
+    expected = {
+        x: lagrange_interpolate_at(field, [(1, 7), (2, 8), (3, 9)], x)
+        for x in range(20)
+    }
+    for x in range(20):
+        assert plan.interpolate_at(x, ys) == expected[x]
+    assert len(plan._lambdas) <= 4
+    # Post-eviction answers remain exact.
+    assert plan.interpolate_at(5, ys) == expected[5]

@@ -9,6 +9,7 @@ from repro.net.accounting import BitLedger
 from repro.net.messages import HEADER_BITS, Message, MessageError, payload_bits
 from repro.net.rng import child_rng, derive_seed
 from repro.net.simulator import (
+    Adversary,
     AdversaryView,
     NullAdversary,
     ProcessorProtocol,
@@ -216,3 +217,82 @@ class TestSyncNetwork:
         net = SyncNetwork(protocols, adversary)
         result = net.run(max_rounds=2)
         assert result.corrupted == set()
+
+
+class _IdleAdversary(Adversary):
+    """Does nothing, but is *not* a NullAdversary: takes the slow path."""
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n, budget=0)
+
+    def act(self, view: AdversaryView) -> List[Message]:
+        return []
+
+
+class TestSimulatorFastPaths:
+    """The NullAdversary fast path and reused inbox buffers are pure
+    optimisations: executions must be indistinguishable from the fully
+    tracked path, message for message and bit for bit."""
+
+    def _run(self, adversary_factory, n=5, rounds=4):
+        protocols = [EchoProtocol(pid, n) for pid in range(n)]
+        net = SyncNetwork(protocols, adversary_factory(n))
+        result = net.run(max_rounds=rounds)
+        return result, net
+
+    def test_null_adversary_bit_identical_to_tracked_idle(self):
+        fast, fast_net = self._run(NullAdversary)
+        slow, slow_net = self._run(_IdleAdversary)
+        assert fast.outputs == slow.outputs
+        assert fast.rounds == slow.rounds
+        assert fast.halted == slow.halted
+        assert fast.corrupted == slow.corrupted == set()
+        assert (
+            fast_net.ledger.total_bits() == slow_net.ledger.total_bits()
+        )
+        assert (
+            fast_net.ledger.total_messages()
+            == slow_net.ledger.total_messages()
+        )
+
+    def test_inbox_buffers_are_reused_not_reallocated(self):
+        n = 3
+        protocols = [EchoProtocol(pid, n) for pid in range(n)]
+        net = SyncNetwork(protocols, NullAdversary(n))
+        buffers = {id(box) for box in net._inboxes}
+        buffers |= {id(box) for box in net._spare_inboxes}
+        for rnd in range(1, 6):
+            net.step(rnd)
+            assert {id(box) for box in net._inboxes} <= buffers
+            assert {id(box) for box in net._spare_inboxes} <= buffers
+
+    def test_adversary_message_to_unknown_recipient_rejected(self):
+        n = 3
+
+        class Bad(StaticByzantineAdversary):
+            def act(self, view):
+                return [Message(next(iter(self.corrupted)), 99, "x", 1)]
+
+        protocols = [EchoProtocol(pid, n) for pid in range(n)]
+        adversary = Bad(n, targets={0}, behavior=SilentBehavior())
+        net = SyncNetwork(protocols, adversary)
+        with pytest.raises(SimulationError):
+            net.run(max_rounds=2)
+
+
+class TestMessageSlots:
+    def test_message_has_no_instance_dict(self):
+        message = Message(0, 1, "tag", 7)
+        assert not hasattr(message, "__dict__")
+        assert "payload" in Message.__slots__
+        with pytest.raises(Exception):
+            # Frozen + slotted: field assignment raises
+            # FrozenInstanceError; unknown attributes are equally
+            # rejected (TypeError on 3.11, AttributeError on 3.12+).
+            message.payload = 9
+
+    def test_slotted_message_still_frozen_hashable_measurable(self):
+        a = Message(0, 1, "tag", 7)
+        b = Message(0, 1, "tag", 7)
+        assert a == b and hash(a) == hash(b)
+        assert a.bits() == HEADER_BITS + payload_bits("tag") + payload_bits(7)
