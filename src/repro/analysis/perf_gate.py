@@ -15,8 +15,9 @@ compares the **dimensionless speedups** (plan vs naive on identical
 inputs — the suites that emit a ``speedup`` field); a suite whose
 speedup drops by more than ``--max-regression`` (default 25%)
 soft-fails with exit code 3, which CI surfaces via a
-``continue-on-error`` job.  Wall-clock fields and the simulator
-``null_vs_tracked`` ratio are recorded for trend reading, not gated.
+``continue-on-error`` job.  Wall-clock fields, the simulator
+``null_vs_tracked`` ratio and the engine ``dispatch_overhead``
+micro-bench are recorded for trend reading, not gated.
 
 Entry points:
 
@@ -240,11 +241,78 @@ def _suite_sim_round_loop(quick: bool) -> Dict[str, Any]:
     }
 
 
+def _suite_dispatch_overhead(quick: bool) -> Dict[str, Any]:
+    """Dispatch-plane bookkeeping per work unit (trend, not gated).
+
+    Every sharded backend (process, hybrid, distributed) routes units
+    through ``DispatchPlan`` + ``run_units``; this measures what that
+    plumbing costs over a bare serial loop by driving no-op trials
+    through the in-process ``InlineTransport`` at unit size 1 — the
+    worst case, one full submit/collect/merge round per trial.  Real
+    workloads amortise this over multi-trial units and actual protocol
+    work; the number recorded here is the ceiling on what the dispatch
+    refactor can ever cost a sweep.
+    """
+    from repro.engine import (
+        ExperimentSpec,
+        Scenario,
+        TrialResult,
+        register,
+    )
+    from repro.engine.dispatch import (
+        DispatchPlan,
+        InlineTransport,
+        run_one_trial,
+        run_units,
+    )
+
+    def _noop_trial(ctx) -> TrialResult:
+        return TrialResult(
+            trial_index=ctx.trial_index, seed=ctx.seed,
+            metrics=(("one", 1.0),),
+        )
+
+    register(
+        Scenario(
+            name="perf-gate-noop",
+            run_trial=_noop_trial,
+            description="perf-gate only: a free trial",
+        )
+    )
+    trials = 128 if quick else 512
+    spec = ExperimentSpec(runner="perf-gate-noop", n=1, trials=trials)
+    units = DispatchPlan.chunked(trials, 1, 4).units(spec)
+
+    def serial() -> List[Any]:
+        return [run_one_trial(spec, i) for i in range(trials)]
+
+    def dispatched() -> List[Any]:
+        return run_units(units, InlineTransport())
+
+    assert serial() == dispatched()  # parity before timing
+
+    reps = 4 if quick else 20
+    serial_s = _time(serial, reps)
+    dispatched_s = _time(dispatched, reps)
+    ops = reps * trials
+    return {
+        "desc": f"run_units vs bare loop, {trials} no-op units of 1 trial",
+        "ops": ops,
+        "serial_s": round(serial_s, 6),
+        "dispatched_s": round(dispatched_s, 6),
+        "dispatch_us_per_unit": round(
+            max(0.0, dispatched_s - serial_s) / ops * 1e6, 3
+        ),
+        "parity": True,
+    }
+
+
 _SUITES = {
     "e9_reconstruct_n64": _suite_e9_reconstruct,
     "e17_row_check_n64": _suite_e17_row_check,
     "e19_vss_coin": _suite_e19_vss_coin,
     "sim_round_loop_n32": _suite_sim_round_loop,
+    "dispatch_overhead": _suite_dispatch_overhead,
 }
 
 

@@ -16,10 +16,15 @@ Python.  Subcommands:
   soft-gates speedups against a committed ``BENCH_core.json``.
 * ``run-experiment`` — Monte-Carlo trials of a registered scenario
   through the :mod:`repro.engine` backends (serial / process pool /
-  batched / async / hybrid).  ``--list`` prints every scenario's
-  declared parameter schema; ``--param`` values are validated against
-  it (cross-field constraints included); ``--smoke`` runs each
-  scenario once as a registration guard.
+  batched / async / hybrid / distributed).  ``--list`` prints every
+  scenario's declared parameter schema; ``--param`` values are
+  validated against it (cross-field constraints included); ``--smoke``
+  runs each scenario once as a registration guard; ``--backend
+  distributed --hosts host:port,...`` dispatches the sweep to
+  ``repro worker serve`` processes on other hosts.
+* ``worker serve`` — a distributed-dispatch worker: listens on TCP,
+  executes engine work units (scenarios rebuilt by name from its own
+  registry), returns versioned JSON result envelopes.
 
 Every command prints a compact plain-text report and exits non-zero on a
 protocol failure, so the CLI doubles as a smoke test in CI.
@@ -393,51 +398,73 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
     )
 
     failures = []
-    for name in scenario_names(declared_only=True):
-        runner = get_runner(name)
-        spec = ExperimentSpec(
-            runner=name,
-            n=runner.smoke_n,
-            trials=2,
-            seed=args.seed,
-            params=dict(runner.smoke_params),
-        )
-        backend = "serial"
-        if args.backend != "serial":
-            # Honour a backend flip where the scenario supports it.
-            # Hybrid (unlike batch/async) has no serial fallback of its
-            # own, so the capability check here is what keeps the smoke
-            # sweep total.
-            if args.backend == "batch" and runner.batchable:
-                backend = "batch"
-            elif args.backend == "async" and runner.asynchronous:
-                backend = "async"
-            elif args.backend == "hybrid" and runner.supports("hybrid"):
-                backend = "hybrid"
-            elif args.backend == "process":
-                backend = "process"
-        result = Engine(
-            get_backend(
-                backend,
+    # One backend instance per backend name, reused across the whole
+    # sweep — the distributed backend in particular keeps its worker
+    # connections alive instead of re-dialing every host per scenario.
+    backends = {}
+
+    def backend_for(name: str):
+        if name not in backends:
+            backends[name] = get_backend(
+                name,
                 workers=args.workers,
                 wave_size=args.wave_size,
+                hosts=_parse_hosts_arg(args),
             )
-        ).run(spec)
-        status = "ok" if not result.failure_count else "FAILED"
-        print(
-            f"  {name:>20} [{backend}] n={spec.n}: {status} "
-            f"({result.elapsed_seconds:.2f}s)"
-        )
-        if result.failure_count:
-            failures.append(name)
-            for trial in result.failures:
-                detail = trial.failure or "protocol-level failure"
-                print(f"      trial {trial.trial_index}: {detail}")
+        return backends[name]
+
+    try:
+        for name in scenario_names(declared_only=True):
+            runner = get_runner(name)
+            spec = ExperimentSpec(
+                runner=name,
+                n=runner.smoke_n,
+                trials=2,
+                seed=args.seed,
+                params=dict(runner.smoke_params),
+            )
+            backend = "serial"
+            if args.backend != "serial":
+                # Honour a backend flip where the scenario supports it.
+                # Hybrid (unlike batch/async) has no serial fallback of
+                # its own, so the capability check here is what keeps
+                # the smoke sweep total.  Distributed runs every
+                # scenario (waves for async, chunks otherwise).
+                if args.backend == "batch" and runner.batchable:
+                    backend = "batch"
+                elif args.backend == "async" and runner.asynchronous:
+                    backend = "async"
+                elif args.backend == "hybrid" and runner.supports("hybrid"):
+                    backend = "hybrid"
+                elif args.backend in ("process", "distributed"):
+                    backend = args.backend
+            result = Engine(backend_for(backend)).run(spec)
+            status = "ok" if not result.failure_count else "FAILED"
+            print(
+                f"  {name:>20} [{backend}] n={spec.n}: {status} "
+                f"({result.elapsed_seconds:.2f}s)"
+            )
+            if result.failure_count:
+                failures.append(name)
+                for trial in result.failures:
+                    detail = trial.failure or "protocol-level failure"
+                    print(f"      trial {trial.trial_index}: {detail}")
+    finally:
+        for backend_obj in backends.values():
+            backend_obj.close()
     if failures:
         print(f"smoke failures: {', '.join(failures)}", file=sys.stderr)
         return 1
     print(f"all {len(scenario_names(declared_only=True))} scenarios ok")
     return 0
+
+
+def _parse_hosts_arg(args: argparse.Namespace) -> Optional[List[str]]:
+    """``--hosts a:1,b:2`` as a list (None when the flag is absent)."""
+    raw = getattr(args, "hosts", None)
+    if not raw:
+        return None
+    return [entry for entry in raw.split(",") if entry.strip()]
 
 
 def _cmd_run_experiment(args: argparse.Namespace) -> int:
@@ -471,10 +498,13 @@ def _cmd_run_experiment(args: argparse.Namespace) -> int:
             seed=args.seed,
             params=params,
         )
-        backend = get_backend(
-            args.backend, workers=args.workers, wave_size=args.wave_size
-        )
-        result = Engine(backend).run(spec)
+        with get_backend(
+            args.backend,
+            workers=args.workers,
+            wave_size=args.wave_size,
+            hosts=_parse_hosts_arg(args),
+        ) as backend:
+            result = Engine(backend).run(spec)
     except EngineError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -485,6 +515,30 @@ def _cmd_run_experiment(args: argparse.Namespace) -> int:
             print(f"  trial {trial.trial_index} FAILED: {detail}")
         return 1
     return 0
+
+
+def _cmd_worker_serve(args: argparse.Namespace) -> int:
+    """``repro worker serve``: run a distributed-dispatch worker."""
+    from .engine.distributed import DEFAULT_PORT, WorkerServer
+
+    port = args.port if args.port is not None else DEFAULT_PORT
+    server = WorkerServer(host=args.host, port=port)
+    # Flush immediately: launchers (CI, scripts) block on this line to
+    # know the port is bound before dispatching to it.
+    print(f"repro worker serving on {server.address}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    if args.worker_command == "serve":
+        return _cmd_worker_serve(args)
+    raise SystemExit(f"unknown worker command {args.worker_command!r}")
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -584,13 +638,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="master seed (per-trial seeds are derived)")
     p.add_argument("--backend", default="serial",
                    choices=("serial", "process", "batch", "async",
-                            "hybrid"),
+                            "hybrid", "distributed"),
                    help="execution backend")
     p.add_argument("--workers", type=int, default=None,
                    help="process-pool workers (default: cpu count)")
     p.add_argument("--wave-size", type=int, default=None,
-                   help="hybrid backend: async trials per process wave "
-                        "(default: ~2 waves per worker)")
+                   help="hybrid/distributed backends: trials per "
+                        "dispatched wave (default: ~2 waves per worker)")
+    p.add_argument("--hosts", default=None, metavar="HOST:PORT,...",
+                   help="distributed backend: comma-separated "
+                        "`repro worker serve` addresses")
     p.add_argument("--param", action="append", default=[],
                    metavar="KEY=VALUE",
                    help="scenario parameter, validated against the "
@@ -602,6 +659,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run every declared scenario once (tiny n, "
                         "2 trials) — CI's registration guard")
     p.set_defaults(func=_cmd_run_experiment)
+
+    p = sub.add_parser(
+        "worker",
+        help="distributed-dispatch worker management",
+    )
+    worker_sub = p.add_subparsers(dest="worker_command", required=True)
+    ws = worker_sub.add_parser(
+        "serve",
+        help="serve engine work units over TCP (blocks; ^C to stop)",
+    )
+    ws.add_argument("--host", default="127.0.0.1",
+                    help="interface to bind (default: loopback; bind "
+                         "non-loopback only on trusted networks)")
+    ws.add_argument("--port", type=int, default=None,
+                    help="TCP port to listen on (default: the engine's "
+                         "DEFAULT_PORT, 7045; 0 = ephemeral)")
+    ws.set_defaults(func=_cmd_worker)
 
     p = sub.add_parser(
         "bench",

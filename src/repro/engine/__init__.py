@@ -16,11 +16,17 @@ contract + execution modes), and pluggable backends execute its trials:
 Layers (see ENGINE.md for the architecture notes):
 
 * :mod:`repro.engine.spec` — :class:`ExperimentSpec` /
-  :class:`TrialResult` and deterministic per-trial seed derivation.
+  :class:`TrialResult`, deterministic per-trial seed derivation, and
+  the versioned JSON wire format with which specs and results cross
+  process and host boundaries.
 * :mod:`repro.engine.scenario` — :class:`Param` schemas: typed,
   validated, self-documenting experiment parameters.
 * :mod:`repro.engine.registry` — named, picklable :class:`Scenario`
   objects; built-ins register from :mod:`repro.engine.scenarios`.
+* :mod:`repro.engine.dispatch` — the transport-agnostic dispatch
+  plane: :class:`DispatchPlan` shard geometry, the :class:`Transport`
+  seam, the submit/retry/merge collect loop, and the one spawn-safe
+  worker entry (:func:`run_unit`).
 * :mod:`repro.engine.backends` — :class:`SerialBackend` and
   :class:`ProcessPoolBackend` behind one :class:`ExecutionBackend` API.
 * :mod:`repro.engine.batch` — :class:`BatchBackend`, multiplexing many
@@ -29,6 +35,9 @@ Layers (see ENGINE.md for the architecture notes):
   idea over the asynchronous scheduler's delivery steps.
 * :mod:`repro.engine.hybrid` — :class:`HybridBackend`, waves of async
   instances sharded across pool workers (async × process).
+* :mod:`repro.engine.distributed` — :class:`DistributedBackend` /
+  :class:`SocketTransport` / :class:`WorkerServer`, the same waves
+  dispatched to ``repro worker serve`` hosts over TCP.
 * :mod:`repro.engine.aggregate` — ledger merging, percentiles, failure
   counts, and tables for :mod:`repro.analysis.reporting`.
 
@@ -53,6 +62,23 @@ from .backends import (
     run_one_trial,
 )
 from .batch import BatchBackend
+from .dispatch import (
+    DispatchError,
+    DispatchPlan,
+    Envelope,
+    InlineTransport,
+    PoolTransport,
+    Transport,
+    WorkUnit,
+    run_unit,
+    run_units,
+)
+from .distributed import (
+    DistributedBackend,
+    SocketTransport,
+    WorkerServer,
+    parse_hosts,
+)
 from .hybrid import HybridBackend
 from .engine import BACKEND_NAMES, Engine, get_backend, run_experiment
 from .registry import (
@@ -76,29 +102,47 @@ from .spec import (
     LedgerStats,
     TrialContext,
     TrialResult,
+    WIRE_VERSION,
+    WireFormatError,
+    result_from_wire,
+    result_to_wire,
+    spec_from_wire,
+    spec_to_wire,
 )
 
 __all__ = [
     "BACKEND_NAMES",
+    "WIRE_VERSION",
     "AsyncBackend",
     "AsyncInstance",
     "BatchBackend",
     "BatchInstance",
+    "DispatchError",
+    "DispatchPlan",
+    "DistributedBackend",
     "Engine",
     "EngineError",
+    "Envelope",
     "ExecutionBackend",
     "ExperimentResult",
     "ExperimentRunner",
     "ExperimentSpec",
     "HybridBackend",
+    "InlineTransport",
     "LedgerStats",
     "Param",
+    "PoolTransport",
     "ProcessPoolBackend",
     "Scenario",
     "ScenarioError",
     "SerialBackend",
+    "SocketTransport",
+    "Transport",
     "TrialContext",
     "TrialResult",
+    "WireFormatError",
+    "WorkUnit",
+    "WorkerServer",
     "chunk_indices",
     "default_worker_count",
     "drive_async_instance",
@@ -110,11 +154,18 @@ __all__ = [
     "make_context",
     "make_pool",
     "merge_ledger_stats",
+    "parse_hosts",
     "percentile",
     "register",
+    "result_from_wire",
+    "result_to_wire",
     "run_experiment",
     "run_one_trial",
+    "run_unit",
+    "run_units",
     "run_wave",
     "runner_names",
     "scenario_names",
+    "spec_from_wire",
+    "spec_to_wire",
 ]

@@ -20,11 +20,13 @@ same argument, and the same tests, as the batch backend.
 Scenarios without an async builder fall back to serial execution trial
 by trial, mirroring :class:`~repro.engine.batch.BatchBackend`.
 
-:func:`run_wave` is the process-worker entry point used by
-:class:`~repro.engine.hybrid.HybridBackend`: it rebuilds the scenario
-*by name* from the registry (so it works under the ``spawn`` start
-method, which inherits nothing from the parent) and drives one wave of
-trial indices through a local breadth-first step loop.
+:func:`run_wave` is the wave driver behind the dispatch plane's
+unified worker entry (:func:`~repro.engine.dispatch.run_unit`, mode
+``wave``), which the hybrid and distributed backends execute on their
+workers: it rebuilds the scenario *by name* from the registry (so it
+works under the ``spawn`` start method — and on remote hosts — which
+inherit nothing from the parent) and drives one wave of trial indices
+through a local breadth-first step loop.
 """
 
 from __future__ import annotations
@@ -143,14 +145,16 @@ def run_wave(
     indices: Sequence[int],
     max_live: Optional[int] = None,
 ) -> List[TrialResult]:
-    """Worker entry point: rebuild the scenario by name, drive one wave.
+    """Wave driver: rebuild the scenario by name, drive one wave.
 
-    This is what a :class:`~repro.engine.hybrid.HybridBackend` pool
-    worker executes.  ``spec`` crosses the process boundary as plain
-    data; the scenario is resolved from the registry *inside the
-    worker* (:func:`~repro.engine.registry.get_runner` loads the
-    built-ins on first lookup), so the function is start-method
-    agnostic — ``spawn`` workers, which inherit no parent state, run it
+    This is what the dispatch plane's worker entry
+    (:func:`~repro.engine.dispatch.run_unit`) executes for ``wave``
+    work units — on a hybrid pool worker or a remote ``repro worker
+    serve`` host alike.  ``spec`` crosses the boundary as plain data;
+    the scenario is resolved from the registry *inside the worker*
+    (:func:`~repro.engine.registry.get_runner` loads the built-ins on
+    first lookup), so the function is start-method and host agnostic —
+    ``spawn`` workers, which inherit no parent state, run it
     identically to ``fork`` workers.  Trial seeds derive from the spec
     alone, so the wave's results are bit-identical to the serial path
     regardless of which worker runs which wave.

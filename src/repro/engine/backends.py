@@ -17,64 +17,58 @@ correctness property, enforced by ``tests/test_engine.py``.
 * :class:`HybridBackend` (see :mod:`repro.engine.hybrid`) — waves of
   asynchronous instances sharded across pool workers, each wave driven
   by a local async step loop.
+* :class:`DistributedBackend` (see :mod:`repro.engine.distributed`) —
+  the same units dispatched to ``repro worker serve`` hosts over TCP.
 
-The sharded backends share :func:`chunk_indices` (contiguous trial
-chunks) and :func:`make_pool` (pool construction on an explicit start
-method); because workers resolve scenarios by name from the registry,
-both ``fork`` and ``spawn`` start methods produce identical results.
+The sharded backends no longer carry private shard/pool/collect code:
+geometry lives in :class:`~repro.engine.dispatch.DispatchPlan`, worker
+mechanisms behind the :class:`~repro.engine.dispatch.Transport` seam,
+and the submit/retry/merge loop in
+:func:`~repro.engine.dispatch.run_units`.  A new execution substrate is
+a new transport, not a new copy of the dispatch loop.
 
-Future backends (distributed dispatch) plug in behind the same two
-methods.
+Every backend is a context manager (``with backend: ...``) and
+``close()`` is idempotent, so held pools/sockets release deterministically
+on error paths as well as clean exits.
 """
 
 from __future__ import annotations
 
 import abc
-import multiprocessing
 import multiprocessing.pool
 import os
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional
 
-from .registry import get_runner, resolve_cached
-from .spec import EngineError, ExperimentSpec, TrialContext, TrialResult
+from .dispatch import (
+    DispatchPlan,
+    PoolTransport,
+    make_context,
+    run_one_trial,
+    run_units,
+)
+from .registry import get_runner
+from .spec import EngineError, ExperimentSpec, TrialResult
 
-
-def make_context(spec: ExperimentSpec, trial_index: int) -> TrialContext:
-    """The deterministic context of one trial of a spec."""
-    if not 0 <= trial_index < spec.trials:
-        raise EngineError(
-            f"trial index {trial_index} outside 0..{spec.trials - 1}"
-        )
-    return TrialContext(
-        spec=spec,
-        trial_index=trial_index,
-        seed=spec.trial_seed(trial_index),
-    )
-
-
-def run_one_trial(spec: ExperimentSpec, trial_index: int) -> TrialResult:
-    """Execute a single trial, converting crashes into failed results.
-
-    Scenario resolution is memoised per process
-    (:func:`~repro.engine.registry.resolve_cached`): a pool worker
-    executing many chunks of one spec resolves the name once.
-    """
-    ctx = make_context(spec, trial_index)
-    runner = resolve_cached(spec.runner)
-    try:
-        return runner.run_trial(ctx)
-    except Exception as exc:  # protocol bugs must not kill the sweep
-        return TrialResult(
-            trial_index=trial_index,
-            seed=ctx.seed,
-            metrics=(),
-            ok=False,
-            failure=f"{type(exc).__name__}: {exc}",
-        )
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "chunk_indices",
+    "default_worker_count",
+    "make_context",
+    "make_pool",
+    "run_one_trial",
+]
 
 
 class ExecutionBackend(abc.ABC):
-    """Interface every backend implements."""
+    """Interface every backend implements.
+
+    Backends are context managers: ``with get_backend(...) as backend``
+    guarantees :meth:`close` runs on every exit path.  ``close`` is
+    idempotent and leaves the backend *reusable* — a later
+    ``run_trials`` may lazily re-acquire whatever was released.
+    """
 
     #: Human-readable backend identifier (CLI / reports).
     name: str = "abstract"
@@ -84,7 +78,13 @@ class ExecutionBackend(abc.ABC):
         """All trial results of ``spec``, ordered by trial index."""
 
     def close(self) -> None:
-        """Release any held workers (no-op by default)."""
+        """Release any held workers/connections (idempotent; no-op here)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 class SerialBackend(ExecutionBackend):
@@ -96,14 +96,6 @@ class SerialBackend(ExecutionBackend):
         return [run_one_trial(spec, i) for i in range(spec.trials)]
 
 
-def _worker_run_chunk(
-    payload: Tuple[ExperimentSpec, Sequence[int]]
-) -> List[TrialResult]:
-    """Pool worker: run one contiguous chunk of trial indices."""
-    spec, indices = payload
-    return [run_one_trial(spec, i) for i in indices]
-
-
 def default_worker_count() -> int:
     """Worker count when unspecified: every core, capped at 8."""
     return max(1, min(8, os.cpu_count() or 1))
@@ -112,44 +104,34 @@ def default_worker_count() -> int:
 def chunk_indices(
     trials: int, chunk_size: Optional[int], workers: int
 ) -> List[List[int]]:
-    """Contiguous chunks of ``range(trials)`` for sharded dispatch.
+    """Deprecated alias — geometry lives in :class:`DispatchPlan` now.
 
-    ``chunk_size=None`` picks ~4 chunks per worker, balancing
-    task-dispatch overhead against stragglers (trials can have very
-    different durations).  Shared by every process-sharded backend so
-    chunking behaviour stays uniform.
+    Kept for callers of the PR-3 helper API; identical behaviour to
+    ``DispatchPlan.chunked(trials, chunk_size, workers).indices()``.
     """
-    size = chunk_size
-    if size is None:
-        size = max(1, trials // (workers * 4))
-    indices = list(range(trials))
-    return [indices[i : i + size] for i in range(0, trials, size)]
+    return DispatchPlan.chunked(trials, chunk_size, workers).indices()
 
 
 def make_pool(
     workers: int, start_method: Optional[str] = None
 ) -> multiprocessing.pool.Pool:
-    """A worker pool on an explicit ``multiprocessing`` start method.
+    """Deprecated alias — pool lifecycle lives in :class:`PoolTransport`.
 
-    ``None`` uses the platform default (``fork`` on Linux).  Workers
-    carry no state beyond their imports: specs arrive as plain data and
-    scenarios are resolved *by name* in the worker, so ``spawn`` — which
-    inherits nothing from the parent — produces results bit-identical to
-    ``fork`` for every registered scenario.  (Ad-hoc scenarios
-    registered at runtime in the parent are only visible under ``fork``;
-    :mod:`repro.engine.scenarios` is the supported extension point.)
+    Kept for callers of the PR-3 helper API; identical behaviour to
+    ``PoolTransport.create_pool(workers, start_method)`` (see that
+    method for the spawn-safety notes).
     """
-    context = multiprocessing.get_context(start_method)
-    return context.Pool(processes=workers)
+    return PoolTransport.create_pool(workers, start_method)
 
 
 class ProcessPoolBackend(ExecutionBackend):
     """Shard trials across ``multiprocessing`` workers.
 
     Trials are dispatched in contiguous chunks (``chunk_size`` trials per
-    task) to amortise task-dispatch overhead; results are flattened back
-    in trial order, so the output is indistinguishable from
-    :class:`SerialBackend` — only the wall clock differs.
+    unit, geometry from :meth:`DispatchPlan.chunked`) through the shared
+    dispatch plane; results merge back in trial order, so the output is
+    indistinguishable from :class:`SerialBackend` — only the wall clock
+    differs.
 
     ``start_method`` selects the ``multiprocessing`` start method
     (``None`` = platform default); workers resolve the scenario by name
@@ -170,8 +152,9 @@ class ProcessPoolBackend(ExecutionBackend):
         self.chunk_size = chunk_size
         self.start_method = start_method
 
-    def _chunks(self, trials: int) -> List[List[int]]:
-        return chunk_indices(trials, self.chunk_size, self.workers)
+    def plan(self, trials: int) -> DispatchPlan:
+        """This backend's shard geometry for ``trials`` trials."""
+        return DispatchPlan.chunked(trials, self.chunk_size, self.workers)
 
     def run_trials(self, spec: ExperimentSpec) -> List[TrialResult]:
         # Resolve the runner up front so unknown names fail fast in the
@@ -180,10 +163,6 @@ class ProcessPoolBackend(ExecutionBackend):
         get_runner(spec.runner)
         if self.workers == 1 or spec.trials == 1:
             return SerialBackend().run_trials(spec)
-        chunks = self._chunks(spec.trials)
-        payloads = [(spec, chunk) for chunk in chunks]
-        with make_pool(self.workers, self.start_method) as pool:
-            nested = pool.map(_worker_run_chunk, payloads)
-        results = [result for chunk in nested for result in chunk]
-        results.sort(key=lambda r: r.trial_index)
-        return results
+        units = self.plan(spec.trials).units(spec)
+        with PoolTransport(self.workers, self.start_method) as transport:
+            return run_units(units, transport)

@@ -1,0 +1,585 @@
+"""The transport-agnostic dispatch plane: plan, submit, collect, retry.
+
+Before this module existed, every sharded backend hand-rolled the same
+three jobs: split a spec's trials into contiguous work units
+(``ProcessPoolBackend._chunks`` / ``HybridBackend._waves``), push the
+units through a worker mechanism (a private ``multiprocessing`` pool
+each), and merge results back into canonical trial order.  Adding a
+new execution substrate meant writing a fourth copy of that loop.  The
+dispatch plane factors the pattern into three orthogonal pieces:
+
+* :class:`DispatchPlan` — the *geometry*: how ``trials`` shard into
+  :class:`WorkUnit` values (contiguous chunks for isolated trials,
+  waves for async step loops).  All unit-size defaults live here; the
+  old ``chunk_indices`` helper survives only as a deprecated alias.
+* :class:`Transport` — the *mechanism*: submit a work unit to a lane
+  (pool worker, TCP host, in-process loop), collect one result
+  :class:`Envelope` at a time, and report lane death.  Implementations:
+  :class:`InlineTransport` (reference/loopback), :class:`PoolTransport`
+  (``multiprocessing``, used by the process and hybrid backends), and
+  :class:`~repro.engine.distributed.SocketTransport` (remote hosts).
+* :func:`run_units` — the *collect loop*: keeps every live lane fed,
+  retries a failed unit on another lane with the failing lane
+  excluded, refuses to lose or duplicate trials, and merges envelopes
+  back in canonical trial order.
+
+Determinism is unaffected by any of it: trial seeds derive from the
+spec alone, and :func:`run_unit` — the single spawn-safe worker entry
+shared by every transport — rebuilds the scenario *by name* from the
+registry inside the worker, so a pool worker, a ``spawn`` child and a
+remote host all execute literally the same construction.  Which
+transport ran which unit, and how often a unit was retried, is
+unobservable in the results.
+
+Failure model, in two layers:
+
+* **trial crashes** (a protocol bug raising inside a trial) are
+  contained where they happen — :func:`run_one_trial` and the async
+  wave driver convert them into failed :class:`TrialResult` rows, so
+  every backend reports them identically to the serial path;
+* **lane failures** (a worker process or host dying, a connection
+  dropping, an unpicklable payload) surface as failure envelopes: the
+  unit is retried on a different lane with the observed lane excluded,
+  and only when every live lane has failed the unit (or the attempt
+  cap is hit) does the sweep raise :class:`DispatchError` — results
+  are never silently partial.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import multiprocessing.pool
+import queue
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .registry import resolve_cached
+from .spec import (
+    EngineError,
+    ExperimentSpec,
+    TrialContext,
+    TrialResult,
+    WIRE_VERSION,
+    require_wire,
+    spec_from_wire,
+    spec_to_wire,
+)
+
+
+class DispatchError(EngineError):
+    """Raised when the dispatch plane cannot complete a sweep."""
+
+
+# -- the worker side: contexts, single trials, and the unified entry ------------------
+
+
+def make_context(spec: ExperimentSpec, trial_index: int) -> TrialContext:
+    """The deterministic context of one trial of a spec."""
+    if not 0 <= trial_index < spec.trials:
+        raise EngineError(
+            f"trial index {trial_index} outside 0..{spec.trials - 1}"
+        )
+    return TrialContext(
+        spec=spec,
+        trial_index=trial_index,
+        seed=spec.trial_seed(trial_index),
+    )
+
+
+def run_one_trial(spec: ExperimentSpec, trial_index: int) -> TrialResult:
+    """Execute a single trial, converting crashes into failed results.
+
+    Scenario resolution is memoised per process
+    (:func:`~repro.engine.registry.resolve_cached`): a worker executing
+    many units of one spec resolves the name once.
+    """
+    ctx = make_context(spec, trial_index)
+    runner = resolve_cached(spec.runner)
+    try:
+        return runner.run_trial(ctx)
+    except Exception as exc:  # protocol bugs must not kill the sweep
+        return TrialResult(
+            trial_index=trial_index,
+            seed=ctx.seed,
+            metrics=(),
+            ok=False,
+            failure=f"{type(exc).__name__}: {exc}",
+        )
+
+
+#: Work-unit execution modes.
+MODE_TRIALS = "trials"  #: isolated trials, one run_one_trial call each
+MODE_WAVE = "wave"  #: one local breadth-first async step loop
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One dispatchable slice of a sweep: a spec plus trial indices.
+
+    Plain picklable *and* wireable data — the same value crosses a
+    ``multiprocessing`` boundary as a pickle and a host boundary as the
+    JSON document of :func:`unit_to_wire`.  ``mode`` selects the worker
+    path: :data:`MODE_TRIALS` runs each index through
+    :func:`run_one_trial`; :data:`MODE_WAVE` drives the indices through
+    one local async step loop (``max_live`` bounding resident
+    instances, exactly as in the hybrid backend).
+    """
+
+    spec: ExperimentSpec
+    indices: Tuple[int, ...]
+    mode: str = MODE_TRIALS
+    max_live: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in (MODE_TRIALS, MODE_WAVE):
+            raise EngineError(f"unknown work-unit mode {self.mode!r}")
+        object.__setattr__(self, "indices", tuple(self.indices))
+
+
+def run_unit(unit: WorkUnit) -> List[TrialResult]:
+    """The one spawn-safe worker entry every transport executes.
+
+    Replaces the per-backend ``_worker_run_chunk`` / ``_worker_run_wave``
+    twins.  The unit's spec crosses the boundary as plain data and the
+    scenario is rebuilt *by name* inside the worker, so the function is
+    start-method- and host-agnostic: ``fork`` pools, ``spawn`` children
+    and ``repro worker serve`` processes all run it identically.
+    """
+    if unit.mode == MODE_WAVE:
+        # Deferred import: async_backend imports the backend base from
+        # backends.py, which imports this module for the plan/transport
+        # layer — resolving the wave driver at call time keeps the
+        # import graph acyclic.
+        from .async_backend import run_wave
+
+        return run_wave(unit.spec, unit.indices, max_live=unit.max_live)
+    return [run_one_trial(unit.spec, i) for i in unit.indices]
+
+
+def unit_to_wire(unit: WorkUnit) -> Dict[str, Any]:
+    """A :class:`WorkUnit` as a version-1 wire document."""
+    return {
+        "version": WIRE_VERSION,
+        "kind": "unit",
+        "spec": spec_to_wire(unit.spec),
+        "indices": list(unit.indices),
+        "mode": unit.mode,
+        "max_live": unit.max_live,
+    }
+
+
+def unit_from_wire(doc: Any) -> WorkUnit:
+    """Decode a work-unit document; inverse of :func:`unit_to_wire`."""
+    require_wire(doc, "unit")
+    try:
+        max_live = doc["max_live"]
+        return WorkUnit(
+            spec=spec_from_wire(doc["spec"]),
+            indices=tuple(int(i) for i in doc["indices"]),
+            mode=str(doc["mode"]),
+            max_live=None if max_live is None else int(max_live),
+        )
+    except EngineError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise EngineError(f"malformed work-unit document: {exc}") from None
+
+
+# -- the plan: shard geometry in exactly one place ------------------------------------
+
+
+@dataclass(frozen=True)
+class DispatchPlan:
+    """How one spec's trials shard into work units.
+
+    The single home of shard geometry: the process backend's chunk
+    sizing and the hybrid/distributed wave sizing are the two
+    constructors, and both backends (plus the distributed one) consume
+    the resulting :class:`WorkUnit` lists verbatim.  Any unit size
+    produces bit-identical results; geometry only moves wall-clock.
+    """
+
+    trials: int
+    unit_size: int
+    mode: str = MODE_TRIALS
+    max_live: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise EngineError("a dispatch plan needs at least one trial")
+        if self.unit_size < 1:
+            raise EngineError("unit_size must be >= 1")
+        if self.mode not in (MODE_TRIALS, MODE_WAVE):
+            raise EngineError(f"unknown dispatch mode {self.mode!r}")
+
+    @classmethod
+    def chunked(
+        cls,
+        trials: int,
+        chunk_size: Optional[int],
+        workers: int,
+    ) -> "DispatchPlan":
+        """Isolated-trial chunks (the process backend's geometry).
+
+        ``chunk_size=None`` picks ~4 chunks per worker, balancing
+        task-dispatch overhead against stragglers (trials can have very
+        different durations).
+        """
+        size = chunk_size
+        if size is None:
+            size = max(1, trials // (max(1, workers) * 4))
+        return cls(trials=trials, unit_size=size, mode=MODE_TRIALS)
+
+    @classmethod
+    def waved(
+        cls,
+        trials: int,
+        wave_size: Optional[int],
+        workers: int,
+        max_live: Optional[int] = None,
+    ) -> "DispatchPlan":
+        """Async waves (the hybrid backend's geometry).
+
+        ``wave_size=None`` picks ~2 waves per worker — large enough to
+        amortise the per-wave step loop, small enough to rebalance
+        stragglers once.
+        """
+        size = wave_size
+        if size is None:
+            # Ceil division so nothing is dropped.
+            size = max(1, -(-trials // (max(1, workers) * 2)))
+        return cls(
+            trials=trials, unit_size=size, mode=MODE_WAVE, max_live=max_live
+        )
+
+    def indices(self) -> List[List[int]]:
+        """Contiguous trial-index slices, covering ``range(trials)``."""
+        all_indices = list(range(self.trials))
+        return [
+            all_indices[i : i + self.unit_size]
+            for i in range(0, self.trials, self.unit_size)
+        ]
+
+    def units(self, spec: ExperimentSpec) -> List[WorkUnit]:
+        """The plan's work units for ``spec`` (``spec.trials`` must match)."""
+        if spec.trials != self.trials:
+            raise EngineError(
+                f"plan covers {self.trials} trials but spec has "
+                f"{spec.trials}"
+            )
+        return [
+            WorkUnit(
+                spec=spec,
+                indices=tuple(slice_),
+                mode=self.mode,
+                max_live=self.max_live,
+            )
+            for slice_ in self.indices()
+        ]
+
+
+# -- the transport seam ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One collected outcome: a unit's results, or a lane failure."""
+
+    unit_id: int
+    lane: str
+    results: Optional[Tuple[TrialResult, ...]] = None
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.results is not None
+
+
+class Transport(abc.ABC):
+    """Submit serialized work units to lanes; collect result envelopes.
+
+    A *lane* is one unit-at-a-time execution slot with a stable
+    identifier — a pool, a TCP worker, an in-process loop.  The
+    contract :func:`run_units` relies on:
+
+    * :meth:`try_submit` either accepts a unit onto an idle live lane
+      not in ``exclude`` (returning ``True``) or declines (``False``)
+      without blocking on the unit's execution;
+    * every accepted unit eventually yields exactly one
+      :class:`Envelope` from :meth:`collect` — success or failure,
+      never silence;
+    * :meth:`lanes` reports the lanes still considered alive, so the
+      collect loop can distinguish "busy, wait" from "hopeless, raise";
+      a transport that observes a worker die stops listing its lane.
+    """
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def lanes(self) -> Tuple[str, ...]:
+        """Identifiers of the lanes currently alive."""
+
+    @abc.abstractmethod
+    def try_submit(
+        self,
+        unit_id: int,
+        unit: WorkUnit,
+        exclude: FrozenSet[str] = frozenset(),
+    ) -> bool:
+        """Offer a unit to an idle live lane outside ``exclude``."""
+
+    @abc.abstractmethod
+    def collect(self) -> Envelope:
+        """Block until the next envelope (success or lane failure)."""
+
+    def close(self) -> None:
+        """Release transport resources (idempotent)."""
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.close()
+
+
+class InlineTransport(Transport):
+    """Reference transport: executes units synchronously, in-process.
+
+    The degenerate lane that makes the collect loop testable (and
+    benchmarkable — see the ``dispatch_overhead`` perf-gate suite)
+    without pools or sockets: ``try_submit`` runs :func:`run_unit`
+    immediately and queues the envelope for the next :meth:`collect`.
+    """
+
+    name = "inline"
+    _LANE = "inline"
+
+    def __init__(self) -> None:
+        self._ready: Deque[Envelope] = deque()
+
+    def lanes(self) -> Tuple[str, ...]:
+        return (self._LANE,)
+
+    def try_submit(
+        self,
+        unit_id: int,
+        unit: WorkUnit,
+        exclude: FrozenSet[str] = frozenset(),
+    ) -> bool:
+        if self._LANE in exclude:
+            return False
+        try:
+            results = tuple(run_unit(unit))
+        except Exception as exc:
+            self._ready.append(
+                Envelope(
+                    unit_id=unit_id,
+                    lane=self._LANE,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+        else:
+            self._ready.append(
+                Envelope(unit_id=unit_id, lane=self._LANE, results=results)
+            )
+        return True
+
+    def collect(self) -> Envelope:
+        if not self._ready:
+            raise DispatchError("collect() with no submitted unit")
+        return self._ready.popleft()
+
+
+class PoolTransport(Transport):
+    """``multiprocessing`` pool as a transport (process/hybrid backends).
+
+    Units go to the pool via ``apply_async`` on the shared
+    :func:`run_unit` entry; completion callbacks feed a thread-safe
+    queue that :meth:`collect` drains.  The pool is one logical lane —
+    ``multiprocessing`` gives no control over *which* worker runs a
+    task, so excluded-worker rebalancing is meaningless here and a
+    unit that fails the pool lane (an unpicklable payload, a scenario
+    unknown to a ``spawn`` worker) fails the sweep on its first retry
+    pass rather than looping.  Trial-level crash containment is
+    unaffected: protocol exceptions never surface as lane failures.
+    """
+
+    name = "pool"
+    _LANE = "pool"
+
+    def __init__(
+        self, workers: int, start_method: Optional[str] = None
+    ) -> None:
+        if workers < 1:
+            raise EngineError("need at least one worker")
+        self._pool: Optional[multiprocessing.pool.Pool] = self.create_pool(
+            workers, start_method
+        )
+        self._envelopes: "queue.Queue[Envelope]" = queue.Queue()
+
+    @staticmethod
+    def create_pool(
+        workers: int, start_method: Optional[str] = None
+    ) -> multiprocessing.pool.Pool:
+        """A worker pool on an explicit ``multiprocessing`` start method.
+
+        ``None`` uses the platform default (``fork`` on Linux).  Workers
+        carry no state beyond their imports: units arrive as plain data
+        and scenarios are resolved *by name* in the worker, so ``spawn``
+        — which inherits nothing from the parent — produces results
+        bit-identical to ``fork`` for every registered scenario.
+        (Ad-hoc scenarios registered at runtime in the parent are only
+        visible under ``fork``; :mod:`repro.engine.scenarios` is the
+        supported extension point.)
+        """
+        context = multiprocessing.get_context(start_method)
+        return context.Pool(processes=workers)
+
+    def lanes(self) -> Tuple[str, ...]:
+        return (self._LANE,) if self._pool is not None else ()
+
+    def try_submit(
+        self,
+        unit_id: int,
+        unit: WorkUnit,
+        exclude: FrozenSet[str] = frozenset(),
+    ) -> bool:
+        if self._pool is None:
+            raise DispatchError("pool transport is closed")
+        if self._LANE in exclude:
+            return False
+
+        def on_done(results: List[TrialResult], uid: int = unit_id) -> None:
+            self._envelopes.put(
+                Envelope(unit_id=uid, lane=self._LANE, results=tuple(results))
+            )
+
+        def on_error(exc: BaseException, uid: int = unit_id) -> None:
+            self._envelopes.put(
+                Envelope(
+                    unit_id=uid,
+                    lane=self._LANE,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+
+        self._pool.apply_async(
+            run_unit, (unit,), callback=on_done, error_callback=on_error
+        )
+        return True
+
+    def collect(self) -> Envelope:
+        return self._envelopes.get()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
+# -- the collect loop -----------------------------------------------------------------
+
+
+def run_units(
+    units: Sequence[WorkUnit],
+    transport: Transport,
+    max_attempts: Optional[int] = None,
+) -> List[TrialResult]:
+    """Dispatch units over a transport; merge results in trial order.
+
+    The transport-agnostic core every sharded backend shares:
+
+    * keeps submitting queued units while the transport has idle lanes;
+    * on a failure envelope, re-queues the unit with the failing lane
+      *excluded* so the retry lands elsewhere;
+    * raises :class:`DispatchError` when a unit has failed on every
+      live lane, exceeded ``max_attempts`` (default: one attempt per
+      initially-live lane, plus one), or no live lane remains — a
+      sweep's results are complete and bit-identical, or the sweep
+      raises; nothing in between;
+    * verifies the merged results cover every planned trial exactly
+      once before returning them in canonical trial order.
+    """
+    if not units:
+        return []
+    cap = max_attempts if max_attempts is not None else len(transport.lanes()) + 1
+    if cap < 1:
+        raise DispatchError("max_attempts must be >= 1")
+    todo: Deque[int] = deque(range(len(units)))
+    attempts: Dict[int, int] = {uid: 0 for uid in todo}
+    excluded: Dict[int, set] = {uid: set() for uid in todo}
+    last_error: Dict[int, str] = {}
+    collected: Dict[int, Tuple[TrialResult, ...]] = {}
+    inflight = 0
+    while len(collected) < len(units):
+        unplaced: Deque[int] = deque()
+        while todo:
+            uid = todo.popleft()
+            if transport.try_submit(
+                uid, units[uid], frozenset(excluded[uid])
+            ):
+                inflight += 1
+            else:
+                live = set(transport.lanes())
+                if not live:
+                    raise DispatchError(
+                        "every dispatch lane is dead"
+                        + (
+                            f" (last error: {last_error[uid]})"
+                            if uid in last_error
+                            else ""
+                        )
+                    )
+                if live <= excluded[uid]:
+                    raise DispatchError(
+                        f"work unit {uid} failed on every live lane: "
+                        f"{last_error.get(uid, 'no error recorded')}"
+                    )
+                unplaced.append(uid)
+        todo = unplaced
+        if inflight == 0:
+            # Nothing running, nothing placeable, sweep incomplete:
+            # a transport contract violation, not a user error.
+            raise DispatchError(
+                "dispatch stalled: no lane accepted work and none is busy"
+            )
+        envelope = transport.collect()
+        inflight -= 1
+        if envelope.ok:
+            collected[envelope.unit_id] = envelope.results
+            continue
+        attempts[envelope.unit_id] += 1
+        excluded[envelope.unit_id].add(envelope.lane)
+        last_error[envelope.unit_id] = (
+            f"lane {envelope.lane!r}: {envelope.error}"
+        )
+        if attempts[envelope.unit_id] >= cap:
+            raise DispatchError(
+                f"work unit {envelope.unit_id} failed {cap} time(s); "
+                f"giving up ({last_error[envelope.unit_id]})"
+            )
+        todo.append(envelope.unit_id)
+    merged = sorted(
+        (r for results in collected.values() for r in results),
+        key=lambda r: r.trial_index,
+    )
+    expected = sorted(i for unit in units for i in unit.indices)
+    if [r.trial_index for r in merged] != expected:
+        raise DispatchError(
+            "collected results do not cover the planned trials exactly "
+            f"once (got {[r.trial_index for r in merged]!r}, "
+            f"expected {expected!r})"
+        )
+    return merged

@@ -1,0 +1,521 @@
+"""Multi-host dispatch: TCP workers behind the ExecutionBackend seam.
+
+The distributed backend is deliberately *thin*: everything hard —
+shard geometry, submit/collect/retry, canonical-order merge, the
+spawn-safe worker entry — already lives in the transport-agnostic
+:mod:`~repro.engine.dispatch` plane.  This module only adds the
+transport (:class:`SocketTransport`) and the worker process
+(:class:`WorkerServer`, served by ``repro worker serve``), making
+"distributed" one more lane type rather than a fourth copy of the
+dispatch loop.
+
+Protocol (newline-delimited JSON over TCP, one request in flight per
+connection):
+
+* client → worker: a ``unit`` wire document
+  (:func:`~repro.engine.dispatch.unit_to_wire` — versioned, carries
+  the spec as data plus trial indices, mode, and ``max_live``);
+* worker → client: a ``results`` document wrapping one
+  :func:`~repro.engine.spec.result_to_wire` envelope per trial, or an
+  ``error`` document (version mismatch, unknown scenario, malformed
+  unit);
+* a ``ping`` request answers ``pong`` (used to probe liveness).
+
+Workers rebuild scenarios *by name* from their own registry import —
+the same contract that makes ``spawn`` pool workers bit-identical to
+``fork`` — so a remote host executes literally the construction the
+serial backend executes, and ``distributed == hybrid == process ==
+serial`` holds bit for bit, registry-wide
+(``tests/test_distributed.py``, ``tests/test_scenarios.py``).
+
+Failure containment: a worker host that dies mid-sweep surfaces as a
+failure envelope; the collect loop retries the unit on another worker
+with the dead lane excluded, and the sweep completes — still
+bit-identical — as long as one worker survives.  Only when every live
+lane has failed does the sweep raise.
+
+Scope: the wire format authenticates nothing and encrypts nothing —
+run workers on trusted networks (loopback, a private cluster fabric),
+exactly like a ``multiprocessing`` listener.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import socketserver
+import threading
+from typing import (
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from .backends import ExecutionBackend
+from .dispatch import (
+    DispatchPlan,
+    Envelope,
+    Transport,
+    WorkUnit,
+    run_unit,
+    run_units,
+    unit_from_wire,
+    unit_to_wire,
+)
+from .registry import get_runner
+from .spec import (
+    EngineError,
+    ExperimentSpec,
+    TrialResult,
+    WIRE_VERSION,
+    WireFormatError,
+    require_wire,
+    result_from_wire,
+    result_to_wire,
+    wire_dumps,
+    wire_loads,
+)
+
+#: Default TCP port of ``repro worker serve``.
+DEFAULT_PORT = 7045
+
+HostSpec = Union[str, Tuple[str, int]]
+
+
+def parse_hosts(hosts: Sequence[HostSpec]) -> List[Tuple[str, int]]:
+    """Normalise ``host:port`` strings / ``(host, port)`` pairs.
+
+    A bare ``host`` gets :data:`DEFAULT_PORT`.  (IPv6 literals need the
+    tuple form — the string form splits on the last colon.)
+    """
+    parsed: List[Tuple[str, int]] = []
+    for entry in hosts:
+        if isinstance(entry, tuple):
+            host, port = entry
+            parsed.append((str(host), int(port)))
+            continue
+        text = str(entry).strip()
+        if not text:
+            raise EngineError("empty worker host entry")
+        if ":" in text:
+            host, _, port_text = text.rpartition(":")
+            try:
+                parsed.append((host, int(port_text)))
+            except ValueError:
+                raise EngineError(
+                    f"bad worker host {text!r} (expected host:port)"
+                ) from None
+        else:
+            parsed.append((text, DEFAULT_PORT))
+    return parsed
+
+
+# -- the worker process ---------------------------------------------------------------
+
+
+class _WorkerTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    #: Set by :class:`WorkerServer` after construction.
+    owner: "WorkerServer"
+
+
+class _WorkerHandler(socketserver.StreamRequestHandler):
+    """One client connection: serve unit requests until EOF."""
+
+    def _send(self, doc: dict) -> None:
+        self.wfile.write((wire_dumps(doc) + "\n").encode("utf-8"))
+        self.wfile.flush()
+
+    def _error(self, message: str) -> None:
+        self._send(
+            {"version": WIRE_VERSION, "kind": "error", "error": message}
+        )
+
+    def handle(self) -> None:
+        server: "WorkerServer" = self.server.owner
+        while True:
+            if server.crashed:
+                # Simulated (or administratively forced) death: drop the
+                # connection without a reply, exactly what a killed
+                # worker process looks like from the client side.
+                return
+            line = self.rfile.readline()
+            if not line:
+                return
+            try:
+                doc = wire_loads(line.decode("utf-8"))
+            except WireFormatError as exc:
+                self._error(str(exc))
+                continue
+            kind = doc.get("kind") if isinstance(doc, dict) else None
+            if kind == "ping":
+                self._send({"version": WIRE_VERSION, "kind": "pong"})
+                continue
+            if kind != "unit":
+                self._error(f"unsupported request kind {kind!r}")
+                continue
+            if server.note_unit_and_check_crash():
+                return
+            try:
+                unit = unit_from_wire(doc)
+                results = run_unit(unit)
+                self._send(
+                    {
+                        "version": WIRE_VERSION,
+                        "kind": "results",
+                        "results": [result_to_wire(r) for r in results],
+                    }
+                )
+            except Exception as exc:  # report, keep serving
+                self._error(f"{type(exc).__name__}: {exc}")
+
+
+class WorkerServer:
+    """A ``repro`` work-unit server: one TCP listener, threaded handlers.
+
+    Usable two ways: the ``repro worker serve`` CLI constructs one and
+    calls the blocking :meth:`serve_forever`; tests construct one with
+    ``port=0`` (ephemeral) and call :meth:`start` to serve from a
+    daemon thread in-process.
+
+    ``crash_after_units`` is the failure-injection hook behind the
+    worker-kill tests: the server answers that many units normally,
+    then drops every connection without replying — indistinguishable,
+    from the client side, from the worker process being killed
+    mid-sweep.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        crash_after_units: Optional[int] = None,
+    ) -> None:
+        self._server = _WorkerTCPServer((host, port), _WorkerHandler)
+        self._server.owner = self
+        self.host, self.port = self._server.server_address[:2]
+        self.crash_after_units = crash_after_units
+        self.crashed = False
+        self._units_seen = 0
+        self._count_lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._serving = False
+        self._closed = False
+
+    @property
+    def address(self) -> str:
+        """The ``host:port`` string clients dial."""
+        return f"{self.host}:{self.port}"
+
+    def note_unit_and_check_crash(self) -> bool:
+        """Count one received unit; True when the crash budget is spent."""
+        if self.crash_after_units is None:
+            return False
+        with self._count_lock:
+            self._units_seen += 1
+            if self._units_seen > self.crash_after_units:
+                self.crashed = True
+        return self.crashed
+
+    def serve_forever(self) -> None:
+        """Serve until :meth:`close` (blocking; the CLI entry point)."""
+        self._serving = True
+        self._server.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "WorkerServer":
+        """Serve from a daemon thread (the in-process/test entry point)."""
+        if self._thread is not None:
+            return self
+        # Flag before spawning: a close() racing the thread's entry into
+        # serve_forever must go through shutdown() (which BaseServer
+        # handles at any point of that race) rather than closing the
+        # socket under the about-to-serve thread.
+        self._serving = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name=f"repro-worker-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._serving:
+            self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "WorkerServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# -- the transport --------------------------------------------------------------------
+
+
+class _Lane:
+    """One worker host: a persistent connection, one unit in flight."""
+
+    def __init__(self, lane_id: str, host: str, port: int) -> None:
+        self.id = lane_id
+        self.host = host
+        self.port = port
+        self.sock: Optional[socket.socket] = None
+        self.busy = False
+        self.dead = False
+
+    def drop(self) -> None:
+        self.dead = True
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            self.sock = None
+
+
+class SocketTransport(Transport):
+    """Dispatch work units to ``repro worker serve`` hosts over TCP.
+
+    Each worker host is one lane with a persistent connection and at
+    most one unit in flight; all network I/O (connect, send, await the
+    reply) happens on a short-lived exchange thread per submission, so
+    :meth:`try_submit` never blocks on the network and :meth:`collect`
+    simply drains the shared envelope queue.  Any socket failure —
+    refused connect, dropped connection, EOF mid-reply — marks the
+    lane dead and surfaces as a failure envelope, which the collect
+    loop turns into a retry on a surviving lane (this lane excluded).
+    A worker that *answers* with an ``error`` document stays alive
+    (it is reachable and sane — the unit, not the lane, is the
+    problem).
+    """
+
+    name = "socket"
+
+    def __init__(
+        self,
+        hosts: Sequence[HostSpec],
+        connect_timeout: float = 5.0,
+        io_timeout: Optional[float] = None,
+    ) -> None:
+        addresses = parse_hosts(hosts)
+        if not addresses:
+            raise EngineError("socket transport needs at least one host")
+        self.connect_timeout = connect_timeout
+        self.io_timeout = io_timeout
+        self._lanes: List[_Lane] = []
+        seen: dict = {}
+        for host, port in addresses:
+            base = f"{host}:{port}"
+            count = seen.get(base, 0)
+            seen[base] = count + 1
+            lane_id = base if count == 0 else f"{base}#{count}"
+            self._lanes.append(_Lane(lane_id, host, port))
+        self._envelopes: "queue.Queue[Envelope]" = queue.Queue()
+        self._closed = False
+
+    def lanes(self) -> Tuple[str, ...]:
+        return tuple(lane.id for lane in self._lanes if not lane.dead)
+
+    def try_submit(
+        self,
+        unit_id: int,
+        unit: WorkUnit,
+        exclude: FrozenSet[str] = frozenset(),
+    ) -> bool:
+        if self._closed:
+            raise EngineError("socket transport is closed")
+        for lane in self._lanes:
+            if lane.dead or lane.busy or lane.id in exclude:
+                continue
+            lane.busy = True
+            threading.Thread(
+                target=self._exchange,
+                args=(lane, unit_id, unit),
+                name=f"repro-dispatch-{lane.id}",
+                daemon=True,
+            ).start()
+            return True
+        return False
+
+    def _exchange(self, lane: _Lane, unit_id: int, unit: WorkUnit) -> None:
+        """Connect (if needed), send one unit, await one reply."""
+        try:
+            if lane.sock is None:
+                lane.sock = socket.create_connection(
+                    (lane.host, lane.port), timeout=self.connect_timeout
+                )
+                lane.sock.settimeout(self.io_timeout)
+            frame = (wire_dumps(unit_to_wire(unit)) + "\n").encode("utf-8")
+            lane.sock.sendall(frame)
+            line = self._read_line(lane.sock)
+            doc = wire_loads(line.decode("utf-8"))
+            if isinstance(doc, dict) and doc.get("kind") == "error":
+                require_wire(doc, "error")
+                envelope = Envelope(
+                    unit_id=unit_id,
+                    lane=lane.id,
+                    error=f"worker error: {doc.get('error', 'unknown')}",
+                )
+            else:
+                require_wire(doc, "results")
+                results = tuple(
+                    result_from_wire(r) for r in doc["results"]
+                )
+                envelope = Envelope(
+                    unit_id=unit_id, lane=lane.id, results=results
+                )
+        except Exception as exc:
+            lane.drop()
+            envelope = Envelope(
+                unit_id=unit_id,
+                lane=lane.id,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        lane.busy = False
+        self._envelopes.put(envelope)
+
+    @staticmethod
+    def _read_line(sock: socket.socket) -> bytes:
+        """One newline-terminated frame; EOF raises ``ConnectionError``."""
+        chunks: List[bytes] = []
+        while True:
+            byte = sock.recv(4096)
+            if not byte:
+                raise ConnectionError(
+                    "worker closed the connection mid-reply"
+                )
+            chunks.append(byte)
+            if byte.endswith(b"\n"):
+                return b"".join(chunks)
+
+    def collect(self) -> Envelope:
+        return self._envelopes.get()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for lane in self._lanes:
+            lane.drop()
+
+
+# -- the backend ----------------------------------------------------------------------
+
+
+class DistributedBackend(ExecutionBackend):
+    """Dispatch a spec's trials to remote worker hosts.
+
+    Runs *every* registered scenario: asynchronous scenarios ship as
+    ``wave`` units (each host drives a local breadth-first step loop,
+    exactly like a hybrid pool worker), everything else as ``trials``
+    units (isolated :func:`~repro.engine.dispatch.run_one_trial` calls,
+    exactly like a process pool worker).  Either way the results are
+    bit-identical to the serial backend, because seeds derive from the
+    spec and hosts rebuild scenarios by name.
+
+    Unlike the pool backends there is no single-worker serial
+    degradation: asking for the distributed backend means *run it on
+    the workers*, even when there is one worker or one trial.
+
+    Parameters:
+        hosts: worker addresses — ``host:port`` strings or
+            ``(host, port)`` tuples, one ``repro worker serve`` each.
+        unit_size: trials per dispatched unit (``None``: the dispatch
+            plane's default geometry — ~2 waves/host for async
+            scenarios, ~4 chunks/host otherwise).
+        max_live: resident-instance bound within a host's wave.
+        connect_timeout / io_timeout: socket timeouts (``io_timeout``
+            ``None`` waits indefinitely for a unit's results).
+
+    The TCP connections persist across :meth:`run_trials` calls;
+    :meth:`close` drops them (idempotent — the next run reconnects).
+    A run that observed lane deaths (or raised) drops the transport
+    too, so the next run re-dials every configured host — a worker
+    that restarted between sweeps rejoins instead of staying excluded
+    forever.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        hosts: Sequence[HostSpec],
+        unit_size: Optional[int] = None,
+        max_live: int = 64,
+        connect_timeout: float = 5.0,
+        io_timeout: Optional[float] = None,
+    ) -> None:
+        self.addresses = parse_hosts(hosts)
+        if not self.addresses:
+            raise EngineError(
+                "distributed backend needs at least one worker host"
+            )
+        if unit_size is not None and unit_size < 1:
+            raise EngineError("unit_size must be >= 1")
+        self.unit_size = unit_size
+        if max_live < 1:
+            raise EngineError("max_live must be >= 1")
+        self.max_live = max_live
+        self.connect_timeout = connect_timeout
+        self.io_timeout = io_timeout
+        self._transport: Optional[SocketTransport] = None
+
+    def plan(self, spec: ExperimentSpec) -> DispatchPlan:
+        """Wave geometry for async scenarios, chunk geometry otherwise."""
+        runner = get_runner(spec.runner)
+        workers = len(self.addresses)
+        if runner.build_async_instance is not None:
+            return DispatchPlan.waved(
+                spec.trials, self.unit_size, workers, max_live=self.max_live
+            )
+        return DispatchPlan.chunked(spec.trials, self.unit_size, workers)
+
+    def _ensure_transport(self) -> SocketTransport:
+        if self._transport is not None and len(
+            self._transport.lanes()
+        ) < len(self.addresses):
+            # A previous sweep lost lanes.  Worker restarts are routine,
+            # and a dead lane is permanent within one transport — so
+            # reconnect from scratch rather than running degraded (or
+            # bricked) forever on a host set that has since recovered.
+            self.close()
+        if self._transport is None:
+            self._transport = SocketTransport(
+                self.addresses,
+                connect_timeout=self.connect_timeout,
+                io_timeout=self.io_timeout,
+            )
+        return self._transport
+
+    def run_trials(self, spec: ExperimentSpec) -> List[TrialResult]:
+        # Resolve locally first: unknown scenario names should fail
+        # fast at the client, not as N remote error envelopes.
+        get_runner(spec.runner)
+        units = self.plan(spec).units(spec)
+        try:
+            return run_units(units, self._ensure_transport())
+        except BaseException:
+            # An aborted sweep may leave exchanges in flight whose
+            # envelopes would be misattributed by a later run on the
+            # same transport; drop it — the next run reconnects fresh.
+            self.close()
+            raise
+
+    def close(self) -> None:
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None

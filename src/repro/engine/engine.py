@@ -2,14 +2,16 @@
 
 Thin by design — the spec layer owns determinism, backends own
 execution, the aggregate layer owns statistics.  The engine wires them
-together and keeps the timing honest.
+together, keeps the timing honest, and guarantees that a backend's
+held resources (pools, sockets) are released when a run dies on an
+error path.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 from .aggregate import ExperimentResult
 from .async_backend import AsyncBackend
@@ -19,12 +21,20 @@ from .backends import (
     SerialBackend,
 )
 from .batch import BatchBackend
+from .distributed import DistributedBackend
 from .hybrid import HybridBackend
 from .registry import get_runner
 from .spec import EngineError, ExperimentSpec
 
 #: Names accepted by :func:`get_backend` (and the CLI / conftest flags).
-BACKEND_NAMES = ("serial", "process", "batch", "async", "hybrid")
+BACKEND_NAMES = (
+    "serial",
+    "process",
+    "batch",
+    "async",
+    "hybrid",
+    "distributed",
+)
 
 
 def get_backend(
@@ -32,6 +42,7 @@ def get_backend(
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
     wave_size: Optional[int] = None,
+    hosts: Optional[Sequence[str]] = None,
 ) -> ExecutionBackend:
     """Construct a backend from its CLI name."""
     if name == "serial":
@@ -44,13 +55,28 @@ def get_backend(
         return AsyncBackend()
     if name == "hybrid":
         return HybridBackend(workers=workers, wave_size=wave_size)
+    if name == "distributed":
+        if not hosts:
+            raise EngineError(
+                "distributed backend needs worker hosts "
+                "(--hosts host:port[,host:port...])"
+            )
+        return DistributedBackend(
+            hosts=hosts,
+            unit_size=wave_size if wave_size is not None else chunk_size,
+        )
     raise EngineError(
         f"unknown backend {name!r} (choose from {', '.join(BACKEND_NAMES)})"
     )
 
 
 class Engine:
-    """Runs experiment specs on a pluggable backend."""
+    """Runs experiment specs on a pluggable backend.
+
+    Also a context manager: ``with Engine("distributed", ...) as eng``
+    closes the backend (idempotently) on exit, releasing pools and
+    sockets deterministically.
+    """
 
     def __init__(
         self, backend: Union[str, ExecutionBackend, None] = None
@@ -71,13 +97,21 @@ class Engine:
         :class:`~repro.engine.scenario.ScenarioError` (coercion never
         touches trial seeds, which derive from the master seed and
         trial index alone).
+
+        If the backend raises mid-run, its resources are released
+        (``backend.close()``, idempotent) before the error propagates —
+        no orphaned pools or half-open worker sockets on error paths.
         """
         runner = get_runner(spec.runner)
         validated = runner.validate(spec.param_dict(), n=spec.n)
         if validated != spec.param_dict():
             spec = dataclasses.replace(spec, params=validated)
         start = time.perf_counter()
-        trials = self.backend.run_trials(spec)
+        try:
+            trials = self.backend.run_trials(spec)
+        except BaseException:
+            self.backend.close()
+            raise
         elapsed = time.perf_counter() - start
         return ExperimentResult(
             spec=spec,
@@ -85,6 +119,16 @@ class Engine:
             trials=trials,
             elapsed_seconds=elapsed,
         )
+
+    def close(self) -> None:
+        """Release the backend's resources (idempotent)."""
+        self.backend.close()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 def run_experiment(

@@ -6,10 +6,12 @@ large asynchronous sweep leaves every core but one idle.  The
 :class:`~repro.engine.backends.ProcessPoolBackend` uses every core, but
 runs each trial's delivery loop in isolation, paying the per-step
 Python overhead once per trial.  :class:`HybridBackend` composes the
-two moves: the trial list is sharded into contiguous *waves*, each wave
-is dispatched to a ``multiprocessing`` pool worker, and the worker
-drives a full async step loop over its wave locally
-(:func:`~repro.engine.async_backend.run_wave`).  Results merge back in
+two moves: the trial list shards into contiguous *waves*
+(:meth:`DispatchPlan.waved`), each wave is dispatched through the
+shared :mod:`~repro.engine.dispatch` plane to a ``multiprocessing``
+pool worker, and the worker drives a full async step loop over its
+wave locally (the :data:`~repro.engine.dispatch.MODE_WAVE` branch of
+:func:`~repro.engine.dispatch.run_unit`).  Results merge back in
 canonical trial order.
 
 Determinism is inherited twice over:
@@ -18,7 +20,7 @@ Determinism is inherited twice over:
   :class:`~repro.engine.backends.SerialBackend` derives them — no wave
   identity, worker identity or scheduling order enters the derivation;
 * each worker rebuilds the scenario *by name* from the registry
-  (spawn-safe: nothing but the picklable spec crosses the process
+  (spawn-safe: nothing but the picklable work unit crosses the process
   boundary), so every wave executes literally the same construction the
   serial and async backends execute.
 
@@ -36,25 +38,13 @@ actual capabilities instead.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional
 
-from .async_backend import AsyncBackend, run_wave
-from .backends import (
-    ExecutionBackend,
-    chunk_indices,
-    default_worker_count,
-    make_pool,
-)
+from .async_backend import AsyncBackend
+from .backends import ExecutionBackend, default_worker_count
+from .dispatch import DispatchPlan, PoolTransport, run_units
 from .registry import get_runner
 from .spec import EngineError, ExperimentSpec, TrialResult
-
-
-def _worker_run_wave(
-    payload: Tuple[ExperimentSpec, Sequence[int], int]
-) -> List[TrialResult]:
-    """Pool worker: rebuild the scenario by name and drive one wave."""
-    spec, indices, max_live = payload
-    return run_wave(spec, indices, max_live=max_live)
 
 
 class HybridBackend(ExecutionBackend):
@@ -93,12 +83,11 @@ class HybridBackend(ExecutionBackend):
         self.max_live = max_live
         self.start_method = start_method
 
-    def _waves(self, trials: int) -> List[List[int]]:
-        size = self.wave_size
-        if size is None:
-            # ~2 waves per worker (ceil division so nothing is dropped).
-            size = max(1, -(-trials // (self.workers * 2)))
-        return chunk_indices(trials, size, self.workers)
+    def plan(self, trials: int) -> DispatchPlan:
+        """This backend's wave geometry for ``trials`` trials."""
+        return DispatchPlan.waved(
+            trials, self.wave_size, self.workers, max_live=self.max_live
+        )
 
     def run_trials(self, spec: ExperimentSpec) -> List[TrialResult]:
         # Resolve the runner in the parent so unknown names and missing
@@ -113,10 +102,6 @@ class HybridBackend(ExecutionBackend):
         if self.workers == 1 or spec.trials == 1:
             # One lane: skip pool + pickle, keep the async step loop.
             return AsyncBackend(max_live=self.max_live).run_trials(spec)
-        waves = self._waves(spec.trials)
-        payloads = [(spec, wave, self.max_live) for wave in waves]
-        with make_pool(self.workers, self.start_method) as pool:
-            nested = pool.map(_worker_run_wave, payloads)
-        results = [result for wave in nested for result in wave]
-        results.sort(key=lambda r: r.trial_index)
-        return results
+        units = self.plan(spec.trials).units(spec)
+        with PoolTransport(self.workers, self.start_method) as transport:
+            return run_units(units, transport)

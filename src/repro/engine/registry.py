@@ -184,7 +184,9 @@ class Scenario:
     def capabilities(self) -> Tuple[str, ...]:
         """Backend names that execute this scenario *natively*.
 
-        Every scenario runs on ``serial`` and ``process``; a sync
+        Every scenario runs on ``serial``, ``process`` and
+        ``distributed`` (the distributed backend ships async scenarios
+        as waves and everything else as isolated-trial chunks); a sync
         builder adds ``batch``; an async builder adds ``async`` and
         ``hybrid``.  The batch and async backends additionally fall
         back to serial for unsupported scenarios; the hybrid backend
@@ -195,6 +197,7 @@ class Scenario:
             caps.append("batch")
         if self.asynchronous:
             caps.extend(("async", "hybrid"))
+        caps.append("distributed")
         return tuple(caps)
 
     def supports(self, backend_name: str) -> bool:

@@ -15,10 +15,23 @@ that must not change the results.  Two invariants make that hold:
 * **Picklable specs.**  A spec references its runner *by name*; the
   worker process resolves the name against :mod:`repro.engine.registry`
   after import.  Specs therefore cross process boundaries as plain data.
+
+For boundaries where pickling is wrong (remote hosts, mixed library
+versions), this module also defines the engine's **versioned JSON wire
+format**: :func:`spec_to_wire` / :func:`spec_from_wire` for
+:class:`ExperimentSpec` work units and :func:`result_to_wire` /
+:func:`result_from_wire` for :class:`TrialResult` envelopes.  Every
+document carries ``version`` and ``kind`` header fields; decoding
+rejects unknown versions (:class:`WireFormatError`) instead of
+guessing, and non-finite floats are refused in both directions — NaN
+does not round-trip through JSON and must never be smuggled into a
+bit-identical result stream.
 """
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Tuple
 
@@ -28,6 +41,10 @@ from ..net.rng import child_rng, derive_seed
 
 class EngineError(RuntimeError):
     """Raised on engine contract violations (bad specs, unknown runners)."""
+
+
+class WireFormatError(EngineError):
+    """Raised when a wire document is malformed or version-mismatched."""
 
 
 @dataclass(frozen=True)
@@ -199,3 +216,189 @@ class TrialResult:
             ok=ok,
             failure=failure,
         )
+
+
+# -- versioned JSON wire format --------------------------------------------------------
+
+#: Wire format version.  Bump on any incompatible change to the
+#: documents below; decoders reject everything but their own version.
+WIRE_VERSION = 1
+
+
+def require_wire(doc: Any, kind: str) -> Mapping[str, Any]:
+    """Validate a wire document's ``version``/``kind`` header.
+
+    Shared by every decoder (specs, results, work units, the socket
+    transport's frames), so a host running a different engine version
+    fails with one clear :class:`WireFormatError` instead of a shape
+    error deep inside a field-by-field parse.
+    """
+    if not isinstance(doc, Mapping):
+        raise WireFormatError(
+            f"wire document must be a JSON object, got "
+            f"{type(doc).__name__}"
+        )
+    version = doc.get("version")
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"wire version {version!r} is not supported "
+            f"(this engine speaks version {WIRE_VERSION})"
+        )
+    if doc.get("kind") != kind:
+        raise WireFormatError(
+            f"expected wire kind {kind!r}, got {doc.get('kind')!r}"
+        )
+    return doc
+
+
+def _require_finite(value: Any, where: str) -> None:
+    if isinstance(value, float) and not math.isfinite(value):
+        raise WireFormatError(
+            f"non-finite float in {where}: {value!r} (NaN/inf do not "
+            "survive a JSON round trip)"
+        )
+
+
+def wire_dumps(doc: Mapping[str, Any]) -> str:
+    """One wire document as a single JSON line (newline-free).
+
+    ``allow_nan=False`` is the backstop behind the explicit finiteness
+    checks: a NaN that slips past them still fails at encode time
+    rather than emitting non-standard JSON.
+    """
+    try:
+        return json.dumps(
+            doc, allow_nan=False, separators=(",", ":"), sort_keys=True
+        )
+    except (TypeError, ValueError) as exc:
+        raise WireFormatError(f"cannot encode wire document: {exc}") from None
+
+
+def wire_loads(text: str) -> Any:
+    """Parse one wire line; malformed JSON raises :class:`WireFormatError`."""
+    try:
+        return json.loads(text)
+    except ValueError as exc:
+        raise WireFormatError(f"malformed wire document: {exc}") from None
+
+
+#: Parameter value types the wire format carries.  Exactly the types the
+#: Param schema layer coerces to, so every validated spec is wireable.
+_WIRE_PARAM_TYPES = (bool, int, float, str, type(None))
+
+
+def spec_to_wire(spec: ExperimentSpec) -> Dict[str, Any]:
+    """An :class:`ExperimentSpec` as a version-1 wire document."""
+    params = []
+    for key, value in spec.params:
+        if not isinstance(key, str):
+            raise WireFormatError(
+                f"param keys must be strings, got {key!r}"
+            )
+        if not isinstance(value, _WIRE_PARAM_TYPES):
+            raise WireFormatError(
+                f"param {key!r} has unwireable type "
+                f"{type(value).__name__} (scalars and strings only)"
+            )
+        _require_finite(value, f"param {key!r}")
+        params.append([key, value])
+    return {
+        "version": WIRE_VERSION,
+        "kind": "spec",
+        "runner": spec.runner,
+        "n": spec.n,
+        "trials": spec.trials,
+        "seed": spec.seed,
+        "params": params,
+    }
+
+
+def spec_from_wire(doc: Any) -> ExperimentSpec:
+    """Decode a spec document; inverse of :func:`spec_to_wire`."""
+    require_wire(doc, "spec")
+    try:
+        raw_params = doc["params"]
+        params = []
+        for pair in raw_params:
+            key, value = pair
+            if not isinstance(key, str) or not isinstance(
+                value, _WIRE_PARAM_TYPES
+            ):
+                raise WireFormatError(
+                    f"malformed wire param entry: {pair!r}"
+                )
+            _require_finite(value, f"param {key!r}")
+            params.append((key, value))
+        return ExperimentSpec(
+            runner=str(doc["runner"]),
+            n=int(doc["n"]),
+            trials=int(doc["trials"]),
+            seed=int(doc["seed"]),
+            params=tuple(params),
+        )
+    except WireFormatError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireFormatError(f"malformed spec document: {exc}") from None
+
+
+def _ledger_to_wire(ledger: LedgerStats) -> Dict[str, Any]:
+    return {
+        "total_bits": ledger.total_bits,
+        "total_messages": ledger.total_messages,
+        "max_bits_per_processor": ledger.max_bits_per_processor,
+        "rounds": ledger.rounds,
+        "phase_bits": [[phase, bits] for phase, bits in ledger.phase_bits],
+    }
+
+
+def _ledger_from_wire(doc: Mapping[str, Any]) -> LedgerStats:
+    return LedgerStats(
+        total_bits=int(doc["total_bits"]),
+        total_messages=int(doc["total_messages"]),
+        max_bits_per_processor=int(doc["max_bits_per_processor"]),
+        rounds=int(doc["rounds"]),
+        phase_bits=tuple(
+            (str(phase), int(bits)) for phase, bits in doc["phase_bits"]
+        ),
+    )
+
+
+def result_to_wire(result: TrialResult) -> Dict[str, Any]:
+    """A :class:`TrialResult` envelope as a version-1 wire document."""
+    metrics = []
+    for key, value in result.metrics:
+        _require_finite(value, f"metric {key!r}")
+        metrics.append([key, value])
+    return {
+        "version": WIRE_VERSION,
+        "kind": "result",
+        "trial_index": result.trial_index,
+        "seed": result.seed,
+        "metrics": metrics,
+        "ledger": _ledger_to_wire(result.ledger),
+        "ok": result.ok,
+        "failure": result.failure,
+    }
+
+
+def result_from_wire(doc: Any) -> TrialResult:
+    """Decode a result envelope; inverse of :func:`result_to_wire`."""
+    require_wire(doc, "result")
+    try:
+        metrics = []
+        for key, value in doc["metrics"]:
+            _require_finite(value, f"metric {key!r}")
+            metrics.append((str(key), float(value)))
+        return TrialResult(
+            trial_index=int(doc["trial_index"]),
+            seed=int(doc["seed"]),
+            metrics=tuple(metrics),
+            ledger=_ledger_from_wire(doc["ledger"]),
+            ok=bool(doc["ok"]),
+            failure=str(doc["failure"]),
+        )
+    except WireFormatError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireFormatError(f"malformed result document: {exc}") from None

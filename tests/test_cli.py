@@ -290,3 +290,55 @@ def test_run_experiment_zero_trials(capsys):
 def test_run_experiment_bad_param():
     with pytest.raises(SystemExit):
         main(["run-experiment", "--param", "not-a-pair", "--trials", "1"])
+
+
+# -- distributed backend and the worker subcommand --------------------------------------
+
+
+def test_worker_serve_parser():
+    parser = build_parser()
+    args = parser.parse_args(["worker", "serve", "--port", "0"])
+    assert args.worker_command == "serve"
+    assert args.port == 0
+    assert args.host == "127.0.0.1"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["worker"])  # subcommand required
+
+
+def test_run_experiment_distributed_requires_hosts(capsys):
+    assert main(
+        ["run-experiment", "--name", "vss-coin", "-n", "7",
+         "--trials", "1", "--backend", "distributed"]
+    ) == 2
+    assert "--hosts" in capsys.readouterr().err
+
+
+def test_run_experiment_distributed_against_loopback_workers(capsys):
+    """The CLI's distributed leg end to end: two in-process workers,
+    one sweep, aggregates identical to the serial leg."""
+    from repro.engine import WorkerServer
+
+    with WorkerServer() as w1, WorkerServer() as w2:
+        assert main(
+            ["run-experiment", "--name", "bracha-broadcast", "-n", "5",
+             "--trials", "6", "--seed", "4", "--backend", "distributed",
+             "--hosts", f"{w1.address},{w2.address}"]
+        ) == 0
+        assert main(
+            ["run-experiment", "--name", "bracha-broadcast", "-n", "5",
+             "--trials", "6", "--seed", "4", "--backend", "serial"]
+        ) == 0
+    out = capsys.readouterr().out
+    tables = [
+        block for block in out.split("=== ")
+        if block.startswith("bracha-broadcast")
+    ]
+    assert len(tables) == 2
+    bodies = [
+        "\n".join(
+            line for line in block.splitlines()
+            if "backend" not in line and "[" not in line
+        )
+        for block in tables
+    ]
+    assert bodies[0] == bodies[1]

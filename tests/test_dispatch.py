@@ -1,0 +1,257 @@
+"""Tests for the transport-agnostic dispatch plane.
+
+The dispatch plane's contract, pinned piece by piece:
+
+* **DispatchPlan** is the single home of shard geometry — chunk and
+  wave sizing match the backends' historical defaults exactly, and
+  every plan covers each trial exactly once.
+* **run_unit** is the one spawn-safe worker entry: ``trials`` units
+  reproduce the serial path, ``wave`` units reproduce the async path.
+* **run_units** (the collect loop) keeps lanes fed, retries failed
+  units on other lanes with the failing lane excluded, raises instead
+  of returning partial results, and merges in canonical trial order —
+  scripted through a fake transport so every branch is deterministic.
+"""
+
+import pytest
+
+from repro.engine import (
+    AsyncBackend,
+    DispatchError,
+    DispatchPlan,
+    EngineError,
+    Envelope,
+    ExperimentSpec,
+    InlineTransport,
+    SerialBackend,
+    Transport,
+    WorkUnit,
+    run_unit,
+    run_units,
+)
+from repro.engine.dispatch import MODE_TRIALS, MODE_WAVE, unit_from_wire, unit_to_wire
+
+
+def _spec(runner="vss-coin", n=7, trials=4, seed=5, **params):
+    return ExperimentSpec(
+        runner=runner, n=n, trials=trials, seed=seed, params=params
+    )
+
+
+# -- plan geometry ---------------------------------------------------------------------
+
+
+def test_plan_validation():
+    with pytest.raises(EngineError, match="trial"):
+        DispatchPlan(trials=0, unit_size=1)
+    with pytest.raises(EngineError, match="unit_size"):
+        DispatchPlan(trials=4, unit_size=0)
+    with pytest.raises(EngineError, match="mode"):
+        DispatchPlan(trials=4, unit_size=1, mode="teleport")
+    with pytest.raises(EngineError, match="mode"):
+        WorkUnit(spec=_spec(), indices=(0,), mode="teleport")
+
+
+def test_chunked_matches_historic_process_geometry():
+    # Explicit size: contiguous slices of that size.
+    assert DispatchPlan.chunked(7, 3, 2).indices() == [
+        [0, 1, 2], [3, 4, 5], [6]
+    ]
+    # Auto size: ~4 chunks per worker, floor division, minimum 1.
+    assert DispatchPlan.chunked(4, None, 2).unit_size == 1
+    assert DispatchPlan.chunked(64, None, 2).unit_size == 8
+    for trials in (1, 2, 7, 24, 25, 100):
+        for size in (None, 1, 3, 7, 200):
+            plan = DispatchPlan.chunked(trials, size, 3)
+            flat = [i for unit in plan.indices() for i in unit]
+            assert flat == list(range(trials)), (trials, size)
+
+
+def test_waved_matches_historic_hybrid_geometry():
+    # Auto size: ~2 waves per worker, ceil division.
+    assert DispatchPlan.waved(25, None, 3).unit_size == 5
+    assert DispatchPlan.waved(1, None, 3).unit_size == 1
+    plan = DispatchPlan.waved(10, 4, 2, max_live=16)
+    assert plan.mode == MODE_WAVE
+    assert plan.max_live == 16
+    assert plan.indices() == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+
+def test_units_carry_spec_mode_and_reject_mismatched_trials():
+    spec = _spec(trials=5)
+    plan = DispatchPlan.chunked(5, 2, 2)
+    units = plan.units(spec)
+    assert [u.indices for u in units] == [(0, 1), (2, 3), (4,)]
+    assert all(u.spec == spec and u.mode == MODE_TRIALS for u in units)
+    with pytest.raises(EngineError, match="plan covers"):
+        plan.units(_spec(trials=6))
+
+
+# -- run_unit, the unified worker entry ------------------------------------------------
+
+
+def test_run_unit_trials_mode_matches_serial_slice():
+    spec = _spec(trials=5)
+    serial = SerialBackend().run_trials(spec)
+    unit = WorkUnit(spec=spec, indices=(1, 3), mode=MODE_TRIALS)
+    assert run_unit(unit) == [serial[1], serial[3]]
+
+
+def test_run_unit_wave_mode_matches_async_slice():
+    spec = _spec(runner="bracha-broadcast", n=5, trials=6, seed=3)
+    serial = SerialBackend().run_trials(spec)
+    unit = WorkUnit(
+        spec=spec, indices=(4, 1, 3), mode=MODE_WAVE, max_live=2
+    )
+    # Index order out, whatever order in (the wave driver's contract).
+    assert run_unit(unit) == [serial[1], serial[3], serial[4]]
+    assert AsyncBackend().run_trials(spec) == serial
+
+
+def test_work_unit_wire_round_trip():
+    spec = _spec(runner="bracha-broadcast", n=5, trials=6, seed=3)
+    unit = WorkUnit(spec=spec, indices=(0, 2), mode=MODE_WAVE, max_live=8)
+    assert unit_from_wire(unit_to_wire(unit)) == unit
+    plain = WorkUnit(spec=_spec(), indices=(1,))
+    assert unit_from_wire(unit_to_wire(plain)) == plain
+
+
+# -- the collect loop, scripted --------------------------------------------------------
+
+
+class ScriptedTransport(Transport):
+    """Scriptable lanes: chosen (unit, lane) pairs fail, the rest run.
+
+    ``fail`` maps ``(unit_id, lane)`` to an error string; a submitted
+    unit matching an entry yields a failure envelope and kills that
+    lane (what a dead worker host looks like), so retry/exclusion paths
+    are exercised deterministically and in-process.
+    """
+
+    name = "scripted"
+
+    def __init__(self, units, fail=None, lanes=("lane-a", "lane-b")):
+        self._units = units
+        self._lane_ids = list(lanes)
+        self._busy = {lane: None for lane in self._lane_ids}
+        self._dead = set()
+        self.fail = dict(fail or {})
+        self.submissions = []  # (unit_id, lane) in submission order
+
+    def lanes(self):
+        return tuple(
+            lane for lane in self._lane_ids if lane not in self._dead
+        )
+
+    def try_submit(self, unit_id, unit, exclude=frozenset()):
+        for lane in self._lane_ids:
+            if lane in self._dead or lane in exclude:
+                continue
+            if self._busy[lane] is None:
+                self._busy[lane] = (unit_id, unit)
+                self.submissions.append((unit_id, lane))
+                return True
+        return False
+
+    def collect(self):
+        for lane in self._lane_ids:
+            if self._busy[lane] is not None:
+                unit_id, unit = self._busy[lane]
+                self._busy[lane] = None
+                key = (unit_id, lane)
+                if key in self.fail:
+                    # A failing lane is a dead lane, like a killed host.
+                    self._dead.add(lane)
+                    return Envelope(
+                        unit_id=unit_id, lane=lane, error=self.fail[key]
+                    )
+                return Envelope(
+                    unit_id=unit_id,
+                    lane=lane,
+                    results=tuple(run_unit(unit)),
+                )
+        raise AssertionError("collect() with nothing in flight")
+
+
+def test_run_units_inline_matches_serial():
+    spec = _spec(trials=6)
+    units = DispatchPlan.chunked(6, 2, 2).units(spec)
+    assert run_units(units, InlineTransport()) == (
+        SerialBackend().run_trials(spec)
+    )
+    assert run_units([], InlineTransport()) == []
+
+
+def test_run_units_retries_on_surviving_lane_with_exclusion():
+    """A lane that kills a unit is excluded from the retry; the sweep
+    completes on the survivor, bit-identical to serial."""
+    spec = _spec(trials=6)
+    units = DispatchPlan.chunked(6, 2, 2).units(spec)
+    transport = ScriptedTransport(
+        units, fail={(0, "lane-a"): "worker killed"}
+    )
+    assert run_units(units, transport) == SerialBackend().run_trials(spec)
+    # Unit 0 went to lane-a first, then was retried — on lane-b only.
+    retries = [lane for uid, lane in transport.submissions if uid == 0]
+    assert retries[0] == "lane-a"
+    assert all(lane == "lane-b" for lane in retries[1:])
+    assert len(retries) >= 2
+
+
+def test_run_units_raises_when_every_lane_fails_a_unit():
+    spec = _spec(trials=4)
+    units = DispatchPlan.chunked(4, 2, 2).units(spec)
+    transport = ScriptedTransport(
+        units,
+        fail={(0, "lane-a"): "killed", (0, "lane-b"): "killed again"},
+    )
+    with pytest.raises(DispatchError, match="every dispatch lane is dead|every live lane"):
+        run_units(units, transport)
+
+
+def test_run_units_respects_max_attempts():
+    spec = _spec(trials=2)
+    units = DispatchPlan.chunked(2, 1, 2).units(spec)
+    transport = ScriptedTransport(
+        units, fail={(0, "lane-a"): "flaky"}, lanes=("lane-a",)
+    )
+    with pytest.raises(DispatchError, match="failed 1 time"):
+        run_units(units, transport, max_attempts=1)
+
+
+def test_run_units_rejects_wrong_trial_coverage():
+    """A worker returning the wrong trials is an error, never a silent
+    hole in the sweep."""
+    spec = _spec(trials=4)
+    units = DispatchPlan.chunked(4, 2, 2).units(spec)
+    serial = SerialBackend().run_trials(spec)
+
+    class LyingTransport(InlineTransport):
+        def try_submit(self, unit_id, unit, exclude=frozenset()):
+            # Every unit answers with trial 0's result only.
+            self._ready.append(
+                Envelope(
+                    unit_id=unit_id,
+                    lane="inline",
+                    results=(serial[0],),
+                )
+            )
+            return True
+
+    with pytest.raises(DispatchError, match="exactly"):
+        run_units(units, LyingTransport())
+
+
+def test_inline_transport_contains_unit_crash_as_envelope():
+    bad_unit = WorkUnit(
+        spec=_spec(runner="vss-coin", trials=2),
+        indices=(0, 1),
+        mode=MODE_WAVE,  # vss-coin has no async builder -> run_unit raises
+    )
+    transport = InlineTransport()
+    assert transport.try_submit(0, bad_unit)
+    envelope = transport.collect()
+    assert not envelope.ok
+    assert "async" in envelope.error
+    with pytest.raises(DispatchError, match="failed"):
+        run_units([bad_unit], InlineTransport())

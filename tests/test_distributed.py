@@ -1,0 +1,298 @@
+"""Tests for the multi-host distributed backend and its socket plumbing.
+
+Everything here runs against real TCP sockets on loopback —
+:class:`WorkerServer` instances serving from daemon threads are
+byte-for-byte the same code path ``repro worker serve`` runs in a
+separate process (the CI job exercises that spawn path).  Pinned:
+
+* **parity** — distributed == hybrid == process == serial, for sync
+  (chunk-mode) and async (wave-mode) scenarios, at several unit sizes;
+* **worker death mid-sweep** — a worker that answers some units and
+  then drops connections (indistinguishable from a killed process) is
+  excluded and its units retried on the survivor; results stay
+  bit-identical; a dead address (nothing listening) is rebalanced the
+  same way; when *every* worker is dead the sweep raises instead of
+  returning partial results;
+* **lifecycle** — idempotent close, context-manager use, reuse after
+  close (lazy reconnect).
+"""
+
+import socket
+
+import pytest
+
+from repro.engine import (
+    AsyncBackend,
+    DispatchError,
+    DistributedBackend,
+    Engine,
+    EngineError,
+    ExperimentSpec,
+    HybridBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    SocketTransport,
+    WorkerServer,
+    get_backend,
+    parse_hosts,
+)
+from repro.engine.engine import BACKEND_NAMES
+
+
+def _async_spec(trials=6, seed=3):
+    return ExperimentSpec(
+        runner="bracha-broadcast", n=5, trials=trials, seed=seed
+    )
+
+
+def _sync_spec(trials=5, seed=11):
+    return ExperimentSpec(runner="vss-coin", n=7, trials=trials, seed=seed)
+
+
+def _dead_port():
+    """A port that was bound and released: nothing listens there."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+@pytest.fixture()
+def workers():
+    servers = [WorkerServer().start(), WorkerServer().start()]
+    yield servers
+    for server in servers:
+        server.close()
+
+
+# -- host parsing ----------------------------------------------------------------------
+
+
+def test_parse_hosts():
+    assert parse_hosts(["10.0.0.1:7045", ("h", 9)]) == [
+        ("10.0.0.1", 7045),
+        ("h", 9),
+    ]
+    assert parse_hosts(["bare-host"]) == [("bare-host", 7045)]
+    with pytest.raises(EngineError, match="host:port"):
+        parse_hosts(["host:notaport"])
+    with pytest.raises(EngineError, match="empty"):
+        parse_hosts([" "])
+    with pytest.raises(EngineError, match="host"):
+        DistributedBackend([])
+
+
+# -- parity: the acceptance criterion --------------------------------------------------
+
+
+def test_distributed_equals_hybrid_equals_process_equals_serial(workers):
+    """The headline chain, both scenario families, all through the
+    shared dispatch core."""
+    hosts = [w.address for w in workers]
+
+    async_spec = _async_spec(trials=8, seed=17)
+    serial = SerialBackend().run_trials(async_spec)
+    process = ProcessPoolBackend(workers=2, chunk_size=3).run_trials(
+        async_spec
+    )
+    hybrid = HybridBackend(workers=2, wave_size=3).run_trials(async_spec)
+    with DistributedBackend(hosts, unit_size=3) as dist:
+        distributed = dist.run_trials(async_spec)
+    assert distributed == hybrid == process == serial
+
+    sync_spec = _sync_spec(trials=5)
+    serial_sync = SerialBackend().run_trials(sync_spec)
+    process_sync = ProcessPoolBackend(workers=2, chunk_size=2).run_trials(
+        sync_spec
+    )
+    with DistributedBackend(hosts, unit_size=2) as dist:
+        distributed_sync = dist.run_trials(sync_spec)
+    assert distributed_sync == process_sync == serial_sync
+
+
+def test_unit_size_is_unobservable(workers):
+    hosts = [w.address for w in workers]
+    spec = _async_spec(trials=7, seed=5)
+    serial = SerialBackend().run_trials(spec)
+    for unit_size in (1, 2, 5, 100, None):
+        with DistributedBackend(hosts, unit_size=unit_size) as dist:
+            assert dist.run_trials(spec) == serial, f"unit_size={unit_size}"
+
+
+def test_distributed_through_engine_and_get_backend(workers):
+    hosts = [w.address for w in workers]
+    assert "distributed" in BACKEND_NAMES
+    backend = get_backend("distributed", wave_size=2, hosts=hosts)
+    assert isinstance(backend, DistributedBackend)
+    assert backend.unit_size == 2
+    spec = _async_spec(trials=4)
+    with Engine(backend) as engine:
+        result = engine.run(spec)
+    assert result.backend == "distributed"
+    assert list(result.trials) == SerialBackend().run_trials(spec)
+
+
+def test_get_backend_distributed_requires_hosts():
+    with pytest.raises(EngineError, match="hosts"):
+        get_backend("distributed")
+
+
+def test_distributed_contains_trial_crashes_like_serial(workers):
+    """Protocol crashes are trial-level failures, not lane failures:
+    the sweep completes with the same failed TrialResult rows serial
+    produces.  (Built-in scenario, so remote registries resolve it.)"""
+    hosts = [w.address for w in workers]
+    # dealer=9 passes value-level validation without n and fails inside
+    # the builder at runtime — on the worker, not in the client.
+    spec = ExperimentSpec(
+        runner="bracha-broadcast", n=5, trials=3, seed=2,
+        params={"dealer": 9},
+    )
+    serial = SerialBackend().run_trials(spec)
+    assert all(not t.ok for t in serial)
+    with DistributedBackend(hosts, unit_size=1) as dist:
+        assert dist.run_trials(spec) == serial
+
+
+# -- worker death, retry, rebalance ----------------------------------------------------
+
+
+def test_worker_killed_mid_sweep_is_retried_on_survivor():
+    """The acceptance criterion's kill test: a worker that dies after
+    answering one unit loses its in-flight unit; the dispatch plane
+    excludes the dead lane, reruns the unit on the survivor, and the
+    sweep stays bit-identical to serial."""
+    spec = _async_spec(trials=6, seed=9)
+    serial = SerialBackend().run_trials(spec)
+    crashing = WorkerServer(crash_after_units=1).start()
+    healthy = WorkerServer().start()
+    try:
+        with DistributedBackend(
+            [crashing.address, healthy.address], unit_size=1
+        ) as dist:
+            assert dist.run_trials(spec) == serial
+        assert crashing.crashed  # the kill actually happened mid-sweep
+    finally:
+        crashing.close()
+        healthy.close()
+
+
+def test_restarted_worker_rejoins_on_the_next_run():
+    """A lane lost in one sweep is re-dialed on the next run_trials:
+    a worker that restarted between sweeps rejoins instead of the
+    backend running degraded forever on its surviving hosts."""
+    spec = _sync_spec(trials=4)
+    serial = SerialBackend().run_trials(spec)
+    port = _dead_port()
+    healthy = WorkerServer().start()
+    backend = DistributedBackend(
+        [f"127.0.0.1:{port}", healthy.address],
+        unit_size=1,
+        connect_timeout=1.0,
+    )
+    try:
+        assert backend.run_trials(spec) == serial  # degraded: one lane
+        assert len(backend._transport.lanes()) == 1
+        revived = WorkerServer(port=port).start()  # the worker returns
+        try:
+            assert backend.run_trials(spec) == serial
+            assert len(backend._transport.lanes()) == 2  # both rejoined
+        finally:
+            revived.close()
+    finally:
+        healthy.close()
+        backend.close()
+
+
+def test_worker_dead_from_the_start_is_rebalanced():
+    spec = _sync_spec(trials=4)
+    serial = SerialBackend().run_trials(spec)
+    healthy = WorkerServer().start()
+    try:
+        with DistributedBackend(
+            [f"127.0.0.1:{_dead_port()}", healthy.address],
+            unit_size=1,
+            connect_timeout=1.0,
+        ) as dist:
+            assert dist.run_trials(spec) == serial
+    finally:
+        healthy.close()
+
+
+def test_all_workers_dead_raises_instead_of_partial_results():
+    spec = _sync_spec(trials=4)
+    backend = DistributedBackend(
+        [f"127.0.0.1:{_dead_port()}", f"127.0.0.1:{_dead_port()}"],
+        unit_size=1,
+        connect_timeout=0.5,
+    )
+    with pytest.raises(DispatchError):
+        backend.run_trials(spec)
+    backend.close()
+
+
+def test_socket_transport_lane_death_is_visible():
+    transport = SocketTransport(
+        [f"127.0.0.1:{_dead_port()}"], connect_timeout=0.5
+    )
+    from repro.engine import WorkUnit
+
+    assert transport.lanes()  # optimistic until proven dead
+    assert transport.try_submit(
+        0, WorkUnit(spec=_sync_spec(trials=1), indices=(0,))
+    )
+    envelope = transport.collect()
+    assert not envelope.ok
+    assert transport.lanes() == ()  # the refused connect killed the lane
+    transport.close()
+    transport.close()  # idempotent
+
+
+# -- lifecycle -------------------------------------------------------------------------
+
+
+def test_distributed_backend_reusable_after_close(workers):
+    hosts = [w.address for w in workers]
+    spec = _async_spec(trials=4)
+    backend = DistributedBackend(hosts, unit_size=2)
+    first = backend.run_trials(spec)
+    backend.close()
+    backend.close()  # idempotent
+    assert backend.run_trials(spec) == first  # lazy reconnect
+    backend.close()
+
+
+def test_distributed_constructor_validation(workers):
+    hosts = [w.address for w in workers]
+    with pytest.raises(EngineError, match="unit_size"):
+        DistributedBackend(hosts, unit_size=0)
+    with pytest.raises(EngineError, match="max_live"):
+        DistributedBackend(hosts, max_live=0)
+
+
+def test_unknown_scenario_fails_fast_in_the_client(workers):
+    backend = DistributedBackend([w.address for w in workers])
+    with pytest.raises(EngineError, match="unknown experiment runner"):
+        backend.run_trials(
+            ExperimentSpec(runner="no-such-scenario", n=3, trials=1)
+        )
+    backend.close()
+
+
+def test_worker_server_close_is_idempotent():
+    server = WorkerServer().start()
+    server.close()
+    server.close()
+    unstarted = WorkerServer()
+    unstarted.close()  # never served: still safe
+
+
+def test_async_wave_mode_matches_in_process_async(workers):
+    """Distributed wave units reproduce the async backend exactly —
+    the same run_wave driver runs on the remote side."""
+    hosts = [w.address for w in workers]
+    spec = _async_spec(trials=6, seed=21)
+    stepped = AsyncBackend(max_live=4).run_trials(spec)
+    with DistributedBackend(hosts, unit_size=2, max_live=4) as dist:
+        assert dist.run_trials(spec) == stepped

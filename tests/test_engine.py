@@ -110,7 +110,7 @@ def test_serial_process_batch_bit_identical(spec):
 def test_process_pool_chunking_covers_all_trials():
     backend = ProcessPoolBackend(workers=3, chunk_size=None)
     for trials in (1, 2, 7, 24, 25):
-        chunks = backend._chunks(trials)
+        chunks = backend.plan(trials).indices()
         flat = [i for chunk in chunks for i in chunk]
         assert flat == list(range(trials))
 
@@ -121,6 +121,73 @@ def test_single_worker_pool_degrades_to_serial():
         ProcessPoolBackend(workers=1).run_trials(spec)
         == SerialBackend().run_trials(spec)
     )
+
+
+# -- backend lifecycle: idempotent close, context managers ------------------------------
+
+
+def test_backends_are_idempotently_closable_context_managers():
+    """Every backend supports `with backend:` and double-close —
+    the lifecycle contract pools/sockets hang off."""
+    from repro.engine import AsyncBackend, HybridBackend
+
+    backends = [
+        SerialBackend(),
+        ProcessPoolBackend(workers=2),
+        BatchBackend(),
+        AsyncBackend(),
+        HybridBackend(workers=2),
+    ]
+    for backend in backends:
+        with backend as entered:
+            assert entered is backend
+        backend.close()
+        backend.close()  # idempotent
+
+
+def test_backend_usable_after_close():
+    """close() releases resources but leaves the backend reusable."""
+    spec = ExperimentSpec(runner="vss-coin", n=7, trials=2, seed=1)
+    backend = ProcessPoolBackend(workers=2, chunk_size=1)
+    first = backend.run_trials(spec)
+    backend.close()
+    assert backend.run_trials(spec) == first
+
+
+def test_engine_releases_backend_on_error_paths():
+    """A backend that dies mid-run is closed before the error
+    propagates — no orphaned pools or sockets."""
+
+    class ExplodingBackend(SerialBackend):
+        def __init__(self):
+            self.closed = 0
+
+        def run_trials(self, spec):
+            raise RuntimeError("backend blew up")
+
+        def close(self):
+            self.closed += 1
+
+    backend = ExplodingBackend()
+    spec = ExperimentSpec(runner="vss-coin", n=7, trials=1, seed=0)
+    with pytest.raises(RuntimeError, match="backend blew up"):
+        Engine(backend).run(spec)
+    assert backend.closed == 1
+
+
+def test_engine_is_a_context_manager():
+    class ClosableBackend(SerialBackend):
+        def __init__(self):
+            self.closed = 0
+
+        def close(self):
+            self.closed += 1
+
+    backend = ClosableBackend()
+    spec = ExperimentSpec(runner="vss-coin", n=7, trials=1, seed=0)
+    with Engine(backend) as engine:
+        assert engine.run(spec).failure_count == 0
+    assert backend.closed == 1
 
 
 # -- ledger merge arithmetic -----------------------------------------------------------

@@ -39,24 +39,43 @@ def _bracha_spec(trials: int = 6, seed: int = 3) -> ExperimentSpec:
     )
 
 
-# -- wave geometry --------------------------------------------------------------------
+# -- wave geometry (lives in DispatchPlan; backends expose it via .plan()) -------------
 
 
 def test_waves_cover_every_trial_exactly_once():
     for wave_size in (None, 1, 2, 3, 5, 100):
         backend = HybridBackend(workers=3, wave_size=wave_size)
         for trials in (1, 2, 7, 24, 25):
-            flat = [i for wave in backend._waves(trials) for i in wave]
+            flat = [
+                i for wave in backend.plan(trials).indices() for i in wave
+            ]
             assert flat == list(range(trials)), (wave_size, trials)
 
 
-def test_chunk_indices_is_shared_and_contiguous():
+def test_geometry_lives_in_dispatch_plan_with_deprecated_alias():
+    from repro.engine import DispatchPlan
+
+    # The deprecated chunk_indices alias and the plan agree exactly.
     assert chunk_indices(7, 3, 2) == [[0, 1, 2], [3, 4, 5], [6]]
     assert chunk_indices(4, None, 2) == [[0], [1], [2], [3]]
-    # ProcessPoolBackend chunks through the same helper.
-    assert ProcessPoolBackend(workers=2, chunk_size=3)._chunks(7) == (
+    for trials, size, workers in ((7, 3, 2), (4, None, 2), (25, None, 3)):
+        assert chunk_indices(trials, size, workers) == (
+            DispatchPlan.chunked(trials, size, workers).indices()
+        )
+    # Both pool backends shard through the same plan type.
+    assert ProcessPoolBackend(workers=2, chunk_size=3).plan(7).indices() == (
         chunk_indices(7, 3, 2)
     )
+    assert HybridBackend(workers=2, wave_size=3).plan(7).indices() == (
+        DispatchPlan.waved(7, 3, 2).indices()
+    )
+
+
+def test_make_pool_alias_still_builds_working_pools():
+    from repro.engine import make_pool
+
+    with make_pool(2) as pool:
+        assert pool.map(abs, [-1, 2, -3]) == [1, 2, 3]
 
 
 def test_hybrid_constructor_validation():

@@ -32,6 +32,7 @@ def test_quick_suites_emit_the_declared_schema():
         "e17_row_check_n64",
         "e19_vss_coin",
         "sim_round_loop_n32",
+        "dispatch_overhead",
     }
     for name in ("e9_reconstruct_n64", "e17_row_check_n64"):
         suite = suites[name]
@@ -41,6 +42,10 @@ def test_quick_suites_emit_the_declared_schema():
     assert suites["sim_round_loop_n32"]["parity"] is True
     assert "speedup" not in suites["sim_round_loop_n32"]  # not gated
     assert suites["e19_vss_coin"]["seconds"] > 0
+    dispatch = suites["dispatch_overhead"]
+    assert dispatch["parity"] is True
+    assert dispatch["dispatch_us_per_unit"] >= 0
+    assert "speedup" not in dispatch  # trend-only, never gated
 
 
 def test_compare_flags_only_real_speedup_regressions():

@@ -4,11 +4,12 @@ Three contracts pinned here:
 
 * **Backend parity, registry-wide** — every registered (schema-declared)
   scenario returns bit-identical trial lists on the serial and
-  process-pool backends, on the batch backend where batchable, and on
+  process-pool backends, on the batch backend where batchable, on
   the async and hybrid backends where asynchronous (hybrid at odd wave
-  sizes included: 1, 3, and larger than the trial count).  This is the
-  acceptance property of the scenario redesign and of every backend
-  added since: execution mode is unobservable.
+  sizes included: 1, 3, and larger than the trial count), and on the
+  distributed backend against loopback TCP workers — wire round trip
+  included.  This is the acceptance property of the scenario redesign
+  and of every backend added since: execution mode is unobservable.
 * **Schema validation** — unknown parameter keys are rejected with a
   did-you-mean hint, ill-typed values with the expected type, raw CLI
   strings coerce to the declared types without touching trial seeds,
@@ -44,6 +45,17 @@ from repro.engine import (
 DECLARED = scenario_names(declared_only=True)
 
 
+@pytest.fixture(scope="module")
+def loopback_workers():
+    """Two in-process `repro worker serve` instances on ephemeral ports."""
+    from repro.engine import WorkerServer
+
+    servers = [WorkerServer().start(), WorkerServer().start()]
+    yield [server.address for server in servers]
+    for server in servers:
+        server.close()
+
+
 def _smoke_spec(name: str, trials: int = 2, **overrides) -> ExperimentSpec:
     """The scenario's own cheap configuration, as used by CI smoke."""
     runner = get_scenario(name)
@@ -72,7 +84,9 @@ def test_registry_covers_the_protocol_stack():
 
 
 @pytest.mark.parametrize("name", DECLARED)
-def test_every_scenario_bit_identical_across_backends(name):
+def test_every_scenario_bit_identical_across_backends(
+    name, loopback_workers
+):
     runner = get_scenario(name)
     spec = _smoke_spec(name)
     serial = SerialBackend().run_trials(spec)
@@ -92,6 +106,14 @@ def test_every_scenario_bit_identical_across_backends(name):
                 workers=2, wave_size=wave_size
             ).run_trials(spec)
             assert sharded == serial, f"wave_size={wave_size}"
+    # Distributed parity, registry-wide: every scenario ships over the
+    # wire to two TCP workers (waves for async scenarios, chunks
+    # otherwise) and comes back bit-identical through the JSON
+    # envelope round trip.
+    from repro.engine import DistributedBackend
+
+    with DistributedBackend(loopback_workers, unit_size=1) as dist:
+        assert dist.run_trials(spec) == serial
 
 
 @pytest.mark.parametrize("name", DECLARED)
@@ -148,13 +170,17 @@ def test_hybrid_rejects_non_async_scenarios_with_capabilities():
     with pytest.raises(EngineError, match="serial, process, batch"):
         HybridBackend(workers=2).run_trials(spec)
     runner = get_scenario("vss-coin")
-    assert runner.capabilities == ("serial", "process", "batch")
+    assert runner.capabilities == (
+        "serial", "process", "batch", "distributed"
+    )
     assert not runner.supports("hybrid")
+    assert runner.supports("distributed")
     bracha = get_scenario("bracha-broadcast")
     assert bracha.capabilities == (
-        "serial", "process", "async", "hybrid"
+        "serial", "process", "async", "hybrid", "distributed"
     )
     assert bracha.supports("hybrid")
+    assert bracha.supports("distributed")
 
 
 def test_async_backend_contains_broken_construction():
