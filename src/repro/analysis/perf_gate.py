@@ -16,8 +16,9 @@ inputs — the suites that emit a ``speedup`` field); a suite whose
 speedup drops by more than ``--max-regression`` (default 25%)
 soft-fails with exit code 3, which CI surfaces via a
 ``continue-on-error`` job.  Wall-clock fields, the simulator
-``null_vs_tracked`` ratio and the engine ``dispatch_overhead``
-micro-bench are recorded for trend reading, not gated.
+``null_vs_tracked`` ratio and the engine ``dispatch_overhead`` /
+``telemetry_overhead`` micro-benches are recorded for trend reading,
+not gated.
 
 Entry points:
 
@@ -307,12 +308,112 @@ def _suite_dispatch_overhead(quick: bool) -> Dict[str, Any]:
     }
 
 
+def _suite_telemetry_overhead(quick: bool) -> Dict[str, Any]:
+    """Telemetry-plane cost over a real sweep (trend, not gated).
+
+    The telemetry layer is always on — every backend records per-unit
+    spans — so its cost must stay in the noise.  Two measurements:
+
+    * ``overhead_fraction``: a full ``SerialBackend`` sweep of a real
+      scenario (per-trial spans, report-ready records) against a bare
+      ``run_one_trial`` loop over the same spec.  This is the number
+      the <5% budget is judged against.
+    * ``span_us_per_unit``: ``run_units`` over no-op units with a live
+      ``RunTelemetry`` vs with ``telemetry=None`` — the absolute
+      bookkeeping cost per unit attempt, worst case (free trials).
+    """
+    from repro.engine import (
+        ExperimentSpec,
+        Scenario,
+        SerialBackend,
+        TrialResult,
+        register,
+    )
+    from repro.engine.backends import run_one_trial
+    from repro.engine.dispatch import (
+        DispatchPlan,
+        InlineTransport,
+        run_units,
+    )
+    from repro.engine.telemetry import RunTelemetry
+
+    def _noop_trial(ctx) -> TrialResult:
+        return TrialResult(
+            trial_index=ctx.trial_index, seed=ctx.seed,
+            metrics=(("one", 1.0),),
+        )
+
+    # Idempotent re-registration: suites must not depend on run order.
+    register(
+        Scenario(
+            name="perf-gate-noop",
+            run_trial=_noop_trial,
+            description="perf-gate only: a free trial",
+        )
+    )
+
+    spec = ExperimentSpec(
+        runner="bracha-broadcast", n=5, trials=8 if quick else 24, seed=7
+    )
+
+    def bare() -> List[Any]:
+        return [run_one_trial(spec, i) for i in range(spec.trials)]
+
+    def telemetered() -> List[Any]:
+        return SerialBackend().run_trials(spec)
+
+    assert bare() == telemetered()  # telemetry must not perturb results
+
+    reps = 2 if quick else 6
+    bare_s = _time(bare, reps)
+    telemetered_s = _time(telemetered, reps)
+
+    # Worst-case per-unit span cost: free trials through the dispatch
+    # plane, with and without a live telemetry sink.
+    noop_trials = 128 if quick else 512
+    noop_spec = ExperimentSpec(runner="perf-gate-noop", n=1, trials=noop_trials)
+    units = DispatchPlan.chunked(noop_trials, 1, 4).units(noop_spec)
+    span_reps = 4 if quick else 20
+
+    def plain() -> List[Any]:
+        return run_units(units, InlineTransport())
+
+    def spanned() -> List[Any]:
+        telemetry = RunTelemetry(backend="bench", total_trials=noop_trials)
+        out = run_units(units, InlineTransport(), telemetry=telemetry)
+        telemetry.finish()
+        return out
+
+    assert plain() == spanned()
+
+    plain_s = _time(plain, span_reps)
+    spanned_s = _time(spanned, span_reps)
+    span_ops = span_reps * noop_trials
+    return {
+        "desc": (
+            f"serial sweep w/ telemetry vs bare loop, "
+            f"{spec.trials} bracha-broadcast trials"
+        ),
+        "ops": reps * spec.trials,
+        "bare_s": round(bare_s, 6),
+        "telemetered_s": round(telemetered_s, 6),
+        "overhead_fraction": round(
+            max(0.0, telemetered_s - bare_s) / bare_s, 4
+        ) if bare_s else 0.0,
+        "span_us_per_unit": round(
+            max(0.0, spanned_s - plain_s) / span_ops * 1e6, 3
+        ),
+        "parity": True,
+    }
+
+
 _SUITES = {
     "e9_reconstruct_n64": _suite_e9_reconstruct,
     "e17_row_check_n64": _suite_e17_row_check,
     "e19_vss_coin": _suite_e19_vss_coin,
     "sim_round_loop_n32": _suite_sim_round_loop,
     "dispatch_overhead": _suite_dispatch_overhead,
+    "telemetry_overhead": _suite_telemetry_overhead,
 }
 
 

@@ -10,7 +10,9 @@ Python.  Subcommands:
 * ``run-async`` — the asynchronous comparison (E15).
 * ``elect-leader`` — an adaptive-safe leader rotation (E21).
 * ``commit-log``   — a replicated log off one amortized tournament (E22).
-* ``report``    — a compact battery written as Markdown.
+* ``report``    — a compact battery written as Markdown, or — given a
+  ``--telemetry`` artifact path — a plain-text rendering of that run's
+  telemetry report (lanes, latency percentiles, protocol bits).
 * ``bench``     — the perf-gate suites (reconstruction kernels +
   simulator round loop) as machine-readable JSON; ``--baseline``
   soft-gates speedups against a committed ``BENCH_core.json``.
@@ -21,7 +23,11 @@ Python.  Subcommands:
   validated against it (cross-field constraints included); ``--smoke``
   runs each scenario once as a registration guard; ``--backend
   distributed --hosts host:port,...`` dispatches the sweep to
-  ``repro worker serve`` processes on other hosts.
+  ``repro worker serve`` processes on other hosts; ``--telemetry
+  out.json`` saves the run's telemetry report (per-lane metrics,
+  latency percentiles, retry counts, per-trial bit stats) for
+  ``repro report out.json``; ``--progress`` draws a live stderr
+  progress line (tty only).
 * ``worker serve`` — a distributed-dispatch worker: listens on TCP,
   executes engine work units (scenarios rebuilt by name from its own
   registry), returns versioned JSON result envelopes.
@@ -246,7 +252,24 @@ def _cmd_commit_log(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    """Run a compact experiment battery and write a Markdown report."""
+    """Run a compact experiment battery and write a Markdown report.
+
+    Given a telemetry artifact (``repro report out.json``), render that
+    instead: the saved :class:`~repro.engine.telemetry.RunReport` as
+    plain-text tables — run summary, per-lane metrics, protocol bridge.
+    """
+    if args.telemetry is not None:
+        from .engine.spec import WireFormatError
+        from .engine.telemetry import load_report
+
+        try:
+            report = load_report(args.telemetry)
+        except (OSError, ValueError, WireFormatError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(report.render())
+        return 0
+
     from .analysis.costmodel import (
         everywhere_ba_bits_simulation,
         phase_king_bits_per_processor,
@@ -504,10 +527,23 @@ def _cmd_run_experiment(args: argparse.Namespace) -> int:
             wave_size=args.wave_size,
             hosts=_parse_hosts_arg(args),
         ) as backend:
+            if args.progress:
+                from .engine.telemetry import SweepMonitor
+
+                backend.monitor = SweepMonitor()
             result = Engine(backend).run(spec)
     except EngineError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.telemetry is not None:
+        from .engine.telemetry import write_report
+
+        if result.report is None:
+            print("error: backend produced no telemetry report",
+                  file=sys.stderr)
+            return 2
+        write_report(result.report, args.telemetry)
+        print(f"wrote telemetry to {args.telemetry}")
     print(result.to_table().to_text())
     if result.failure_count:
         for trial in result.failures:
@@ -652,6 +688,14 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="KEY=VALUE",
                    help="scenario parameter, validated against the "
                         "declared schema (repeatable)")
+    p.add_argument("--telemetry", default=None, metavar="PATH",
+                   help="write the run's telemetry report (lanes, "
+                        "latency percentiles, retries, bit stats) as "
+                        "JSON; render it with `repro report PATH`")
+    p.add_argument("--progress", action="store_true",
+                   help="live stderr progress line (trials done, "
+                        "per-lane rates, ETA); inert when stderr is "
+                        "not a tty")
     p.add_argument("--list", action="store_true",
                    help="list scenarios with their declared "
                         "parameters, types and defaults, then exit")
@@ -694,8 +738,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser(
-        "report", help="run a compact battery and write a Markdown report"
+        "report",
+        help="run a compact battery and write a Markdown report, or "
+             "render a saved telemetry artifact",
     )
+    p.add_argument("telemetry", nargs="?", default=None, metavar="TELEMETRY",
+                   help="telemetry JSON from `run-experiment "
+                        "--telemetry`; when given, render it as "
+                        "plain-text tables instead of running the "
+                        "battery")
     p.add_argument("-n", type=int, default=27)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default="-",

@@ -71,6 +71,7 @@ from .dispatch import (
     Transport,
     WorkUnit,
     run_unit,
+    run_unit_timed,
     run_units,
 )
 from .distributed import (
@@ -100,18 +101,34 @@ from .spec import (
     EngineError,
     ExperimentSpec,
     LedgerStats,
+    STATS_VERSION,
     TrialContext,
     TrialResult,
+    UnitStats,
     WIRE_VERSION,
     WireFormatError,
     result_from_wire,
     result_to_wire,
     spec_from_wire,
     spec_to_wire,
+    stats_from_wire,
+    stats_to_wire,
+)
+from .telemetry import (
+    LaneReport,
+    RunReport,
+    RunTelemetry,
+    SweepMonitor,
+    UnitRecord,
+    load_report,
+    report_from_wire,
+    report_to_wire,
+    write_report,
 )
 
 __all__ = [
     "BACKEND_NAMES",
+    "STATS_VERSION",
     "WIRE_VERSION",
     "AsyncBackend",
     "AsyncInstance",
@@ -129,17 +146,23 @@ __all__ = [
     "ExperimentSpec",
     "HybridBackend",
     "InlineTransport",
+    "LaneReport",
     "LedgerStats",
     "Param",
     "PoolTransport",
     "ProcessPoolBackend",
+    "RunReport",
+    "RunTelemetry",
     "Scenario",
     "ScenarioError",
     "SerialBackend",
     "SocketTransport",
+    "SweepMonitor",
     "Transport",
     "TrialContext",
     "TrialResult",
+    "UnitRecord",
+    "UnitStats",
     "WireFormatError",
     "WorkUnit",
     "WorkerServer",
@@ -151,21 +174,28 @@ __all__ = [
     "get_runner",
     "get_scenario",
     "load_builtin_scenarios",
+    "load_report",
     "make_context",
     "make_pool",
     "merge_ledger_stats",
     "parse_hosts",
     "percentile",
     "register",
+    "report_from_wire",
+    "report_to_wire",
     "result_from_wire",
     "result_to_wire",
     "run_experiment",
     "run_one_trial",
     "run_unit",
+    "run_unit_timed",
     "run_units",
     "run_wave",
     "runner_names",
     "scenario_names",
     "spec_from_wire",
     "spec_to_wire",
+    "stats_from_wire",
+    "stats_to_wire",
+    "write_report",
 ]

@@ -10,31 +10,18 @@ output, benchmarks and Markdown reports all share one table model.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from ..analysis.reporting import Table
 from ..analysis.sweep import MetricSummary, summarise
+
+# The one percentile definition the repo uses now lives next to the
+# ledger (the telemetry bridge shares it); re-exported here so
+# ``from repro.engine import percentile`` keeps working.
+from ..net.accounting import percentile
 from .spec import ExperimentSpec, LedgerStats, TrialResult
-
-
-def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolation percentile (q in [0, 100]) of raw values."""
-    if not values:
-        raise ValueError("percentile of empty sequence")
-    if not 0 <= q <= 100:
-        raise ValueError("q must be within [0, 100]")
-    ordered = sorted(float(v) for v in values)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = (q / 100) * (len(ordered) - 1)
-    low = math.floor(rank)
-    high = math.ceil(rank)
-    if low == high:
-        return ordered[low]
-    weight = rank - low
-    return ordered[low] * (1 - weight) + ordered[high] * weight
+from .telemetry import RunReport
 
 
 def merge_ledger_stats(stats: Sequence[LedgerStats]) -> LedgerStats:
@@ -53,6 +40,8 @@ class ExperimentResult:
     backend: str
     trials: List[TrialResult]
     elapsed_seconds: float = 0.0
+    #: The run's telemetry report (None for backends without telemetry).
+    report: Optional[RunReport] = None
 
     # -- scalar aggregates ---------------------------------------------------------
 

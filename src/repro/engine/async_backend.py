@@ -67,9 +67,23 @@ class AsyncBackend(ExecutionBackend):
 
     def run_trials(self, spec: ExperimentSpec) -> List[TrialResult]:
         runner = resolve_cached(spec.runner)
+        telemetry = self._begin_telemetry(spec)
+        results: List[TrialResult] = []
         if runner.build_async_instance is None:
-            return [run_one_trial(spec, i) for i in range(spec.trials)]
-        return self.run_indices(spec, range(spec.trials))
+            for i in range(spec.trials):
+                with telemetry.span(self.name, 1):
+                    results.append(run_one_trial(spec, i))
+        else:
+            # One span per max_live window — the same granularity the
+            # hybrid/distributed backends observe per wave unit.
+            for start in range(0, spec.trials, self.max_live):
+                window = range(
+                    start, min(start + self.max_live, spec.trials)
+                )
+                with telemetry.span(self.name, len(window), mode="wave"):
+                    results.extend(self.run_indices(spec, window))
+        telemetry.finish()
+        return results
 
     def run_indices(
         self, spec: ExperimentSpec, indices: Iterable[int]

@@ -37,6 +37,7 @@ from __future__ import annotations
 import abc
 import multiprocessing.pool
 import os
+import warnings
 from typing import List, Optional
 
 from .dispatch import (
@@ -48,6 +49,7 @@ from .dispatch import (
 )
 from .registry import get_runner
 from .spec import EngineError, ExperimentSpec, TrialResult
+from .telemetry import RunTelemetry, SweepMonitor
 
 __all__ = [
     "ExecutionBackend",
@@ -73,9 +75,36 @@ class ExecutionBackend(abc.ABC):
     #: Human-readable backend identifier (CLI / reports).
     name: str = "abstract"
 
+    #: Telemetry of the most recent :meth:`run_trials` call (set at run
+    #: entry; ``None`` before the first run).  ``Engine.run`` freezes it
+    #: into the :class:`~repro.engine.telemetry.RunReport` it attaches
+    #: to the :class:`~repro.engine.aggregate.ExperimentResult`.
+    telemetry: Optional[RunTelemetry] = None
+
+    #: Opt-in live progress sink (a
+    #: :class:`~repro.engine.telemetry.SweepMonitor`) consulted by the
+    #: next run's telemetry.
+    monitor: Optional[SweepMonitor] = None
+
     @abc.abstractmethod
     def run_trials(self, spec: ExperimentSpec) -> List[TrialResult]:
         """All trial results of ``spec``, ordered by trial index."""
+
+    def _begin_telemetry(self, spec: ExperimentSpec) -> RunTelemetry:
+        """Start (and attach) this run's telemetry accumulator."""
+        self.telemetry = RunTelemetry(
+            backend=self.name,
+            total_trials=spec.trials,
+            monitor=self.monitor,
+        )
+        return self.telemetry
+
+    def _adopt_telemetry(self, inner: "ExecutionBackend") -> None:
+        """Take over a delegate backend's telemetry (degrade paths)."""
+        self.telemetry = inner.telemetry
+        if self.telemetry is not None:
+            # The run is still *this* backend's from the caller's view.
+            self.telemetry.backend = self.name
 
     def close(self) -> None:
         """Release any held workers/connections (idempotent; no-op here)."""
@@ -93,7 +122,13 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
 
     def run_trials(self, spec: ExperimentSpec) -> List[TrialResult]:
-        return [run_one_trial(spec, i) for i in range(spec.trials)]
+        telemetry = self._begin_telemetry(spec)
+        results = []
+        for i in range(spec.trials):
+            with telemetry.span(self.name, 1):
+                results.append(run_one_trial(spec, i))
+        telemetry.finish()
+        return results
 
 
 def default_worker_count() -> int:
@@ -109,6 +144,12 @@ def chunk_indices(
     Kept for callers of the PR-3 helper API; identical behaviour to
     ``DispatchPlan.chunked(trials, chunk_size, workers).indices()``.
     """
+    warnings.warn(
+        "chunk_indices is deprecated; use "
+        "DispatchPlan.chunked(...).indices()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return DispatchPlan.chunked(trials, chunk_size, workers).indices()
 
 
@@ -121,6 +162,11 @@ def make_pool(
     ``PoolTransport.create_pool(workers, start_method)`` (see that
     method for the spawn-safety notes).
     """
+    warnings.warn(
+        "make_pool is deprecated; use PoolTransport.create_pool(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return PoolTransport.create_pool(workers, start_method)
 
 
@@ -162,7 +208,15 @@ class ProcessPoolBackend(ExecutionBackend):
         # (no point paying fork + pickle for one lane).
         get_runner(spec.runner)
         if self.workers == 1 or spec.trials == 1:
-            return SerialBackend().run_trials(spec)
+            inner = SerialBackend()
+            inner.monitor = self.monitor
+            try:
+                return inner.run_trials(spec)
+            finally:
+                self._adopt_telemetry(inner)
+        telemetry = self._begin_telemetry(spec)
         units = self.plan(spec.trials).units(spec)
         with PoolTransport(self.workers, self.start_method) as transport:
-            return run_units(units, transport)
+            results = run_units(units, transport, telemetry=telemetry)
+        telemetry.finish()
+        return results

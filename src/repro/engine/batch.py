@@ -59,26 +59,34 @@ class BatchBackend(ExecutionBackend):
 
     def run_trials(self, spec: ExperimentSpec) -> List[TrialResult]:
         runner = get_runner(spec.runner)
-        if not runner.batchable:
-            return [run_one_trial(spec, i) for i in range(spec.trials)]
+        telemetry = self._begin_telemetry(spec)
         results: List[TrialResult] = []
+        if not runner.batchable:
+            for i in range(spec.trials):
+                with telemetry.span(self.name, 1):
+                    results.append(run_one_trial(spec, i))
+            telemetry.finish()
+            return results
         for start in range(0, spec.trials, self.max_live):
             window = range(
                 start, min(start + self.max_live, spec.trials)
             )
-            instances: Dict[int, BatchInstance] = {}
-            for i in window:
-                # Same crash containment as run_one_trial: one trial's
-                # broken construction must not kill the sweep (or skew
-                # its wave-mates, which hold independent networks).
-                try:
-                    instances[i] = runner.build_instance(
-                        make_context(spec, i)
-                    )
-                except Exception as exc:
-                    results.append(_failed_result(spec, i, exc))
-            results.extend(self._drive_wave(spec, instances))
+            with telemetry.span(self.name, len(window), mode="wave"):
+                instances: Dict[int, BatchInstance] = {}
+                for i in window:
+                    # Same crash containment as run_one_trial: one
+                    # trial's broken construction must not kill the
+                    # sweep (or skew its wave-mates, which hold
+                    # independent networks).
+                    try:
+                        instances[i] = runner.build_instance(
+                            make_context(spec, i)
+                        )
+                    except Exception as exc:
+                        results.append(_failed_result(spec, i, exc))
+                results.extend(self._drive_wave(spec, instances))
         results.sort(key=lambda r: r.trial_index)
+        telemetry.finish()
         return results
 
     def _drive_wave(

@@ -51,6 +51,7 @@ import abc
 import multiprocessing
 import multiprocessing.pool
 import queue
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import (
@@ -70,6 +71,7 @@ from .spec import (
     ExperimentSpec,
     TrialContext,
     TrialResult,
+    UnitStats,
     WIRE_VERSION,
     require_wire,
     spec_from_wire,
@@ -165,6 +167,34 @@ def run_unit(unit: WorkUnit) -> List[TrialResult]:
 
         return run_wave(unit.spec, unit.indices, max_live=unit.max_live)
     return [run_one_trial(unit.spec, i) for i in unit.indices]
+
+
+def run_unit_timed(unit: WorkUnit) -> Tuple[List[TrialResult], UnitStats]:
+    """:func:`run_unit` plus worker-side timing.
+
+    What every *instrumented* lane executes — pool workers, the inline
+    transport, and ``repro worker serve`` hosts — so the client can
+    split a unit's observed latency into compute versus queue/network.
+    Results are exactly :func:`run_unit`'s; the stats ride alongside
+    and never touch them.  Wave-mode units interleave their trials
+    through one step loop, so only the aggregate time is stamped.
+    """
+    start = time.perf_counter()
+    if unit.mode == MODE_WAVE:
+        results = run_unit(unit)
+        return results, UnitStats(
+            compute_seconds=time.perf_counter() - start
+        )
+    results = []
+    trial_seconds = []
+    for i in unit.indices:
+        trial_start = time.perf_counter()
+        results.append(run_one_trial(unit.spec, i))
+        trial_seconds.append(time.perf_counter() - trial_start)
+    return results, UnitStats(
+        compute_seconds=time.perf_counter() - start,
+        trial_seconds=tuple(trial_seconds),
+    )
 
 
 def unit_to_wire(unit: WorkUnit) -> Dict[str, Any]:
@@ -294,12 +324,19 @@ class DispatchPlan:
 
 @dataclass(frozen=True)
 class Envelope:
-    """One collected outcome: a unit's results, or a lane failure."""
+    """One collected outcome: a unit's results, or a lane failure.
+
+    ``stats`` carries the executing side's optional
+    :class:`~repro.engine.spec.UnitStats` — advisory timing that the
+    telemetry plane folds into per-lane metrics.  Lanes that stamp
+    nothing (old workers, custom transports) leave it ``None``.
+    """
 
     unit_id: int
     lane: str
     results: Optional[Tuple[TrialResult, ...]] = None
     error: str = ""
+    stats: Optional[UnitStats] = None
 
     @property
     def ok(self) -> bool:
@@ -380,7 +417,7 @@ class InlineTransport(Transport):
         if self._LANE in exclude:
             return False
         try:
-            results = tuple(run_unit(unit))
+            results, stats = run_unit_timed(unit)
         except Exception as exc:
             self._ready.append(
                 Envelope(
@@ -391,7 +428,12 @@ class InlineTransport(Transport):
             )
         else:
             self._ready.append(
-                Envelope(unit_id=unit_id, lane=self._LANE, results=results)
+                Envelope(
+                    unit_id=unit_id,
+                    lane=self._LANE,
+                    results=tuple(results),
+                    stats=stats,
+                )
             )
         return True
 
@@ -460,9 +502,18 @@ class PoolTransport(Transport):
         if self._LANE in exclude:
             return False
 
-        def on_done(results: List[TrialResult], uid: int = unit_id) -> None:
+        def on_done(
+            outcome: Tuple[List[TrialResult], UnitStats],
+            uid: int = unit_id,
+        ) -> None:
+            results, stats = outcome
             self._envelopes.put(
-                Envelope(unit_id=uid, lane=self._LANE, results=tuple(results))
+                Envelope(
+                    unit_id=uid,
+                    lane=self._LANE,
+                    results=tuple(results),
+                    stats=stats,
+                )
             )
 
         def on_error(exc: BaseException, uid: int = unit_id) -> None:
@@ -475,7 +526,10 @@ class PoolTransport(Transport):
             )
 
         self._pool.apply_async(
-            run_unit, (unit,), callback=on_done, error_callback=on_error
+            run_unit_timed,
+            (unit,),
+            callback=on_done,
+            error_callback=on_error,
         )
         return True
 
@@ -496,6 +550,7 @@ def run_units(
     units: Sequence[WorkUnit],
     transport: Transport,
     max_attempts: Optional[int] = None,
+    telemetry: Optional[Any] = None,
 ) -> List[TrialResult]:
     """Dispatch units over a transport; merge results in trial order.
 
@@ -511,6 +566,10 @@ def run_units(
       raises; nothing in between;
     * verifies the merged results cover every planned trial exactly
       once before returning them in canonical trial order.
+
+    ``telemetry`` (a :class:`~repro.engine.telemetry.RunTelemetry`, or
+    any object with its submit/result hooks) records one span per unit
+    attempt; ``None`` records nothing and costs nothing.
     """
     if not units:
         return []
@@ -527,11 +586,20 @@ def run_units(
         unplaced: Deque[int] = deque()
         while todo:
             uid = todo.popleft()
+            # Stamp the submit time *before* the offer: the inline
+            # transport executes the unit inside try_submit, and its
+            # compute must land inside the span.
+            if telemetry is not None:
+                telemetry.note_submit(
+                    uid, len(units[uid].indices), units[uid].mode
+                )
             if transport.try_submit(
                 uid, units[uid], frozenset(excluded[uid])
             ):
                 inflight += 1
             else:
+                if telemetry is not None:
+                    telemetry.cancel_submit(uid)
                 live = set(transport.lanes())
                 if not live:
                     raise DispatchError(
@@ -557,6 +625,8 @@ def run_units(
             )
         envelope = transport.collect()
         inflight -= 1
+        if telemetry is not None:
+            telemetry.note_result(envelope)
         if envelope.ok:
             collected[envelope.unit_id] = envelope.results
             continue

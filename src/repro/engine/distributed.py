@@ -45,6 +45,7 @@ import queue
 import socket
 import socketserver
 import threading
+import time
 from typing import (
     FrozenSet,
     List,
@@ -60,7 +61,7 @@ from .dispatch import (
     Envelope,
     Transport,
     WorkUnit,
-    run_unit,
+    run_unit_timed,
     run_units,
     unit_from_wire,
     unit_to_wire,
@@ -75,9 +76,12 @@ from .spec import (
     require_wire,
     result_from_wire,
     result_to_wire,
+    stats_from_wire,
+    stats_to_wire,
     wire_dumps,
     wire_loads,
 )
+from .telemetry import RunTelemetry
 
 #: Default TCP port of ``repro worker serve``.
 DEFAULT_PORT = 7045
@@ -162,14 +166,18 @@ class _WorkerHandler(socketserver.StreamRequestHandler):
                 return
             try:
                 unit = unit_from_wire(doc)
-                results = run_unit(unit)
-                self._send(
-                    {
-                        "version": WIRE_VERSION,
-                        "kind": "results",
-                        "results": [result_to_wire(r) for r in results],
-                    }
-                )
+                results, stats = run_unit_timed(unit)
+                reply = {
+                    "version": WIRE_VERSION,
+                    "kind": "results",
+                    "results": [result_to_wire(r) for r in results],
+                }
+                # The stats field is optional and versioned on its own:
+                # clients treat an absent field (this server with
+                # stats=False — the legacy-worker shape) as "no stats".
+                if server.send_stats:
+                    reply["stats"] = stats_to_wire(stats)
+                self._send(reply)
             except Exception as exc:  # report, keep serving
                 self._error(f"{type(exc).__name__}: {exc}")
 
@@ -194,11 +202,15 @@ class WorkerServer:
         host: str = "127.0.0.1",
         port: int = 0,
         crash_after_units: Optional[int] = None,
+        stats: bool = True,
     ) -> None:
         self._server = _WorkerTCPServer((host, port), _WorkerHandler)
         self._server.owner = self
         self.host, self.port = self._server.server_address[:2]
         self.crash_after_units = crash_after_units
+        #: ``stats=False`` reproduces the pre-telemetry reply shape —
+        #: the interop fixture for the legacy-worker tests.
+        self.send_stats = stats
         self.crashed = False
         self._units_seen = 0
         self._count_lock = threading.Lock()
@@ -326,6 +338,9 @@ class SocketTransport(Transport):
             self._lanes.append(_Lane(lane_id, host, port))
         self._envelopes: "queue.Queue[Envelope]" = queue.Queue()
         self._closed = False
+        #: Per-run telemetry sink (set by the backend before each run;
+        #: the transport outlives runs, the telemetry does not).
+        self.telemetry: Optional[RunTelemetry] = None
 
     def lanes(self) -> Tuple[str, ...]:
         return tuple(lane.id for lane in self._lanes if not lane.dead)
@@ -353,15 +368,22 @@ class SocketTransport(Transport):
 
     def _exchange(self, lane: _Lane, unit_id: int, unit: WorkUnit) -> None:
         """Connect (if needed), send one unit, await one reply."""
+        telemetry = self.telemetry
+        started = time.perf_counter()
+        frame_bytes = reply_bytes = 0
         try:
             if lane.sock is None:
                 lane.sock = socket.create_connection(
                     (lane.host, lane.port), timeout=self.connect_timeout
                 )
                 lane.sock.settimeout(self.io_timeout)
+                if telemetry is not None:
+                    telemetry.note_lane_event(lane.id, "dial")
             frame = (wire_dumps(unit_to_wire(unit)) + "\n").encode("utf-8")
+            frame_bytes = len(frame)
             lane.sock.sendall(frame)
             line = self._read_line(lane.sock)
+            reply_bytes = len(line)
             doc = wire_loads(line.decode("utf-8"))
             if isinstance(doc, dict) and doc.get("kind") == "error":
                 require_wire(doc, "error")
@@ -376,14 +398,27 @@ class SocketTransport(Transport):
                     result_from_wire(r) for r in doc["results"]
                 )
                 envelope = Envelope(
-                    unit_id=unit_id, lane=lane.id, results=results
+                    unit_id=unit_id,
+                    lane=lane.id,
+                    results=results,
+                    # Absent on old workers; tolerant decode -> None.
+                    stats=stats_from_wire(doc.get("stats")),
                 )
         except Exception as exc:
             lane.drop()
+            if telemetry is not None:
+                telemetry.note_lane_event(lane.id, "dead")
             envelope = Envelope(
                 unit_id=unit_id,
                 lane=lane.id,
                 error=f"{type(exc).__name__}: {exc}",
+            )
+        if telemetry is not None:
+            telemetry.note_exchange(
+                lane.id,
+                bytes_out=frame_bytes,
+                bytes_in=reply_bytes,
+                round_trip_seconds=time.perf_counter() - started,
             )
         lane.busy = False
         self._envelopes.put(envelope)
@@ -484,7 +519,9 @@ class DistributedBackend(ExecutionBackend):
             )
         return DispatchPlan.chunked(spec.trials, self.unit_size, workers)
 
-    def _ensure_transport(self) -> SocketTransport:
+    def _ensure_transport(
+        self, telemetry: Optional[RunTelemetry] = None
+    ) -> SocketTransport:
         if self._transport is not None and len(
             self._transport.lanes()
         ) < len(self.addresses):
@@ -493,27 +530,38 @@ class DistributedBackend(ExecutionBackend):
             # reconnect from scratch rather than running degraded (or
             # bricked) forever on a host set that has since recovered.
             self.close()
+            if telemetry is not None:
+                for host, port in self.addresses:
+                    telemetry.note_lane_event(f"{host}:{port}", "redial")
         if self._transport is None:
             self._transport = SocketTransport(
                 self.addresses,
                 connect_timeout=self.connect_timeout,
                 io_timeout=self.io_timeout,
             )
+        self._transport.telemetry = telemetry
         return self._transport
 
     def run_trials(self, spec: ExperimentSpec) -> List[TrialResult]:
         # Resolve locally first: unknown scenario names should fail
         # fast at the client, not as N remote error envelopes.
         get_runner(spec.runner)
+        telemetry = self._begin_telemetry(spec)
         units = self.plan(spec).units(spec)
         try:
-            return run_units(units, self._ensure_transport())
+            results = run_units(
+                units,
+                self._ensure_transport(telemetry),
+                telemetry=telemetry,
+            )
         except BaseException:
             # An aborted sweep may leave exchanges in flight whose
             # envelopes would be misattributed by a later run on the
             # same transport; drop it — the next run reconnects fresh.
             self.close()
             raise
+        telemetry.finish()
+        return results
 
     def close(self) -> None:
         if self._transport is not None:

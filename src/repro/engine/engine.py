@@ -113,11 +113,17 @@ class Engine:
             self.backend.close()
             raise
         elapsed = time.perf_counter() - start
+        # Freeze the backend's telemetry (if it kept any) into the
+        # result's mergeable report; custom backends without the
+        # attribute simply yield report=None.
+        telemetry = getattr(self.backend, "telemetry", None)
+        report = telemetry.report(trials) if telemetry is not None else None
         return ExperimentResult(
             spec=spec,
             backend=self.backend.name,
             trials=trials,
             elapsed_seconds=elapsed,
+            report=report,
         )
 
     def close(self) -> None:

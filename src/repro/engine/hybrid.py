@@ -101,7 +101,15 @@ class HybridBackend(ExecutionBackend):
             )
         if self.workers == 1 or spec.trials == 1:
             # One lane: skip pool + pickle, keep the async step loop.
-            return AsyncBackend(max_live=self.max_live).run_trials(spec)
+            inner = AsyncBackend(max_live=self.max_live)
+            inner.monitor = self.monitor
+            try:
+                return inner.run_trials(spec)
+            finally:
+                self._adopt_telemetry(inner)
+        telemetry = self._begin_telemetry(spec)
         units = self.plan(spec.trials).units(spec)
         with PoolTransport(self.workers, self.start_method) as transport:
-            return run_units(units, transport)
+            results = run_units(units, transport, telemetry=telemetry)
+        telemetry.finish()
+        return results

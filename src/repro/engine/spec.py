@@ -177,6 +177,25 @@ class LedgerStats:
 
 
 @dataclass(frozen=True)
+class UnitStats:
+    """Worker-side timing of one executed work unit.
+
+    Stamped by whatever ran the unit — a pool worker, an in-process
+    lane, or a remote ``repro worker serve`` host — and carried back on
+    the result envelope so the client can split a unit's observed
+    latency into *compute* (this) versus *queue + network* (the rest).
+
+    ``trial_seconds`` holds per-trial wall times for ``trials``-mode
+    units; wave-mode units interleave their trials through one step
+    loop, so only the aggregate ``compute_seconds`` is meaningful and
+    ``trial_seconds`` stays empty.
+    """
+
+    compute_seconds: float = 0.0
+    trial_seconds: Tuple[float, ...] = ()
+
+
+@dataclass(frozen=True)
 class TrialResult:
     """Outcome of one trial — the unit every backend must reproduce.
 
@@ -380,6 +399,48 @@ def result_to_wire(result: TrialResult) -> Dict[str, Any]:
         "ok": result.ok,
         "failure": result.failure,
     }
+
+
+#: Version of the optional ``stats`` envelope field.  Independent of
+#: :data:`WIRE_VERSION`: the field is *advisory*, so an unknown stats
+#: version degrades to "no stats" instead of failing the envelope.
+STATS_VERSION = 1
+
+
+def stats_to_wire(stats: UnitStats) -> Dict[str, Any]:
+    """A :class:`UnitStats` as the optional ``stats`` envelope field."""
+    _require_finite(stats.compute_seconds, "stats.compute_seconds")
+    for value in stats.trial_seconds:
+        _require_finite(value, "stats.trial_seconds")
+    return {
+        "stats_version": STATS_VERSION,
+        "compute_seconds": stats.compute_seconds,
+        "trial_seconds": list(stats.trial_seconds),
+    }
+
+
+def stats_from_wire(doc: Any) -> Optional[UnitStats]:
+    """Decode the optional ``stats`` field; tolerant by design.
+
+    Interop rule, pinned by ``tests/test_telemetry.py``: a missing
+    field (an old worker), an unknown ``stats_version`` (a newer
+    worker) or a malformed document all decode to ``None`` — timing is
+    advisory and must never fail a result envelope that decodes fine.
+    """
+    if not isinstance(doc, Mapping):
+        return None
+    if doc.get("stats_version") != STATS_VERSION:
+        return None
+    try:
+        compute = float(doc["compute_seconds"])
+        trial_seconds = tuple(float(v) for v in doc["trial_seconds"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    if not math.isfinite(compute) or not all(
+        math.isfinite(v) for v in trial_seconds
+    ):
+        return None
+    return UnitStats(compute_seconds=compute, trial_seconds=trial_seconds)
 
 
 def result_from_wire(doc: Any) -> TrialResult:

@@ -1,6 +1,6 @@
 """Synchronous network simulation substrate (paper Section 1.1 model)."""
 
-from .accounting import BitLedger, LedgerSnapshot
+from .accounting import BitLedger, LedgerSnapshot, percentile
 from .messages import HEADER_BITS, Message, MessageError, payload_bits, total_bits
 from .rng import child_rng, derive_seed, fork_rng
 from .tracing import TraceEvent, TraceRecorder
@@ -17,6 +17,7 @@ from .simulator import (
 __all__ = [
     "BitLedger",
     "LedgerSnapshot",
+    "percentile",
     "HEADER_BITS",
     "Message",
     "MessageError",

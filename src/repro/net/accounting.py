@@ -9,11 +9,35 @@ not what arrives).
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .messages import Message
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (q in [0, 100]) of raw values.
+
+    The one percentile definition the repo uses — ledger snapshots,
+    engine aggregates (re-exported by :mod:`repro.engine.aggregate`)
+    and telemetry reports all interpolate identically.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
 
 
 @dataclass
@@ -25,6 +49,9 @@ class LedgerSnapshot:
     max_bits_per_processor: int
     mean_bits_per_processor: float
     rounds: int
+    p50_bits_per_processor: float = 0.0
+    p90_bits_per_processor: float = 0.0
+    p99_bits_per_processor: float = 0.0
 
     def as_row(self) -> Dict[str, float]:
         """The snapshot as a flat dict (one results-table row)."""
@@ -33,6 +60,9 @@ class LedgerSnapshot:
             "total_messages": self.total_messages,
             "max_bits_per_processor": self.max_bits_per_processor,
             "mean_bits_per_processor": self.mean_bits_per_processor,
+            "p50_bits_per_processor": self.p50_bits_per_processor,
+            "p90_bits_per_processor": self.p90_bits_per_processor,
+            "p99_bits_per_processor": self.p99_bits_per_processor,
             "rounds": self.rounds,
         }
 
@@ -114,12 +144,18 @@ class BitLedger:
 
     def snapshot(self) -> LedgerSnapshot:
         """Freeze the current totals into a :class:`LedgerSnapshot`."""
+        # Zeros included: a processor that sent nothing still counts in
+        # the distribution Theorem 1 quantifies over.
+        per_processor = [self.sent_bits.get(p, 0) for p in range(self.n)] or [0]
         return LedgerSnapshot(
             total_bits_sent=self.total_bits(),
             total_messages=self.total_messages(),
             max_bits_per_processor=self.max_bits_per_processor(),
             mean_bits_per_processor=self.mean_bits_per_processor(),
             rounds=self.rounds,
+            p50_bits_per_processor=percentile(per_processor, 50),
+            p90_bits_per_processor=percentile(per_processor, 90),
+            p99_bits_per_processor=percentile(per_processor, 99),
         )
 
     def phase_breakdown(self) -> Dict[str, int]:

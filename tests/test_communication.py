@@ -248,6 +248,58 @@ class TestLemma3Secrecy:
             assert not comm.adversary_can_reconstruct(key, coalition)
 
 
+class TestLedgerSnapshotPercentiles:
+    """Per-processor sent-bit percentiles on :meth:`BitLedger.snapshot`.
+
+    The telemetry bridge reuses these straight from ``as_row()``, so the
+    distribution summary and its edge cases are pinned here.
+    """
+
+    def test_percentiles_match_distribution(self):
+        from repro.net import percentile
+
+        ledger = BitLedger(10)
+        for p in range(10):
+            ledger.record_abstract(p, (p + 1) % 10, 100 * (p + 1))
+        snap = ledger.snapshot()
+        per_processor = [ledger.bits_sent_by(p) for p in range(10)]
+        assert snap.p50_bits_per_processor == percentile(per_processor, 50)
+        assert snap.p90_bits_per_processor == percentile(per_processor, 90)
+        assert snap.p99_bits_per_processor == percentile(per_processor, 99)
+        # Ordered distribution: the summary must be monotone and bounded
+        # by the max the ledger already reports.
+        assert (
+            snap.p50_bits_per_processor
+            <= snap.p90_bits_per_processor
+            <= snap.p99_bits_per_processor
+            <= snap.max_bits_per_processor
+        )
+
+    def test_skew_shows_up_in_the_tail(self):
+        ledger = BitLedger(20)
+        ledger.record_abstract(0, 1, 10_000)  # one hot processor
+        snap = ledger.snapshot()
+        assert snap.p50_bits_per_processor == 0
+        assert snap.p99_bits_per_processor > snap.p50_bits_per_processor
+
+    def test_empty_ledger_is_all_zero(self):
+        snap = BitLedger(5).snapshot()
+        assert snap.p50_bits_per_processor == 0
+        assert snap.p90_bits_per_processor == 0
+        assert snap.p99_bits_per_processor == 0
+
+    def test_as_row_carries_the_percentiles(self):
+        ledger = BitLedger(4)
+        ledger.record_abstract(2, 3, 64)
+        row = ledger.snapshot().as_row()
+        for key in (
+            "p50_bits_per_processor",
+            "p90_bits_per_processor",
+            "p99_bits_per_processor",
+        ):
+            assert key in row
+
+
 class TestSendOpenGuards:
     def test_failed_leaves_do_not_elect_adversary_value(self):
         """A leaf whose good members failed to reconstruct must not be

@@ -77,6 +77,26 @@ def test_waved_matches_historic_hybrid_geometry():
     assert plan.indices() == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
 
 
+def test_legacy_geometry_helpers_warn_and_match_plan():
+    """The PR-3 helper aliases still work, but loudly: each emits a
+    DeprecationWarning and defers to the dispatch plane's geometry."""
+    from repro.engine import chunk_indices, make_pool
+
+    for trials, size, workers in ((7, 3, 2), (64, None, 2), (1, None, 3)):
+        with pytest.warns(DeprecationWarning, match="DispatchPlan"):
+            legacy = chunk_indices(trials, size, workers)
+        assert legacy == DispatchPlan.chunked(
+            trials, size, workers
+        ).indices()
+    with pytest.warns(DeprecationWarning, match="PoolTransport"):
+        pool = make_pool(1)
+    try:
+        assert pool.apply(max, ((1, 2),)) == 2
+    finally:
+        pool.terminate()
+        pool.join()
+
+
 def test_units_carry_spec_mode_and_reject_mismatched_trials():
     spec = _spec(trials=5)
     plan = DispatchPlan.chunked(5, 2, 2)

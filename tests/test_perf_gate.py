@@ -33,6 +33,7 @@ def test_quick_suites_emit_the_declared_schema():
         "e19_vss_coin",
         "sim_round_loop_n32",
         "dispatch_overhead",
+        "telemetry_overhead",
     }
     for name in ("e9_reconstruct_n64", "e17_row_check_n64"):
         suite = suites[name]
@@ -46,6 +47,11 @@ def test_quick_suites_emit_the_declared_schema():
     assert dispatch["parity"] is True
     assert dispatch["dispatch_us_per_unit"] >= 0
     assert "speedup" not in dispatch  # trend-only, never gated
+    telemetry = suites["telemetry_overhead"]
+    assert telemetry["parity"] is True
+    assert telemetry["overhead_fraction"] >= 0
+    assert telemetry["span_us_per_unit"] >= 0
+    assert "speedup" not in telemetry  # trend-only, never gated
 
 
 def test_compare_flags_only_real_speedup_regressions():
