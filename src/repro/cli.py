@@ -30,7 +30,16 @@ Python.  Subcommands:
   progress line (tty only).
 * ``worker serve`` — a distributed-dispatch worker: listens on TCP,
   executes engine work units (scenarios rebuilt by name from its own
-  registry), returns versioned JSON result envelopes.
+  registry), returns versioned JSON result envelopes.  With ``--fleet
+  <root>`` it also registers in the fleet's worker roster and
+  heartbeats until shut down (SIGTERM drains gracefully: the in-flight
+  unit finishes and flushes before the socket closes).
+* ``queue submit|status|cancel|run`` — the persistent job queue of a
+  fleet root directory: submit wire-format experiment jobs, inspect
+  and cancel them, and run the crash-resumable coordinator that
+  drains the queue against the registered workers.
+* ``fleet``    — the live fleet monitor: worker health, queue depth,
+  per-lane throughput and usage alerts from merged telemetry reports.
 
 Every command prints a compact plain-text report and exits non-zero on a
 protocol failure, so the CLI doubles as a smoke test in CI.
@@ -555,10 +564,40 @@ def _cmd_run_experiment(args: argparse.Namespace) -> int:
 
 def _cmd_worker_serve(args: argparse.Namespace) -> int:
     """``repro worker serve``: run a distributed-dispatch worker."""
+    import signal
+
     from .engine.distributed import DEFAULT_PORT, WorkerServer
 
     port = args.port if args.port is not None else DEFAULT_PORT
     server = WorkerServer(host=args.host, port=port)
+
+    # SIGTERM unwinds through serve_forever so the finally block runs:
+    # close() drains the in-flight unit and flushes its response before
+    # the listener comes down — fleet shutdowns never cut an exchange
+    # mid-envelope.
+    def _terminate(signum, frame):
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _terminate)
+
+    heartbeat = None
+    if args.fleet is not None:
+        from .fleet import FleetRegistry, HeartbeatThread
+
+        heartbeat = HeartbeatThread(
+            FleetRegistry(args.fleet),
+            host=args.host,
+            port=server.port,
+            capacity=args.capacity,
+            worker_id=args.worker_id,
+            interval=args.heartbeat_interval,
+            units_served=lambda: server.units_served,
+        ).start()
+        print(
+            f"registered as {heartbeat.info.worker_id} "
+            f"(capacity {args.capacity}) in {args.fleet}",
+            flush=True,
+        )
     # Flush immediately: launchers (CI, scripts) block on this line to
     # know the port is bound before dispatching to it.
     print(f"repro worker serving on {server.address}", flush=True)
@@ -568,6 +607,8 @@ def _cmd_worker_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.close()
+        if heartbeat is not None:
+            heartbeat.stop()
     return 0
 
 
@@ -575,6 +616,157 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     if args.worker_command == "serve":
         return _cmd_worker_serve(args)
     raise SystemExit(f"unknown worker command {args.worker_command!r}")
+
+
+def _cmd_queue_submit(args: argparse.Namespace) -> int:
+    """``repro queue submit``: enqueue one experiment job."""
+    from .engine import EngineError, ExperimentSpec, get_runner
+    from .fleet import JobQueue
+
+    try:
+        runner = get_runner(args.name)
+        raw = _parse_params(args.param)
+        if runner.params is not None:
+            params = runner.validate(raw, n=args.n)
+        else:
+            params = {k: _coerce_undeclared(v) for k, v in raw.items()}
+        spec = ExperimentSpec(
+            runner=args.name,
+            n=args.n,
+            trials=args.trials,
+            seed=args.seed,
+            params=params,
+        )
+        job = JobQueue(args.root).submit(
+            spec, unit_size=args.unit_size, max_live=args.max_live
+        )
+    except EngineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"submitted {job.describe()}")
+    return 0
+
+
+def _cmd_queue_status(args: argparse.Namespace) -> int:
+    """``repro queue status``: the queue, or one job in detail."""
+    from .engine import EngineError
+    from .fleet import JobQueue
+
+    queue = JobQueue(args.root)
+    try:
+        if args.job is not None:
+            job = queue.get(args.job)
+            print(job.describe())
+            if job.error:
+                print(f"  error: {job.error}")
+            results = queue.load_results(job.job_id)
+            if results is not None:
+                failures = sum(1 for r in results if not r.ok)
+                print(
+                    f"  results: {len(results)} trial(s), "
+                    f"{failures} failure(s) "
+                    f"({queue.results_path(job.job_id)})"
+                )
+            return 0
+        jobs = queue.jobs()
+        depth = queue.depth()
+        print(
+            "queue "
+            + "  ".join(f"{state}:{n}" for state, n in depth.items())
+        )
+        for job in jobs:
+            print(f"  {job.describe()}")
+    except EngineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_queue_cancel(args: argparse.Namespace) -> int:
+    """``repro queue cancel``: cancel a pending or running job."""
+    from .engine import EngineError
+    from .fleet import JobQueue
+
+    try:
+        job = JobQueue(args.root).cancel(args.job)
+    except EngineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"cancelled {job.job_id}")
+    return 0
+
+
+def _cmd_queue_run(args: argparse.Namespace) -> int:
+    """``repro queue run``: drain the queue as the fleet coordinator."""
+    from .engine import EngineError
+    from .fleet import Coordinator
+
+    coordinator = Coordinator(
+        args.root,
+        max_jobs=args.max_jobs,
+        heartbeat_timeout=args.heartbeat_timeout,
+        crash_after_units=args.crash_after_units,
+    )
+    try:
+        if args.watch:
+            coordinator.run_forever(
+                poll_interval=args.poll_interval,
+                min_workers=args.min_workers,
+                worker_timeout=args.worker_timeout,
+            )
+            return 0
+        finished = coordinator.run_once(
+            min_workers=args.min_workers,
+            worker_timeout=args.worker_timeout,
+        )
+    except KeyboardInterrupt:
+        return 130
+    except EngineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not finished:
+        print("queue is empty")
+        return 0
+    failed = 0
+    for job in finished:
+        print(f"  {job.describe()}")
+        if job.state == "failed":
+            failed += 1
+    return 1 if failed else 0
+
+
+def _cmd_queue(args: argparse.Namespace) -> int:
+    handlers = {
+        "submit": _cmd_queue_submit,
+        "status": _cmd_queue_status,
+        "cancel": _cmd_queue_cancel,
+        "run": _cmd_queue_run,
+    }
+    handler = handlers.get(args.queue_command)
+    if handler is None:
+        raise SystemExit(f"unknown queue command {args.queue_command!r}")
+    return handler(args)
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """``repro fleet``: render (or watch) a fleet root's health."""
+    from .fleet import FleetMonitor
+
+    monitor = FleetMonitor(
+        args.root,
+        heartbeat_timeout=args.heartbeat_timeout,
+        usage_alert=args.usage_alert,
+        interval=args.interval,
+    )
+    # One snapshot for --once or piped output; a redraw loop on a tty.
+    if args.once or not sys.stdout.isatty():
+        print(monitor.render_once())
+        return 0
+    try:
+        monitor.watch()
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -719,7 +911,104 @@ def build_parser() -> argparse.ArgumentParser:
     ws.add_argument("--port", type=int, default=None,
                     help="TCP port to listen on (default: the engine's "
                          "DEFAULT_PORT, 7045; 0 = ephemeral)")
+    ws.add_argument("--fleet", default=None, metavar="ROOT",
+                    help="fleet root directory: register in its worker "
+                         "roster and heartbeat until shutdown")
+    ws.add_argument("--capacity", type=int, default=1,
+                    help="announced capacity weight: concurrent units "
+                         "this worker should hold (default 1)")
+    ws.add_argument("--worker-id", default=None,
+                    help="registry id (default: derived from hostname "
+                         "and listening address)")
+    ws.add_argument("--heartbeat-interval", type=float, default=2.0,
+                    help="seconds between heartbeat writes (default 2)")
     ws.set_defaults(func=_cmd_worker)
+
+    p = sub.add_parser(
+        "queue",
+        help="persistent fleet job queue: submit, inspect, cancel, run",
+    )
+    queue_sub = p.add_subparsers(dest="queue_command", required=True)
+
+    qs = queue_sub.add_parser(
+        "submit", help="enqueue one scenario sweep as a durable job"
+    )
+    qs.add_argument("--root", required=True, metavar="DIR",
+                    help="fleet root directory (created if missing)")
+    qs.add_argument("--name", default="everywhere-ba",
+                    help="registered scenario (see run-experiment --list)")
+    qs.add_argument("-n", type=int, default=27, help="network size")
+    qs.add_argument("--trials", type=int, default=8,
+                    help="number of independent trials")
+    qs.add_argument("--seed", type=int, default=0,
+                    help="master seed (per-trial seeds are derived)")
+    qs.add_argument("--param", action="append", default=[],
+                    metavar="KEY=VALUE",
+                    help="scenario parameter, validated against the "
+                         "declared schema (repeatable)")
+    qs.add_argument("--unit-size", type=int, default=None,
+                    help="trials per dispatched unit (default: the "
+                         "capacity-weighted plan geometry)")
+    qs.add_argument("--max-live", type=int, default=None,
+                    help="async scenarios: resident instances per wave")
+    qs.set_defaults(func=_cmd_queue)
+
+    qs = queue_sub.add_parser(
+        "status", help="list the queue, or show one job in detail"
+    )
+    qs.add_argument("--root", required=True, metavar="DIR")
+    qs.add_argument("job", nargs="?", default=None,
+                    help="job id (omit to list every job)")
+    qs.set_defaults(func=_cmd_queue)
+
+    qs = queue_sub.add_parser(
+        "cancel", help="cancel a pending or running job"
+    )
+    qs.add_argument("--root", required=True, metavar="DIR")
+    qs.add_argument("job", help="job id to cancel")
+    qs.set_defaults(func=_cmd_queue)
+
+    qs = queue_sub.add_parser(
+        "run",
+        help="run the coordinator: drain the queue against the "
+             "registered workers (crash-resumable)",
+    )
+    qs.add_argument("--root", required=True, metavar="DIR")
+    qs.add_argument("--max-jobs", type=int, default=2,
+                    help="sweeps in flight at once (default 2)")
+    qs.add_argument("--min-workers", type=int, default=1,
+                    help="registered workers to wait for (default 1)")
+    qs.add_argument("--worker-timeout", type=float, default=30.0,
+                    help="seconds to wait for workers (default 30)")
+    qs.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                    help="seconds before a silent worker is evicted")
+    qs.add_argument("--watch", action="store_true",
+                    help="keep polling for new jobs instead of exiting "
+                         "when the queue drains")
+    qs.add_argument("--poll-interval", type=float, default=1.0,
+                    help="--watch: seconds between empty-queue polls")
+    qs.add_argument("--crash-after-units", type=int, default=None,
+                    help=argparse.SUPPRESS)  # failure injection (tests)
+    qs.set_defaults(func=_cmd_queue)
+
+    p = sub.add_parser(
+        "fleet",
+        help="live fleet monitor: worker health, queue depth, lane "
+             "throughput, usage alerts",
+    )
+    p.add_argument("--root", required=True, metavar="DIR",
+                   help="fleet root directory to observe")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit (default when "
+                        "stdout is not a tty)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="watch mode: seconds between redraws")
+    p.add_argument("--usage-alert", type=float, default=0.9,
+                   help="lane busy fraction that raises an alert "
+                        "(default 0.9)")
+    p.add_argument("--heartbeat-timeout", type=float, default=10.0,
+                   help="seconds before a worker renders as stale")
+    p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser(
         "bench",

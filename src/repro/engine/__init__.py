@@ -55,10 +55,8 @@ from .backends import (
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
-    chunk_indices,
     default_worker_count,
     make_context,
-    make_pool,
     run_one_trial,
 )
 from .batch import BatchBackend
@@ -73,6 +71,7 @@ from .dispatch import (
     run_unit,
     run_unit_timed,
     run_units,
+    total_capacity,
 )
 from .distributed import (
     DistributedBackend,
@@ -166,7 +165,6 @@ __all__ = [
     "WireFormatError",
     "WorkUnit",
     "WorkerServer",
-    "chunk_indices",
     "default_worker_count",
     "drive_async_instance",
     "drive_instance",
@@ -176,7 +174,6 @@ __all__ = [
     "load_builtin_scenarios",
     "load_report",
     "make_context",
-    "make_pool",
     "merge_ledger_stats",
     "parse_hosts",
     "percentile",
@@ -197,5 +194,6 @@ __all__ = [
     "spec_to_wire",
     "stats_from_wire",
     "stats_to_wire",
+    "total_capacity",
     "write_report",
 ]

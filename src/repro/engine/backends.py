@@ -35,9 +35,7 @@ on error paths as well as clean exits.
 from __future__ import annotations
 
 import abc
-import multiprocessing.pool
 import os
-import warnings
 from typing import List, Optional
 
 from .dispatch import (
@@ -55,10 +53,8 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
-    "chunk_indices",
     "default_worker_count",
     "make_context",
-    "make_pool",
     "run_one_trial",
 ]
 
@@ -134,40 +130,6 @@ class SerialBackend(ExecutionBackend):
 def default_worker_count() -> int:
     """Worker count when unspecified: every core, capped at 8."""
     return max(1, min(8, os.cpu_count() or 1))
-
-
-def chunk_indices(
-    trials: int, chunk_size: Optional[int], workers: int
-) -> List[List[int]]:
-    """Deprecated alias — geometry lives in :class:`DispatchPlan` now.
-
-    Kept for callers of the PR-3 helper API; identical behaviour to
-    ``DispatchPlan.chunked(trials, chunk_size, workers).indices()``.
-    """
-    warnings.warn(
-        "chunk_indices is deprecated; use "
-        "DispatchPlan.chunked(...).indices()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return DispatchPlan.chunked(trials, chunk_size, workers).indices()
-
-
-def make_pool(
-    workers: int, start_method: Optional[str] = None
-) -> multiprocessing.pool.Pool:
-    """Deprecated alias — pool lifecycle lives in :class:`PoolTransport`.
-
-    Kept for callers of the PR-3 helper API; identical behaviour to
-    ``PoolTransport.create_pool(workers, start_method)`` (see that
-    method for the spawn-safety notes).
-    """
-    warnings.warn(
-        "make_pool is deprecated; use PoolTransport.create_pool(...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return PoolTransport.create_pool(workers, start_method)
 
 
 class ProcessPoolBackend(ExecutionBackend):

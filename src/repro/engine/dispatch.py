@@ -10,8 +10,8 @@ dispatch plane factors the pattern into three orthogonal pieces:
 
 * :class:`DispatchPlan` — the *geometry*: how ``trials`` shard into
   :class:`WorkUnit` values (contiguous chunks for isolated trials,
-  waves for async step loops).  All unit-size defaults live here; the
-  old ``chunk_indices`` helper survives only as a deprecated alias.
+  waves for async step loops).  All unit-size defaults live here (the
+  PR-3 ``chunk_indices``/``make_pool`` aliases are gone as of PR 7).
 * :class:`Transport` — the *mechanism*: submit a work unit to a lane
   (pool worker, TCP host, in-process loop), collect one result
   :class:`Envelope` at a time, and report lane death.  Implementations:
@@ -229,6 +229,31 @@ def unit_from_wire(doc: Any) -> WorkUnit:
 # -- the plan: shard geometry in exactly one place ------------------------------------
 
 
+def total_capacity(weights: Sequence[int]) -> int:
+    """Sum per-lane capacity weights, validating each.
+
+    A weight is how many units a lane keeps in flight at once (a
+    4-core host behind one ``repro worker serve`` is weight 4).  The
+    plan treats the fleet's total capacity as its effective worker
+    count, so unit sizing scales with real capacity rather than with
+    the number of addresses.
+    """
+    total = 0
+    for weight in weights:
+        if not isinstance(weight, int) or isinstance(weight, bool):
+            raise EngineError(
+                f"capacity weight must be an integer, got {weight!r}"
+            )
+        if weight < 1:
+            raise EngineError(
+                f"capacity weight must be >= 1, got {weight!r}"
+            )
+        total += weight
+    if total < 1:
+        raise EngineError("need at least one capacity weight")
+    return total
+
+
 @dataclass(frozen=True)
 class DispatchPlan:
     """How one spec's trials shard into work units.
@@ -259,13 +284,20 @@ class DispatchPlan:
         trials: int,
         chunk_size: Optional[int],
         workers: int,
+        weights: Optional[Sequence[int]] = None,
     ) -> "DispatchPlan":
         """Isolated-trial chunks (the process backend's geometry).
 
         ``chunk_size=None`` picks ~4 chunks per worker, balancing
         task-dispatch overhead against stragglers (trials can have very
-        different durations).
+        different durations).  ``weights`` replaces ``workers`` with the
+        fleet's total capacity (:func:`total_capacity`): a weight-3 lane
+        counts as three workers, so heterogeneous fleets get units
+        sized for their real parallelism and the greedy collect loop
+        hands heavier lanes proportionately more of them.
         """
+        if weights is not None:
+            workers = total_capacity(weights)
         size = chunk_size
         if size is None:
             size = max(1, trials // (max(1, workers) * 4))
@@ -278,13 +310,17 @@ class DispatchPlan:
         wave_size: Optional[int],
         workers: int,
         max_live: Optional[int] = None,
+        weights: Optional[Sequence[int]] = None,
     ) -> "DispatchPlan":
         """Async waves (the hybrid backend's geometry).
 
         ``wave_size=None`` picks ~2 waves per worker — large enough to
         amortise the per-wave step loop, small enough to rebalance
-        stragglers once.
+        stragglers once.  ``weights`` scales the effective worker count
+        by fleet capacity exactly as in :meth:`chunked`.
         """
+        if weights is not None:
+            workers = total_capacity(weights)
         size = wave_size
         if size is None:
             # Ceil division so nothing is dropped.

@@ -86,34 +86,72 @@ from .telemetry import RunTelemetry
 #: Default TCP port of ``repro worker serve``.
 DEFAULT_PORT = 7045
 
-HostSpec = Union[str, Tuple[str, int]]
+HostSpec = Union[str, Tuple[str, int], Tuple[str, int, int]]
 
 
-def parse_hosts(hosts: Sequence[HostSpec]) -> List[Tuple[str, int]]:
-    """Normalise ``host:port`` strings / ``(host, port)`` pairs.
+def _host_error(entry: Any, why: str) -> EngineError:
+    """A parse error that always names the offending entry."""
+    return EngineError(f"bad worker host {entry!r}: {why}")
 
-    A bare ``host`` gets :data:`DEFAULT_PORT`.  (IPv6 literals need the
-    tuple form — the string form splits on the last colon.)
+
+def parse_hosts(hosts: Sequence[HostSpec]) -> List[Tuple[str, int, int]]:
+    """Normalise host specs into ``(host, port, weight)`` triples.
+
+    Accepted forms — strings ``host``, ``host:port`` and
+    ``host:port:weight``, and tuples ``(host, port)`` /
+    ``(host, port, weight)``.  A bare ``host`` gets
+    :data:`DEFAULT_PORT`; the capacity ``weight`` (units the host keeps
+    in flight at once — see :func:`~repro.engine.dispatch.total_capacity`)
+    defaults to 1.  Malformed specs raise an :class:`EngineError`
+    naming the offending entry.  (IPv6 literals need the tuple form —
+    the string form splits on colons.)
     """
-    parsed: List[Tuple[str, int]] = []
+    parsed: List[Tuple[str, int, int]] = []
     for entry in hosts:
         if isinstance(entry, tuple):
-            host, port = entry
-            parsed.append((str(host), int(port)))
-            continue
-        text = str(entry).strip()
-        if not text:
-            raise EngineError("empty worker host entry")
-        if ":" in text:
-            host, _, port_text = text.rpartition(":")
+            if len(entry) == 2:
+                host, port = entry
+                weight: Any = 1
+            elif len(entry) == 3:
+                host, port, weight = entry
+            else:
+                raise _host_error(
+                    entry, "expected (host, port) or (host, port, weight)"
+                )
             try:
-                parsed.append((host, int(port_text)))
-            except ValueError:
-                raise EngineError(
-                    f"bad worker host {text!r} (expected host:port)"
+                port = int(port)
+                weight = int(weight)
+            except (TypeError, ValueError):
+                raise _host_error(
+                    entry, "port and weight must be integers"
                 ) from None
         else:
-            parsed.append((text, DEFAULT_PORT))
+            text = str(entry).strip()
+            if not text:
+                raise _host_error(entry, "empty worker host entry")
+            parts = text.split(":")
+            if len(parts) > 3 or any(not p for p in parts):
+                raise _host_error(
+                    entry, "expected host, host:port or host:port:weight"
+                )
+            host = parts[0]
+            try:
+                port = int(parts[1]) if len(parts) > 1 else DEFAULT_PORT
+            except ValueError:
+                raise _host_error(
+                    entry, f"port {parts[1]!r} is not an integer"
+                ) from None
+            try:
+                weight = int(parts[2]) if len(parts) > 2 else 1
+            except ValueError:
+                raise _host_error(
+                    entry, f"weight {parts[2]!r} is not an integer"
+                ) from None
+        if not 0 < port < 65536:
+            raise _host_error(entry, f"port {port} outside 1..65535")
+        if weight < 1:
+            raise _host_error(entry, f"weight {weight} must be >= 1")
+        parsed.append((str(host), port, weight))
     return parsed
 
 
@@ -164,22 +202,37 @@ class _WorkerHandler(socketserver.StreamRequestHandler):
                 continue
             if server.note_unit_and_check_crash():
                 return
+            if not server.begin_unit():
+                # Draining: refuse new work with an answer (an error
+                # envelope keeps the lane alive client-side just long
+                # enough to rebalance the unit elsewhere), then hang up.
+                self._error("worker is draining")
+                return
             try:
-                unit = unit_from_wire(doc)
-                results, stats = run_unit_timed(unit)
-                reply = {
-                    "version": WIRE_VERSION,
-                    "kind": "results",
-                    "results": [result_to_wire(r) for r in results],
-                }
-                # The stats field is optional and versioned on its own:
-                # clients treat an absent field (this server with
-                # stats=False — the legacy-worker shape) as "no stats".
-                if server.send_stats:
-                    reply["stats"] = stats_to_wire(stats)
-                self._send(reply)
-            except Exception as exc:  # report, keep serving
-                self._error(f"{type(exc).__name__}: {exc}")
+                try:
+                    unit = unit_from_wire(doc)
+                    results, stats = run_unit_timed(unit)
+                    reply = {
+                        "version": WIRE_VERSION,
+                        "kind": "results",
+                        "results": [result_to_wire(r) for r in results],
+                    }
+                    # The stats field is optional and versioned on its
+                    # own: clients treat an absent field (this server
+                    # with stats=False — the legacy-worker shape) as
+                    # "no stats".
+                    if server.send_stats:
+                        reply["stats"] = stats_to_wire(stats)
+                    self._send(reply)
+                except Exception as exc:  # report, keep serving
+                    self._error(f"{type(exc).__name__}: {exc}")
+            finally:
+                # The reply (or error) is flushed before the unit is
+                # released — close() may tear the socket down the
+                # moment the in-flight count reaches zero.
+                server.finish_unit()
+            if server.draining:
+                return
 
 
 class WorkerServer:
@@ -195,6 +248,12 @@ class WorkerServer:
     then drops every connection without replying — indistinguishable,
     from the client side, from the worker process being killed
     mid-sweep.
+
+    :meth:`close` performs a **graceful drain**: new unit requests are
+    refused, but any unit already executing finishes and its response
+    is flushed before the sockets come down — a worker asked to stop
+    (SIGTERM on ``repro worker serve``) never cuts an exchange
+    mid-envelope.
     """
 
     def __init__(
@@ -203,6 +262,7 @@ class WorkerServer:
         port: int = 0,
         crash_after_units: Optional[int] = None,
         stats: bool = True,
+        drain_timeout: float = 30.0,
     ) -> None:
         self._server = _WorkerTCPServer((host, port), _WorkerHandler)
         self._server.owner = self
@@ -211,9 +271,13 @@ class WorkerServer:
         #: ``stats=False`` reproduces the pre-telemetry reply shape —
         #: the interop fixture for the legacy-worker tests.
         self.send_stats = stats
+        self.drain_timeout = drain_timeout
         self.crashed = False
+        self.draining = False
         self._units_seen = 0
         self._count_lock = threading.Lock()
+        self._inflight = 0
+        self._drain_cond = threading.Condition()
         self._thread: Optional[threading.Thread] = None
         self._serving = False
         self._closed = False
@@ -223,15 +287,36 @@ class WorkerServer:
         """The ``host:port`` string clients dial."""
         return f"{self.host}:{self.port}"
 
+    @property
+    def units_served(self) -> int:
+        """How many unit requests this server has received."""
+        with self._count_lock:
+            return self._units_seen
+
     def note_unit_and_check_crash(self) -> bool:
         """Count one received unit; True when the crash budget is spent."""
-        if self.crash_after_units is None:
-            return False
         with self._count_lock:
             self._units_seen += 1
-            if self._units_seen > self.crash_after_units:
+            if (
+                self.crash_after_units is not None
+                and self._units_seen > self.crash_after_units
+            ):
                 self.crashed = True
         return self.crashed
+
+    def begin_unit(self) -> bool:
+        """Claim one unit execution slot; False once draining started."""
+        with self._drain_cond:
+            if self.draining:
+                return False
+            self._inflight += 1
+            return True
+
+    def finish_unit(self) -> None:
+        """Release a unit slot (its response is already flushed)."""
+        with self._drain_cond:
+            self._inflight -= 1
+            self._drain_cond.notify_all()
 
     def serve_forever(self) -> None:
         """Serve until :meth:`close` (blocking; the CLI entry point)."""
@@ -257,10 +342,23 @@ class WorkerServer:
         return self
 
     def close(self) -> None:
-        """Stop serving and release the socket (idempotent)."""
+        """Drain in-flight units, stop serving, release the socket.
+
+        Idempotent.  The drain happens *first*: ``draining`` flips (new
+        unit requests are refused from here on) and the call blocks —
+        up to ``drain_timeout`` — until every in-flight unit has
+        finished and flushed its response.  Only then do the accept
+        loop and sockets come down, so a close never cuts an exchange
+        mid-envelope (pinned by ``tests/test_distributed.py``).
+        """
         if self._closed:
             return
         self._closed = True
+        with self._drain_cond:
+            self.draining = True
+            self._drain_cond.wait_for(
+                lambda: self._inflight == 0, timeout=self.drain_timeout
+            )
         if self._serving:
             self._server.shutdown()
         self._server.server_close()
@@ -313,6 +411,11 @@ class SocketTransport(Transport):
     A worker that *answers* with an ``error`` document stays alive
     (it is reachable and sane — the unit, not the lane, is the
     problem).
+
+    A host's capacity weight expands into that many lanes (each with
+    its own connection and in-flight unit), so a weight-3 machine
+    holds three units concurrently and the greedy collect loop feeds
+    it a proportionate share of the sweep.
     """
 
     name = "socket"
@@ -330,12 +433,13 @@ class SocketTransport(Transport):
         self.io_timeout = io_timeout
         self._lanes: List[_Lane] = []
         seen: dict = {}
-        for host, port in addresses:
+        for host, port, weight in addresses:
             base = f"{host}:{port}"
-            count = seen.get(base, 0)
-            seen[base] = count + 1
-            lane_id = base if count == 0 else f"{base}#{count}"
-            self._lanes.append(_Lane(lane_id, host, port))
+            for _ in range(weight):
+                count = seen.get(base, 0)
+                seen[base] = count + 1
+                lane_id = base if count == 0 else f"{base}#{count}"
+                self._lanes.append(_Lane(lane_id, host, port))
         self._envelopes: "queue.Queue[Envelope]" = queue.Queue()
         self._closed = False
         #: Per-run telemetry sink (set by the backend before each run;
@@ -467,11 +571,14 @@ class DistributedBackend(ExecutionBackend):
     the workers*, even when there is one worker or one trial.
 
     Parameters:
-        hosts: worker addresses — ``host:port`` strings or
-            ``(host, port)`` tuples, one ``repro worker serve`` each.
+        hosts: worker addresses — ``host:port[:weight]`` strings or
+            ``(host, port[, weight])`` tuples, one ``repro worker
+            serve`` each; the capacity weight (default 1) gives the
+            host that many concurrent lanes and scales the plan's
+            effective worker count.
         unit_size: trials per dispatched unit (``None``: the dispatch
             plane's default geometry — ~2 waves/host for async
-            scenarios, ~4 chunks/host otherwise).
+            scenarios, ~4 chunks/host otherwise, per capacity weight).
         max_live: resident-instance bound within a host's wave.
         connect_timeout / io_timeout: socket timeouts (``io_timeout``
             ``None`` waits indefinitely for a unit's results).
@@ -510,28 +617,44 @@ class DistributedBackend(ExecutionBackend):
         self._transport: Optional[SocketTransport] = None
 
     def plan(self, spec: ExperimentSpec) -> DispatchPlan:
-        """Wave geometry for async scenarios, chunk geometry otherwise."""
+        """Wave geometry for async scenarios, chunk geometry otherwise.
+
+        Capacity-weighted: a ``host:port:3`` worker counts as three in
+        the effective worker count, so heterogeneous fleets see unit
+        sizes matched to their aggregate parallelism.
+        """
         runner = get_runner(spec.runner)
-        workers = len(self.addresses)
+        weights = [weight for _, _, weight in self.addresses]
         if runner.build_async_instance is not None:
             return DispatchPlan.waved(
-                spec.trials, self.unit_size, workers, max_live=self.max_live
+                spec.trials,
+                self.unit_size,
+                workers=0,
+                max_live=self.max_live,
+                weights=weights,
             )
-        return DispatchPlan.chunked(spec.trials, self.unit_size, workers)
+        return DispatchPlan.chunked(
+            spec.trials, self.unit_size, workers=0, weights=weights
+        )
+
+    @property
+    def total_lanes(self) -> int:
+        """The fleet's capacity: one lane per unit of host weight."""
+        return sum(weight for _, _, weight in self.addresses)
 
     def _ensure_transport(
         self, telemetry: Optional[RunTelemetry] = None
     ) -> SocketTransport:
         if self._transport is not None and len(
             self._transport.lanes()
-        ) < len(self.addresses):
+        ) < self.total_lanes:
             # A previous sweep lost lanes.  Worker restarts are routine,
             # and a dead lane is permanent within one transport — so
             # reconnect from scratch rather than running degraded (or
             # bricked) forever on a host set that has since recovered.
             self.close()
             if telemetry is not None:
-                for host, port in self.addresses:
+                for host, port, _ in self.addresses:
                     telemetry.note_lane_event(f"{host}:{port}", "redial")
         if self._transport is None:
             self._transport = SocketTransport(

@@ -1,0 +1,81 @@
+"""The sweep control plane: queue, worker registry, coordinator, monitor.
+
+Turns the one-shot distributed backend into a long-lived service.  The
+shared medium is a *fleet root directory* — atomically-written JSON
+wire documents, nothing live — with four cooperating pieces on top:
+
+* :mod:`~repro.fleet.queue` — the persistent job queue
+  (:class:`JobQueue`) holding wire-format ``ExperimentSpec`` jobs with
+  atomic state transitions, plus the per-unit :class:`UnitStore`
+  resume log;
+* :mod:`~repro.fleet.registry` — worker discovery
+  (:class:`FleetRegistry`): ``repro worker serve --fleet`` processes
+  register, heartbeat, and announce capacity weights; stale workers
+  are evicted;
+* :mod:`~repro.fleet.coordinator` — the crash-resumable, bounded-
+  concurrency job runner (:class:`Coordinator`) dispatching over the
+  registered fleet through the unchanged dispatch plane;
+* :mod:`~repro.fleet.monitor` — the ``repro fleet`` view
+  (:class:`FleetMonitor`): host health, queue depth, per-lane
+  throughput and usage alerts from merged telemetry reports.
+
+See the "Fleet" section of ENGINE.md for the lifecycle diagram,
+heartbeat protocol and resume semantics.
+"""
+
+from .coordinator import Coordinator, CoordinatorKilled
+from .monitor import (
+    DEFAULT_USAGE_ALERT,
+    FleetMonitor,
+    FleetSnapshot,
+    alerts,
+    render,
+    snapshot,
+)
+from .queue import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    FleetError,
+    Job,
+    JobQueue,
+    UnitStore,
+    job_from_wire,
+    job_to_wire,
+)
+from .registry import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    FleetRegistry,
+    HeartbeatThread,
+    WorkerInfo,
+    default_worker_id,
+    worker_from_wire,
+    worker_to_wire,
+)
+
+__all__ = [
+    "Coordinator",
+    "CoordinatorKilled",
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_HEARTBEAT_TIMEOUT",
+    "DEFAULT_USAGE_ALERT",
+    "FleetError",
+    "FleetMonitor",
+    "FleetRegistry",
+    "FleetSnapshot",
+    "HeartbeatThread",
+    "JOB_STATES",
+    "Job",
+    "JobQueue",
+    "TERMINAL_STATES",
+    "UnitStore",
+    "WorkerInfo",
+    "alerts",
+    "default_worker_id",
+    "job_from_wire",
+    "job_to_wire",
+    "render",
+    "snapshot",
+    "worker_from_wire",
+    "worker_to_wire",
+]

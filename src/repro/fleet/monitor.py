@@ -1,0 +1,265 @@
+"""``repro fleet``: the live view over a fleet root directory.
+
+Everything rendered here is read from the same on-disk control plane
+the coordinator and workers write — worker heartbeat files, job
+envelopes, and the per-job telemetry ``RunReport`` artifacts — so the
+monitor needs no connection to anything live and works equally on a
+fleet that is running, crashed, or long finished.
+
+Per-lane throughput and the usage alerts come from *merging* the job
+reports (:meth:`RunReport.merge` is associative, so the fold over any
+number of jobs is order-independent): lane usage is the fraction of
+the **summed** per-job wall clocks a lane spent executing units —
+summed, not merged, because concurrently-run jobs overlap and the
+merged wall clock (a max) would report busy fractions above 100%.
+Crossing ``usage_alert`` flags the lane as saturated — the signal to
+raise its capacity weight or add workers.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..analysis.reporting import Table
+from ..engine.telemetry import RunReport, load_report
+from .queue import Job, JobQueue
+from .registry import (
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    FleetRegistry,
+    WorkerInfo,
+)
+
+#: Lane busy fraction above which the monitor raises a usage alert.
+DEFAULT_USAGE_ALERT = 0.9
+
+
+@dataclass(frozen=True)
+class FleetSnapshot:
+    """One consistent-enough read of a fleet root's observable state."""
+
+    now: float
+    heartbeat_timeout: float
+    workers: Tuple[WorkerInfo, ...] = ()
+    jobs: Tuple[Job, ...] = ()
+    report: RunReport = field(default_factory=RunReport)
+    #: Sum of the per-job wall clocks (the merged report's wall is a
+    #: max, which under-counts when jobs ran concurrently).
+    total_wall_seconds: float = 0.0
+
+    def alive_workers(self) -> List[WorkerInfo]:
+        return [
+            w
+            for w in self.workers
+            if w.age(self.now) <= self.heartbeat_timeout
+        ]
+
+    def stale_workers(self) -> List[WorkerInfo]:
+        return [
+            w
+            for w in self.workers
+            if w.age(self.now) > self.heartbeat_timeout
+        ]
+
+    def depth(self) -> dict:
+        counts = {
+            s: 0 for s in ("pending", "running", "done", "failed", "cancelled")
+        }
+        for job in self.jobs:
+            counts[job.state] += 1
+        return counts
+
+    def lane_usage(self) -> List[Tuple[str, float]]:
+        """Per-lane busy fraction of the summed job wall clocks."""
+        if self.total_wall_seconds <= 0:
+            return []
+        return [
+            (lane.lane, sum(lane.unit_seconds) / self.total_wall_seconds)
+            for lane in self.report.lanes
+        ]
+
+
+def snapshot(
+    root: str,
+    heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+    now: Optional[float] = None,
+) -> FleetSnapshot:
+    """Read a fleet root: roster, queue, and the merged telemetry."""
+    now = time.time() if now is None else now
+    registry = FleetRegistry(root, heartbeat_timeout=heartbeat_timeout)
+    queue = JobQueue(root)
+    report = RunReport()
+    total_wall = 0.0
+    for name in sorted(os.listdir(queue.reports_dir)):
+        if name.endswith(".json"):
+            job_report = load_report(os.path.join(queue.reports_dir, name))
+            report = report.merge(job_report)
+            total_wall += job_report.wall_seconds
+    return FleetSnapshot(
+        now=now,
+        heartbeat_timeout=heartbeat_timeout,
+        workers=tuple(registry.workers()),
+        jobs=tuple(queue.jobs()),
+        report=report,
+        total_wall_seconds=total_wall,
+    )
+
+
+def alerts(
+    snap: FleetSnapshot, usage_alert: float = DEFAULT_USAGE_ALERT
+) -> List[str]:
+    """The fleet's current warning lines (empty = healthy)."""
+    out: List[str] = []
+    for worker in snap.stale_workers():
+        out.append(
+            f"worker {worker.worker_id} is stale: last heartbeat "
+            f"{worker.age(snap.now):.1f}s ago (timeout "
+            f"{snap.heartbeat_timeout:.0f}s)"
+        )
+    depth = snap.depth()
+    if depth["pending"] + depth["running"] > 0 and not snap.alive_workers():
+        out.append(
+            f"{depth['pending'] + depth['running']} job(s) queued but no "
+            "live worker is registered"
+        )
+    for job in snap.jobs:
+        if job.state == "failed":
+            out.append(f"job {job.job_id} failed: {job.error}")
+    for lane, usage in snap.lane_usage():
+        if usage > usage_alert:
+            out.append(
+                f"lane {lane} usage {usage:.0%} exceeds the "
+                f"{usage_alert:.0%} threshold — consider raising its "
+                "capacity weight or adding workers"
+            )
+    for lane in snap.report.lanes:
+        if lane.dead_events:
+            out.append(
+                f"lane {lane.lane} recorded {lane.dead_events} dead "
+                "event(s) — units were rebalanced away from it"
+            )
+    return out
+
+
+def render(
+    snap: FleetSnapshot, usage_alert: float = DEFAULT_USAGE_ALERT
+) -> str:
+    """The snapshot as plain-text tables plus an alert block."""
+    workers = Table(
+        title="fleet workers",
+        headers=["worker", "address", "capacity", "units", "age s", "state"],
+        note=(
+            f"heartbeat timeout {snap.heartbeat_timeout:.0f}s; stale "
+            "workers are evicted by the coordinator's next pass"
+        ),
+    )
+    for worker in snap.workers:
+        age = worker.age(snap.now)
+        workers.add_row(
+            worker.worker_id,
+            f"{worker.host}:{worker.port}",
+            f"{worker.capacity}",
+            f"{worker.units_served}",
+            f"{age:.1f}",
+            "alive" if age <= snap.heartbeat_timeout else "STALE",
+        )
+    if not snap.workers:
+        workers.add_row("(none registered)", "", "", "", "", "")
+
+    depth = snap.depth()
+    jobs = Table(
+        title=(
+            "job queue  ["
+            + "  ".join(f"{state}:{n}" for state, n in depth.items())
+            + "]"
+        ),
+        headers=["job", "state", "spec", "note"],
+    )
+    for job in snap.jobs:
+        jobs.add_row(
+            job.job_id, job.state, job.spec.describe(), job.error
+        )
+    if not snap.jobs:
+        jobs.add_row("(empty)", "", "", "")
+
+    tables = [workers, jobs]
+
+    if snap.report.lanes:
+        usage = dict(snap.lane_usage())
+        lanes = Table(
+            title="lane throughput (merged job reports)",
+            headers=[
+                "lane", "units", "trials", "trials/s", "p50 s", "usage"
+            ],
+            note="usage = busy fraction of the summed job wall clocks",
+        )
+        wall = snap.total_wall_seconds
+        for lane in snap.report.lanes:
+            lane_usage = usage.get(lane.lane, 0.0)
+            rate = lane.trials / wall if wall > 0 else 0.0
+            p50 = (
+                sorted(lane.unit_seconds)[len(lane.unit_seconds) // 2]
+                if lane.unit_seconds
+                else 0.0
+            )
+            lanes.add_row(
+                lane.lane,
+                f"{lane.units_ok}",
+                f"{lane.trials}",
+                f"{rate:.1f}",
+                f"{p50:.4f}",
+                f"{lane_usage:.0%}",
+            )
+        tables.append(lanes)
+
+    body = "\n\n".join(table.to_text() for table in tables)
+    warning_lines = alerts(snap, usage_alert=usage_alert)
+    if warning_lines:
+        body += "\n\nalerts:\n" + "\n".join(
+            f"  ! {line}" for line in warning_lines
+        )
+    else:
+        body += "\n\nalerts: none"
+    return body
+
+
+class FleetMonitor:
+    """The ``repro fleet`` loop: render a fleet root, repeatedly."""
+
+    def __init__(
+        self,
+        root: str,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        usage_alert: float = DEFAULT_USAGE_ALERT,
+        interval: float = 2.0,
+    ) -> None:
+        self.root = root
+        self.heartbeat_timeout = heartbeat_timeout
+        self.usage_alert = usage_alert
+        self.interval = interval
+
+    def render_once(self, now: Optional[float] = None) -> str:
+        return render(
+            snapshot(
+                self.root,
+                heartbeat_timeout=self.heartbeat_timeout,
+                now=now,
+            ),
+            usage_alert=self.usage_alert,
+        )
+
+    def watch(
+        self, stream: Optional[object] = None, iterations: Optional[int] = None
+    ) -> None:
+        """Redraw until interrupted (``iterations`` bounds it in tests)."""
+        stream = stream if stream is not None else sys.stdout
+        count = 0
+        while iterations is None or count < iterations:
+            if count:
+                time.sleep(self.interval)
+            stream.write(self.render_once() + "\n")
+            stream.flush()
+            count += 1

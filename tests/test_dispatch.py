@@ -77,24 +77,43 @@ def test_waved_matches_historic_hybrid_geometry():
     assert plan.indices() == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
 
 
-def test_legacy_geometry_helpers_warn_and_match_plan():
-    """The PR-3 helper aliases still work, but loudly: each emits a
-    DeprecationWarning and defers to the dispatch plane's geometry."""
-    from repro.engine import chunk_indices, make_pool
+def test_legacy_geometry_helpers_are_gone():
+    """The PR-3 aliases (deprecated in PR 6) are removed: geometry is
+    DispatchPlan, pool lifecycle is PoolTransport.create_pool."""
+    import repro.engine
+    import repro.engine.backends
 
-    for trials, size, workers in ((7, 3, 2), (64, None, 2), (1, None, 3)):
-        with pytest.warns(DeprecationWarning, match="DispatchPlan"):
-            legacy = chunk_indices(trials, size, workers)
-        assert legacy == DispatchPlan.chunked(
-            trials, size, workers
-        ).indices()
-    with pytest.warns(DeprecationWarning, match="PoolTransport"):
-        pool = make_pool(1)
-    try:
-        assert pool.apply(max, ((1, 2),)) == 2
-    finally:
-        pool.terminate()
-        pool.join()
+    for module in (repro.engine, repro.engine.backends):
+        assert not hasattr(module, "chunk_indices")
+        assert not hasattr(module, "make_pool")
+        assert "chunk_indices" not in module.__all__
+        assert "make_pool" not in module.__all__
+
+
+def test_capacity_weights_scale_effective_workers():
+    """``weights=`` replaces the worker count with total capacity, so a
+    weight-3 host shards like three workers."""
+    from repro.engine import total_capacity
+
+    assert total_capacity([1, 1, 1]) == 3
+    assert total_capacity([3, 1]) == 4
+    with pytest.raises(EngineError, match=">= 1"):
+        total_capacity([1, 0])
+    with pytest.raises(EngineError, match="integer"):
+        total_capacity([1.5])
+    with pytest.raises(EngineError, match="integer"):
+        total_capacity([True])
+    with pytest.raises(EngineError, match="at least one"):
+        total_capacity([])
+    # Weighted plans match the equivalent flat worker count exactly.
+    assert (
+        DispatchPlan.chunked(64, None, 0, weights=[3, 1]).unit_size
+        == DispatchPlan.chunked(64, None, 4).unit_size
+    )
+    assert (
+        DispatchPlan.waved(25, None, 0, weights=[2, 1]).unit_size
+        == DispatchPlan.waved(25, None, 3).unit_size
+    )
 
 
 def test_units_carry_spec_mode_and_reject_mismatched_trials():

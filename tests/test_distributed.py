@@ -71,16 +71,79 @@ def workers():
 
 def test_parse_hosts():
     assert parse_hosts(["10.0.0.1:7045", ("h", 9)]) == [
-        ("10.0.0.1", 7045),
-        ("h", 9),
+        ("10.0.0.1", 7045, 1),
+        ("h", 9, 1),
     ]
-    assert parse_hosts(["bare-host"]) == [("bare-host", 7045)]
-    with pytest.raises(EngineError, match="host:port"):
-        parse_hosts(["host:notaport"])
-    with pytest.raises(EngineError, match="empty"):
-        parse_hosts([" "])
+    assert parse_hosts(["bare-host"]) == [("bare-host", 7045, 1)]
+    # The host:port:weight form feeds the capacity-weighted plan.
+    assert parse_hosts(["big:7045:3", ("h2", 9, 2)]) == [
+        ("big", 7045, 3),
+        ("h2", 9, 2),
+    ]
     with pytest.raises(EngineError, match="host"):
         DistributedBackend([])
+
+
+def test_parse_hosts_errors_name_the_offending_entry():
+    """Every malformed spec is rejected with a message carrying the
+    entry itself, so a bad element of a long --hosts list is findable."""
+    cases = [
+        ("host:notaport", "not an integer"),
+        (" ", "empty"),
+        ("a:1:2:3", "host:port:weight"),
+        ("host::7045", "host:port:weight"),
+        ("h:7045:zero", "not an integer"),
+        ("h:7045:0", "weight 0 must be >= 1"),
+        ("h:99999", "outside 1..65535"),
+        (("h", "x"), "port and weight must be integers"),
+        (("h", 1, 2, 3), "(host, port)"),
+    ]
+    for entry, why in cases:
+        with pytest.raises(EngineError) as err:
+            parse_hosts([entry])
+        message = str(err.value)
+        assert repr(entry) in message, entry
+        assert "bad worker host" in message
+        assert why in message, entry
+
+
+def test_capacity_weight_expands_into_lanes():
+    """A weight-w host is w independent lanes on the transport and w
+    effective workers in the plan geometry."""
+    transport = SocketTransport([("a", 7045, 3), "b:7045:2", ("c", 7045)])
+    assert transport.lanes() == (
+        "a:7045", "a:7045#1", "a:7045#2", "b:7045", "b:7045#1", "c:7045"
+    )
+    transport.close()
+    backend = DistributedBackend(["a:7045:3", "b:7045"])
+    assert backend.total_lanes == 4
+    assert (
+        backend.plan(_sync_spec(trials=64)).unit_size
+        == DistributedBackend(
+            ["a:7045", "b:7045", "c:7045", "d:7045"]
+        ).plan(_sync_spec(trials=64)).unit_size
+    )
+    backend.close()
+
+
+def test_weighted_host_keeps_multiple_units_in_flight_bit_identically():
+    """One weight-2 worker serves two concurrent lanes (the threaded
+    server really does execute them in parallel) and the merged sweep
+    stays bit-identical to serial."""
+    spec = _sync_spec(trials=6)
+    serial = SerialBackend().run_trials(spec)
+    server = WorkerServer().start()
+    try:
+        with DistributedBackend(
+            [f"{server.address}:2"], unit_size=1
+        ) as dist:
+            assert dist.total_lanes == 2
+            assert dist.run_trials(spec) == serial
+        report = dist.telemetry.report(results=serial)
+        lanes = {lane.lane for lane in report.lanes if lane.units_ok}
+        assert lanes == {server.address, f"{server.address}#1"}
+    finally:
+        server.close()
 
 
 # -- parity: the acceptance criterion --------------------------------------------------
@@ -286,6 +349,72 @@ def test_worker_server_close_is_idempotent():
     server.close()
     unstarted = WorkerServer()
     unstarted.close()  # never served: still safe
+
+
+def test_close_drains_inflight_unit_before_teardown():
+    """The graceful-drain regression: a close() racing an executing
+    unit blocks until that unit's response is flushed — the client
+    still collects a success envelope, never a cut connection."""
+    import threading
+    import time
+
+    from repro.engine import ExperimentRunner, TrialResult, WorkUnit, register
+    from repro.engine.dispatch import MODE_TRIALS
+
+    started = threading.Event()
+
+    def _slow_trial(ctx):
+        started.set()
+        time.sleep(0.5)
+        return TrialResult.make(ctx, {"value": 1.0})
+
+    register(
+        ExperimentRunner(
+            name="test-slow-drain",
+            run_trial=_slow_trial,
+            description="test-only: sleeps long enough to race close()",
+        )
+    )
+    spec = ExperimentSpec(runner="test-slow-drain", n=1, trials=1)
+    server = WorkerServer().start()
+    transport = SocketTransport([server.address])
+    try:
+        assert transport.try_submit(
+            0, WorkUnit(spec=spec, indices=(0,), mode=MODE_TRIALS)
+        )
+        assert started.wait(5.0)  # the unit is executing on the server
+        begin = time.monotonic()
+        server.close()  # must drain: finish the unit, flush the reply
+        drained_after = time.monotonic() - begin
+        envelope = transport.collect()
+        assert envelope.ok, envelope.error
+        assert [r.trial_index for r in envelope.results] == [0]
+        assert drained_after >= 0.2  # close really waited for the unit
+        assert server.units_served == 1
+    finally:
+        transport.close()
+        server.close()
+
+
+def test_draining_server_refuses_new_units_with_an_error_envelope():
+    """A unit offered to a draining server is answered (an error
+    envelope, so the client can rebalance it) rather than ignored."""
+    from repro.engine import WorkUnit
+
+    server = WorkerServer()
+    server.draining = True  # drain mode without tearing sockets down
+    server.start()
+    transport = SocketTransport([server.address])
+    try:
+        assert transport.try_submit(
+            0, WorkUnit(spec=_sync_spec(trials=1), indices=(0,))
+        )
+        envelope = transport.collect()
+        assert not envelope.ok
+        assert "draining" in envelope.error
+    finally:
+        transport.close()
+        server.close()
 
 
 def test_async_wave_mode_matches_in_process_async(workers):

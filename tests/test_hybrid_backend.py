@@ -26,7 +26,6 @@ from repro.engine import (
     HybridBackend,
     ProcessPoolBackend,
     SerialBackend,
-    chunk_indices,
     get_backend,
     run_wave,
 )
@@ -52,30 +51,22 @@ def test_waves_cover_every_trial_exactly_once():
             assert flat == list(range(trials)), (wave_size, trials)
 
 
-def test_geometry_lives_in_dispatch_plan_with_deprecated_alias():
+def test_geometry_lives_in_dispatch_plan():
     from repro.engine import DispatchPlan
 
-    # The deprecated chunk_indices alias and the plan agree exactly.
-    assert chunk_indices(7, 3, 2) == [[0, 1, 2], [3, 4, 5], [6]]
-    assert chunk_indices(4, None, 2) == [[0], [1], [2], [3]]
-    for trials, size, workers in ((7, 3, 2), (4, None, 2), (25, None, 3)):
-        assert chunk_indices(trials, size, workers) == (
-            DispatchPlan.chunked(trials, size, workers).indices()
-        )
+    assert DispatchPlan.chunked(7, 3, 2).indices() == [
+        [0, 1, 2], [3, 4, 5], [6]
+    ]
+    assert DispatchPlan.chunked(4, None, 2).indices() == [
+        [0], [1], [2], [3]
+    ]
     # Both pool backends shard through the same plan type.
     assert ProcessPoolBackend(workers=2, chunk_size=3).plan(7).indices() == (
-        chunk_indices(7, 3, 2)
+        DispatchPlan.chunked(7, 3, 2).indices()
     )
     assert HybridBackend(workers=2, wave_size=3).plan(7).indices() == (
         DispatchPlan.waved(7, 3, 2).indices()
     )
-
-
-def test_make_pool_alias_still_builds_working_pools():
-    from repro.engine import make_pool
-
-    with make_pool(2) as pool:
-        assert pool.map(abs, [-1, 2, -3]) == [1, 2, 3]
 
 
 def test_hybrid_constructor_validation():
