@@ -150,6 +150,133 @@ def _suite_e17_row_check(quick: bool) -> Dict[str, Any]:
     }
 
 
+def _suite_e9_batch_reveal(quick: bool) -> Dict[str, Any]:
+    """E9 shape, batched: windowed robust reveal across many dealers.
+
+    The exact call shape of ``VSSCoinMember._reveal_secrets``: every
+    dealer's share pool sits on the same member grid, and each pool is
+    probed through the same ``ROBUST_REVEAL_WINDOWS`` threshold-sized
+    windows.  The baseline is the *plan path* (the repo's previous fast
+    path: one cached-lambda dot product per (dealer, window) pair); the
+    batched path collapses all pairs into a single ``(dealers, k) @
+    (k, windows)`` product via
+    :func:`~repro.crypto.kernels.interpolate_windows_at_zero`.
+    """
+    from itertools import combinations, islice
+
+    from repro.crypto import kernels
+    from repro.crypto.field import DEFAULT_FIELD as field
+    from repro.crypto.shamir import ShamirScheme, paper_threshold
+
+    n = 64
+    threshold = paper_threshold(n)
+    scheme = ShamirScheme(n_players=n, threshold=threshold)
+    rng = random.Random(0xE9B)
+    dealers = 16
+    secrets = [rng.randrange(field.modulus) for _ in range(dealers)]
+    pools = scheme.deal_many(secrets, rng)
+    xs = [share.x for share in pools[0]]
+    ys_rows = [[share.value for share in pool] for pool in pools]
+    windows = [
+        tuple(combo)
+        for combo in islice(combinations(range(n), threshold), 40)
+    ]
+
+    def plan() -> List[List[int]]:
+        return [
+            [
+                kernels.interpolate_constant(
+                    field, [(xs[i], ys[i]) for i in combo]
+                )
+                for combo in windows
+            ]
+            for ys in ys_rows
+        ]
+
+    def batched() -> List[List[int]]:
+        return kernels.interpolate_windows_at_zero(
+            field, xs, ys_rows, windows
+        )
+
+    expected = plan()
+    assert batched() == expected  # parity before speed
+    assert all(
+        value == secret
+        for row, secret in zip(expected, secrets)
+        for value in row
+    )
+
+    reps = 2 if quick else 10
+    plan_s = _time(plan, reps)
+    batch_s = _time(batched, reps)
+    ops = reps * dealers * len(windows)
+    return {
+        "desc": (
+            f"windowed robust reveal: {dealers} dealers x "
+            f"{len(windows)} windows, grid 1..{n}"
+        ),
+        "engine": kernels.batch_engine(field),
+        "ops": ops,
+        "plan_s": round(plan_s, 6),
+        "batch_s": round(batch_s, 6),
+        "batch_us_per_op": round(batch_s / ops * 1e6, 3),
+        "speedup": round(plan_s / batch_s, 2) if batch_s else float("inf"),
+        "parity": True,
+    }
+
+
+def _suite_e17_batch_rows(quick: bool) -> Dict[str, Any]:
+    """E17 shape, batched: a whole dealing's row-degree checks at once.
+
+    The baseline is the plan path (``row_degree_ok``: one cached-lambda
+    dot product per off-basis point); the batched path is
+    ``rows_degree_ok`` — every row of the dealing predicted through one
+    ``(rows, t) @ (t, rest)`` product against the shared basis grid.
+    """
+    from repro.crypto import kernels
+    from repro.crypto.bivariate import BivariateScheme
+    from repro.crypto.field import DEFAULT_FIELD as field
+    from repro.crypto.shamir import paper_threshold
+
+    n = 64
+    scheme = BivariateScheme(n_players=n, threshold=paper_threshold(n))
+    rng = random.Random(0xE17B)
+    rows = scheme.deal(rng.randrange(field.modulus), rng)
+    # One tampered row keeps the False path honest in the parity check.
+    bad = rows[3]
+    bad_values = list(bad.values)
+    bad_values[-1] = (bad_values[-1] + 1) % field.modulus
+    rows[3] = type(bad)(x=bad.x, values=tuple(bad_values))
+
+    def plan() -> List[bool]:
+        return [scheme.row_degree_ok(row) for row in rows]
+
+    def batched() -> List[bool]:
+        return scheme.rows_degree_ok(rows)
+
+    expected = plan()
+    assert batched() == expected  # parity before speed
+    assert not expected[3] and all(expected[:3] + expected[4:])
+
+    reps = 2 if quick else 12
+    plan_s = _time(plan, reps)
+    batch_s = _time(batched, reps)
+    ops = reps * len(rows) * (n + 1 - scheme.threshold)
+    return {
+        "desc": (
+            f"row-degree checks, whole dealing ({len(rows)} rows) at "
+            f"n={n}"
+        ),
+        "engine": kernels.batch_engine(field),
+        "ops": ops,
+        "plan_s": round(plan_s, 6),
+        "batch_s": round(batch_s, 6),
+        "batch_us_per_op": round(batch_s / ops * 1e6, 3),
+        "speedup": round(plan_s / batch_s, 2) if batch_s else float("inf"),
+        "parity": True,
+    }
+
+
 def _suite_e19_vss_coin(quick: bool) -> Dict[str, Any]:
     """E19 end-to-end: full VSS-coin protocol runs (wall-clock trend).
 
@@ -409,7 +536,9 @@ def _suite_telemetry_overhead(quick: bool) -> Dict[str, Any]:
 
 _SUITES = {
     "e9_reconstruct_n64": _suite_e9_reconstruct,
+    "e9_batch_reveal_n64": _suite_e9_batch_reveal,
     "e17_row_check_n64": _suite_e17_row_check,
+    "e17_batch_rows_n64": _suite_e17_batch_rows,
     "e19_vss_coin": _suite_e19_vss_coin,
     "sim_round_loop_n32": _suite_sim_round_loop,
     "dispatch_overhead": _suite_dispatch_overhead,

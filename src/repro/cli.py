@@ -698,8 +698,10 @@ def _cmd_queue_cancel(args: argparse.Namespace) -> int:
 
 def _cmd_queue_run(args: argparse.Namespace) -> int:
     """``repro queue run``: drain the queue as the fleet coordinator."""
+    import signal
+
     from .engine import EngineError
-    from .fleet import Coordinator
+    from .fleet import Coordinator, CoordinatorInterrupted
 
     coordinator = Coordinator(
         args.root,
@@ -707,6 +709,27 @@ def _cmd_queue_run(args: argparse.Namespace) -> int:
         heartbeat_timeout=args.heartbeat_timeout,
         crash_after_units=args.crash_after_units,
     )
+
+    # First Ctrl-C: graceful stop — job threads unwind at their next
+    # collect point, interrupted jobs stay ``running`` for resume, and
+    # the coordinator lock is released.  The handler then restores the
+    # previous disposition so a *second* Ctrl-C interrupts hard (a
+    # coordinator stuck on a dead socket must still be killable).
+    previous = signal.getsignal(signal.SIGINT)
+
+    def _on_sigint(signum, frame):
+        coordinator.request_stop()
+        signal.signal(signal.SIGINT, previous)
+        print(
+            "\ninterrupt: stopping after in-flight units "
+            "(Ctrl-C again to force)",
+            file=sys.stderr,
+        )
+
+    try:
+        signal.signal(signal.SIGINT, _on_sigint)
+    except ValueError:
+        previous = None  # not the main thread (tests); run unguarded
     try:
         if args.watch:
             coordinator.run_forever(
@@ -719,11 +742,22 @@ def _cmd_queue_run(args: argparse.Namespace) -> int:
             min_workers=args.min_workers,
             worker_timeout=args.worker_timeout,
         )
-    except KeyboardInterrupt:
+    except (KeyboardInterrupt, CoordinatorInterrupted):
+        print(
+            "interrupted: incomplete jobs remain 'running'; "
+            "rerun 'repro queue run' to resume",
+            file=sys.stderr,
+        )
         return 130
     except EngineError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if previous is not None:
+            try:
+                signal.signal(signal.SIGINT, previous)
+            except ValueError:
+                pass
     if not finished:
         print("queue is empty")
         return 0

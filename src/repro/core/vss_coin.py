@@ -50,11 +50,14 @@ from __future__ import annotations
 import random
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from itertools import combinations
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from itertools import combinations, islice
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..crypto.bivariate import BivariateRow, BivariateScheme
-from ..crypto.kernels import interpolate_constant
+from ..crypto.kernels import (
+    interpolate_constant,
+    interpolate_windows_at_zero,
+)
 from ..net.messages import Message
 from ..net.simulator import (
     Adversary,
@@ -68,6 +71,10 @@ from ..net.simulator import (
 def vss_coin_fault_bound(k: int) -> int:
     """Maximum tolerated faults in the committee: t < k/3."""
     return max(0, (k - 1) // 3)
+
+
+#: How many threshold-sized windows the robust reveal tries per dealer.
+ROBUST_REVEAL_WINDOWS = 40
 
 
 class VSSCoinMember(ProcessorProtocol):
@@ -94,6 +101,9 @@ class VSSCoinMember(ProcessorProtocol):
         self.qualified: List[int] = []
         self.reveal_shares: Dict[int, Dict[int, int]] = defaultdict(dict)
         self._coin: Optional[int] = None
+        # Rows staged by bulk_predeal (wave-bulk dealing); consumed by
+        # _deal in round 1.
+        self._predealt: Optional[List[BivariateRow]] = None
 
     # -- rounds ------------------------------------------------------------------
 
@@ -120,7 +130,11 @@ class VSSCoinMember(ProcessorProtocol):
     # -- round 1: deal ---------------------------------------------------------------
 
     def _deal(self) -> List[Message]:
-        rows = self.scheme.deal(self.secret, self.rng)
+        rows = self._predealt
+        if rows is None:
+            rows = self.scheme.deal(self.secret, self.rng)
+        else:
+            self._predealt = None
         out = []
         for row in rows:
             member = row.x - 1  # shares are 1-indexed
@@ -236,12 +250,54 @@ class VSSCoinMember(ProcessorProtocol):
     def _toss(self) -> None:
         total = 0
         field = self.scheme.field
+        secrets = self._reveal_secrets(self.qualified)
         for dealer in self.qualified:
-            secret = self._reconstruct_robust(dealer)
+            secret = secrets.get(dealer)
             if secret is None:
                 continue
             total = field.add(total, secret)
         self._coin = total % 2
+
+    def _reveal_secrets(
+        self, dealers: Sequence[int]
+    ) -> Dict[int, int]:
+        """The windowed robust reveal of every dealer, batched.
+
+        Dealers whose pools cover the same member coordinates (all of
+        them, absent withholding) share one x-grid, so their windows
+        collapse into a single matrix product per grid
+        (:func:`~repro.crypto.kernels.interpolate_windows_at_zero`)
+        instead of one interpolation per window per dealer.  Window
+        order — and therefore the plurality vote's insertion-order
+        tie-break — is exactly :meth:`_reconstruct_robust`'s, so the
+        result per dealer is bit-identical; dealers with too few shares
+        are simply absent from the result.
+        """
+        threshold = self.scheme.threshold
+        field = self.scheme.field
+        groups: Dict[Tuple[int, ...], List[Tuple[int, List[int]]]] = {}
+        for dealer in dealers:
+            shares = sorted(self.reveal_shares[dealer].items())
+            if len(shares) < threshold:
+                continue
+            xs = tuple(member + 1 for member, _ in shares)
+            ys = [value for _, value in shares]
+            groups.setdefault(xs, []).append((dealer, ys))
+        out: Dict[int, int] = {}
+        for xs, pool in groups.items():
+            windows = list(
+                islice(
+                    combinations(range(len(xs)), threshold),
+                    ROBUST_REVEAL_WINDOWS,
+                )
+            )
+            values = interpolate_windows_at_zero(
+                field, xs, [ys for _, ys in pool], windows
+            )
+            for (dealer, _), candidates in zip(pool, values):
+                counts: Counter = Counter(candidates)
+                out[dealer] = counts.most_common(1)[0][0]
+        return out
 
     def _reconstruct_robust(self, dealer: int) -> Optional[int]:
         """Majority-vote reconstruction over threshold-sized subsets.
@@ -251,6 +307,10 @@ class VSSCoinMember(ProcessorProtocol):
         approximate the (expensive) exhaustive decoding by trying
         threshold-sized windows and taking the plurality result, which
         suffices at the committee sizes simulated here.
+
+        The per-dealer reference path: :meth:`_reveal_secrets` batches
+        the same windows across every dealer of a toss and is pinned
+        bit-identical to this method by ``tests/test_vss_coin.py``.
 
         The same windows over the same member coordinates recur for
         every dealer of every coin, so each window's interpolation plan
@@ -271,11 +331,42 @@ class VSSCoinMember(ProcessorProtocol):
             except Exception:
                 continue
             tried += 1
-            if tried >= 40:
+            if tried >= ROBUST_REVEAL_WINDOWS:
                 break
         if not candidates:
             return None
         return candidates.most_common(1)[0][0]
+
+
+def bulk_predeal(members: Iterable["VSSCoinMember"]) -> None:
+    """Stage every member's round-1 dealing in one batched pass.
+
+    The wave-bulk hook behind the batch/async backends'
+    ``prepare_wave``: for all (not-yet-predealt) members across a wave
+    of trials, sample each member's symmetric coefficient matrix from
+    *its own* rng — exactly the randomness its lazy ``_deal`` would
+    draw, in the same order, so transcripts are bit-identical — then
+    evaluate every dealing's two grid stages stacked through one
+    :class:`~repro.crypto.kernels.BatchEvalPlan` pass per stage
+    (:meth:`BivariateScheme.deal_from_coefficients`).  Members whose
+    ``_deal`` never runs (corrupted from round 1) simply discard the
+    staged rows; their rng is never read again, so consuming it early
+    is unobservable.
+    """
+    pending = [m for m in members if m._predealt is None]
+    by_scheme: Dict[BivariateScheme, List[VSSCoinMember]] = {}
+    for member in pending:
+        by_scheme.setdefault(member.scheme, []).append(member)
+    for scheme, group in by_scheme.items():
+        t = scheme.threshold - 1
+        coeffs = [
+            scheme._symmetric_coefficients(m.secret, t, m.rng)
+            for m in group
+        ]
+        for member, rows in zip(
+            group, scheme.deal_from_coefficients(coeffs)
+        ):
+            member._predealt = rows
 
 
 def run_vss_coin(

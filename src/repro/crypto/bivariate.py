@@ -31,7 +31,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .field import DEFAULT_FIELD, PrimeField
-from .kernels import get_eval_plan, get_interp_plan, interpolate_constant
+from .kernels import (
+    get_batch_eval_plan,
+    get_interp_plan,
+    interpolate_constant,
+)
 from .polynomial import evaluate
 from .shamir import SecretSharingError, Share
 
@@ -93,29 +97,76 @@ class BivariateScheme:
         evaluated over the whole column grid once, then every column
         polynomial sum_i g_i(y) x^i over the row grid once — O(n t^2 +
         n^2 t) instead of the naive per-point O(n^2 t^2), through the
-        cached :class:`~repro.crypto.kernels.EvalPlan` grids.  Values
-        are identical to :meth:`_evaluate_bivariate` point by point.
+        cached :class:`~repro.crypto.kernels.BatchEvalPlan` grids.
+        Values are identical to :meth:`_evaluate_bivariate` point by
+        point.
         """
         t = self.threshold - 1
         coeffs = self._symmetric_coefficients(secret, t, rng)
-        y_plan = get_eval_plan(self.field, range(0, self.n_players + 1))
-        x_plan = get_eval_plan(self.field, range(1, self.n_players + 1))
-        # on_grid[i][y] = g_i(y) = sum_j coeffs[i][j] * y^j.
-        on_grid = [y_plan.evaluate(row) for row in coeffs]
-        # columns[y][x-1] = F(x, y) = sum_i g_i(y) * x^i.
-        columns = [
-            x_plan.evaluate([on_grid[i][y] for i in range(t + 1)])
-            for y in range(self.n_players + 1)
-        ]
-        return [
-            BivariateRow(
-                x=x,
-                values=tuple(
-                    columns[y][x - 1] for y in range(self.n_players + 1)
-                ),
+        return self.deal_from_coefficients([coeffs])[0]
+
+    def deal_many(
+        self, secrets: Sequence[int], rng: random.Random
+    ) -> List[List[BivariateRow]]:
+        """Deal many independent sharings, batched across dealings.
+
+        Coefficient matrices are sampled per secret in order (the same
+        rng stream as dealing one at a time), then every dealing's grid
+        passes run stacked through one :class:`BatchEvalPlan` per stage.
+        """
+        t = self.threshold - 1
+        return self.deal_from_coefficients(
+            [
+                self._symmetric_coefficients(secret, t, rng)
+                for secret in secrets
+            ]
+        )
+
+    def deal_from_coefficients(
+        self, coeffs_list: Sequence[Sequence[Sequence[int]]]
+    ) -> List[List[BivariateRow]]:
+        """Evaluate many sampled coefficient matrices into dealt rows.
+
+        The wave-bulk entry point: callers that must draw each dealing's
+        coefficients from a *different* rng (every committee member
+        deals from its own stream) sample via
+        :meth:`_symmetric_coefficients` themselves and hand the matrices
+        here, where both grid-factored stages run as single batched
+        passes across every dealing at once.
+        """
+        if not coeffs_list:
+            return []
+        n = self.n_players
+        t = self.threshold - 1
+        y_plan = get_batch_eval_plan(self.field, range(0, n + 1))
+        x_plan = get_batch_eval_plan(self.field, range(1, n + 1))
+        # Stage 1, all dealings at once: g_i(y) = sum_j c[i][j] * y^j.
+        on_grid_flat = y_plan.evaluate_many(
+            [row for coeffs in coeffs_list for row in coeffs]
+        )
+        # Stage 2, all dealings at once: F(x, y) = sum_i g_i(y) * x^i.
+        col_polys = []
+        for d in range(len(coeffs_list)):
+            on_grid = on_grid_flat[d * (t + 1) : (d + 1) * (t + 1)]
+            for y in range(n + 1):
+                col_polys.append([on_grid[i][y] for i in range(t + 1)])
+        cols_flat = x_plan.evaluate_many(col_polys)
+        out = []
+        for d in range(len(coeffs_list)):
+            # columns[y][x-1] = F(x, y) for this dealing.
+            columns = cols_flat[d * (n + 1) : (d + 1) * (n + 1)]
+            out.append(
+                [
+                    BivariateRow(
+                        x=x,
+                        values=tuple(
+                            columns[y][x - 1] for y in range(n + 1)
+                        ),
+                    )
+                    for x in range(1, n + 1)
+                ]
             )
-            for x in range(1, self.n_players + 1)
-        ]
+        return out
 
     def _symmetric_coefficients(
         self, secret: int, t: int, rng: random.Random
@@ -180,6 +231,35 @@ class BivariateScheme:
             if plan.interpolate_at(y, ys) != value:
                 return False
         return True
+
+    def rows_degree_ok(
+        self, rows: Sequence[BivariateRow]
+    ) -> List[bool]:
+        """Degree-check many rows with one matrix product.
+
+        ``result[r]`` equals ``row_degree_ok(rows[r])``: every row's
+        off-basis points are predicted from its first ``threshold``
+        points in a single ``(rows, t) @ (t, rest)`` product against
+        the basis grid's memoised lambda vectors
+        (:meth:`~repro.crypto.kernels.InterpPlan.interpolate_grid`),
+        instead of one dot product per predicted point — the echo-phase
+        verification of an entire dealing at once.
+        """
+        if not rows:
+            return []
+        t = self.threshold
+        rest_ys = list(range(t, self.n_players + 1))
+        plan = get_interp_plan(self.field, range(t))
+        predicted = plan.interpolate_grid(
+            rest_ys, [row.values[:t] for row in rows]
+        )
+        return [
+            all(
+                value == row.values[y]
+                for y, value in zip(rest_ys, values)
+            )
+            for row, values in zip(rows, predicted)
+        ]
 
     # -- reconstruction ----------------------------------------------------------
 

@@ -117,10 +117,21 @@ class ShareTree:
                 grouped.setdefault(path[:-1], []).append(
                     Share(x=path[-1], value=value)
                 )
-            next_frontier: Dict[SharePath, int] = {}
-            for parent_path, shares in grouped.items():
-                if len(shares) >= scheme.threshold:
-                    next_frontier[parent_path] = scheme.reconstruct(shares)
+            # Whole-level bulk reconstruction: every recoverable parent
+            # at this depth interpolates over (usually) the same grid,
+            # so reconstruct_many collapses the level in one batched
+            # pass instead of one dot product per parent.
+            parents = [
+                path
+                for path, shares in grouped.items()
+                if len(shares) >= scheme.threshold
+            ]
+            values = scheme.reconstruct_many(
+                [grouped[path] for path in parents]
+            )
+            next_frontier: Dict[SharePath, int] = dict(
+                zip(parents, values)
+            )
             if not next_frontier:
                 raise SecretSharingError(
                     f"no level-{level} share recoverable from coalition"

@@ -18,7 +18,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from .field import DEFAULT_FIELD, FieldError, PrimeField
-from .kernels import get_eval_plan, interpolate_constant
+from .kernels import (
+    get_batch_eval_plan,
+    get_eval_plan,
+    get_interp_plan,
+    interpolate_constant,
+)
 from .polynomial import random_polynomial
 
 
@@ -80,9 +85,9 @@ class ShamirScheme:
     def deal(self, secret: int, rng: random.Random) -> List[Share]:
         """Split one secret word into ``n_players`` shares.
 
-        Evaluation routes through the scheme's cached
-        :class:`~repro.crypto.kernels.EvalPlan` — the library's one
-        Horner implementation — rather than an inlined loop.
+        Evaluation routes through the scheme's cached batch plan (a
+        width-1 batch) — the same kernel the bulk paths use — rather
+        than an inlined loop.
         """
         return self.deal_many([secret], rng)[0]
 
@@ -93,22 +98,27 @@ class ShamirScheme:
         ``w``'s full share list — the layout :meth:`deal` returns.
 
         The bulk fast path for iterated sharing and dealer-free MPC,
-        which deal hundreds of values over the same grid.
+        which deal hundreds of values over the same grid.  Coefficients
+        are sampled per word in order (same rng stream as dealing one
+        word at a time), then evaluated over the whole batch in single
+        array-level passes through the cached
+        :class:`~repro.crypto.kernels.BatchEvalPlan`.
         """
-        plan = self._grid_plan()
+        plan = get_batch_eval_plan(
+            self.field, range(1, self.n_players + 1)
+        )
         degree = self.threshold - 1
-        out = []
-        for secret in secrets:
-            coefficients = random_polynomial(self.field, secret, degree, rng)
-            out.append(
-                [
-                    Share(x=x, value=value)
-                    for x, value in enumerate(
-                        plan.evaluate(coefficients), start=1
-                    )
-                ]
-            )
-        return out
+        rows = [
+            random_polynomial(self.field, secret, degree, rng)
+            for secret in secrets
+        ]
+        return [
+            [
+                Share(x=x, value=value)
+                for x, value in enumerate(values, start=1)
+            ]
+            for values in plan.evaluate_many(rows)
+        ]
 
     def deal_sequence(
         self, secrets: Sequence[int], rng: random.Random
@@ -147,6 +157,47 @@ class ShamirScheme:
             )
         points = list(unique.items())[: self.threshold]
         return interpolate_constant(self.field, points)
+
+    def reconstruct_many(
+        self, share_lists: Sequence[Sequence[Share]]
+    ) -> List[int]:
+        """Recover many secret words, one batched interpolation per grid.
+
+        ``result[w]`` equals ``reconstruct(share_lists[w])`` — the same
+        per-list de-duplication and validation — but lists sharing an
+        x-grid (the common case: a whole re-sharing level, a wave of
+        reveals) collapse into a single matrix product against that
+        grid's memoised lambda vector instead of one dot product each.
+        """
+        prepared: List[Tuple[Tuple[int, ...], List[int]]] = []
+        for shares in share_lists:
+            unique: Dict[int, int] = {}
+            for share in shares:
+                if share.x in unique and unique[share.x] != share.value:
+                    raise SecretSharingError(
+                        f"conflicting shares for x={share.x}"
+                    )
+                unique[share.x] = share.value
+            if len(unique) < self.threshold:
+                raise SecretSharingError(
+                    f"need {self.threshold} shares, got {len(unique)}"
+                )
+            points = list(unique.items())[: self.threshold]
+            prepared.append(
+                (tuple(p[0] for p in points), [p[1] for p in points])
+            )
+        groups: Dict[Tuple[int, ...], List[int]] = {}
+        for index, (xs, _ys) in enumerate(prepared):
+            groups.setdefault(xs, []).append(index)
+        out = [0] * len(prepared)
+        for xs, indices in groups.items():
+            plan = get_interp_plan(self.field, xs)
+            values = plan.constant_many(
+                [prepared[i][1] for i in indices]
+            )
+            for i, value in zip(indices, values):
+                out[i] = value
+        return out
 
     def reconstruct_sequence(
         self, per_player_shares: Sequence[Sequence[Share]]

@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from .backends import ExecutionBackend, make_context, run_one_trial
+from .batch import _prepare_wave
 from .registry import AsyncInstance, resolve_cached
 from .spec import EngineError, ExperimentSpec, TrialResult
 
@@ -116,6 +117,7 @@ class AsyncBackend(ExecutionBackend):
                     )
                 except Exception as exc:
                     results.append(_failed_result(spec, i, exc))
+            instances = _prepare_wave(runner, spec, instances, results)
             results.extend(self._drive_wave(spec, instances))
         results.sort(key=lambda r: r.trial_index)
         return results

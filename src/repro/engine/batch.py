@@ -42,6 +42,27 @@ def _failed_result(
     )
 
 
+def _prepare_wave(runner, spec: ExperimentSpec, instances, results):
+    """Run the scenario's wave-bulk hook over one wave's instances.
+
+    Shared by the batch and async backends: the hook sees the wave's
+    instances in trial-index order, after construction and before the
+    first step.  A hook exception fails the whole wave (the hook may
+    have mutated any instance, so none can be trusted to step).
+    """
+    if runner.prepare_wave is None or not instances:
+        return instances
+    try:
+        runner.prepare_wave(
+            [instances[i] for i in sorted(instances)]
+        )
+    except Exception as exc:
+        for i in sorted(instances):
+            results.append(_failed_result(spec, i, exc))
+        return {}
+    return instances
+
+
 class BatchBackend(ExecutionBackend):
     """Multiplex independent trials of a batchable runner.
 
@@ -84,6 +105,9 @@ class BatchBackend(ExecutionBackend):
                         )
                     except Exception as exc:
                         results.append(_failed_result(spec, i, exc))
+                instances = _prepare_wave(
+                    runner, spec, instances, results
+                )
                 results.extend(self._drive_wave(spec, instances))
         results.sort(key=lambda r: r.trial_index)
         telemetry.finish()

@@ -139,6 +139,14 @@ class Scenario:
     check: Optional[
         Callable[[int, Dict[str, Any]], Optional[str]]
     ] = None
+    #: Wave-bulk hook: the batch/async backends call it with every
+    #: instance of a wave (trial-index order) after construction and
+    #: before the first step, so a scenario can run batched preparation
+    #: — bulk dealing, shared precomputation — across the whole wave.
+    #: Must be a pure accelerant: results stay bit-identical to the
+    #: serial path (guarded by the registry-wide parity suite).  An
+    #: exception fails the entire wave.
+    prepare_wave: Optional[Callable[[List[Any]], None]] = None
 
     def __post_init__(self) -> None:
         if self.run_trial is None:

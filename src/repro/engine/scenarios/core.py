@@ -374,10 +374,31 @@ def _vss_coin_instance(ctx: TrialContext) -> BatchInstance:
     )
 
 
+def _vss_coin_prepare_wave(instances) -> None:
+    """Bulk-deal every committee member across the whole wave.
+
+    Each trial's round 1 has every member deal a symmetric bivariate
+    sharing; staging all of them through one batched kernel pass
+    (:func:`~repro.core.vss_coin.bulk_predeal`) consumes exactly the
+    randomness the lazy per-member dealings would, so results stay
+    bit-identical to the serial path.
+    """
+    from ...core.vss_coin import VSSCoinMember, bulk_predeal
+
+    members = [
+        protocol
+        for instance in instances
+        for protocol in instance.network.protocols
+        if isinstance(protocol, VSSCoinMember)
+    ]
+    bulk_predeal(members)
+
+
 register(
     Scenario(
         name="vss-coin",
         build_instance=_vss_coin_instance,
+        prepare_wave=_vss_coin_prepare_wave,
         description=(
             "on-demand Canetti-Rabin-style committee coin (E19's "
             "per-coin alternative to the tournament)"

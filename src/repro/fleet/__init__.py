@@ -23,7 +23,11 @@ See the "Fleet" section of ENGINE.md for the lifecycle diagram,
 heartbeat protocol and resume semantics.
 """
 
-from .coordinator import Coordinator, CoordinatorKilled
+from .coordinator import (
+    Coordinator,
+    CoordinatorInterrupted,
+    CoordinatorKilled,
+)
 from .monitor import (
     DEFAULT_USAGE_ALERT,
     FleetMonitor,
@@ -55,6 +59,7 @@ from .registry import (
 
 __all__ = [
     "Coordinator",
+    "CoordinatorInterrupted",
     "CoordinatorKilled",
     "DEFAULT_HEARTBEAT_INTERVAL",
     "DEFAULT_HEARTBEAT_TIMEOUT",

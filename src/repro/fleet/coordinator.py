@@ -64,6 +64,20 @@ class CoordinatorKilled(BaseException):
     """
 
 
+class CoordinatorInterrupted(BaseException):
+    """Graceful stop (Ctrl-C) requested via :meth:`Coordinator.request_stop`.
+
+    Also a ``BaseException`` — and for the same reason as
+    :class:`CoordinatorKilled`: an interrupted job must stay
+    ``running`` (not be marked ``failed``) so the next ``repro queue
+    run`` resumes it from the persisted unit log bit-identically.
+    Unlike a simulated kill it unwinds *cleanly*: every job thread
+    raises at its next collect point, the scheduling loop re-raises
+    after the in-flight siblings settle, and ``run_once``'s ``finally``
+    releases the advisory pid lock on the way out.
+    """
+
+
 class _PersistingTelemetry:
     """The coordinator's ``run_units`` telemetry sink: persist-on-collect.
 
@@ -149,6 +163,27 @@ class Coordinator:
         self._collected_units = 0
         self._collect_lock = threading.Lock()
         self._lock_path = os.path.join(root, "coordinator.lock")
+        self._stop = threading.Event()
+
+    def request_stop(self) -> None:
+        """Ask the coordinator to unwind at the next safe point.
+
+        Signal-handler safe (sets an event, raises nothing here): the
+        CLI's SIGINT handler calls this so the *first* Ctrl-C drains
+        gracefully — every job thread raises
+        :class:`CoordinatorInterrupted` at its next collect point,
+        already-persisted units stay durable, interrupted jobs stay
+        ``running`` for resume, and the advisory lock is released.
+        """
+        self._stop.set()
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop.is_set()
+
+    def _check_stop(self) -> None:
+        if self._stop.is_set():
+            raise CoordinatorInterrupted("stop requested")
 
     # -- the advisory lock -------------------------------------------------------------
 
@@ -200,6 +235,7 @@ class Coordinator:
         """
         deadline = time.monotonic() + timeout
         while True:
+            self._check_stop()
             self.registry.evict_dead()
             addresses = self.registry.addresses()
             if len(addresses) >= min_workers:
@@ -209,11 +245,15 @@ class Coordinator:
                     f"no {min_workers} live worker(s) registered under "
                     f"{self.registry.workers_dir} within {timeout:.0f}s"
                 )
-            time.sleep(0.1)
+            self._stop.wait(0.1)
 
     # -- failure injection -------------------------------------------------------------
 
     def _note_collect(self) -> None:
+        # The graceful-stop collect point: every persisted unit is a
+        # safe place to unwind, because the unit about to persist has
+        # not yet been written — resume re-dispatches it.
+        self._check_stop()
         if self.crash_after_units is None:
             return
         with self._collect_lock:
@@ -352,6 +392,7 @@ class Coordinator:
         after in-flight sibling jobs settle — mirroring how a real
         death takes every job's dispatch down at once.
         """
+        self._check_stop()
         self._acquire_lock()
         try:
             jobs = self.runnable_jobs()
@@ -393,6 +434,7 @@ class Coordinator:
         (``None`` = run until interrupted)."""
         idle = 0
         while True:
+            self._check_stop()
             finished = self.run_once(
                 min_workers=min_workers, worker_timeout=worker_timeout
             )
@@ -402,4 +444,5 @@ class Coordinator:
             idle += 1
             if idle_rounds is not None and idle >= idle_rounds:
                 return
-            time.sleep(poll_interval)
+            if self._stop.wait(poll_interval):
+                raise CoordinatorInterrupted("stop requested")

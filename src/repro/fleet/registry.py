@@ -74,8 +74,19 @@ class WorkerInfo:
         return (self.host, self.port, self.capacity)
 
     def age(self, now: Optional[float] = None) -> float:
-        """Seconds since the last heartbeat."""
-        return (time.time() if now is None else now) - self.heartbeat_at
+        """Seconds since the last heartbeat, on the observer's clock.
+
+        Clamped at zero: a heartbeat stamped *ahead* of the observer's
+        clock (cross-host skew, an NTP step on either side) reads as
+        freshly alive instead of as a negative age.  Callers comparing
+        several workers must pass one shared ``now`` — as
+        :meth:`FleetRegistry.alive`, :meth:`FleetRegistry.evict_dead`
+        and the fleet monitor's snapshot do — so a roster pass ranks
+        every stamp against a single observer reading rather than a
+        drifting per-worker ``time.time()``.
+        """
+        reference = time.time() if now is None else now
+        return max(0.0, reference - self.heartbeat_at)
 
 
 def worker_to_wire(info: WorkerInfo) -> Dict[str, Any]:

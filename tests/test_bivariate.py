@@ -117,6 +117,36 @@ def test_row_degree_check_catches_high_degree():
     assert not s.row_degree_ok(bad)
 
 
+def test_deal_many_matches_sequential_deals_bit_identically():
+    """Bulk dealing samples each dealing's coefficients in order from
+    the shared rng — identical to sequential deals, share for share."""
+    secrets = [3, 99, 0]
+    s = scheme(n=7, threshold=3)
+    bulk = s.deal_many(secrets, random.Random(23))
+    rng = random.Random(23)
+    sequential = [s.deal(secret, rng) for secret in secrets]
+    assert bulk == sequential
+    assert s.deal_many([], random.Random(23)) == []
+
+
+def test_rows_degree_ok_matches_per_row_checks():
+    s = scheme(n=7, threshold=3)
+    rows = s.deal(3, random.Random(10))
+    bad = BivariateRow(
+        x=rows[2].x,
+        values=tuple(
+            v + 7 if i == len(rows[2].values) - 1 else v
+            for i, v in enumerate(rows[2].values)
+        ),
+    )
+    mixed = rows[:2] + [bad] + rows[3:]
+    assert s.rows_degree_ok(mixed) == [
+        s.row_degree_ok(row) for row in mixed
+    ]
+    assert s.rows_degree_ok(mixed)[2] is False
+    assert s.rows_degree_ok([]) == []
+
+
 def test_parameter_validation():
     with pytest.raises(SecretSharingError):
         BivariateScheme(n_players=0, threshold=1)

@@ -306,6 +306,48 @@ def test_batch_falls_back_to_serial_for_unbatchable_runner():
     )
 
 
+# -- the wave-bulk preparation hook ----------------------------------------------------
+
+
+def test_prepare_wave_keeps_batch_bit_identical_to_serial():
+    """vss-coin declares ``prepare_wave`` (bulk pre-dealing); a batched
+    run with the hook active must still match serial bit for bit —
+    including across wave boundaries (max_live smaller than trials)."""
+    spec = ExperimentSpec(runner="vss-coin", n=7, trials=6, seed=11)
+    serial = SerialBackend().run_trials(spec)
+    assert BatchBackend(max_live=2).run_trials(spec) == serial
+    assert BatchBackend(max_live=64).run_trials(spec) == serial
+
+
+def _raise_prep(instances):
+    raise RuntimeError("prep boom")
+
+
+register(
+    ExperimentRunner(
+        name="test-exploding-prepare",
+        build_instance=_mixed_vss_instance,
+        prepare_wave=_raise_prep,
+        description="test-only: wave preparation hook raises",
+    )
+)
+
+
+def test_prepare_wave_failure_fails_the_whole_wave():
+    """A raising prepare hook may have mutated any instance in its
+    wave, so the whole wave becomes failed results — while the serial
+    path (which never runs the hook) is unaffected."""
+    spec = ExperimentSpec(
+        runner="test-exploding-prepare", n=7, trials=4, seed=5
+    )
+    batched = BatchBackend(max_live=2).run_trials(spec)
+    assert [r.trial_index for r in batched] == [0, 1, 2, 3]
+    assert all(not r.ok for r in batched)
+    assert "prep boom" in batched[0].failure
+    serial = SerialBackend().run_trials(spec)
+    assert all(r.ok for r in serial)
+
+
 # -- failure containment ---------------------------------------------------------------
 
 

@@ -19,6 +19,9 @@ workers:
 """
 
 import os
+import signal
+import subprocess
+import sys
 import time
 
 import pytest
@@ -35,6 +38,7 @@ from repro.engine import (
 )
 from repro.fleet import (
     Coordinator,
+    CoordinatorInterrupted,
     CoordinatorKilled,
     FleetError,
     FleetRegistry,
@@ -265,7 +269,17 @@ def test_crash_resume_runs_only_missing_units_bit_identically(root, workers):
     assert queue.get(job.job_id).state == "running"
     store = UnitStore(root, job.job_id)
     assert len(store.completed_indices()) == 3
+    # A unit the crashed run had already written to a socket may still
+    # be draining into a worker's receive counter; wait for the counters
+    # to settle so the resume delta counts only the resume's dispatches.
     served_before = sum(w.units_served for w in workers)
+    settle_deadline = time.monotonic() + 5.0
+    while time.monotonic() < settle_deadline:
+        time.sleep(0.2)
+        now_served = sum(w.units_served for w in workers)
+        if now_served == served_before:
+            break
+        served_before = now_served
 
     finished = Coordinator(root, max_jobs=1).run_once()
     assert [j.state for j in finished] == ["done"]
@@ -452,3 +466,150 @@ def test_cli_worker_serve_fleet_flags_registered():
 
 def test_fleet_error_is_an_engine_error():
     assert issubclass(FleetError, EngineError)
+
+
+# -- clock skew ------------------------------------------------------------------------
+
+
+def test_worker_age_clamps_skewed_clocks(root):
+    """A heartbeat stamped *ahead* of the observer's clock (cross-host
+    skew, an NTP step) must read as freshly alive — never as a negative
+    age that could misorder or misclassify the roster."""
+    registry = FleetRegistry(root, heartbeat_timeout=5.0)
+    info = registry.register("127.0.0.1", 7300, worker_id="skewed")
+    past = info.heartbeat_at - 30.0  # observer's clock runs 30s behind
+    assert info.age(now=past) == 0.0
+    assert [w.worker_id for w in registry.alive(now=past)] == ["skewed"]
+    assert registry.evict_dead(now=past) == []
+    assert [w.worker_id for w in registry.workers()] == ["skewed"]
+    # The stale direction still evicts on the observer's clock.
+    future = info.heartbeat_at + 60.0
+    assert info.age(now=future) == pytest.approx(60.0)
+    assert registry.alive(now=future) == []
+    assert [w.worker_id for w in registry.evict_dead(now=future)] == [
+        "skewed"
+    ]
+
+
+def test_monitor_renders_future_stamped_worker_alive(root):
+    """``repro fleet`` on a skewed observer: a future-stamped heartbeat
+    renders alive at age 0.0, with no stale alert."""
+    registry = FleetRegistry(root, heartbeat_timeout=5.0)
+    info = registry.register("127.0.0.1", 7301, worker_id="ahead")
+    observer = info.heartbeat_at - 30.0
+    snap = snapshot(root, now=observer)
+    assert [w.worker_id for w in snap.alive_workers()] == ["ahead"]
+    assert snap.stale_workers() == []
+    assert alerts(snap) == []
+    text = render(snap)
+    assert "alive" in text and "STALE" not in text
+    assert "-3" not in text  # no negative age ever reaches the table
+
+
+# -- graceful interrupts ---------------------------------------------------------------
+
+
+class _StopAfter(Coordinator):
+    """Coordinator that requests its own stop after N persisted units —
+    the deterministic in-process stand-in for Ctrl-C mid-sweep."""
+
+    def __init__(self, root, stop_after, **kwargs):
+        super().__init__(root, **kwargs)
+        self._stop_after = stop_after
+        self._seen = 0
+
+    def _note_collect(self):
+        self._seen += 1
+        if self._seen > self._stop_after:
+            self.request_stop()
+        super()._note_collect()
+
+
+def test_request_stop_releases_lock_and_leaves_job_resumable(root, workers):
+    """The interrupt satellite, in process: a stop requested mid-sweep
+    unwinds through CoordinatorInterrupted, releases the advisory pid
+    lock, leaves the job ``running`` with only the already-persisted
+    units on disk, and a plain restart resumes bit-identically."""
+    queue = JobQueue(root)
+    spec = _spec(trials=8, seed=31)
+    job = queue.submit(spec, unit_size=1)
+
+    stopping = _StopAfter(root, stop_after=3, max_jobs=1)
+    with pytest.raises(CoordinatorInterrupted):
+        stopping.run_once()
+
+    assert not os.path.exists(stopping._lock_path)  # lock released
+    assert queue.get(job.job_id).state == "running"  # not "failed"
+    persisted = UnitStore(root, job.job_id).completed_indices()
+    assert len(persisted) == 3
+
+    finished = Coordinator(root, max_jobs=1).run_once()
+    assert [j.state for j in finished] == ["done"]
+    assert queue.load_results(job.job_id) == (
+        SerialBackend().run_trials(spec)
+    )
+
+
+def test_stop_requested_before_run_never_takes_the_lock(root):
+    coordinator = Coordinator(root)
+    coordinator.request_stop()
+    assert coordinator.stop_requested
+    with pytest.raises(CoordinatorInterrupted):
+        coordinator.run_once()
+    assert not os.path.exists(coordinator._lock_path)
+
+
+def test_sigint_mid_run_exits_130_and_resumes_bit_identically(
+    root, workers, tmp_path
+):
+    """``repro queue run`` under a real SIGINT: the first Ctrl-C drains
+    gracefully (exit 130, lock released, job left ``running``), and a
+    fresh coordinator completes the job bit-identical to serial."""
+    queue = JobQueue(root)
+    spec = _spec(trials=32, seed=47)
+    job = queue.submit(spec, unit_size=1)
+
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "queue", "run",
+            "--root", root, "--max-jobs", "1",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    store = UnitStore(root, job.job_id)
+    try:
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if proc.poll() is not None or store.completed_indices():
+                break
+            time.sleep(0.02)
+        interrupted = proc.poll() is None
+        if interrupted:
+            proc.send_signal(signal.SIGINT)
+        stdout, stderr = proc.communicate(timeout=60.0)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    if interrupted and proc.returncode == 130:
+        assert "resume" in stderr
+        lock = os.path.join(root, "coordinator.lock")
+        assert not os.path.exists(lock)
+        assert queue.get(job.job_id).state == "running"
+        assert len(store.completed_indices()) < spec.trials
+        finished = Coordinator(root, max_jobs=1).run_once()
+        assert [j.state for j in finished] == ["done"]
+    else:
+        # The sweep outran the poll loop (or the signal landed after
+        # the last collect) — the run must have finished cleanly.
+        assert proc.returncode == 0, (stdout, stderr)
+    assert queue.load_results(job.job_id) == (
+        SerialBackend().run_trials(spec)
+    )

@@ -29,7 +29,9 @@ def test_quick_suites_emit_the_declared_schema():
     suites = doc["suites"]
     assert set(suites) == {
         "e9_reconstruct_n64",
+        "e9_batch_reveal_n64",
         "e17_row_check_n64",
+        "e17_batch_rows_n64",
         "e19_vss_coin",
         "sim_round_loop_n32",
         "dispatch_overhead",
@@ -40,6 +42,13 @@ def test_quick_suites_emit_the_declared_schema():
         assert suite["parity"] is True
         assert suite["naive_s"] >= 0 and suite["plan_s"] >= 0
         assert suite["speedup"] > 0
+    for name in ("e9_batch_reveal_n64", "e17_batch_rows_n64"):
+        suite = suites[name]
+        assert suite["parity"] is True
+        assert suite["engine"] in ("numpy", "columns")
+        assert suite["plan_s"] >= 0 and suite["batch_s"] >= 0
+        assert suite["batch_us_per_op"] >= 0
+        assert suite["speedup"] > 0  # gated like the other kernels
     assert suites["sim_round_loop_n32"]["parity"] is True
     assert "speedup" not in suites["sim_round_loop_n32"]  # not gated
     assert suites["e19_vss_coin"]["seconds"] > 0

@@ -94,6 +94,50 @@ class TestDealReconstruct:
         assert len(seen) > 150
 
 
+class TestBulkPaths:
+    def test_deal_many_matches_sequential_deals_bit_identically(self):
+        """Bulk dealing consumes the rng stream word by word, exactly
+        like dealing one word at a time — so a batched dealer and a
+        sequential one, seeded alike, emit identical shares."""
+        secrets = [5, 0, 123456, 7]
+        bulk = ShamirScheme(7, 4).deal_many(secrets, random.Random(31))
+        rng = random.Random(31)
+        sequential = [ShamirScheme(7, 4).deal(s, rng) for s in secrets]
+        assert bulk == sequential
+
+    def test_deal_many_empty(self):
+        assert ShamirScheme(5, 3).deal_many([], random.Random(0)) == []
+
+    def test_reconstruct_many_matches_reconstruct_per_list(self):
+        scheme = ShamirScheme(9, 5)
+        rng = random.Random(37)
+        secrets = [rng.randrange(DEFAULT_FIELD.modulus) for _ in range(6)]
+        pools = scheme.deal_many(secrets, rng)
+        # Mixed grids in one batch: different subsets per list.
+        subsets = [
+            pool[i % 4 : i % 4 + 5] for i, pool in enumerate(pools)
+        ]
+        assert scheme.reconstruct_many(subsets) == [
+            scheme.reconstruct(s) for s in subsets
+        ]
+        assert scheme.reconstruct_many(subsets) == secrets
+        assert scheme.reconstruct_many([]) == []
+
+    def test_reconstruct_many_validates_like_reconstruct(self):
+        scheme = ShamirScheme(5, 3)
+        shares = scheme.deal(7, random.Random(0))
+        with pytest.raises(SecretSharingError, match="need 3"):
+            scheme.reconstruct_many([shares[:3], shares[:2]])
+        conflicted = [
+            shares[0],
+            Share(x=shares[0].x, value=shares[0].value + 1),
+        ] + shares[1:3]
+        with pytest.raises(SecretSharingError, match="conflicting"):
+            scheme.reconstruct_many([conflicted])
+        # Consistent duplicates are tolerated, as in the scalar path.
+        assert scheme.reconstruct_many([[shares[0]] + shares[:3]]) == [7]
+
+
 class TestSequences:
     def test_deal_sequence_layout(self):
         scheme = ShamirScheme(4, 3)

@@ -38,6 +38,25 @@ def test_all_dealers_qualified_fault_free():
         assert member.qualified == list(range(k))
 
 
+def test_bulk_predeal_is_bit_identical_to_lazy_dealing():
+    """Wave-bulk dealing (the batch backend's prepare hook) must be a
+    pure accelerant: members pre-dealt via ``bulk_predeal`` run the
+    protocol to exactly the transcript lazily-dealing members produce."""
+    from repro.core.vss_coin import bulk_predeal
+    from repro.net.simulator import SyncNetwork
+
+    k = 7
+    lazy = [VSSCoinMember(pid, k, seed=9) for pid in range(k)]
+    eager = [VSSCoinMember(pid, k, seed=9) for pid in range(k)]
+    bulk_predeal(eager)
+    assert all(m._predealt is not None for m in eager)
+    bulk_predeal(eager)  # idempotent: already-dealt members untouched
+    SyncNetwork(lazy, NullAdversary(k)).run(max_rounds=6)
+    SyncNetwork(eager, NullAdversary(k)).run(max_rounds=6)
+    assert [m.output() for m in eager] == [m.output() for m in lazy]
+    assert [m.qualified for m in eager] == [m.qualified for m in lazy]
+
+
 def test_coin_roughly_uniform_across_seeds():
     tally = Counter()
     for seed in range(24):
