@@ -534,6 +534,108 @@ def _suite_telemetry_overhead(quick: bool) -> Dict[str, Any]:
     }
 
 
+def _suite_cost_dispatch_mixed_n(quick: bool) -> Dict[str, Any]:
+    """Cost-aware vs uniform shard geometry on a mixed-n grid (GATED).
+
+    The workload the cost plane exists for: one grid mixing many cheap
+    phase-king sweeps (n=8) with a few expensive ones (n=40, ~100x the
+    per-trial work).  Uniform geometry sizes units by trial count, so
+    the expensive spec collapses into a couple of huge units that
+    leave most lanes idle; cost-aware geometry bins by predicted
+    per-trial cost, splitting the expensive trials across lanes.
+
+    The gated ``speedup`` is the ratio of the two plans' *makespans*
+    under the collect loop's own scheduling discipline (units in
+    submit order, each to the earliest-free lane), with per-unit
+    durations taken from measured per-trial wall time of each spec —
+    i.e. the model prices the plan, the clock prices the trials.  Both
+    modes use the same grid, so quick and full runs land on the same
+    ratio (only the timing repetitions differ).  Parity of the fused
+    grid path against bare serial loops is asserted before timing.
+    """
+    from repro.analysis.costmodel import get_cost_model
+    from repro.engine import ExperimentSpec
+    from repro.engine.costplan import plan_grid
+    from repro.engine.dispatch import (
+        MODE_TRIALS,
+        InlineTransport,
+        run_grid_units,
+        run_one_trial,
+    )
+
+    assert get_cost_model("phase-king") is not None, (
+        "cost_dispatch_mixed_n needs the phase-king cost model "
+        "(is sympy unavailable?)"
+    )
+
+    lanes = 4
+    light = ExperimentSpec(runner="phase-king", n=8, trials=96, seed=11)
+    heavy = ExperimentSpec(runner="phase-king", n=40, trials=12, seed=11)
+    specs = [light, heavy]
+
+    # Parity first, on a scaled-down copy of the same grid shape: the
+    # fused cost-aware path must be bit-identical to bare serial loops.
+    parity_specs = [
+        ExperimentSpec(runner="phase-king", n=8, trials=12, seed=11),
+        ExperimentSpec(runner="phase-king", n=24, trials=3, seed=11),
+    ]
+    parity_units = plan_grid(
+        parity_specs, capacity=lanes, modes=[MODE_TRIALS] * 2
+    )
+    pairs = run_grid_units(parity_units, InlineTransport())
+    by_spec = {spec: results for spec, results in pairs}
+    for spec in parity_specs:
+        serial = [run_one_trial(spec, i) for i in range(spec.trials)]
+        assert by_spec[spec] == serial  # parity before timing
+
+    # Measured per-trial seconds per spec (the simulation's clock).
+    light_reps, light_count = (2, 8) if quick else (6, 16)
+    heavy_reps, heavy_count = (1, 2) if quick else (3, 3)
+
+    def _light_batch() -> List[Any]:
+        return [run_one_trial(light, i) for i in range(light_count)]
+
+    def _heavy_batch() -> List[Any]:
+        return [run_one_trial(heavy, i) for i in range(heavy_count)]
+
+    _light_batch(), _heavy_batch()  # warm caches before the clock starts
+    per_trial = {
+        light: _time(_light_batch, light_reps) / (light_reps * light_count),
+        heavy: _time(_heavy_batch, heavy_reps) / (heavy_reps * heavy_count),
+    }
+
+    def _makespan(units: List[Any]) -> float:
+        free = [0.0] * lanes
+        for unit in units:
+            lane = min(range(lanes), key=free.__getitem__)
+            free[lane] += len(unit.indices) * per_trial[unit.spec]
+        return max(free)
+
+    modes = [MODE_TRIALS] * len(specs)
+    uniform_units = plan_grid(
+        specs, capacity=lanes, modes=modes, cost_aware=False
+    )
+    cost_units = plan_grid(
+        specs, capacity=lanes, modes=modes, cost_aware=True
+    )
+    uniform_s = _makespan(uniform_units)
+    cost_s = _makespan(cost_units)
+    return {
+        "desc": (
+            f"mixed-n phase-king grid (n=8 x{light.trials} + "
+            f"n=40 x{heavy.trials}), {lanes} lanes: cost-aware vs "
+            "uniform unit geometry, measured-trial makespan"
+        ),
+        "ops": light.trials + heavy.trials,
+        "uniform_units": len(uniform_units),
+        "cost_units": len(cost_units),
+        "uniform_makespan_s": round(uniform_s, 6),
+        "cost_makespan_s": round(cost_s, 6),
+        "speedup": round(uniform_s / cost_s, 2) if cost_s else 0.0,
+        "parity": True,
+    }
+
+
 _SUITES = {
     "e9_reconstruct_n64": _suite_e9_reconstruct,
     "e9_batch_reveal_n64": _suite_e9_batch_reveal,
@@ -543,6 +645,7 @@ _SUITES = {
     "sim_round_loop_n32": _suite_sim_round_loop,
     "dispatch_overhead": _suite_dispatch_overhead,
     "telemetry_overhead": _suite_telemetry_overhead,
+    "cost_dispatch_mixed_n": _suite_cost_dispatch_mixed_n,
 }
 
 

@@ -372,6 +372,25 @@ def _parse_params(pairs: List[str]) -> dict:
     return params
 
 
+def _parse_n_list(raw: object) -> List[int]:
+    """``-n 27`` or ``-n 8,16,32`` as a list of network sizes."""
+    sizes = []
+    for token in str(raw).split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            sizes.append(int(token))
+        except ValueError:
+            raise SystemExit(
+                f"-n expects an integer or a comma-separated list of "
+                f"integers, got {raw!r}"
+            )
+    if not sizes:
+        raise SystemExit(f"-n expects at least one network size, got {raw!r}")
+    return sizes
+
+
 def _coerce_undeclared(raw: str) -> object:
     """Legacy numeric guess for scenarios without a declared schema."""
     for cast in (int, float):
@@ -514,21 +533,32 @@ def _cmd_run_experiment(args: argparse.Namespace) -> int:
     try:
         if args.smoke:
             return _cmd_smoke(args)
+        sizes = _parse_n_list(args.n)
         runner = get_runner(args.name)
         raw = _parse_params(args.param)
         # Schema-declared scenarios coerce, reject unknown keys, and
-        # apply cross-field checks against -n; ad-hoc runners fall back
-        # to the legacy numeric guess.
-        if runner.params is not None:
-            params = runner.validate(raw, n=args.n)
-        else:
-            params = {k: _coerce_undeclared(v) for k, v in raw.items()}
-        spec = ExperimentSpec(
-            runner=args.name,
-            n=args.n,
-            trials=args.trials,
-            seed=args.seed,
-            params=params,
+        # apply cross-field checks against each -n; ad-hoc runners fall
+        # back to the legacy numeric guess.
+        specs = []
+        for n in sizes:
+            if runner.params is not None:
+                params = runner.validate(raw, n=n)
+            else:
+                params = {k: _coerce_undeclared(v) for k, v in raw.items()}
+            specs.append(
+                ExperimentSpec(
+                    runner=args.name,
+                    n=n,
+                    trials=args.trials,
+                    seed=args.seed,
+                    params=params,
+                )
+            )
+        # Cost-aware sizing defaults on for grids (it only changes
+        # anything when every grid point has a registered cost model);
+        # a single n has nothing to balance.
+        cost_aware = (
+            args.cost_aware if args.cost_aware is not None else len(specs) > 1
         )
         with get_backend(
             args.backend,
@@ -540,25 +570,84 @@ def _cmd_run_experiment(args: argparse.Namespace) -> int:
                 from .engine.telemetry import SweepMonitor
 
                 backend.monitor = SweepMonitor()
-            result = Engine(backend).run(spec)
+            engine = Engine(backend)
+            if len(specs) == 1:
+                results = [engine.run(specs[0])]
+            else:
+                results = engine.run_grid(specs, cost_aware=cost_aware)
     except EngineError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.telemetry is not None:
         from .engine.telemetry import write_report
 
-        if result.report is None:
+        if results[0].report is None:
             print("error: backend produced no telemetry report",
                   file=sys.stderr)
             return 2
-        write_report(result.report, args.telemetry)
+        # Grid runs share one fused-sweep report; one file covers all.
+        write_report(results[0].report, args.telemetry)
         print(f"wrote telemetry to {args.telemetry}")
-    print(result.to_table().to_text())
-    if result.failure_count:
-        for trial in result.failures:
-            detail = trial.failure or "protocol-level failure"
-            print(f"  trial {trial.trial_index} FAILED: {detail}")
-        return 1
+    failed = 0
+    for result in results:
+        print(result.to_table().to_text())
+        if result.failure_count:
+            for trial in result.failures:
+                detail = trial.failure or "protocol-level failure"
+                print(f"  trial {trial.trial_index} FAILED: {detail}")
+            failed += result.failure_count
+    return 1 if failed else 0
+
+
+def _cmd_cost(args: argparse.Namespace) -> int:
+    """``repro cost``: predicted per-trial cost of one scenario."""
+    from .analysis.costmodel import cost_model_names, get_cost_model
+    from .engine import EngineError, get_runner
+
+    try:
+        runner = get_runner(args.scenario)
+        model = get_cost_model(args.scenario)
+        if model is None:
+            known = ", ".join(cost_model_names())
+            detail = (
+                f"models exist for: {known}"
+                if known
+                else "no models are registered (is sympy installed?)"
+            )
+            raise EngineError(
+                f"no cost model for scenario {args.scenario!r}; {detail}. "
+                "Sweeps of this scenario fall back to uniform dispatch "
+                "geometry."
+            )
+        sizes = _parse_n_list(args.n)
+        raw = _parse_params(args.param)
+        rows = []
+        for n in sizes:
+            if runner.params is not None:
+                params = runner.validate(raw, n=n)
+            else:
+                params = {k: _coerce_undeclared(v) for k, v in raw.items()}
+            rows.append((n, model.predict(n, params)))
+    except EngineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"Predicted per-trial cost: {args.scenario}")
+    sweep_header = f"sweep cost (x{args.trials})"
+    print(f"{'n':>10}  {'bits/trial':>16}  {'work/trial':>14}  "
+          f"{sweep_header:>20}")
+    for n, predicted in rows:
+        print(
+            f"{n:>10,}  {predicted.bits:>16,.0f}  "
+            f"{predicted.work:>14,.1f}  "
+            f"{predicted.cost * args.trials:>20,.1f}"
+        )
+    declared = [p.name for p in (runner.params or ())]
+    ignored = model.ignored_params(declared)
+    if ignored:
+        print(
+            "\nnote: the model does not price these declared params "
+            f"(they do not change the prediction): {', '.join(ignored)}"
+        )
     return 0
 
 
@@ -893,9 +982,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--name", default="everywhere-ba",
                    help="registered scenario (see --list)")
-    p.add_argument("-n", type=int, default=27, help="network size")
+    p.add_argument("-n", default="27", metavar="N[,N...]",
+                   help="network size; a comma-separated list runs the "
+                        "whole grid as one fused sweep")
     p.add_argument("--trials", type=int, default=8,
-                   help="number of independent trials")
+                   help="number of independent trials (per grid point)")
     p.add_argument("--seed", type=int, default=0,
                    help="master seed (per-trial seeds are derived)")
     p.add_argument("--backend", default="serial",
@@ -914,6 +1005,12 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="KEY=VALUE",
                    help="scenario parameter, validated against the "
                         "declared schema (repeatable)")
+    p.add_argument("--cost-aware", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="size grid work units by predicted per-trial "
+                        "cost instead of trial counts (default: on for "
+                        "-n grids when every point has a cost model; "
+                        "moot for a single n)")
     p.add_argument("--telemetry", default=None, metavar="PATH",
                    help="write the run's telemetry report (lanes, "
                         "latency percentiles, retries, bit stats) as "
@@ -929,6 +1026,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run every declared scenario once (tiny n, "
                         "2 trials) — CI's registration guard")
     p.set_defaults(func=_cmd_run_experiment)
+
+    p = sub.add_parser(
+        "cost",
+        help="predicted per-trial cost of a scenario over a size grid "
+             "(the figures cost-aware dispatch bins by)",
+    )
+    p.add_argument("scenario", help="registered scenario name")
+    p.add_argument("-n", default="8,16,32,64", metavar="N[,N...]",
+                   help="network sizes to price (comma-separated)")
+    p.add_argument("--trials", type=int, default=8,
+                   help="trial count used for the sweep-cost column")
+    p.add_argument("--param", action="append", default=[],
+                   metavar="KEY=VALUE",
+                   help="scenario parameter, validated against the "
+                        "declared schema (repeatable)")
+    p.set_defaults(func=_cmd_cost)
 
     p = sub.add_parser(
         "worker",

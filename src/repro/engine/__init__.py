@@ -27,6 +27,10 @@ Layers (see ENGINE.md for the architecture notes):
   plane: :class:`DispatchPlan` shard geometry, the :class:`Transport`
   seam, the submit/retry/merge collect loop, and the one spawn-safe
   worker entry (:func:`run_unit`).
+* :mod:`repro.engine.costplan` — the cost-aware planning bridge:
+  per-spec predicted trial costs (:func:`spec_trial_cost`, from
+  :mod:`repro.analysis.costmodel`) sized into multi-spec unit plans
+  (:func:`plan_grid`) so mixed-size grids balance predicted work.
 * :mod:`repro.engine.backends` — :class:`SerialBackend` and
   :class:`ProcessPoolBackend` behind one :class:`ExecutionBackend` API.
 * :mod:`repro.engine.batch` — :class:`BatchBackend`, multiplexing many
@@ -60,6 +64,11 @@ from .backends import (
     run_one_trial,
 )
 from .batch import BatchBackend
+from .costplan import (
+    grid_modes,
+    plan_grid,
+    spec_trial_cost,
+)
 from .dispatch import (
     DispatchError,
     DispatchPlan,
@@ -68,6 +77,7 @@ from .dispatch import (
     PoolTransport,
     Transport,
     WorkUnit,
+    run_grid_units,
     run_unit,
     run_unit_timed,
     run_units,
@@ -171,18 +181,21 @@ __all__ = [
     "get_backend",
     "get_runner",
     "get_scenario",
+    "grid_modes",
     "load_builtin_scenarios",
     "load_report",
     "make_context",
     "merge_ledger_stats",
     "parse_hosts",
     "percentile",
+    "plan_grid",
     "register",
     "report_from_wire",
     "report_to_wire",
     "result_from_wire",
     "result_to_wire",
     "run_experiment",
+    "run_grid_units",
     "run_one_trial",
     "run_unit",
     "run_unit_timed",
@@ -191,6 +204,7 @@ __all__ = [
     "runner_names",
     "scenario_names",
     "spec_from_wire",
+    "spec_trial_cost",
     "spec_to_wire",
     "stats_from_wire",
     "stats_to_wire",

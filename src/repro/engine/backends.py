@@ -36,12 +36,14 @@ from __future__ import annotations
 
 import abc
 import os
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from .dispatch import (
+    MODE_TRIALS,
     DispatchPlan,
     PoolTransport,
     make_context,
+    run_grid_units,
     run_one_trial,
     run_units,
 )
@@ -85,6 +87,24 @@ class ExecutionBackend(abc.ABC):
     @abc.abstractmethod
     def run_trials(self, spec: ExperimentSpec) -> List[TrialResult]:
         """All trial results of ``spec``, ordered by trial index."""
+
+    def run_grid(
+        self,
+        specs: Sequence[ExperimentSpec],
+        cost_aware: bool = True,
+    ) -> List[List[TrialResult]]:
+        """Run several specs; one result list per spec, in order.
+
+        The base implementation runs the specs back to back (and
+        ``cost_aware`` is moot — there is nothing to balance).  The
+        pool-backed backends override this with a *fused* sweep: every
+        spec's units share one transport and one collect loop, sized by
+        predicted per-trial cost when every spec has a cost model
+        (:mod:`repro.engine.costplan`), so mixed-size grids balance
+        predicted work across lanes instead of trial counts.  Results
+        are bit-identical either way; only wall-clock moves.
+        """
+        return [self.run_trials(spec) for spec in specs]
 
     def _begin_telemetry(self, spec: ExperimentSpec) -> RunTelemetry:
         """Start (and attach) this run's telemetry accumulator."""
@@ -182,3 +202,43 @@ class ProcessPoolBackend(ExecutionBackend):
             results = run_units(units, transport, telemetry=telemetry)
         telemetry.finish()
         return results
+
+    def run_grid(
+        self,
+        specs: Sequence[ExperimentSpec],
+        cost_aware: bool = True,
+    ) -> List[List[TrialResult]]:
+        """A fused multi-spec sweep over one shared worker pool.
+
+        Every spec's chunks go through one collect loop; with cost
+        models available (and ``cost_aware``), unit sizes come from one
+        grid-wide predicted-cost target, heaviest units submitted
+        first.  Falls back to per-spec uniform geometry otherwise.
+        """
+        from .costplan import plan_grid
+
+        if not specs:
+            return []
+        for spec in specs:
+            get_runner(spec.runner)
+        unique = list(dict.fromkeys(specs))
+        if len(unique) == 1 or self.workers == 1:
+            return super().run_grid(specs, cost_aware=cost_aware)
+        self.telemetry = RunTelemetry(
+            backend=self.name,
+            total_trials=sum(spec.trials for spec in unique),
+            monitor=self.monitor,
+        )
+        units = plan_grid(
+            unique,
+            capacity=self.workers,
+            modes=[MODE_TRIALS] * len(unique),
+            cost_aware=cost_aware,
+        )
+        with PoolTransport(self.workers, self.start_method) as transport:
+            pairs = run_grid_units(
+                units, transport, telemetry=self.telemetry
+            )
+        self.telemetry.finish()
+        by_spec = {spec: results for spec, results in pairs}
+        return [by_spec[spec] for spec in specs]

@@ -1,0 +1,158 @@
+"""Bridge from the symbolic cost models to dispatch geometry.
+
+The cost plane has two halves: :mod:`repro.analysis.costmodel` predicts
+what one trial of a resolved spec costs, and
+:class:`~repro.engine.dispatch.DispatchPlan` turns per-trial costs into
+work units.  This module is the seam between them — the only place that
+asks "what does this *spec* cost?" — so backends, the fleet coordinator
+and the CLI all price work identically.
+
+Fallback semantics (load-bearing, tested): every function here answers
+``None`` / uniform geometry when the scenario has no registered cost
+model or sympy is unavailable, and cost-aware planning engages only
+when **every** spec in a grid is priceable — a grid half-priced by
+models would balance the priced half against guesses for the rest.
+Either way the resulting units partition each spec's trial range
+exactly once, so results stay bit-identical to serial.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .dispatch import MODE_TRIALS, MODE_WAVE, DispatchPlan, WorkUnit
+from .spec import EngineError, ExperimentSpec
+
+#: Units per worker for cost-sized grids — the classic ``chunked``
+#: granularity (enough pieces that the greedy collect loop can
+#: rebalance, few enough to amortise dispatch overhead).
+GRID_PARTS_PER_WORKER = 4
+
+
+def spec_trial_cost(spec: ExperimentSpec) -> Optional[float]:
+    """Predicted cost of one trial of ``spec``, or None (no model).
+
+    Resolves the scenario's cost model and prices the spec's declared
+    params (the model applies the same auto-derivations the scenario
+    builder does).  Any model failure — unknown scenario, missing
+    sympy, a param the resolver chokes on, a non-positive prediction —
+    degrades to ``None``: cost-awareness must never make a runnable
+    sweep unrunnable.
+    """
+    from ..analysis.costmodel import get_cost_model
+
+    model = get_cost_model(spec.runner)
+    if model is None:
+        return None
+    try:
+        cost = model.trial_cost(spec.n, spec.param_dict())
+    except Exception:
+        return None
+    if not cost or cost <= 0:
+        return None
+    return float(cost)
+
+
+def grid_modes(specs: Sequence[ExperimentSpec]) -> List[str]:
+    """Per-spec unit mode: waves where the scenario supports them."""
+    from .registry import get_runner
+
+    return [
+        MODE_WAVE
+        if get_runner(spec.runner).build_async_instance is not None
+        else MODE_TRIALS
+        for spec in specs
+    ]
+
+
+def plan_grid(
+    specs: Sequence[ExperimentSpec],
+    capacity: int,
+    modes: Optional[Sequence[str]] = None,
+    max_live: Optional[int] = None,
+    cost_aware: bool = True,
+) -> List[WorkUnit]:
+    """Work units for a multi-spec grid sharing one collect loop.
+
+    Cost-aware path (every spec priceable): one grid-wide target unit
+    cost — total predicted grid cost over ``capacity x
+    GRID_PARTS_PER_WORKER`` units — sizes every spec's units, so a
+    cheap small-n spec gets many trials per unit while an expensive
+    big-n spec gets few (often one), and the submit order is heaviest
+    unit first so stragglers start early.  Fallback path: one uniform
+    trials-per-unit figure across the whole grid, in spec order — the
+    trial-count geometry this plane exists to beat.
+    """
+    if not specs:
+        return []
+    if modes is None:
+        modes = grid_modes(specs)
+    if len(modes) != len(specs):
+        raise EngineError(
+            f"need one mode per spec: {len(modes)} modes, {len(specs)} specs"
+        )
+    costs = [spec_trial_cost(spec) for spec in specs]
+    units: List[WorkUnit] = []
+    if cost_aware and all(cost is not None for cost in costs):
+        total = sum(
+            cost * spec.trials for cost, spec in zip(costs, specs)
+        )
+        target = total / max(1, capacity * GRID_PARTS_PER_WORKER)
+        for spec, mode, cost in zip(specs, modes, costs):
+            per_trial = [cost] * spec.trials
+            if mode == MODE_WAVE:
+                plan = DispatchPlan.cost_waved(
+                    spec.trials,
+                    per_trial,
+                    capacity,
+                    max_live=max_live,
+                    target_unit_cost=target,
+                )
+            else:
+                plan = DispatchPlan.cost_chunked(
+                    spec.trials,
+                    per_trial,
+                    capacity,
+                    target_unit_cost=target,
+                )
+            units.extend(plan.units(spec))
+        # Heaviest first: the greedy collect loop then approximates LPT
+        # across lanes, which is where the makespan win comes from.
+        units.sort(
+            key=lambda u: -(u.predicted_cost or 0.0)
+        )
+        return units
+    # Uniform fallback: same trials-per-unit everywhere, spec order.
+    total_trials = sum(spec.trials for spec in specs)
+    unit_size = max(
+        1, total_trials // max(1, capacity * GRID_PARTS_PER_WORKER)
+    )
+    for spec, mode in zip(specs, modes):
+        size = min(unit_size, spec.trials)
+        if mode == MODE_WAVE:
+            plan = DispatchPlan(
+                trials=spec.trials,
+                unit_size=size,
+                mode=MODE_WAVE,
+                max_live=max_live,
+            )
+        else:
+            plan = DispatchPlan(trials=spec.trials, unit_size=size)
+        units.extend(plan.units(spec))
+    return units
+
+
+def cost_sized_unit_size(
+    spec: ExperimentSpec, target_unit_cost: float
+) -> Optional[int]:
+    """Trials per unit so one unit of ``spec`` costs ~``target_unit_cost``.
+
+    The fleet coordinator's integer handle on cost-aware geometry: the
+    chosen size is persisted into the job envelope so a crash-resumed
+    job re-plans the exact same units.  ``None`` when the spec has no
+    model or the target is degenerate (callers keep uniform sizing).
+    """
+    cost = spec_trial_cost(spec)
+    if cost is None or target_unit_cost <= 0:
+        return None
+    return max(1, min(spec.trials, round(target_unit_cost / cost)))

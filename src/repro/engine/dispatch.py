@@ -48,12 +48,13 @@ Failure model, in two layers:
 from __future__ import annotations
 
 import abc
+import heapq
 import multiprocessing
 import multiprocessing.pool
 import queue
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (
     Any,
     Deque,
@@ -142,6 +143,11 @@ class WorkUnit:
     indices: Tuple[int, ...]
     mode: str = MODE_TRIALS
     max_live: Optional[int] = None
+    #: Predicted cost of this unit (cost-model units), stamped by
+    #: cost-aware plans.  Advisory only: excluded from equality so a
+    #: persisted unit from a fleet resume log still matches a freshly
+    #: planned one, and absent on old wire documents.
+    predicted_cost: Optional[float] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.mode not in (MODE_TRIALS, MODE_WAVE):
@@ -206,6 +212,7 @@ def unit_to_wire(unit: WorkUnit) -> Dict[str, Any]:
         "indices": list(unit.indices),
         "mode": unit.mode,
         "max_live": unit.max_live,
+        "predicted_cost": unit.predicted_cost,
     }
 
 
@@ -214,11 +221,13 @@ def unit_from_wire(doc: Any) -> WorkUnit:
     require_wire(doc, "unit")
     try:
         max_live = doc["max_live"]
+        predicted = doc.get("predicted_cost")  # absent on old documents
         return WorkUnit(
             spec=spec_from_wire(doc["spec"]),
             indices=tuple(int(i) for i in doc["indices"]),
             mode=str(doc["mode"]),
             max_live=None if max_live is None else int(max_live),
+            predicted_cost=None if predicted is None else float(predicted),
         )
     except EngineError:
         raise
@@ -269,6 +278,13 @@ class DispatchPlan:
     unit_size: int
     mode: str = MODE_TRIALS
     max_live: Optional[int] = None
+    #: Explicit index partition (cost-aware plans).  ``None`` means
+    #: contiguous ``unit_size`` slices; when set, it must partition
+    #: ``range(trials)`` exactly and overrides ``unit_size``.
+    groups: Optional[Tuple[Tuple[int, ...], ...]] = None
+    #: Per-trial predicted costs backing ``groups`` (len == trials);
+    #: used to stamp ``WorkUnit.predicted_cost``.
+    costs: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
         if self.trials < 1:
@@ -277,6 +293,25 @@ class DispatchPlan:
             raise EngineError("unit_size must be >= 1")
         if self.mode not in (MODE_TRIALS, MODE_WAVE):
             raise EngineError(f"unknown dispatch mode {self.mode!r}")
+        if self.groups is not None:
+            groups = tuple(tuple(g) for g in self.groups)
+            object.__setattr__(self, "groups", groups)
+            flat = sorted(i for group in groups for i in group)
+            if flat != list(range(self.trials)):
+                raise EngineError(
+                    "plan groups must partition the trial range exactly "
+                    f"once (got {flat!r} for {self.trials} trials)"
+                )
+        if self.costs is not None:
+            costs = tuple(float(c) for c in self.costs)
+            object.__setattr__(self, "costs", costs)
+            if len(costs) != self.trials:
+                raise EngineError(
+                    f"need one cost per trial: got {len(costs)} costs "
+                    f"for {self.trials} trials"
+                )
+            if any(c <= 0 for c in costs):
+                raise EngineError("per-trial costs must be positive")
 
     @classmethod
     def chunked(
@@ -329,8 +364,148 @@ class DispatchPlan:
             trials=trials, unit_size=size, mode=MODE_WAVE, max_live=max_live
         )
 
+    @classmethod
+    def cost_chunked(
+        cls,
+        trials: int,
+        costs: Optional[Sequence[float]],
+        workers: int,
+        weights: Optional[Sequence[int]] = None,
+        target_unit_cost: Optional[float] = None,
+    ) -> "DispatchPlan":
+        """Isolated-trial chunks carrying ~equal *predicted cost*.
+
+        ``costs`` gives the predicted cost of each trial (one entry per
+        trial index).  Trials are LPT-binned — heaviest first, each into
+        the currently lightest bin — over ``~4x`` the fleet capacity
+        bins (``weights`` scales capacity exactly as in
+        :meth:`chunked`), so a mixed-cost sweep hands every lane units
+        of comparable predicted work instead of comparable trial
+        counts.  ``target_unit_cost`` overrides the bin count with
+        ``ceil(total_cost / target)`` — how grid planning sizes every
+        spec's units against one grid-wide target.
+
+        ``costs=None`` is the documented fallback (no cost model
+        registered, sympy missing): plain uniform :meth:`chunked`
+        geometry.  Either way the plan partitions ``range(trials)``
+        exactly once, so results stay bit-identical to serial.
+        """
+        return cls._cost_binned(
+            trials,
+            costs,
+            workers,
+            weights,
+            target_unit_cost,
+            mode=MODE_TRIALS,
+            max_live=None,
+            parts_per_worker=4,
+        )
+
+    @classmethod
+    def cost_waved(
+        cls,
+        trials: int,
+        costs: Optional[Sequence[float]],
+        workers: int,
+        max_live: Optional[int] = None,
+        weights: Optional[Sequence[int]] = None,
+        target_unit_cost: Optional[float] = None,
+    ) -> "DispatchPlan":
+        """Async waves carrying ~equal predicted cost.
+
+        The :meth:`cost_chunked` binning at :meth:`waved` granularity
+        (~2 bins per unit of capacity); ``costs=None`` falls back to
+        plain uniform :meth:`waved` geometry.
+        """
+        return cls._cost_binned(
+            trials,
+            costs,
+            workers,
+            weights,
+            target_unit_cost,
+            mode=MODE_WAVE,
+            max_live=max_live,
+            parts_per_worker=2,
+        )
+
+    @classmethod
+    def _cost_binned(
+        cls,
+        trials: int,
+        costs: Optional[Sequence[float]],
+        workers: int,
+        weights: Optional[Sequence[int]],
+        target_unit_cost: Optional[float],
+        mode: str,
+        max_live: Optional[int],
+        parts_per_worker: int,
+    ) -> "DispatchPlan":
+        if costs is None:
+            if mode == MODE_WAVE:
+                return cls.waved(
+                    trials, None, workers, max_live=max_live, weights=weights
+                )
+            return cls.chunked(trials, None, workers, weights=weights)
+        capacity = (
+            total_capacity(weights) if weights is not None else max(1, workers)
+        )
+        cost_list = [float(c) for c in costs]
+        if len(cost_list) != trials or any(c <= 0 for c in cost_list):
+            # Let the plan validators produce the canonical errors.
+            return cls(
+                trials=trials, unit_size=1, mode=mode, max_live=max_live,
+                costs=tuple(cost_list),
+            )
+        total_cost = sum(cost_list)
+        if target_unit_cost is not None and target_unit_cost > 0:
+            bins = max(1, round(total_cost / target_unit_cost))
+        else:
+            bins = capacity * parts_per_worker
+        bins = max(1, min(bins, trials))
+        spread = max(cost_list) - min(cost_list)
+        if spread <= 1e-12 * max(cost_list):
+            # Uniform costs: contiguous slices preserve the classic
+            # geometry (and its cache locality) exactly.
+            size = max(1, -(-trials // bins))
+            groups = tuple(
+                tuple(range(i, min(i + size, trials)))
+                for i in range(0, trials, size)
+            )
+        else:
+            # LPT: heaviest trial first, into the lightest bin.
+            order = sorted(
+                range(trials), key=lambda i: (-cost_list[i], i)
+            )
+            heap = [(0.0, b) for b in range(bins)]
+            heapq.heapify(heap)
+            binned: List[List[int]] = [[] for _ in range(bins)]
+            for i in order:
+                load, b = heapq.heappop(heap)
+                binned[b].append(i)
+                heapq.heappush(heap, (load + cost_list[i], b))
+            groups = tuple(
+                tuple(sorted(group))
+                for group in sorted(
+                    (g for g in binned if g), key=lambda g: min(g)
+                )
+            )
+        return cls(
+            trials=trials,
+            unit_size=max(1, max(len(g) for g in groups)),
+            mode=mode,
+            max_live=max_live,
+            groups=groups,
+            costs=tuple(cost_list),
+        )
+
     def indices(self) -> List[List[int]]:
-        """Contiguous trial-index slices, covering ``range(trials)``."""
+        """Trial-index groups covering ``range(trials)`` exactly once.
+
+        Contiguous ``unit_size`` slices, unless the plan carries an
+        explicit cost-balanced partition (``groups``).
+        """
+        if self.groups is not None:
+            return [list(group) for group in self.groups]
         all_indices = list(range(self.trials))
         return [
             all_indices[i : i + self.unit_size]
@@ -350,6 +525,11 @@ class DispatchPlan:
                 indices=tuple(slice_),
                 mode=self.mode,
                 max_live=self.max_live,
+                predicted_cost=(
+                    sum(self.costs[i] for i in slice_)
+                    if self.costs is not None
+                    else None
+                ),
             )
             for slice_ in self.indices()
         ]
@@ -609,6 +789,74 @@ def run_units(
     """
     if not units:
         return []
+    collected = _collect_envelopes(units, transport, max_attempts, telemetry)
+    merged = sorted(
+        (r for results in collected.values() for r in results),
+        key=lambda r: r.trial_index,
+    )
+    expected = sorted(i for unit in units for i in unit.indices)
+    if [r.trial_index for r in merged] != expected:
+        raise DispatchError(
+            "collected results do not cover the planned trials exactly "
+            f"once (got {[r.trial_index for r in merged]!r}, "
+            f"expected {expected!r})"
+        )
+    return merged
+
+
+def run_grid_units(
+    units: Sequence[WorkUnit],
+    transport: Transport,
+    max_attempts: Optional[int] = None,
+    telemetry: Optional[Any] = None,
+) -> List[Tuple[ExperimentSpec, List[TrialResult]]]:
+    """:func:`run_units` over a *grid*: units of several specs at once.
+
+    One shared collect loop drives every unit through the transport —
+    this is what makes cost-aware grids balance globally, since a lane
+    finishing a cheap spec's unit immediately picks up an expensive
+    spec's one — but merging must not mix specs: trial indices are
+    per-spec, so results are grouped by their unit's spec, merged into
+    canonical trial order *within* each spec, and coverage-checked per
+    spec.  Returns ``(spec, results)`` pairs, one per distinct spec, in
+    first-appearance order of the specs in ``units`` (cost-aware plans
+    reorder units, so callers match results up by spec, not position).
+    """
+    if not units:
+        return []
+    spec_order: List[ExperimentSpec] = []
+    for unit in units:
+        if unit.spec not in spec_order:
+            spec_order.append(unit.spec)
+    collected = _collect_envelopes(units, transport, max_attempts, telemetry)
+    grouped: List[Tuple[ExperimentSpec, List[TrialResult]]] = []
+    for spec in spec_order:
+        uids = [
+            uid for uid, unit in enumerate(units) if unit.spec == spec
+        ]
+        merged = sorted(
+            (r for uid in uids for r in collected[uid]),
+            key=lambda r: r.trial_index,
+        )
+        expected = list(range(spec.trials))
+        if [r.trial_index for r in merged] != expected:
+            raise DispatchError(
+                f"grid results for spec {spec.runner!r} (n={spec.n}) do "
+                "not cover the planned trials exactly once "
+                f"(got {[r.trial_index for r in merged]!r}, "
+                f"expected {expected!r})"
+            )
+        grouped.append((spec, merged))
+    return grouped
+
+
+def _collect_envelopes(
+    units: Sequence[WorkUnit],
+    transport: Transport,
+    max_attempts: Optional[int],
+    telemetry: Optional[Any],
+) -> Dict[int, Tuple[TrialResult, ...]]:
+    """The shared submit/retry/collect loop, keyed by unit id."""
     cap = max_attempts if max_attempts is not None else len(transport.lanes()) + 1
     if cap < 1:
         raise DispatchError("max_attempts must be >= 1")
@@ -627,7 +875,10 @@ def run_units(
             # compute must land inside the span.
             if telemetry is not None:
                 telemetry.note_submit(
-                    uid, len(units[uid].indices), units[uid].mode
+                    uid,
+                    len(units[uid].indices),
+                    units[uid].mode,
+                    predicted_cost=units[uid].predicted_cost,
                 )
             if transport.try_submit(
                 uid, units[uid], frozenset(excluded[uid])
@@ -677,15 +928,4 @@ def run_units(
                 f"giving up ({last_error[envelope.unit_id]})"
             )
         todo.append(envelope.unit_id)
-    merged = sorted(
-        (r for results in collected.values() for r in results),
-        key=lambda r: r.trial_index,
-    )
-    expected = sorted(i for unit in units for i in unit.indices)
-    if [r.trial_index for r in merged] != expected:
-        raise DispatchError(
-            "collected results do not cover the planned trials exactly "
-            f"once (got {[r.trial_index for r in merged]!r}, "
-            f"expected {expected!r})"
-        )
-    return merged
+    return collected

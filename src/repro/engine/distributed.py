@@ -61,6 +61,7 @@ from .dispatch import (
     Envelope,
     Transport,
     WorkUnit,
+    run_grid_units,
     run_unit_timed,
     run_units,
     unit_from_wire,
@@ -685,6 +686,54 @@ class DistributedBackend(ExecutionBackend):
             raise
         telemetry.finish()
         return results
+
+    def run_grid(
+        self,
+        specs: Sequence[ExperimentSpec],
+        cost_aware: bool = True,
+    ) -> List[List[TrialResult]]:
+        """A fused multi-spec sweep over the worker fleet.
+
+        One shared collect loop over every host lane; unit sizes come
+        from one grid-wide predicted-cost target scaled by the fleet's
+        aggregate capacity weights (uniform geometry when any spec
+        lacks a cost model).  Per-spec mode follows :meth:`plan`: waves
+        where the scenario has an async builder, chunks otherwise.
+        """
+        from .costplan import grid_modes, plan_grid
+
+        if not specs:
+            return []
+        for spec in specs:
+            get_runner(spec.runner)
+        unique = list(dict.fromkeys(specs))
+        if len(unique) == 1:
+            return super().run_grid(specs, cost_aware=cost_aware)
+        telemetry = RunTelemetry(
+            backend=self.name,
+            total_trials=sum(spec.trials for spec in unique),
+            monitor=self.monitor,
+        )
+        self.telemetry = telemetry
+        units = plan_grid(
+            unique,
+            capacity=self.total_lanes,
+            modes=grid_modes(unique),
+            max_live=self.max_live,
+            cost_aware=cost_aware,
+        )
+        try:
+            pairs = run_grid_units(
+                units,
+                self._ensure_transport(telemetry),
+                telemetry=telemetry,
+            )
+        except BaseException:
+            self.close()
+            raise
+        telemetry.finish()
+        by_spec = {spec: results for spec, results in pairs}
+        return [by_spec[spec] for spec in specs]
 
     def close(self) -> None:
         if self._transport is not None:

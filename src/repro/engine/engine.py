@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 from .aggregate import ExperimentResult
 from .async_backend import AsyncBackend
@@ -125,6 +125,55 @@ class Engine:
             elapsed_seconds=elapsed,
             report=report,
         )
+
+    def run_grid(
+        self,
+        specs: Sequence[ExperimentSpec],
+        cost_aware: bool = True,
+    ) -> List[ExperimentResult]:
+        """Execute several specs as one sweep; one result per spec.
+
+        Validation is exactly :meth:`run`'s, per spec.  Execution goes
+        through the backend's ``run_grid`` — for the pool-backed
+        backends a *fused* sweep in which every spec's units share one
+        transport, sized by predicted per-trial cost when every spec
+        has a cost model and ``cost_aware`` holds (uniform geometry
+        otherwise).  Results are bit-identical to running the specs
+        one at a time; ``elapsed_seconds`` and the telemetry report
+        are whole-grid figures, repeated on each result, because the
+        fused sweep has no per-spec clock.
+        """
+        validated_specs: List[ExperimentSpec] = []
+        for spec in specs:
+            runner = get_runner(spec.runner)
+            validated = runner.validate(spec.param_dict(), n=spec.n)
+            if validated != spec.param_dict():
+                spec = dataclasses.replace(spec, params=validated)
+            validated_specs.append(spec)
+        start = time.perf_counter()
+        try:
+            per_spec = self.backend.run_grid(
+                validated_specs, cost_aware=cost_aware
+            )
+        except BaseException:
+            self.backend.close()
+            raise
+        elapsed = time.perf_counter() - start
+        telemetry = getattr(self.backend, "telemetry", None)
+        merged = [r for trials in per_spec for r in trials]
+        report = (
+            telemetry.report(merged) if telemetry is not None else None
+        )
+        return [
+            ExperimentResult(
+                spec=spec,
+                backend=self.backend.name,
+                trials=trials,
+                elapsed_seconds=elapsed,
+                report=report,
+            )
+            for spec, trials in zip(validated_specs, per_spec)
+        ]
 
     def close(self) -> None:
         """Release the backend's resources (idempotent)."""

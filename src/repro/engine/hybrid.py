@@ -38,13 +38,20 @@ actual capabilities instead.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from .async_backend import AsyncBackend
 from .backends import ExecutionBackend, default_worker_count
-from .dispatch import DispatchPlan, PoolTransport, run_units
+from .dispatch import (
+    MODE_WAVE,
+    DispatchPlan,
+    PoolTransport,
+    run_grid_units,
+    run_units,
+)
 from .registry import get_runner
 from .spec import EngineError, ExperimentSpec, TrialResult
+from .telemetry import RunTelemetry
 
 
 class HybridBackend(ExecutionBackend):
@@ -113,3 +120,50 @@ class HybridBackend(ExecutionBackend):
             results = run_units(units, transport, telemetry=telemetry)
         telemetry.finish()
         return results
+
+    def run_grid(
+        self,
+        specs: Sequence[ExperimentSpec],
+        cost_aware: bool = True,
+    ) -> List[List[TrialResult]]:
+        """A fused multi-spec wave sweep over one shared pool.
+
+        Cost-aware wave sizing from one grid-wide predicted-cost
+        target when every spec has a cost model; uniform waves
+        otherwise.  Every spec must support the async path, exactly as
+        in :meth:`run_trials`.
+        """
+        from .costplan import plan_grid
+
+        if not specs:
+            return []
+        for spec in specs:
+            runner = get_runner(spec.runner)
+            if runner.build_async_instance is None:
+                raise EngineError(
+                    f"scenario {spec.runner!r} does not support the "
+                    "hybrid backend (no async builder); its backends "
+                    f"are: {', '.join(runner.capabilities)}"
+                )
+        unique = list(dict.fromkeys(specs))
+        if len(unique) == 1 or self.workers == 1:
+            return super().run_grid(specs, cost_aware=cost_aware)
+        self.telemetry = RunTelemetry(
+            backend=self.name,
+            total_trials=sum(spec.trials for spec in unique),
+            monitor=self.monitor,
+        )
+        units = plan_grid(
+            unique,
+            capacity=self.workers,
+            modes=[MODE_WAVE] * len(unique),
+            max_live=self.max_live,
+            cost_aware=cost_aware,
+        )
+        with PoolTransport(self.workers, self.start_method) as transport:
+            pairs = run_grid_units(
+                units, transport, telemetry=self.telemetry
+            )
+        self.telemetry.finish()
+        by_spec = {spec: results for spec, results in pairs}
+        return [by_spec[spec] for spec in specs]

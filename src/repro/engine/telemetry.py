@@ -109,6 +109,9 @@ class UnitRecord:
     cause: str = ""
     #: Worker-stamped compute time (None when the lane sent no stats).
     compute_seconds: Optional[float] = None
+    #: Cost-model prediction stamped on the unit at plan time (None
+    #: when the plan was not cost-aware).
+    predicted_cost: Optional[float] = None
 
     @property
     def latency_seconds(self) -> float:
@@ -137,6 +140,9 @@ class LaneReport:
     compute_seconds: Tuple[float, ...] = ()
     #: Socket-level round trip per exchange (distributed lanes only).
     round_trip_seconds: Tuple[float, ...] = ()
+    #: Plan-time predicted cost per successful unit that carried one
+    #: (cost-aware plans only; parallel to nothing — raw samples).
+    predicted_costs: Tuple[float, ...] = ()
     bytes_out: int = 0
     bytes_in: int = 0
     dials: int = 0
@@ -159,6 +165,7 @@ class LaneReport:
             round_trip_seconds=(
                 self.round_trip_seconds + other.round_trip_seconds
             ),
+            predicted_costs=self.predicted_costs + other.predicted_costs,
             bytes_out=self.bytes_out + other.bytes_out,
             bytes_in=self.bytes_in + other.bytes_in,
             dials=self.dials + other.dials,
@@ -177,6 +184,37 @@ class LaneReport:
             return 0.0
         return max(
             0.0, sum(self.unit_seconds) - sum(self.compute_seconds)
+        )
+
+    def cost_skew(self, run_seconds_per_cost: float) -> Optional[float]:
+        """Measured vs predicted cost of this lane's work, normalised.
+
+        The lane's measured seconds per predicted cost unit over the
+        run-wide rate: 1.0 means the cost model priced this lane's
+        units proportionally; >1 means its units ran slower than the
+        model predicted (the model under-prices what this lane drew).
+        ``None`` when the lane carried no cost-stamped units or the
+        run-wide rate is degenerate.  Measured time prefers worker
+        compute stats, falling back to observed unit latency.
+        """
+        if not self.predicted_costs or run_seconds_per_cost <= 0:
+            return None
+        measured = (
+            sum(self.compute_seconds)
+            if self.compute_seconds
+            else sum(self.unit_seconds)
+        )
+        predicted = sum(self.predicted_costs)
+        if predicted <= 0:
+            return None
+        return (measured / predicted) / run_seconds_per_cost
+
+    def measured_seconds(self) -> float:
+        """Worker compute time when stamped, else observed latency."""
+        return (
+            sum(self.compute_seconds)
+            if self.compute_seconds
+            else sum(self.unit_seconds)
         )
 
 
@@ -302,20 +340,36 @@ class RunReport:
         tables = [summary]
 
         if self.lanes:
+            # Run-wide measured seconds per predicted cost unit: the
+            # normaliser for the per-lane skew column.
+            total_predicted = sum(
+                sum(lane.predicted_costs) for lane in self.lanes
+            )
+            total_measured = sum(
+                lane.measured_seconds()
+                for lane in self.lanes
+                if lane.predicted_costs
+            )
+            rate = (
+                total_measured / total_predicted if total_predicted else 0.0
+            )
             lanes = Table(
                 title="lanes",
                 headers=[
                     "lane", "units", "fail", "trials", "p50 s",
                     "p90 s", "p99 s", "compute s", "queue+net s",
+                    "skew",
                     "KiB out", "KiB in", "dials", "redials", "dead",
                 ],
                 note=(
                     "compute/queue+net need worker stats; blank "
-                    "columns mean the lane sent none"
+                    "columns mean the lane sent none; skew is measured "
+                    "vs predicted unit cost (1.00 = model calibrated)"
                 ),
             )
             for lane in self.lanes:
                 has_stats = bool(lane.compute_seconds)
+                skew = lane.cost_skew(rate)
                 lanes.add_row(
                     lane.lane,
                     f"{lane.units_ok}",
@@ -326,6 +380,7 @@ class RunReport:
                     f"{_pct(lane.unit_seconds, 99):.4f}",
                     f"{sum(lane.compute_seconds):.4f}" if has_stats else "",
                     f"{lane.queue_wait_seconds():.4f}" if has_stats else "",
+                    f"{skew:.2f}" if skew is not None else "",
                     f"{lane.bytes_out / 1024:.1f}" if lane.bytes_out else "",
                     f"{lane.bytes_in / 1024:.1f}" if lane.bytes_in else "",
                     f"{lane.dials}",
@@ -375,7 +430,7 @@ class RunReport:
 
 def _lane_to_wire(lane: LaneReport) -> Dict[str, Any]:
     for value in lane.unit_seconds + lane.compute_seconds + (
-        lane.round_trip_seconds
+        lane.round_trip_seconds + lane.predicted_costs
     ):
         _require_finite(value, f"lane {lane.lane!r} samples")
     return {
@@ -386,6 +441,7 @@ def _lane_to_wire(lane: LaneReport) -> Dict[str, Any]:
         "unit_seconds": list(lane.unit_seconds),
         "compute_seconds": list(lane.compute_seconds),
         "round_trip_seconds": list(lane.round_trip_seconds),
+        "predicted_costs": list(lane.predicted_costs),
         "bytes_out": lane.bytes_out,
         "bytes_in": lane.bytes_in,
         "dials": lane.dials,
@@ -404,6 +460,10 @@ def _lane_from_wire(doc: Mapping[str, Any]) -> LaneReport:
         compute_seconds=tuple(float(v) for v in doc["compute_seconds"]),
         round_trip_seconds=tuple(
             float(v) for v in doc["round_trip_seconds"]
+        ),
+        # Tolerant: reports written before the cost plane lack the key.
+        predicted_costs=tuple(
+            float(v) for v in doc.get("predicted_costs", ())
         ),
         bytes_out=int(doc["bytes_out"]),
         bytes_in=int(doc["bytes_in"]),
@@ -597,7 +657,9 @@ class RunTelemetry:
         self.wall_seconds: Optional[float] = None
         self.records: List[UnitRecord] = []
         #: unit_id -> (submit offset, attempt, trials, mode)
-        self._pending: Dict[int, Tuple[float, int, int, str]] = {}
+        self._pending: Dict[
+            int, Tuple[float, int, int, str, Optional[float]]
+        ] = {}
         self._attempts: Dict[int, int] = {}
         self._next_span_id = -1  # in-process spans count down from -1
         self._done_trials = 0
@@ -611,13 +673,19 @@ class RunTelemetry:
 
     # -- dispatch-plane events ---------------------------------------------------------
 
-    def note_submit(self, unit_id: int, trials: int, mode: str) -> None:
+    def note_submit(
+        self,
+        unit_id: int,
+        trials: int,
+        mode: str,
+        predicted_cost: Optional[float] = None,
+    ) -> None:
         """A unit was offered to the transport (lane unknown yet)."""
         with self._lock:
             attempt = self._attempts.get(unit_id, 0) + 1
             self._attempts[unit_id] = attempt
             self._pending[unit_id] = (
-                self.elapsed(), attempt, trials, mode
+                self.elapsed(), attempt, trials, mode, predicted_cost
             )
 
     def cancel_submit(self, unit_id: int) -> None:
@@ -633,7 +701,7 @@ class RunTelemetry:
             pending = self._pending.pop(envelope.unit_id, None)
             if pending is None:
                 return  # collect without submit: nothing to anchor to
-            submitted, attempt, trials, mode = pending
+            submitted, attempt, trials, mode, predicted = pending
             stats = getattr(envelope, "stats", None)
             record = UnitRecord(
                 unit_id=envelope.unit_id,
@@ -648,6 +716,7 @@ class RunTelemetry:
                 compute_seconds=(
                     stats.compute_seconds if stats is not None else None
                 ),
+                predicted_cost=predicted,
             )
             self.records.append(record)
             if record.ok:
@@ -812,6 +881,11 @@ class RunTelemetry:
                     if r.compute_seconds is not None
                 ),
                 round_trip_seconds=tuple(net.get("round_trips", ())),
+                predicted_costs=tuple(
+                    r.predicted_cost
+                    for r in ok_records
+                    if r.predicted_cost is not None
+                ),
                 bytes_out=int(net.get("bytes_out", 0)),
                 bytes_in=int(net.get("bytes_in", 0)),
                 dials=int(net.get("dials", 0)),

@@ -44,8 +44,10 @@ import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..engine.costplan import spec_trial_cost
 from ..engine.dispatch import DispatchPlan, WorkUnit, run_units
 from ..engine.distributed import SocketTransport
 from ..engine.registry import get_runner
@@ -103,9 +105,17 @@ class _PersistingTelemetry:
         self._indices = list(unit_indices)
         self._on_collect = on_collect
 
-    def note_submit(self, unit_id: int, trials: int, mode: str) -> None:
+    def note_submit(
+        self,
+        unit_id: int,
+        trials: int,
+        mode: str,
+        predicted_cost: Optional[float] = None,
+    ) -> None:
         if self._inner is not None:
-            self._inner.note_submit(unit_id, trials, mode)
+            self._inner.note_submit(
+                unit_id, trials, mode, predicted_cost=predicted_cost
+            )
 
     def cancel_submit(self, unit_id: int) -> None:
         if self._inner is not None:
@@ -317,12 +327,72 @@ class Coordinator:
         self.queue.save_results(job.job_id, results)
         return self.queue.transition(job.job_id, "done")
 
+    def _apply_cost_sizing(
+        self,
+        jobs: Sequence[Job],
+        addresses: Sequence[Tuple[str, int, int]],
+    ) -> List[Job]:
+        """Stamp cost-derived unit sizes onto pending, unsized jobs.
+
+        The target unit cost is queue-wide — total predicted cost over
+        the pending jobs divided by the fleet's weighted lane capacity
+        (times the grid parts-per-lane factor) — so cheap sweeps shard
+        into large units and expensive sweeps into small ones, and
+        every dispatched unit carries roughly equal predicted work.
+        The chosen size persists into the job envelope *before* any
+        unit dispatches, so a coordinator killed mid-job re-derives
+        the identical geometry on resume.  Sizing engages only when
+        *every* unsized pending job has a cost model (balancing
+        predictions against guesses would misshard both) and never
+        touches an explicit ``--unit-size`` or a resumed job.
+        """
+        from ..engine.costplan import (
+            GRID_PARTS_PER_WORKER,
+            cost_sized_unit_size,
+        )
+
+        unsized = [
+            job
+            for job in jobs
+            if job.state == "pending" and job.unit_size is None
+        ]
+        if len(unsized) < 2:
+            return list(jobs)
+        costs: Dict[str, float] = {}
+        for job in unsized:
+            cost = spec_trial_cost(job.spec)
+            if cost is None:
+                return list(jobs)
+            costs[job.job_id] = cost
+        capacity = sum(w for _, _, w in addresses) or 1
+        total = sum(
+            costs[job.job_id] * job.spec.trials for job in unsized
+        )
+        target = total / max(1, capacity * GRID_PARTS_PER_WORKER)
+        out: List[Job] = []
+        for job in jobs:
+            if job.job_id in costs:
+                size = cost_sized_unit_size(job.spec, target)
+                if size is not None:
+                    job = self.queue.set_unit_size(job.job_id, size)
+            out.append(job)
+        return out
+
     def _execute(
         self, job: Job, addresses: Sequence[Tuple[str, int, int]]
     ) -> List[TrialResult]:
         spec = job.spec
         get_runner(spec.runner)  # unknown scenarios fail fast, locally
         units = self._plan(job).units(spec)
+        trial_cost = spec_trial_cost(spec)
+        if trial_cost is not None:
+            # Advisory stamp for the telemetry skew column; excluded
+            # from unit equality, so resume logs written without it
+            # still match.
+            units = [
+                replace(u, predicted_cost=trial_cost * len(u.indices))
+                for u in units
+            ]
         store = UnitStore(self.root, job.job_id)
         cached: Dict[int, List[TrialResult]] = {}
         missing: List[int] = []
@@ -401,6 +471,7 @@ class Coordinator:
             addresses = self.wait_for_workers(
                 min_workers=min_workers, timeout=worker_timeout
             )
+            jobs = self._apply_cost_sizing(jobs, addresses)
             finished: List[Job] = []
             with ThreadPoolExecutor(
                 max_workers=self.max_jobs,

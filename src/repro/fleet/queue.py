@@ -299,6 +299,30 @@ class JobQueue:
         """Cancel a pending or running job (terminal states raise)."""
         return self.transition(job_id, "cancelled")
 
+    def set_unit_size(self, job_id: str, unit_size: int) -> Job:
+        """Persist a planner-chosen unit size onto a *pending* job.
+
+        The coordinator's cost-aware sizing pass calls this before the
+        job first dispatches: once the size is in the envelope, a
+        coordinator killed mid-job re-derives the identical shard
+        geometry on resume, which is what keeps the persisted unit log
+        valid.  Only pending jobs may be resized — a running job's
+        geometry is pinned by its unit store; anything else raises.
+        """
+        if unit_size < 1:
+            raise FleetError("unit_size must be >= 1")
+        job = self.get(job_id)
+        if job.state != "pending":
+            raise FleetError(
+                f"job {job_id} is {job.state!r}; only pending jobs "
+                "can be resized"
+            )
+        updated = replace(job, unit_size=unit_size, updated_at=time.time())
+        _write_atomic(
+            self._job_path(job_id), wire_dumps(job_to_wire(updated)) + "\n"
+        )
+        return updated
+
     # -- merged results ----------------------------------------------------------------
 
     def results_path(self, job_id: str) -> str:

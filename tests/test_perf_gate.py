@@ -36,6 +36,7 @@ def test_quick_suites_emit_the_declared_schema():
         "sim_round_loop_n32",
         "dispatch_overhead",
         "telemetry_overhead",
+        "cost_dispatch_mixed_n",
     }
     for name in ("e9_reconstruct_n64", "e17_row_check_n64"):
         suite = suites[name]
@@ -61,6 +62,11 @@ def test_quick_suites_emit_the_declared_schema():
     assert telemetry["overhead_fraction"] >= 0
     assert telemetry["span_us_per_unit"] >= 0
     assert "speedup" not in telemetry  # trend-only, never gated
+    cost = suites["cost_dispatch_mixed_n"]
+    assert cost["parity"] is True
+    assert cost["uniform_makespan_s"] > 0 and cost["cost_makespan_s"] > 0
+    assert cost["cost_units"] != cost["uniform_units"]  # geometry moved
+    assert cost["speedup"] > 0  # gated: mixed-n makespan must not regress
 
 
 def test_compare_flags_only_real_speedup_regressions():
