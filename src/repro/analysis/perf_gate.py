@@ -636,6 +636,206 @@ def _suite_cost_dispatch_mixed_n(quick: bool) -> Dict[str, Any]:
     }
 
 
+class _LinkRelay:
+    """A loopback TCP relay that adds fixed one-way latency per direction.
+
+    The benchmark link: every byte is delivered, in order, ``delay``
+    seconds after it arrived — latency without any throughput limit,
+    which is exactly the shape of the real links the lane pipeline
+    exists to hide (bare loopback has ~10 us round trips, so a
+    latency-hiding optimisation measured against it would be measuring
+    nothing).  Both the baseline and the pipelined path dial the same
+    relay, so the comparison isolates the client's exchange discipline.
+    """
+
+    def __init__(self, host: str, port: int, delay: float) -> None:
+        import socket
+        import threading
+
+        self._socket = socket
+        self._threading = threading
+        self.target = (host, port)
+        self.delay = delay
+        self._listener = socket.socket()
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.host, self.port = self._listener.getsockname()[:2]
+        threading.Thread(
+            target=self._accept_loop, name="perf-gate-relay", daemon=True
+        ).start()
+
+    def _accept_loop(self) -> None:
+        socket = self._socket
+        while True:
+            try:
+                inbound, _ = self._listener.accept()
+            except OSError:
+                return
+            outbound = socket.create_connection(self.target)
+            for sock in (inbound, outbound):
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._pump(inbound, outbound)
+            self._pump(outbound, inbound)
+
+    def _pump(self, src, dst) -> None:
+        """One direction: a reader stamps arrival deadlines, a writer
+        holds each chunk until its deadline — chunks queue behind each
+        other without the delays adding up (throughput is unshaped)."""
+        import queue
+
+        handoff: "queue.Queue" = queue.Queue()
+
+        def reader() -> None:
+            while True:
+                try:
+                    data = src.recv(65536)
+                except OSError:
+                    data = b""
+                handoff.put((time.perf_counter() + self.delay, data))
+                if not data:
+                    return
+
+        def writer() -> None:
+            socket = self._socket
+            while True:
+                deadline, data = handoff.get()
+                wait = deadline - time.perf_counter()
+                if wait > 0:
+                    time.sleep(wait)
+                if not data:
+                    try:
+                        dst.shutdown(socket.SHUT_WR)
+                    except OSError:
+                        pass
+                    return
+                try:
+                    dst.sendall(data)
+                except OSError:
+                    return
+
+        for fn in (reader, writer):
+            self._threading.Thread(target=fn, daemon=True).start()
+
+    def close(self) -> None:
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+
+def _suite_dispatch_wire(quick: bool) -> Dict[str, Any]:
+    """Binary pipelined lanes vs the JSON one-in-flight client (GATED).
+
+    The data-plane workload the wire codec exists for: many small work
+    units whose round trips — not whose compute — dominate the sweep.
+    One in-process ``WorkerServer``, reached through a loopback
+    :class:`_LinkRelay` adding 2 ms of one-way latency (the emulated
+    cluster link), serves the same 64-unit spec twice:
+
+    * **baseline**: the pre-codec client, byte for byte —
+      ``codec="json"`` (newline-delimited JSON, no negotiation) with
+      ``lane_depth=1`` (one exchange in flight, the old ping-pong
+      discipline — every unit pays the full round trip);
+    * **fast path**: ``codec="auto"`` (negotiates the length-prefixed
+      binary framing with zlib payload compression) with
+      ``lane_depth=4`` (the sender streams request frames while the
+      receiver completes earlier units off the same connection, so the
+      link latency is paid once per *window*, not once per unit).
+
+    The gated ``speedup`` is the units/sec ratio; ``bytes_in`` /
+    ``bytes_out`` per path come from the lane telemetry and record the
+    codec's wire footprint next to the throughput it buys.  Both paths
+    must match the bare serial loop bit for bit before timing counts.
+    """
+    from repro.engine import (
+        ExperimentSpec,
+        Scenario,
+        TrialResult,
+        register,
+    )
+    from repro.engine.backends import run_one_trial
+    from repro.engine.distributed import DistributedBackend, WorkerServer
+
+    def _wire_trial(ctx) -> TrialResult:
+        # ~48 metrics -> a ~1.5 KiB result document: big enough that
+        # framing and compression matter, small enough that round-trip
+        # latency (what pipelining hides) still dominates the exchange.
+        metrics = tuple(
+            (f"m{i:02d}", float((ctx.seed * 2654435761 + i * 40503) % 99991))
+            for i in range(48)
+        )
+        return TrialResult(
+            trial_index=ctx.trial_index, seed=ctx.seed, metrics=metrics
+        )
+
+    # Idempotent re-registration: suites must not depend on run order.
+    register(
+        Scenario(
+            name="perf-gate-wire",
+            run_trial=_wire_trial,
+            description="perf-gate only: a wire-sized result document",
+        )
+    )
+
+    trials = 64
+    spec = ExperimentSpec(runner="perf-gate-wire", n=1, trials=trials)
+    serial = [run_one_trial(spec, i) for i in range(trials)]
+
+    def sweep(codec: str, depth: int):
+        backend = DistributedBackend(
+            hosts=[(relay.host, relay.port)],
+            unit_size=1,
+            lane_depth=depth,
+            codec=codec,
+        )
+        try:
+            results = backend.run_trials(spec)
+            report = backend.telemetry.report(results)
+        finally:
+            backend.close()
+        return results, report
+
+    with WorkerServer() as server:
+        relay = _LinkRelay(server.host, server.port, delay=0.002)
+        try:
+            json_results, json_report = sweep("json", 1)
+            binary_results, binary_report = sweep("auto", 4)
+            # Parity before speed: codec and depth change framing and
+            # overlap, never content.
+            assert json_results == serial
+            assert binary_results == serial
+            assert json_report.lanes[0].codec == "json"
+            assert binary_report.lanes[0].codec == "binary"
+
+            reps = 2 if quick else 4
+            json_s = _time(lambda: sweep("json", 1), reps)
+            binary_s = _time(lambda: sweep("auto", 4), reps)
+        finally:
+            relay.close()
+
+    ops = reps * trials
+    json_lane = json_report.lanes[0]
+    binary_lane = binary_report.lanes[0]
+    return {
+        "desc": (
+            f"{trials} single-trial units over a 2ms loopback link: "
+            "binary codec + lane_depth=4 vs JSON lines + lane_depth=1"
+        ),
+        "ops": ops,
+        "json_s": round(json_s, 6),
+        "binary_s": round(binary_s, 6),
+        "json_units_per_s": round(ops / json_s, 1) if json_s else 0.0,
+        "binary_units_per_s": (
+            round(ops / binary_s, 1) if binary_s else 0.0
+        ),
+        "json_wire_bytes": json_lane.bytes_out + json_lane.bytes_in,
+        "binary_wire_bytes": binary_lane.bytes_out + binary_lane.bytes_in,
+        "binary_inflight_peak": binary_lane.inflight_peak,
+        "speedup": round(json_s / binary_s, 2) if binary_s else 0.0,
+        "parity": True,
+    }
+
+
 _SUITES = {
     "e9_reconstruct_n64": _suite_e9_reconstruct,
     "e9_batch_reveal_n64": _suite_e9_batch_reveal,
@@ -646,6 +846,7 @@ _SUITES = {
     "dispatch_overhead": _suite_dispatch_overhead,
     "telemetry_overhead": _suite_telemetry_overhead,
     "cost_dispatch_mixed_n": _suite_cost_dispatch_mixed_n,
+    "dispatch_wire_n64": _suite_dispatch_wire,
 }
 
 

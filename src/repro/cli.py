@@ -461,6 +461,7 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 wave_size=args.wave_size,
                 hosts=_parse_hosts_arg(args),
+                lane_depth=args.lane_depth,
             )
         return backends[name]
 
@@ -565,6 +566,7 @@ def _cmd_run_experiment(args: argparse.Namespace) -> int:
             workers=args.workers,
             wave_size=args.wave_size,
             hosts=_parse_hosts_arg(args),
+            lane_depth=args.lane_depth,
         ) as backend:
             if args.progress:
                 from .engine.telemetry import SweepMonitor
@@ -656,9 +658,22 @@ def _cmd_worker_serve(args: argparse.Namespace) -> int:
     import signal
 
     from .engine.distributed import DEFAULT_PORT, WorkerServer
+    from .engine.spec import CODEC_JSON, SUPPORTED_CODECS
+    from .engine.wire import DEFAULT_MAX_FRAME_BYTES
 
     port = args.port if args.port is not None else DEFAULT_PORT
-    server = WorkerServer(host=args.host, port=port)
+    binary = args.codec != "json"
+    max_frame = (
+        args.max_frame_bytes
+        if args.max_frame_bytes is not None
+        else DEFAULT_MAX_FRAME_BYTES
+    )
+    server = WorkerServer(
+        host=args.host,
+        port=port,
+        binary=binary,
+        max_frame_bytes=max_frame,
+    )
 
     # SIGTERM unwinds through serve_forever so the finally block runs:
     # close() drains the in-flight unit and flushes its response before
@@ -681,6 +696,7 @@ def _cmd_worker_serve(args: argparse.Namespace) -> int:
             worker_id=args.worker_id,
             interval=args.heartbeat_interval,
             units_served=lambda: server.units_served,
+            codecs=tuple(SUPPORTED_CODECS) if binary else (CODEC_JSON,),
         ).start()
         print(
             f"registered as {heartbeat.info.worker_id} "
@@ -689,7 +705,11 @@ def _cmd_worker_serve(args: argparse.Namespace) -> int:
         )
     # Flush immediately: launchers (CI, scripts) block on this line to
     # know the port is bound before dispatching to it.
-    print(f"repro worker serving on {server.address}", flush=True)
+    print(
+        f"repro worker serving on {server.address} "
+        f"[{args.codec} codec]",
+        flush=True,
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -797,6 +817,7 @@ def _cmd_queue_run(args: argparse.Namespace) -> int:
         max_jobs=args.max_jobs,
         heartbeat_timeout=args.heartbeat_timeout,
         crash_after_units=args.crash_after_units,
+        lane_depth=args.lane_depth,
     )
 
     # First Ctrl-C: graceful stop — job threads unwind at their next
@@ -1001,6 +1022,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hosts", default=None, metavar="HOST:PORT,...",
                    help="distributed backend: comma-separated "
                         "`repro worker serve` addresses")
+    p.add_argument("--lane-depth", type=int, default=None,
+                   help="distributed backend: pipelined units in "
+                        "flight per worker lane (default 2; 1 = one "
+                        "serial exchange at a time)")
     p.add_argument("--param", action="append", default=[],
                    metavar="KEY=VALUE",
                    help="scenario parameter, validated against the "
@@ -1069,6 +1094,16 @@ def build_parser() -> argparse.ArgumentParser:
                          "and listening address)")
     ws.add_argument("--heartbeat-interval", type=float, default=2.0,
                     help="seconds between heartbeat writes (default 2)")
+    ws.add_argument("--codec", default="binary",
+                    choices=("binary", "json"),
+                    help="wire codecs to negotiate: 'binary' offers "
+                         "the framed binary codec (JSON fallback per "
+                         "connection); 'json' serves the legacy line "
+                         "protocol only")
+    ws.add_argument("--max-frame-bytes", type=int,
+                    default=None,
+                    help="refuse request frames larger than this "
+                         "(default 64 MiB)")
     ws.set_defaults(func=_cmd_worker)
 
     p = sub.add_parser(
@@ -1134,6 +1169,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "when the queue drains")
     qs.add_argument("--poll-interval", type=float, default=1.0,
                     help="--watch: seconds between empty-queue polls")
+    qs.add_argument("--lane-depth", type=int, default=2,
+                    help="pipelined units in flight per worker lane "
+                         "(default 2; 1 = one serial exchange at a "
+                         "time)")
     qs.add_argument("--crash-after-units", type=int, default=None,
                     help=argparse.SUPPRESS)  # failure injection (tests)
     qs.set_defaults(func=_cmd_queue)

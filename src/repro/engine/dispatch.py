@@ -562,16 +562,19 @@ class Envelope:
 class Transport(abc.ABC):
     """Submit serialized work units to lanes; collect result envelopes.
 
-    A *lane* is one unit-at-a-time execution slot with a stable
-    identifier — a pool, a TCP worker, an in-process loop.  The
+    A *lane* is one execution slot with a stable identifier — a pool,
+    a TCP worker, an in-process loop.  A lane may hold more than one
+    unit at a time (the socket transport pipelines a ``lane_depth``
+    window per connection); the collect loop neither knows nor cares —
+    it just keeps offering units until every lane declines.  The
     contract :func:`run_units` relies on:
 
-    * :meth:`try_submit` either accepts a unit onto an idle live lane
-      not in ``exclude`` (returning ``True``) or declines (``False``)
-      without blocking on the unit's execution;
+    * :meth:`try_submit` either accepts a unit onto a live lane with
+      window room, not in ``exclude`` (returning ``True``), or
+      declines (``False``) — without blocking on the unit's execution;
     * every accepted unit eventually yields exactly one
       :class:`Envelope` from :meth:`collect` — success or failure,
-      never silence;
+      never silence; completion order across units is arbitrary;
     * :meth:`lanes` reports the lanes still considered alive, so the
       collect loop can distinguish "busy, wait" from "hopeless, raise";
       a transport that observes a worker die stops listing its lane.

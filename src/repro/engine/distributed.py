@@ -9,8 +9,8 @@ transport (:class:`SocketTransport`) and the worker process
 "distributed" one more lane type rather than a fourth copy of the
 dispatch loop.
 
-Protocol (newline-delimited JSON over TCP, one request in flight per
-connection):
+Protocol — framing lives in :mod:`~repro.engine.wire`; the documents
+are the usual versioned JSON either way:
 
 * client → worker: a ``unit`` wire document
   (:func:`~repro.engine.dispatch.unit_to_wire` — versioned, carries
@@ -19,7 +19,20 @@ connection):
   :func:`~repro.engine.spec.result_to_wire` envelope per trial, or an
   ``error`` document (version mismatch, unknown scenario, malformed
   unit);
-* a ``ping`` request answers ``pong`` (used to probe liveness).
+* a ``ping`` request answers ``pong`` (used to probe liveness);
+* a ``hello`` request right after dial negotiates the wire codec
+  (:func:`~repro.engine.spec.negotiate_codec`): a codec-aware worker
+  answers ``hello-ok`` and the connection switches to binary frames;
+  a legacy worker answers its usual ``unsupported request kind``
+  error and the connection stays on newline-delimited JSON — byte for
+  byte the pre-codec protocol.
+
+Each lane is **pipelined**: up to ``lane_depth`` units ride the
+connection concurrently (binary lanes tag requests with a unit id the
+worker echoes; JSON lanes match replies by submission order, which is
+exact because a worker serves one connection serially).  Completion
+is out of order across lanes and feeds the same retry/rebalance
+collect loop one envelope at a time.
 
 Workers rebuild scenarios *by name* from their own registry import —
 the same contract that makes ``spawn`` pool workers bit-identical to
@@ -28,11 +41,11 @@ serial backend executes, and ``distributed == hybrid == process ==
 serial`` holds bit for bit, registry-wide
 (``tests/test_distributed.py``, ``tests/test_scenarios.py``).
 
-Failure containment: a worker host that dies mid-sweep surfaces as a
-failure envelope; the collect loop retries the unit on another worker
-with the dead lane excluded, and the sweep completes — still
-bit-identical — as long as one worker survives.  Only when every live
-lane has failed does the sweep raise.
+Failure containment: a worker host that dies mid-sweep surfaces as
+one failure envelope per in-flight unit; the collect loop retries
+each on another worker with the dead lane excluded, and the sweep
+completes — still bit-identical — as long as one worker survives.
+Only when every live lane has failed does the sweep raise.
 
 Scope: the wire format authenticates nothing and encrypts nothing —
 run workers on trusted networks (loopback, a private cluster fabric),
@@ -46,7 +59,11 @@ import socket
 import socketserver
 import threading
 import time
+from collections import deque
 from typing import (
+    Any,
+    Deque,
+    Dict,
     FrozenSet,
     List,
     Optional,
@@ -69,23 +86,37 @@ from .dispatch import (
 )
 from .registry import get_runner
 from .spec import (
+    CODEC_BINARY,
+    CODEC_JSON,
     EngineError,
     ExperimentSpec,
+    SUPPORTED_CODECS,
     TrialResult,
     WIRE_VERSION,
     WireFormatError,
+    codec_name,
+    negotiate_codec,
     require_wire,
     result_from_wire,
     result_to_wire,
     stats_from_wire,
     stats_to_wire,
-    wire_dumps,
-    wire_loads,
 )
 from .telemetry import RunTelemetry
+from .wire import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameReader,
+    decode_document,
+    encode_frame,
+)
 
 #: Default TCP port of ``repro worker serve``.
 DEFAULT_PORT = 7045
+
+#: Default in-flight window per transport lane (``--lane-depth``).
+#: Depth 1 reproduces the old one-exchange-at-a-time behaviour; depth
+#: 2 already overlaps a unit's compute with the next unit's transfer.
+DEFAULT_LANE_DEPTH = 2
 
 HostSpec = Union[str, Tuple[str, int], Tuple[str, int, int]]
 
@@ -166,48 +197,96 @@ class _WorkerTCPServer(socketserver.ThreadingTCPServer):
     owner: "WorkerServer"
 
 
-class _WorkerHandler(socketserver.StreamRequestHandler):
-    """One client connection: serve unit requests until EOF."""
+class _WorkerHandler(socketserver.BaseRequestHandler):
+    """One client connection: serve framed requests until EOF.
 
-    def _send(self, doc: dict) -> None:
-        self.wfile.write((wire_dumps(doc) + "\n").encode("utf-8"))
-        self.wfile.flush()
-
-    def _error(self, message: str) -> None:
-        self._send(
-            {"version": WIRE_VERSION, "kind": "error", "error": message}
-        )
+    Reads through one buffered :class:`~repro.engine.wire.FrameReader`
+    (codec auto-detected per frame) and answers under the connection's
+    negotiated codec — JSON lines until a ``hello`` upgrades it.
+    """
 
     def handle(self) -> None:
         server: "WorkerServer" = self.server.owner
+        sock = self.request
+        # Frames are small relative to TCP segments; without NODELAY the
+        # Nagle/delayed-ACK interaction stalls the exchange for tens of
+        # milliseconds per round trip on an otherwise idle connection.
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # non-TCP test doubles
+        reader = FrameReader(sock, max_frame_bytes=server.max_frame_bytes)
+        codec = CODEC_JSON
+
+        def send(doc: dict, reply_id: Optional[int] = None) -> None:
+            if reply_id is not None:
+                doc["id"] = reply_id
+            sock.sendall(encode_frame(doc, codec))
+
+        def error(message: str, reply_id: Optional[int] = None) -> None:
+            send(
+                {"version": WIRE_VERSION, "kind": "error", "error": message},
+                reply_id,
+            )
+
         while True:
             if server.crashed:
                 # Simulated (or administratively forced) death: drop the
                 # connection without a reply, exactly what a killed
                 # worker process looks like from the client side.
                 return
-            line = self.rfile.readline()
-            if not line:
+            try:
+                frame = reader.read_frame()
+            except WireFormatError as exc:
+                # Broken framing (oversized frame, bad header): the
+                # stream cannot be resynchronised — answer and hang up.
+                try:
+                    error(str(exc))
+                except OSError:
+                    pass
+                return
+            except (ConnectionError, OSError):
+                return
+            if frame is None:
                 return
             try:
-                doc = wire_loads(line.decode("utf-8"))
+                doc = decode_document(frame.payload)
             except WireFormatError as exc:
-                self._error(str(exc))
+                # Damage inside a cleanly-delimited frame: report it and
+                # keep serving, the next frame is independent.
+                error(str(exc))
                 continue
             kind = doc.get("kind") if isinstance(doc, dict) else None
             if kind == "ping":
-                self._send({"version": WIRE_VERSION, "kind": "pong"})
+                send({"version": WIRE_VERSION, "kind": "pong"})
+                continue
+            if kind == "hello" and server.binary:
+                chosen = negotiate_codec(doc.get("codecs"))
+                # The acknowledgement ships under the *old* codec; both
+                # sides switch for every frame after it.
+                send(
+                    {
+                        "version": WIRE_VERSION,
+                        "kind": "hello-ok",
+                        "codec": chosen,
+                        "max_frame": server.max_frame_bytes,
+                    }
+                )
+                codec = chosen
                 continue
             if kind != "unit":
-                self._error(f"unsupported request kind {kind!r}")
+                # A binary=False server answers ``hello`` here too —
+                # faithfully reproducing a pre-codec worker.
+                error(f"unsupported request kind {kind!r}")
                 continue
+            reply_id = doc.get("id") if server.binary else None
             if server.note_unit_and_check_crash():
                 return
             if not server.begin_unit():
                 # Draining: refuse new work with an answer (an error
                 # envelope keeps the lane alive client-side just long
                 # enough to rebalance the unit elsewhere), then hang up.
-                self._error("worker is draining")
+                error("worker is draining", reply_id)
                 return
             try:
                 try:
@@ -224,9 +303,9 @@ class _WorkerHandler(socketserver.StreamRequestHandler):
                     # "no stats".
                     if server.send_stats:
                         reply["stats"] = stats_to_wire(stats)
-                    self._send(reply)
+                    send(reply, reply_id)
                 except Exception as exc:  # report, keep serving
-                    self._error(f"{type(exc).__name__}: {exc}")
+                    error(f"{type(exc).__name__}: {exc}", reply_id)
             finally:
                 # The reply (or error) is flushed before the unit is
                 # released — close() may tear the socket down the
@@ -243,6 +322,13 @@ class WorkerServer:
     calls the blocking :meth:`serve_forever`; tests construct one with
     ``port=0`` (ephemeral) and call :meth:`start` to serve from a
     daemon thread in-process.
+
+    ``binary=False`` disables codec negotiation entirely — the server
+    answers ``hello`` with the generic unsupported-kind error and never
+    echoes unit ids, faithfully reproducing a pre-codec worker (the
+    legacy peer in the mixed-fleet interop tests and the
+    ``--codec json`` CLI flag).  ``max_frame_bytes`` caps any single
+    request frame; an oversized one is refused with a clean error.
 
     ``crash_after_units`` is the failure-injection hook behind the
     worker-kill tests: the server answers that many units normally,
@@ -264,6 +350,8 @@ class WorkerServer:
         crash_after_units: Optional[int] = None,
         stats: bool = True,
         drain_timeout: float = 30.0,
+        binary: bool = True,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
     ) -> None:
         self._server = _WorkerTCPServer((host, port), _WorkerHandler)
         self._server.owner = self
@@ -272,6 +360,8 @@ class WorkerServer:
         #: ``stats=False`` reproduces the pre-telemetry reply shape —
         #: the interop fixture for the legacy-worker tests.
         self.send_stats = stats
+        self.binary = binary
+        self.max_frame_bytes = max_frame_bytes
         self.drain_timeout = drain_timeout
         self.crashed = False
         self.draining = False
@@ -377,46 +467,82 @@ class WorkerServer:
 # -- the transport --------------------------------------------------------------------
 
 
-class _Lane:
-    """One worker host: a persistent connection, one unit in flight."""
+#: Outbox sentinel telling a lane's sender thread to exit.
+_CLOSE = object()
 
-    def __init__(self, lane_id: str, host: str, port: int) -> None:
+
+class _Lane:
+    """One worker connection carrying a window of in-flight units.
+
+    ``inflight`` maps unit id → (unit, submit offset); ``order`` keeps
+    submission order for matching replies that carry no id (JSON-codec
+    lanes — exact, because a worker serves one connection serially).
+    The sender thread owns the socket's write side and dials lazily on
+    first use; the receiver thread owns the read side.
+    """
+
+    def __init__(
+        self, lane_id: str, host: str, port: int, depth: int
+    ) -> None:
         self.id = lane_id
         self.host = host
         self.port = port
+        self.depth = depth
         self.sock: Optional[socket.socket] = None
-        self.busy = False
+        self.codec = CODEC_JSON
         self.dead = False
+        self.lock = threading.Lock()
+        self.inflight: Dict[int, Tuple[WorkUnit, float]] = {}
+        self.order: Deque[int] = deque()
+        self.outbox: "queue.Queue[Any]" = queue.Queue()
+        self.sender: Optional[threading.Thread] = None
+        self.receiver: Optional[threading.Thread] = None
 
-    def drop(self) -> None:
-        self.dead = True
-        if self.sock is not None:
+    def drop_socket(self) -> None:
+        sock, self.sock = self.sock, None
+        if sock is not None:
+            # shutdown() before close(): closing an fd does NOT wake a
+            # thread blocked in recv() on it — without the shutdown the
+            # receiver thread sleeps until its join timeout on every
+            # transport close.
             try:
-                self.sock.close()
+                sock.shutdown(socket.SHUT_RDWR)
             except OSError:
                 pass
-            self.sock = None
+            try:
+                sock.close()
+            except OSError:
+                pass
 
 
 class SocketTransport(Transport):
     """Dispatch work units to ``repro worker serve`` hosts over TCP.
 
-    Each worker host is one lane with a persistent connection and at
-    most one unit in flight; all network I/O (connect, send, await the
-    reply) happens on a short-lived exchange thread per submission, so
-    :meth:`try_submit` never blocks on the network and :meth:`collect`
-    simply drains the shared envelope queue.  Any socket failure —
-    refused connect, dropped connection, EOF mid-reply — marks the
-    lane dead and surfaces as a failure envelope, which the collect
-    loop turns into a retry on a surviving lane (this lane excluded).
-    A worker that *answers* with an ``error`` document stays alive
-    (it is reachable and sane — the unit, not the lane, is the
-    problem).
+    Each worker host is one lane with a persistent connection and a
+    pipelined in-flight window of ``lane_depth`` units: the sender
+    thread streams request frames while the receiver thread completes
+    earlier units off the same connection, so a unit's network
+    transfer overlaps the previous unit's remote compute.
+    :meth:`try_submit` only stamps the unit into the lane's window
+    (never blocking on the network) and :meth:`collect` drains the
+    shared envelope queue.
+
+    The first use of a lane dials it and — under ``codec="auto"`` —
+    negotiates the wire codec with a ``hello`` exchange, falling back
+    to the legacy JSON line protocol when the worker predates codecs
+    (``codec="json"`` skips negotiation and *is* the legacy client,
+    byte for byte).  Any socket failure — refused connect, dropped
+    connection, EOF mid-reply, an oversized reply frame — marks the
+    lane dead and surfaces one failure envelope per in-flight unit;
+    the collect loop turns each into a retry on a surviving lane (this
+    lane excluded).  A worker that *answers* with an ``error``
+    document stays alive (it is reachable and sane — the unit, not the
+    lane, is the problem).
 
     A host's capacity weight expands into that many lanes (each with
-    its own connection and in-flight unit), so a weight-3 machine
-    holds three units concurrently and the greedy collect loop feeds
-    it a proportionate share of the sweep.
+    its own connection and window), so a weight-3 machine holds
+    ``3 * lane_depth`` units concurrently and the greedy collect loop
+    feeds it a proportionate share of the sweep.
     """
 
     name = "socket"
@@ -426,12 +552,25 @@ class SocketTransport(Transport):
         hosts: Sequence[HostSpec],
         connect_timeout: float = 5.0,
         io_timeout: Optional[float] = None,
+        lane_depth: int = DEFAULT_LANE_DEPTH,
+        codec: str = "auto",
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
     ) -> None:
         addresses = parse_hosts(hosts)
         if not addresses:
             raise EngineError("socket transport needs at least one host")
+        if lane_depth < 1:
+            raise EngineError("lane_depth must be >= 1")
+        if codec not in ("auto", "json"):
+            raise EngineError(
+                f"unknown transport codec {codec!r} "
+                "(expected 'auto' or 'json')"
+            )
         self.connect_timeout = connect_timeout
         self.io_timeout = io_timeout
+        self.lane_depth = lane_depth
+        self.codec = codec
+        self.max_frame_bytes = max_frame_bytes
         self._lanes: List[_Lane] = []
         seen: dict = {}
         for host, port, weight in addresses:
@@ -440,7 +579,7 @@ class SocketTransport(Transport):
                 count = seen.get(base, 0)
                 seen[base] = count + 1
                 lane_id = base if count == 0 else f"{base}#{count}"
-                self._lanes.append(_Lane(lane_id, host, port))
+                self._lanes.append(_Lane(lane_id, host, port, lane_depth))
         self._envelopes: "queue.Queue[Envelope]" = queue.Queue()
         self._closed = False
         #: Per-run telemetry sink (set by the backend before each run;
@@ -459,88 +598,218 @@ class SocketTransport(Transport):
         if self._closed:
             raise EngineError("socket transport is closed")
         for lane in self._lanes:
-            if lane.dead or lane.busy or lane.id in exclude:
+            if lane.id in exclude:
                 continue
-            lane.busy = True
-            threading.Thread(
-                target=self._exchange,
-                args=(lane, unit_id, unit),
-                name=f"repro-dispatch-{lane.id}",
-                daemon=True,
-            ).start()
+            with lane.lock:
+                if lane.dead or len(lane.inflight) >= lane.depth:
+                    continue
+                lane.inflight[unit_id] = (unit, time.perf_counter())
+                lane.order.append(unit_id)
+                window = len(lane.inflight)
+                if lane.sender is None:
+                    lane.sender = threading.Thread(
+                        target=self._lane_sender,
+                        args=(lane,),
+                        name=f"repro-lane-{lane.id}",
+                        daemon=True,
+                    )
+                    lane.sender.start()
+            if self.telemetry is not None:
+                self.telemetry.note_inflight(lane.id, window)
+            lane.outbox.put(unit_id)
             return True
         return False
 
-    def _exchange(self, lane: _Lane, unit_id: int, unit: WorkUnit) -> None:
-        """Connect (if needed), send one unit, await one reply."""
-        telemetry = self.telemetry
-        started = time.perf_counter()
-        frame_bytes = reply_bytes = 0
+    # -- lane threads ------------------------------------------------------------------
+
+    def _dial(self, lane: _Lane) -> None:
+        """Connect, negotiate the codec, start the receiver."""
+        lane.sock = socket.create_connection(
+            (lane.host, lane.port), timeout=self.connect_timeout
+        )
+        lane.sock.settimeout(self.io_timeout)
+        # Request frames must leave immediately: Nagle would hold a
+        # small frame until the previous one is ACKed, serialising the
+        # very window the pipeline exists to keep full.
         try:
-            if lane.sock is None:
-                lane.sock = socket.create_connection(
-                    (lane.host, lane.port), timeout=self.connect_timeout
+            lane.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.note_lane_event(lane.id, "dial")
+        reader = FrameReader(
+            lane.sock, max_frame_bytes=self.max_frame_bytes
+        )
+        if self.codec == "auto":
+            hello = encode_frame(
+                {
+                    "version": WIRE_VERSION,
+                    "kind": "hello",
+                    "codecs": list(SUPPORTED_CODECS),
+                },
+                CODEC_JSON,
+            )
+            lane.sock.sendall(hello)
+            frame = reader.read_frame()
+            if frame is None:
+                raise ConnectionError(
+                    "worker hung up during codec negotiation"
                 )
-                lane.sock.settimeout(self.io_timeout)
-                if telemetry is not None:
-                    telemetry.note_lane_event(lane.id, "dial")
-            frame = (wire_dumps(unit_to_wire(unit)) + "\n").encode("utf-8")
-            frame_bytes = len(frame)
-            lane.sock.sendall(frame)
-            line = self._read_line(lane.sock)
-            reply_bytes = len(line)
-            doc = wire_loads(line.decode("utf-8"))
-            if isinstance(doc, dict) and doc.get("kind") == "error":
-                require_wire(doc, "error")
-                envelope = Envelope(
-                    unit_id=unit_id,
-                    lane=lane.id,
-                    error=f"worker error: {doc.get('error', 'unknown')}",
-                )
-            else:
-                require_wire(doc, "results")
-                results = tuple(
-                    result_from_wire(r) for r in doc["results"]
-                )
-                envelope = Envelope(
-                    unit_id=unit_id,
-                    lane=lane.id,
-                    results=results,
-                    # Absent on old workers; tolerant decode -> None.
-                    stats=stats_from_wire(doc.get("stats")),
-                )
-        except Exception as exc:
-            lane.drop()
+            doc = decode_document(frame.payload)
+            chosen = CODEC_JSON
+            if isinstance(doc, dict) and doc.get("kind") == "hello-ok":
+                require_wire(doc, "hello-ok")
+                offered = doc.get("codec")
+                if offered in SUPPORTED_CODECS:
+                    chosen = offered
+            # Anything else — typically a legacy worker's "unsupported
+            # request kind 'hello'" error — leaves the lane on the JSON
+            # line protocol for the connection's lifetime.
+            lane.codec = chosen
             if telemetry is not None:
-                telemetry.note_lane_event(lane.id, "dead")
-            envelope = Envelope(
+                telemetry.note_send(lane.id, len(hello))
+                telemetry.note_receive(lane.id, frame.size)
+        else:
+            lane.codec = CODEC_JSON
+        if telemetry is not None:
+            telemetry.note_lane_codec(lane.id, codec_name(lane.codec))
+        lane.receiver = threading.Thread(
+            target=self._lane_receiver,
+            args=(lane, reader),
+            name=f"repro-recv-{lane.id}",
+            daemon=True,
+        )
+        lane.receiver.start()
+
+    def _lane_sender(self, lane: _Lane) -> None:
+        """Dial once, then stream request frames off the outbox."""
+        try:
+            self._dial(lane)
+        except Exception as exc:
+            self._fail_lane(lane, f"{type(exc).__name__}: {exc}")
+            return
+        while True:
+            item = lane.outbox.get()
+            if item is _CLOSE:
+                return
+            with lane.lock:
+                if lane.dead:
+                    return
+                entry = lane.inflight.get(item)
+            if entry is None:
+                continue  # already failed out of the window
+            doc = unit_to_wire(entry[0])
+            if lane.codec == CODEC_BINARY:
+                # Tag the request so the reply matches by id; JSON
+                # lanes stay byte-identical to the legacy client and
+                # match by submission order instead.
+                doc["id"] = item
+            frame = encode_frame(doc, lane.codec)
+            try:
+                lane.sock.sendall(frame)
+            except Exception as exc:
+                self._fail_lane(lane, f"{type(exc).__name__}: {exc}")
+                return
+            if self.telemetry is not None:
+                self.telemetry.note_send(lane.id, len(frame))
+
+    def _reply_unit_id(self, lane: _Lane, doc: Any) -> int:
+        """Which in-flight unit a reply document answers."""
+        if isinstance(doc, dict) and doc.get("id") is not None:
+            return int(doc["id"])
+        with lane.lock:
+            if not lane.order:
+                raise WireFormatError(
+                    "worker sent a reply with no request in flight"
+                )
+            return lane.order[0]
+
+    def _reply_envelope(
+        self, lane: _Lane, unit_id: int, doc: Any
+    ) -> Envelope:
+        """A reply document as an envelope (validating its shape)."""
+        if isinstance(doc, dict) and doc.get("kind") == "error":
+            require_wire(doc, "error")
+            return Envelope(
                 unit_id=unit_id,
                 lane=lane.id,
-                error=f"{type(exc).__name__}: {exc}",
+                error=f"worker error: {doc.get('error', 'unknown')}",
             )
-        if telemetry is not None:
-            telemetry.note_exchange(
-                lane.id,
-                bytes_out=frame_bytes,
-                bytes_in=reply_bytes,
-                round_trip_seconds=time.perf_counter() - started,
-            )
-        lane.busy = False
-        self._envelopes.put(envelope)
+        require_wire(doc, "results")
+        results = tuple(result_from_wire(r) for r in doc["results"])
+        return Envelope(
+            unit_id=unit_id,
+            lane=lane.id,
+            results=results,
+            # Absent on old workers; tolerant decode -> None.
+            stats=stats_from_wire(doc.get("stats")),
+        )
 
-    @staticmethod
-    def _read_line(sock: socket.socket) -> bytes:
-        """One newline-terminated frame; EOF raises ``ConnectionError``."""
-        chunks: List[bytes] = []
+    def _lane_receiver(self, lane: _Lane, reader: FrameReader) -> None:
+        """Complete in-flight units off the connection, out of order."""
         while True:
-            byte = sock.recv(4096)
-            if not byte:
-                raise ConnectionError(
-                    "worker closed the connection mid-reply"
+            try:
+                frame = reader.read_frame()
+            except Exception as exc:
+                self._fail_lane(lane, f"{type(exc).__name__}: {exc}")
+                return
+            if frame is None:
+                # Clean hangup at a frame boundary.  With an empty
+                # window (a drained worker between units) the lane just
+                # retires; in-flight units become failure envelopes.
+                self._fail_lane(lane, "worker closed the connection")
+                return
+            try:
+                doc = decode_document(frame.payload)
+                unit_id = self._reply_unit_id(lane, doc)
+                envelope = self._reply_envelope(lane, unit_id, doc)
+            except Exception as exc:
+                self._fail_lane(lane, f"{type(exc).__name__}: {exc}")
+                return
+            with lane.lock:
+                entry = lane.inflight.pop(unit_id, None)
+                try:
+                    lane.order.remove(unit_id)
+                except ValueError:
+                    pass
+            if entry is None:
+                self._fail_lane(
+                    lane, f"worker sent an unmatched reply for unit {unit_id}"
                 )
-            chunks.append(byte)
-            if byte.endswith(b"\n"):
-                return b"".join(chunks)
+                return
+            if self.telemetry is not None:
+                self.telemetry.note_receive(
+                    lane.id,
+                    frame.size,
+                    round_trip_seconds=time.perf_counter() - entry[1],
+                )
+            self._envelopes.put(envelope)
+
+    def _fail_lane(self, lane: _Lane, cause: str) -> None:
+        """Kill one lane: every in-flight unit becomes a failure envelope.
+
+        Idempotent — the first caller (sender, receiver, or close)
+        wins; late callers see ``dead`` and return, so a socket error
+        observed by both lane threads produces envelopes exactly once.
+        """
+        with lane.lock:
+            if lane.dead:
+                return
+            lane.dead = True
+            pending = list(lane.inflight.items())
+            lane.inflight.clear()
+            lane.order.clear()
+        lane.outbox.put(_CLOSE)
+        lane.drop_socket()
+        if self._closed:
+            return
+        if self.telemetry is not None:
+            self.telemetry.note_lane_event(lane.id, "dead")
+        for unit_id, _entry in pending:
+            self._envelopes.put(
+                Envelope(unit_id=unit_id, lane=lane.id, error=cause)
+            )
 
     def collect(self) -> Envelope:
         return self._envelopes.get()
@@ -550,7 +819,17 @@ class SocketTransport(Transport):
             return
         self._closed = True
         for lane in self._lanes:
-            lane.drop()
+            with lane.lock:
+                lane.dead = True
+                lane.inflight.clear()
+                lane.order.clear()
+            lane.outbox.put(_CLOSE)
+            lane.drop_socket()
+        current = threading.current_thread()
+        for lane in self._lanes:
+            for thread in (lane.sender, lane.receiver):
+                if thread is not None and thread is not current:
+                    thread.join(timeout=1.0)
 
 
 # -- the backend ----------------------------------------------------------------------
@@ -565,7 +844,8 @@ class DistributedBackend(ExecutionBackend):
     units (isolated :func:`~repro.engine.dispatch.run_one_trial` calls,
     exactly like a process pool worker).  Either way the results are
     bit-identical to the serial backend, because seeds derive from the
-    spec and hosts rebuild scenarios by name.
+    spec and hosts rebuild scenarios by name — the wire codec and the
+    pipeline depth change framing and overlap, never content.
 
     Unlike the pool backends there is no single-worker serial
     degradation: asking for the distributed backend means *run it on
@@ -583,6 +863,11 @@ class DistributedBackend(ExecutionBackend):
         max_live: resident-instance bound within a host's wave.
         connect_timeout / io_timeout: socket timeouts (``io_timeout``
             ``None`` waits indefinitely for a unit's results).
+        lane_depth: in-flight window per lane (``--lane-depth``;
+            default :data:`DEFAULT_LANE_DEPTH`; 1 = serial exchanges).
+        codec: ``"auto"`` negotiates the binary codec per worker,
+            ``"json"`` forces the legacy line protocol.
+        max_frame_bytes: reply frames above this fail the lane cleanly.
 
     The TCP connections persist across :meth:`run_trials` calls;
     :meth:`close` drops them (idempotent — the next run reconnects).
@@ -601,6 +886,9 @@ class DistributedBackend(ExecutionBackend):
         max_live: int = 64,
         connect_timeout: float = 5.0,
         io_timeout: Optional[float] = None,
+        lane_depth: int = DEFAULT_LANE_DEPTH,
+        codec: str = "auto",
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
     ) -> None:
         self.addresses = parse_hosts(hosts)
         if not self.addresses:
@@ -613,6 +901,11 @@ class DistributedBackend(ExecutionBackend):
         if max_live < 1:
             raise EngineError("max_live must be >= 1")
         self.max_live = max_live
+        if lane_depth < 1:
+            raise EngineError("lane_depth must be >= 1")
+        self.lane_depth = lane_depth
+        self.codec = codec
+        self.max_frame_bytes = max_frame_bytes
         self.connect_timeout = connect_timeout
         self.io_timeout = io_timeout
         self._transport: Optional[SocketTransport] = None
@@ -622,7 +915,9 @@ class DistributedBackend(ExecutionBackend):
 
         Capacity-weighted: a ``host:port:3`` worker counts as three in
         the effective worker count, so heterogeneous fleets see unit
-        sizes matched to their aggregate parallelism.
+        sizes matched to their aggregate parallelism.  (The pipeline
+        window is deliberately *not* part of the geometry: depth hides
+        latency within a lane, it does not add compute capacity.)
         """
         runner = get_runner(spec.runner)
         weights = [weight for _, _, weight in self.addresses]
@@ -662,6 +957,9 @@ class DistributedBackend(ExecutionBackend):
                 self.addresses,
                 connect_timeout=self.connect_timeout,
                 io_timeout=self.io_timeout,
+                lane_depth=self.lane_depth,
+                codec=self.codec,
+                max_frame_bytes=self.max_frame_bytes,
             )
         self._transport.telemetry = telemetry
         return self._transport
@@ -732,10 +1030,18 @@ class DistributedBackend(ExecutionBackend):
             self.close()
             raise
         telemetry.finish()
-        by_spec = {spec: results for spec, results in pairs}
-        return [by_spec[spec] for spec in specs]
+        return pairs_to_grid(pairs, specs)
 
     def close(self) -> None:
         if self._transport is not None:
             self._transport.close()
             self._transport = None
+
+
+def pairs_to_grid(
+    pairs: Sequence[Tuple[ExperimentSpec, List[TrialResult]]],
+    specs: Sequence[ExperimentSpec],
+) -> List[List[TrialResult]]:
+    """Re-order fused grid results back into the caller's spec order."""
+    by_spec = {spec: results for spec, results in pairs}
+    return [by_spec[spec] for spec in specs]

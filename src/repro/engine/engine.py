@@ -43,8 +43,13 @@ def get_backend(
     chunk_size: Optional[int] = None,
     wave_size: Optional[int] = None,
     hosts: Optional[Sequence[str]] = None,
+    lane_depth: Optional[int] = None,
 ) -> ExecutionBackend:
-    """Construct a backend from its CLI name."""
+    """Construct a backend from its CLI name.
+
+    ``lane_depth`` is the distributed transport's pipelined in-flight
+    window per lane (``--lane-depth``); other backends ignore it.
+    """
     if name == "serial":
         return SerialBackend()
     if name == "process":
@@ -61,9 +66,11 @@ def get_backend(
                 "distributed backend needs worker hosts "
                 "(--hosts host:port[,host:port...])"
             )
+        kwargs = {} if lane_depth is None else {"lane_depth": lane_depth}
         return DistributedBackend(
             hosts=hosts,
             unit_size=wave_size if wave_size is not None else chunk_size,
+            **kwargs,
         )
     raise EngineError(
         f"unknown backend {name!r} (choose from {', '.join(BACKEND_NAMES)})"

@@ -49,7 +49,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..engine.costplan import spec_trial_cost
 from ..engine.dispatch import DispatchPlan, WorkUnit, run_units
-from ..engine.distributed import SocketTransport
+from ..engine.distributed import DEFAULT_LANE_DEPTH, SocketTransport
 from ..engine.registry import get_runner
 from ..engine.spec import TrialResult
 from ..engine.telemetry import RunTelemetry, write_report
@@ -157,9 +157,12 @@ class Coordinator:
         connect_timeout: float = 5.0,
         io_timeout: Optional[float] = None,
         crash_after_units: Optional[int] = None,
+        lane_depth: int = DEFAULT_LANE_DEPTH,
     ) -> None:
         if max_jobs < 1:
             raise FleetError("max_jobs must be >= 1")
+        if lane_depth < 1:
+            raise FleetError("lane_depth must be >= 1")
         self.root = root
         self.queue = JobQueue(root)
         self.registry = FleetRegistry(
@@ -167,6 +170,7 @@ class Coordinator:
         )
         self.max_jobs = max_jobs
         self.max_live = max_live
+        self.lane_depth = lane_depth
         self.connect_timeout = connect_timeout
         self.io_timeout = io_timeout
         self.crash_after_units = crash_after_units
@@ -418,6 +422,7 @@ class Coordinator:
                 addresses,
                 connect_timeout=self.connect_timeout,
                 io_timeout=self.io_timeout,
+                lane_depth=self.lane_depth,
             )
             transport.telemetry = telemetry
             try:

@@ -425,3 +425,159 @@ def test_async_wave_mode_matches_in_process_async(workers):
     stepped = AsyncBackend(max_live=4).run_trials(spec)
     with DistributedBackend(hosts, unit_size=2, max_live=4) as dist:
         assert dist.run_trials(spec) == stepped
+
+
+# -- pipelined lanes and the wire codec ------------------------------------------------
+
+
+def test_lane_depth_is_unobservable():
+    """Pipeline depth changes overlap, never content: every depth
+    merges bit-identically to serial, for both scenario families."""
+    server = WorkerServer().start()
+    try:
+        for spec in (_sync_spec(trials=6), _async_spec(trials=6)):
+            serial = SerialBackend().run_trials(spec)
+            for depth in (1, 2, 4):
+                with DistributedBackend(
+                    [server.address], unit_size=1, lane_depth=depth
+                ) as dist:
+                    assert dist.run_trials(spec) == serial, f"depth={depth}"
+    finally:
+        server.close()
+
+
+def test_pipelined_lane_fills_its_window_and_reports_it():
+    """A depth-4 lane really holds several units in flight (telemetry's
+    inflight_peak) and never exceeds its window; the negotiated codec
+    and per-lane frame count land in the lane report."""
+    spec = _sync_spec(trials=6)
+    serial = SerialBackend().run_trials(spec)
+    server = WorkerServer().start()
+    try:
+        with DistributedBackend(
+            [server.address], unit_size=1, lane_depth=4
+        ) as dist:
+            results = dist.run_trials(spec)
+        assert results == serial
+        report = dist.telemetry.report(results)
+        (lane,) = report.lanes
+        assert lane.codec == "binary"  # negotiation upgraded the lane
+        assert 2 <= lane.inflight_peak <= 4
+        # One reply frame per unit plus the hello-ok negotiation reply.
+        assert lane.frames == spec.trials + 1
+        assert lane.bytes_in > 0 and lane.bytes_out > 0
+    finally:
+        server.close()
+
+
+def test_forced_json_codec_stays_bit_identical():
+    """codec="json" (the legacy client, no negotiation) still merges
+    identically, even pipelined."""
+    spec = _sync_spec(trials=5)
+    serial = SerialBackend().run_trials(spec)
+    server = WorkerServer().start()
+    try:
+        with DistributedBackend(
+            [server.address], unit_size=1, lane_depth=3, codec="json"
+        ) as dist:
+            assert dist.run_trials(spec) == serial
+        report = dist.telemetry.report(serial)
+        (lane,) = report.lanes
+        assert lane.codec == "json"
+    finally:
+        server.close()
+
+
+def test_mixed_fleet_with_legacy_json_worker_is_bit_identical():
+    """The interop acceptance: one binary-capable worker and one
+    pre-codec worker (binary=False, stats=False — the legacy server
+    shape) serve one sweep; the merged results match serial bit for
+    bit and the lane reports show which codec each lane negotiated."""
+    spec = _sync_spec(trials=8)
+    serial = SerialBackend().run_trials(spec)
+    modern = WorkerServer().start()
+    legacy = WorkerServer(binary=False, stats=False).start()
+    try:
+        with DistributedBackend(
+            [modern.address, legacy.address], unit_size=1, lane_depth=3
+        ) as dist:
+            results = dist.run_trials(spec)
+        assert results == serial
+        report = dist.telemetry.report(results)
+        codecs = {lane.lane: lane.codec for lane in report.lanes}
+        assert codecs[modern.address] == "binary"
+        assert codecs[legacy.address] == "json"
+        assert all(lane.units_ok for lane in report.lanes)
+    finally:
+        modern.close()
+        legacy.close()
+
+
+def test_worker_killed_mid_pipelined_sweep_rebalances_every_inflight_unit():
+    """With several units riding the dead lane, every one of them is
+    retried on the survivor — not just the unit at the head."""
+    spec = _async_spec(trials=8, seed=13)
+    serial = SerialBackend().run_trials(spec)
+    crashing = WorkerServer(crash_after_units=2).start()
+    healthy = WorkerServer().start()
+    try:
+        with DistributedBackend(
+            [crashing.address, healthy.address], unit_size=1, lane_depth=4
+        ) as dist:
+            assert dist.run_trials(spec) == serial
+        assert crashing.crashed
+    finally:
+        crashing.close()
+        healthy.close()
+
+
+def test_oversized_reply_fails_the_lane_with_a_named_error():
+    """The reply-frame cap: a reply larger than max_frame_bytes kills
+    the lane cleanly — the sweep's error names the lane and the cap
+    instead of the client growing its buffer without bound."""
+    spec = _sync_spec(trials=2)
+    server = WorkerServer().start()
+    backend = DistributedBackend(
+        [server.address], unit_size=1, max_frame_bytes=256
+    )
+    try:
+        with pytest.raises(DispatchError) as err:
+            backend.run_trials(spec)
+        message = str(err.value)
+        assert server.address in message  # names the lane
+        assert "frame cap" in message  # names the bound
+    finally:
+        backend.close()
+        server.close()
+
+
+def test_worker_refuses_oversized_request_frame():
+    """The server-side cap mirrors the client's: an oversized request
+    is answered with an error naming the cap, then the worker hangs up
+    (framing cannot be resynchronised mid-stream)."""
+    import json as json_module
+
+    server = WorkerServer(max_frame_bytes=512).start()
+    try:
+        with socket.create_connection(
+            (server.host, server.port), timeout=5.0
+        ) as sock:
+            sock.sendall(b'{"pad":"' + b"x" * 2048 + b'"}\n')
+            reply = json_module.loads(sock.makefile().readline())
+        assert reply["kind"] == "error"
+        assert "frame cap" in reply["error"]
+    finally:
+        server.close()
+
+
+def test_lane_depth_validation():
+    server = WorkerServer().start()
+    try:
+        with pytest.raises(EngineError, match="lane_depth"):
+            DistributedBackend([server.address], lane_depth=0)
+        with pytest.raises(EngineError, match="lane_depth"):
+            SocketTransport([server.address], lane_depth=0)
+        with pytest.raises(EngineError, match="codec"):
+            SocketTransport([server.address], codec="msgpack")
+    finally:
+        server.close()

@@ -181,6 +181,28 @@ def test_registry_register_heartbeat_evict(root):
         registry.deregister("../escape")
 
 
+def test_registry_carries_advisory_codecs(root):
+    """The roster records which wire codecs each worker speaks; old
+    registration files (no codecs field) decode as JSON-only, and a
+    heartbeat rewrite preserves the field."""
+    from repro.engine.spec import SUPPORTED_CODECS
+
+    registry = FleetRegistry(root)
+    info = registry.register(
+        "127.0.0.1", 7100, worker_id="wc", codecs=tuple(SUPPORTED_CODECS)
+    )
+    assert info.codecs == tuple(SUPPORTED_CODECS)
+    assert worker_from_wire(worker_to_wire(info)) == info
+    assert registry.workers()[0].codecs == tuple(SUPPORTED_CODECS)
+    refreshed = registry.heartbeat(info, units_served=3)
+    assert refreshed.codecs == tuple(SUPPORTED_CODECS)
+    # Tolerant decode: a pre-codec registration implies the JSON line
+    # protocol (codec 1).
+    doc = worker_to_wire(info)
+    del doc["codecs"]
+    assert worker_from_wire(doc).codecs == (1,)
+
+
 def test_heartbeat_thread_registers_and_withdraws(root):
     registry = FleetRegistry(root)
     served = [0]
